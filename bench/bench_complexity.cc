@@ -1,0 +1,88 @@
+// E1 — Scheduling complexity of Schemes 0-3 (paper Theorems 4, 6, 9).
+//
+// Reproduces the paper's complexity claims empirically: the average number
+// of abstract scheduler steps per transaction as a function of
+//   n   — concurrently active global transactions,
+//   dav — sites per transaction,
+//   m   — number of sites.
+// Expected shapes:
+//   Scheme 0: O(dav)              (flat in n)
+//   Scheme 1: O(m + n + n*dav)    (linear in n)
+//   Scheme 2: O(n^2 * dav)        (quadratic in n)
+//   Scheme 3: O(n^2 * dav)        (quadratic in n)
+// The steps_per_txn counter is the datum; wall time is reported by the
+// framework as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "gtm/synthetic.h"
+
+namespace {
+
+using mdbs::gtm::MakeScheme;
+using mdbs::gtm::SchemeKind;
+using mdbs::gtm::SyntheticConfig;
+using mdbs::gtm::SyntheticGtmHarness;
+using mdbs::gtm::SyntheticReport;
+
+void RunScheme(benchmark::State& state, SchemeKind kind) {
+  SyntheticConfig config;
+  config.active_txns = static_cast<int>(state.range(0));
+  config.dav_min = config.dav_max = static_cast<int>(state.range(1));
+  config.sites = static_cast<int>(state.range(2));
+  config.total_txns = 400;
+  config.seed = 42;
+
+  double steps_per_txn = 0;
+  double sched_steps_per_txn = 0;
+  double waits_per_ser = 0;
+  int64_t completed = 0;
+  for (auto _ : state) {
+    SyntheticGtmHarness harness(MakeScheme(kind), config);
+    SyntheticReport report = harness.Run();
+    steps_per_txn = report.StepsPerTxn();
+    sched_steps_per_txn = report.SchedulingStepsPerTxn();
+    waits_per_ser = report.WaitsPerSerOp();
+    completed += report.completed;
+    benchmark::DoNotOptimize(report.completed);
+  }
+  // sched_steps_per_txn is the paper's cost model (targeted wakeup, §4);
+  // steps_per_txn additionally pays for failed WAIT re-evaluations in our
+  // rescanning driver.
+  state.counters["sched_steps_per_txn"] = sched_steps_per_txn;
+  state.counters["steps_per_txn"] = steps_per_txn;
+  state.counters["waits_per_ser"] = waits_per_ser;
+  state.SetItemsProcessed(completed);
+}
+
+void ApplySweeps(benchmark::internal::Benchmark* bench) {
+  // Sweep n with dav=3, m=8 (complexity in the population size).
+  for (int n : {4, 8, 16, 32, 64, 128}) bench->Args({n, 3, 8});
+  // Sweep dav with n=16, m=16 (complexity in transaction footprint).
+  for (int dav : {1, 2, 4, 8, 16}) bench->Args({16, dav, 16});
+  // Sweep m with n=16, dav=3 (site-count sensitivity, Scheme 1's m term).
+  for (int m : {4, 8, 16, 32, 64}) bench->Args({16, 3, m});
+  bench->ArgNames({"n", "dav", "m"})->Unit(benchmark::kMillisecond);
+}
+
+void BM_Scheme0(benchmark::State& state) {
+  RunScheme(state, SchemeKind::kScheme0);
+}
+void BM_Scheme1(benchmark::State& state) {
+  RunScheme(state, SchemeKind::kScheme1);
+}
+void BM_Scheme2(benchmark::State& state) {
+  RunScheme(state, SchemeKind::kScheme2);
+}
+void BM_Scheme3(benchmark::State& state) {
+  RunScheme(state, SchemeKind::kScheme3);
+}
+
+BENCHMARK(BM_Scheme0)->Apply(ApplySweeps);
+BENCHMARK(BM_Scheme1)->Apply(ApplySweeps);
+BENCHMARK(BM_Scheme2)->Apply(ApplySweeps);
+BENCHMARK(BM_Scheme3)->Apply(ApplySweeps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+// Banking across autonomous banks — the classic MDBS motivation. Three
+// pre-existing banks run different DBMSs (strict 2PL, strict TO, SGT); a
+// global funds-transfer service moves money between accounts at different
+// banks through the GTM while each bank's own tellers (local transactions)
+// keep working directly against their DBMS, invisible to the GTM.
+//
+// The audit at the end exercises exactly what global serializability buys:
+// every transfer is read-modify-write, so a lost update anywhere would
+// break conservation of the total balance.
+//
+//   ./build/examples/banking [scheme:0|1|2|3]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "mdbs/mdbs.h"
+
+namespace {
+
+using mdbs::DataItemId;
+using mdbs::SiteId;
+using mdbs::gtm::GlobalOp;
+using mdbs::gtm::GlobalTxnSpec;
+using mdbs::gtm::ReadContext;
+using mdbs::gtm::SchemeKind;
+using mdbs::lcc::ProtocolKind;
+
+constexpr int kAccountsPerBank = 16;
+constexpr int64_t kInitialBalance = 10'000;
+
+GlobalTxnSpec MakeTransfer(SiteId from_bank, DataItemId from_acct,
+                           SiteId to_bank, DataItemId to_acct,
+                           int64_t amount) {
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Read(from_bank, from_acct));
+  spec.ops.push_back(GlobalOp::WriteFn(
+      from_bank, from_acct,
+      [from_bank, from_acct, amount](const ReadContext& reads) {
+        return reads.at({from_bank, from_acct}) - amount;
+      }));
+  spec.ops.push_back(GlobalOp::Read(to_bank, to_acct));
+  spec.ops.push_back(GlobalOp::WriteFn(
+      to_bank, to_acct, [to_bank, to_acct, amount](const ReadContext& reads) {
+        return reads.at({to_bank, to_acct}) + amount;
+      }));
+  return spec;
+}
+
+// A bank teller moving money between two accounts of the *same* bank,
+// talking to the local DBMS directly (the GTM never sees it). Runs a
+// read(a), write(a - x), read(b), write(b + x), commit state machine.
+struct Teller {
+  Teller(mdbs::Mdbs* system_in, SiteId bank_in, uint64_t seed,
+         int transfers)
+      : system(system_in), bank(bank_in), rng(seed), remaining(transfers) {}
+
+  mdbs::Mdbs* system;
+  SiteId bank;
+  mdbs::Rng rng;
+  int remaining;
+  int64_t moved = 0;
+
+  mdbs::TxnId txn;
+  DataItemId a, b;
+  int64_t amount = 0;
+  int64_t balance_a = 0, balance_b = 0;
+  int stage = 0;
+
+  void Go() {
+    if (remaining-- <= 0) return;
+    a = DataItemId(static_cast<int64_t>(rng.NextBelow(kAccountsPerBank)));
+    b = DataItemId(static_cast<int64_t>(rng.NextBelow(kAccountsPerBank)));
+    if (a == b) b = DataItemId((a.value() + 1) % kAccountsPerBank);
+    amount = static_cast<int64_t>(1 + rng.NextBelow(100));
+    mdbs::StatusOr<mdbs::TxnId> begun = system->BeginLocal(bank);
+    if (!begun.ok()) return Retry();
+    txn = *begun;
+    stage = 0;
+    Step();
+  }
+
+  void Step() {
+    auto& dbms = system->site(bank);
+    auto next = [this](const mdbs::Status& status, int64_t value) {
+      if (!status.ok()) return Retry();
+      if (stage == 0) balance_a = value;
+      if (stage == 2) balance_b = value;
+      ++stage;
+      Step();
+    };
+    switch (stage) {
+      case 0: dbms.Submit(txn, mdbs::DataOp::Read(a), next); return;
+      case 1:
+        dbms.Submit(txn, mdbs::DataOp::Write(a, balance_a - amount), next);
+        return;
+      case 2: dbms.Submit(txn, mdbs::DataOp::Read(b), next); return;
+      case 3:
+        dbms.Submit(txn, mdbs::DataOp::Write(b, balance_b + amount), next);
+        return;
+      default:
+        dbms.Commit(txn, [this](const mdbs::Status& status) {
+          if (!status.ok()) return Retry();
+          moved += amount;
+          Go();
+        });
+    }
+  }
+
+  void Retry() {
+    ++remaining;  // The aborted teller just tries again.
+    system->loop().Schedule(100, [this] { Go(); });
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SchemeKind scheme = SchemeKind::kScheme3;
+  if (argc > 1) {
+    switch (std::atoi(argv[1])) {
+      case 0: scheme = SchemeKind::kScheme0; break;
+      case 1: scheme = SchemeKind::kScheme1; break;
+      case 2: scheme = SchemeKind::kScheme2; break;
+      default: scheme = SchemeKind::kScheme3; break;
+    }
+  }
+  std::printf("Banking MDBS under %s\n", mdbs::gtm::SchemeKindName(scheme));
+
+  mdbs::MdbsConfig config = mdbs::MdbsConfig::Mixed(
+      {ProtocolKind::kTwoPhaseLocking, ProtocolKind::kTimestampOrdering,
+       ProtocolKind::kSerializationGraph},
+      scheme);
+  config.seed = 2026;
+  mdbs::Mdbs system(config);
+
+  // Fund every account.
+  for (SiteId bank : system.site_ids()) {
+    for (int acct = 0; acct < kAccountsPerBank; ++acct) {
+      system.site(bank).UnsafePoke(DataItemId(acct), kInitialBalance);
+    }
+  }
+  const int64_t kExpectedTotal =
+      static_cast<int64_t>(system.site_ids().size()) * kAccountsPerBank *
+      kInitialBalance;
+
+  // Local tellers at each bank.
+  std::vector<Teller> tellers;
+  tellers.reserve(system.site_ids().size());
+  uint64_t teller_seed = 1;
+  for (SiteId bank : system.site_ids()) {
+    tellers.emplace_back(&system, bank, teller_seed++, 60);
+  }
+  for (Teller& teller : tellers) teller.Go();
+
+  // Cross-bank wire transfers through the GTM.
+  mdbs::Rng rng(7);
+  int committed = 0, failed = 0;
+  for (int i = 0; i < 120; ++i) {
+    SiteId from = system.site_ids()[rng.NextBelow(3)];
+    SiteId to = system.site_ids()[rng.NextBelow(3)];
+    if (from == to) to = system.site_ids()[(from.value() + 1) % 3];
+    DataItemId src{static_cast<int64_t>(rng.NextBelow(kAccountsPerBank))};
+    DataItemId dst{static_cast<int64_t>(rng.NextBelow(kAccountsPerBank))};
+    int64_t amount = static_cast<int64_t>(1 + rng.NextBelow(500));
+    system.gtm().Submit(
+        MakeTransfer(from, src, to, dst, amount),
+        [&](const mdbs::gtm::GlobalTxnResult& result) {
+          result.status.ok() ? ++committed : ++failed;
+        });
+  }
+  system.RunUntilIdle();
+
+  // Audit.
+  int64_t total = 0;
+  for (SiteId bank : system.site_ids()) {
+    for (int acct = 0; acct < kAccountsPerBank; ++acct) {
+      total += system.site(bank).UnsafePeek(DataItemId(acct));
+    }
+  }
+  int64_t teller_moved = 0;
+  for (const Teller& teller : tellers) teller_moved += teller.moved;
+
+  std::printf("wire transfers: %d committed, %d failed\n", committed, failed);
+  std::printf("teller volume:  %lld moved locally\n",
+              static_cast<long long>(teller_moved));
+  std::printf("audit: total balance %lld (expected %lld) -> %s\n",
+              static_cast<long long>(total),
+              static_cast<long long>(kExpectedTotal),
+              total == kExpectedTotal ? "CONSERVED" : "BROKEN");
+  std::printf("global serializability: %s\n",
+              system.CheckGloballySerializable().ToString().c_str());
+  return (total == kExpectedTotal &&
+          system.CheckGloballySerializable().ok())
+             ? 0
+             : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a 3-site multidatabase with heterogeneous local
+// protocols (2PL, TO, SGT), run a handful of global transactions under
+// Scheme 3 alongside local transactions the GTM never sees, and verify that
+// the execution is globally serializable.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "mdbs/driver.h"
+#include "mdbs/mdbs.h"
+
+int main() {
+  using mdbs::gtm::SchemeKind;
+  using mdbs::lcc::ProtocolKind;
+
+  // 1. Assemble the MDBS: three pre-existing local DBMSs, each with its own
+  //    concurrency control protocol, under one GTM running Scheme 3.
+  mdbs::MdbsConfig config = mdbs::MdbsConfig::Mixed(
+      {ProtocolKind::kTwoPhaseLocking, ProtocolKind::kTimestampOrdering,
+       ProtocolKind::kSerializationGraph},
+      SchemeKind::kScheme3);
+  config.seed = 7;
+  mdbs::Mdbs system(config);
+
+  // 2. Submit one hand-written global transaction: read x0 at site 0,
+  //    write the value + 1 to y0 at site 1.
+  mdbs::gtm::GlobalTxnSpec spec;
+  const mdbs::SiteId kSite0{0};
+  const mdbs::SiteId kSite1{1};
+  const mdbs::DataItemId kX{0};
+  const mdbs::DataItemId kY{1};
+  system.site(kSite0).UnsafePoke(kX, 41);
+  spec.ops.push_back(mdbs::gtm::GlobalOp::Read(kSite0, kX));
+  spec.ops.push_back(mdbs::gtm::GlobalOp::WriteFn(
+      kSite1, kY, [=](const mdbs::gtm::ReadContext& reads) {
+        return reads.at({kSite0, kX}) + 1;
+      }));
+
+  bool done = false;
+  system.gtm().Submit(std::move(spec),
+                      [&](const mdbs::gtm::GlobalTxnResult& result) {
+                        std::printf("hand-written txn: %s (attempts=%d)\n",
+                                    result.status.ToString().c_str(),
+                                    result.attempts);
+                        done = true;
+                      });
+  system.RunUntilIdle();
+  std::printf("y at site 1 = %ld (expected 42), done=%d\n",
+              static_cast<long>(system.site(kSite1).UnsafePeek(kY)), done);
+
+  // 3. Run a mixed random workload: 6 concurrent global clients plus 2
+  //    local clients per site.
+  mdbs::DriverConfig driver;
+  driver.global_clients = 6;
+  driver.target_global_commits = 100;
+  driver.global_workload.items_per_site = 50;  // Plenty of conflicts.
+  driver.local_workload.items_per_site = 50;
+  mdbs::DriverReport report = RunDriver(&system, driver, /*seed=*/123);
+  std::printf("%s", report.ToString().c_str());
+
+  // 4. Verify serializability — local, global, and the serialization-key
+  //    property the GTM's correctness rests on.
+  std::printf("local CSR:  %s\n",
+              system.CheckLocallySerializable().ToString().c_str());
+  std::printf("ser-key:    %s\n",
+              system.CheckSerializationKeyProperty().ToString().c_str());
+  std::printf("global CSR: %s\n",
+              system.CheckGloballySerializable().ToString().c_str());
+  return system.CheckGloballySerializable().ok() ? 0 : 1;
+}

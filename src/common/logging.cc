@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace mdbs {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace mdbs

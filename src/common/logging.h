@@ -1,0 +1,62 @@
+#ifndef MDBS_COMMON_LOGGING_H_
+#define MDBS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mdbs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows log statements below the active level without evaluating the
+/// streamed expressions' insertion.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace mdbs
+
+#define MDBS_LOG(level)                                                \
+  if (::mdbs::LogLevel::k##level < ::mdbs::GetLogLevel()) {            \
+  } else                                                               \
+    ::mdbs::internal_logging::LogMessage(::mdbs::LogLevel::k##level,   \
+                                         __FILE__, __LINE__)           \
+        .stream()
+
+/// Fatal invariant check: logs and aborts when `cond` is false. Used for
+/// internal invariants that indicate bugs, never for user errors.
+#define MDBS_CHECK(cond)                                                    \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::mdbs::internal_logging::LogMessage(::mdbs::LogLevel::kError,          \
+                                         __FILE__, __LINE__, /*fatal=*/true) \
+        .stream()                                                           \
+        << "Check failed: " #cond " "
+
+#endif  // MDBS_COMMON_LOGGING_H_

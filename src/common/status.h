@@ -1,0 +1,134 @@
+#ifndef MDBS_COMMON_STATUS_H_
+#define MDBS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mdbs {
+
+/// Error taxonomy for the MDBS library. Public APIs never throw; they return
+/// `Status` (or `StatusOr<T>`) in the style of Arrow/RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// The request referenced an entity that does not exist.
+  kNotFound,
+  /// The request is malformed or violates an API precondition.
+  kInvalidArgument,
+  /// The operation cannot run in the current state (e.g. operation on a
+  /// transaction that already committed).
+  kFailedPrecondition,
+  /// The local DBMS aborted the transaction (deadlock victim, timestamp
+  /// violation, SGT cycle, failed optimistic validation). Retryable.
+  kTransactionAborted,
+  /// An internal invariant was violated; indicates a bug.
+  kInternal,
+};
+
+/// Returns a short human-readable name ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsTransactionAborted() const {
+    return code_ == StatusCode::kTransactionAborted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. `value()` must only be
+/// called when `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mdbs
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MDBS_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::mdbs::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // MDBS_COMMON_STATUS_H_

@@ -1,0 +1,255 @@
+#include "gtm/baselines.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+// ---------------------------------------------------------------------------
+// TicketOptimistic
+// ---------------------------------------------------------------------------
+
+void TicketOptimistic::ActInit(const QueueOp& op) {
+  AddSteps(1);
+  nodes_.try_emplace(op.txn);
+}
+
+void TicketOptimistic::ActAck(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  std::vector<GlobalTxnId>& history = ack_history_[site];
+  // Link from the most recent still-live transaction at this site; dead
+  // (aborted) entries are skipped so the order chain stays connected.
+  for (auto rit = history.rbegin(); rit != history.rend(); ++rit) {
+    if (*rit == txn) continue;
+    if (nodes_.contains(*rit)) {
+      nodes_[*rit].out.insert(txn);
+      nodes_[txn].in.insert(*rit);
+      break;
+    }
+  }
+  history.push_back(txn);
+  if (history.size() > 1024) {
+    std::vector<GlobalTxnId> pruned;
+    for (GlobalTxnId id : history) {
+      if (nodes_.contains(id)) pruned.push_back(id);
+    }
+    history.swap(pruned);
+  }
+}
+
+Verdict TicketOptimistic::CondValidate(GlobalTxnId txn) {
+  // A transaction on a cycle of the observed per-site serialization orders
+  // cannot commit; abort it (the optimistic trade-off).
+  AddSteps(1);
+  return Reaches(txn, txn) ? Verdict::kAbort : Verdict::kReady;
+}
+
+bool TicketOptimistic::Reaches(GlobalTxnId from, GlobalTxnId to) const {
+  std::unordered_set<GlobalTxnId> visited;
+  std::vector<GlobalTxnId> stack;
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return false;
+  for (GlobalTxnId next : it->second.out) stack.push_back(next);
+  while (!stack.empty()) {
+    GlobalTxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!visited.insert(cur).second) continue;
+    auto node_it = nodes_.find(cur);
+    if (node_it == nodes_.end()) continue;
+    for (GlobalTxnId next : node_it->second.out) stack.push_back(next);
+  }
+  return false;
+}
+
+void TicketOptimistic::ActFin(GlobalTxnId txn) {
+  auto it = nodes_.find(txn);
+  if (it != nodes_.end()) it->second.finished = true;
+  CollectGarbage();
+}
+
+void TicketOptimistic::ActAbortCleanup(GlobalTxnId txn) {
+  // Bridge predecessors to successors before removing: A -> txn -> B
+  // implies an A-before-B constraint at txn's sites that must survive (it
+  // is conservative across sites, never unsound).
+  auto it = nodes_.find(txn);
+  if (it != nodes_.end()) {
+    for (GlobalTxnId pred : it->second.in) {
+      auto pred_it = nodes_.find(pred);
+      if (pred_it == nodes_.end()) continue;
+      for (GlobalTxnId succ : it->second.out) {
+        if (succ == pred) continue;
+        auto succ_it = nodes_.find(succ);
+        if (succ_it == nodes_.end()) continue;
+        pred_it->second.out.insert(succ);
+        succ_it->second.in.insert(pred);
+      }
+    }
+  }
+  RemoveNode(txn);
+}
+
+void TicketOptimistic::RemoveNode(GlobalTxnId txn) {
+  auto it = nodes_.find(txn);
+  if (it == nodes_.end()) return;
+  for (GlobalTxnId succ : it->second.out) {
+    auto succ_it = nodes_.find(succ);
+    if (succ_it != nodes_.end()) succ_it->second.in.erase(txn);
+  }
+  for (GlobalTxnId pred : it->second.in) {
+    auto pred_it = nodes_.find(pred);
+    if (pred_it != nodes_.end()) pred_it->second.out.erase(txn);
+  }
+  nodes_.erase(it);
+}
+
+void TicketOptimistic::CollectGarbage() {
+  // Finished nodes with no in-edges can never rejoin a cycle.
+  std::vector<GlobalTxnId> removable;
+  for (const auto& [txn, node] : nodes_) {
+    if (node.finished && node.in.empty()) removable.push_back(txn);
+  }
+  while (!removable.empty()) {
+    GlobalTxnId txn = removable.back();
+    removable.pop_back();
+    auto it = nodes_.find(txn);
+    if (it == nodes_.end()) continue;
+    std::vector<GlobalTxnId> successors(it->second.out.begin(),
+                                        it->second.out.end());
+    RemoveNode(txn);
+    for (GlobalTxnId succ : successors) {
+      auto succ_it = nodes_.find(succ);
+      if (succ_it != nodes_.end() && succ_it->second.finished &&
+          succ_it->second.in.empty()) {
+        removable.push_back(succ);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveTwoPhase
+// ---------------------------------------------------------------------------
+
+void NaiveTwoPhase::ActInit(const QueueOp& op) {
+  AddSteps(1);
+  sites_[op.txn] = op.sites;
+}
+
+bool NaiveTwoPhase::WouldDeadlock(GlobalTxnId requester, SiteId site) const {
+  // Follow holder/waiter chains: if the site's holder (transitively) waits
+  // for the requester, granting a wait would close a cycle.
+  std::unordered_set<GlobalTxnId> visited;
+  auto holder_it = holder_.find(site);
+  if (holder_it == holder_.end()) return false;
+  GlobalTxnId cur = holder_it->second;
+  while (cur.valid()) {
+    if (cur == requester) return true;
+    if (!visited.insert(cur).second) return false;
+    auto wait_it = waiting_on_.find(cur);
+    if (wait_it == waiting_on_.end()) return false;
+    auto next_it = holder_.find(wait_it->second);
+    if (next_it == holder_.end()) return false;
+    cur = next_it->second;
+  }
+  return false;
+}
+
+Verdict NaiveTwoPhase::CondSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  auto holder_it = holder_.find(site);
+  if (holder_it == holder_.end() || holder_it->second == txn) {
+    return Verdict::kReady;
+  }
+  if (WouldDeadlock(txn, site)) return Verdict::kAbort;
+  auto& queue = waiters_[site];
+  if (std::find(queue.begin(), queue.end(), txn) == queue.end()) {
+    queue.push_back(txn);
+    waiting_on_[txn] = site;
+  }
+  return Verdict::kWait;
+}
+
+void NaiveTwoPhase::ActSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  holder_[site] = txn;
+  waiting_on_.erase(txn);
+  auto waiters_it = waiters_.find(site);
+  if (waiters_it != waiters_.end()) {
+    auto& queue = waiters_it->second;
+    queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
+  }
+}
+
+void NaiveTwoPhase::ActFin(GlobalTxnId txn) {
+  AddSteps(1);
+  auto sites_it = sites_.find(txn);
+  if (sites_it != sites_.end()) {
+    for (SiteId site : sites_it->second) {
+      auto holder_it = holder_.find(site);
+      if (holder_it != holder_.end() && holder_it->second == txn) {
+        holder_.erase(holder_it);
+      }
+    }
+    sites_.erase(sites_it);
+  }
+}
+
+void NaiveTwoPhase::ActAbortCleanup(GlobalTxnId txn) {
+  ActFin(txn);
+  waiting_on_.erase(txn);
+  for (auto& [site, queue] : waiters_) {
+    queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveTimestamp
+// ---------------------------------------------------------------------------
+
+void NaiveTimestamp::ActInit(const QueueOp& op) {
+  AddSteps(1);
+  ts_[op.txn] = next_ts_++;
+}
+
+Verdict NaiveTimestamp::CondSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  auto exec_it = executing_.find(site);
+  if (exec_it != executing_.end() && exec_it->second.has_value()) {
+    return Verdict::kWait;  // Pin the physical order.
+  }
+  auto max_it = max_executed_ts_.find(site);
+  if (max_it != max_executed_ts_.end() && ts_.at(txn) < max_it->second) {
+    return Verdict::kAbort;  // Arrived too late, as in basic TO.
+  }
+  return Verdict::kReady;
+}
+
+void NaiveTimestamp::ActSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  max_executed_ts_[site] = ts_.at(txn);
+  executing_[site] = txn;
+}
+
+void NaiveTimestamp::ActAck(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  auto exec_it = executing_.find(site);
+  if (exec_it != executing_.end() && exec_it->second == txn) {
+    exec_it->second.reset();
+  }
+}
+
+void NaiveTimestamp::ActFin(GlobalTxnId txn) {
+  AddSteps(1);
+  ts_.erase(txn);
+}
+
+void NaiveTimestamp::ActAbortCleanup(GlobalTxnId txn) {
+  ts_.erase(txn);
+  for (auto& [site, exec] : executing_) {
+    if (exec == txn) exec.reset();
+  }
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,108 @@
+#ifndef MDBS_GTM_BASELINES_H_
+#define MDBS_GTM_BASELINES_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gtm/scheme.h"
+
+namespace mdbs::gtm {
+
+/// The non-conservative *optimistic ticket method* baseline (in the spirit
+/// of [GRS91], which the paper contrasts with its conservative schemes in
+/// §3(1)). Ser operations are released immediately — maximum optimism, no
+/// waiting. The GTM observes the per-site completion (ack) order of ser
+/// operations, accumulates it in a global order graph, and certifies each
+/// transaction at its pre-commit validation point: if the transaction lies
+/// on a cycle, it is aborted and retried by GTM1. Experiment E5 measures
+/// the abort rate this trades for the avoided waiting.
+class TicketOptimistic : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kTicketOptimistic; }
+  const char* Name() const override { return "TicketOptimistic"; }
+
+  Verdict CondInit(const QueueOp&) override { return Verdict::kReady; }
+  void ActInit(const QueueOp& op) override;
+  Verdict CondSer(GlobalTxnId, SiteId) override { return Verdict::kReady; }
+  void ActSer(GlobalTxnId, SiteId) override {}
+  Verdict CondAck(GlobalTxnId, SiteId) override { return Verdict::kReady; }
+  void ActAck(GlobalTxnId txn, SiteId site) override;
+  Verdict CondValidate(GlobalTxnId txn) override;
+  void ActValidate(GlobalTxnId) override {}
+  Verdict CondFin(GlobalTxnId) override { return Verdict::kReady; }
+  void ActFin(GlobalTxnId txn) override;
+  void ActAbortCleanup(GlobalTxnId txn) override;
+
+ private:
+  struct Node {
+    bool finished = false;
+    std::unordered_set<GlobalTxnId> out;
+    std::unordered_set<GlobalTxnId> in;
+  };
+
+  bool Reaches(GlobalTxnId from, GlobalTxnId to) const;
+  void RemoveNode(GlobalTxnId txn);
+  void CollectGarbage();
+
+  std::unordered_map<GlobalTxnId, Node> nodes_;
+  /// Per-site ack order; edges link each ack to the most recent *live*
+  /// predecessor so that removing aborted attempts cannot break the chain.
+  std::unordered_map<SiteId, std::vector<GlobalTxnId>> ack_history_;
+};
+
+/// Naive conservative 2PL on ser(S) (experiment E7): every pair of ser
+/// operations at a site conflicts (paper §3), so treat each site as one
+/// exclusive lock held from the first ser execution until fin. Deadlocks —
+/// which §3(1) predicts are frequent — surface as kAbort at cond(ser).
+class NaiveTwoPhase : public ConservativeSchemeBase {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kNone; }
+  const char* Name() const override { return "Naive2PL"; }
+
+  void ActInit(const QueueOp& op) override;
+  Verdict CondSer(GlobalTxnId txn, SiteId site) override;
+  void ActSer(GlobalTxnId txn, SiteId site) override;
+  void ActAck(GlobalTxnId, SiteId) override {}
+  Verdict CondFin(GlobalTxnId) override { return Verdict::kReady; }
+  void ActFin(GlobalTxnId txn) override;
+  void ActAbortCleanup(GlobalTxnId txn) override;
+
+ private:
+  bool WouldDeadlock(GlobalTxnId requester, SiteId site) const;
+
+  std::unordered_map<GlobalTxnId, std::vector<SiteId>> sites_;
+  std::unordered_map<SiteId, GlobalTxnId> holder_;
+  std::unordered_map<SiteId, std::deque<GlobalTxnId>> waiters_;
+  std::unordered_map<GlobalTxnId, SiteId> waiting_on_;
+};
+
+/// Naive TO on ser(S) (experiment E7): transactions are timestamped in init
+/// order; a ser operation arriving at a site "late" (a younger transaction
+/// already executed there) aborts its transaction, as basic TO would.
+class NaiveTimestamp : public ConservativeSchemeBase {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kNone; }
+  const char* Name() const override { return "NaiveTO"; }
+
+  void ActInit(const QueueOp& op) override;
+  Verdict CondSer(GlobalTxnId txn, SiteId site) override;
+  void ActSer(GlobalTxnId txn, SiteId site) override;
+  void ActAck(GlobalTxnId txn, SiteId site) override;
+  Verdict CondFin(GlobalTxnId) override { return Verdict::kReady; }
+  void ActFin(GlobalTxnId txn) override;
+  void ActAbortCleanup(GlobalTxnId txn) override;
+
+ private:
+  int64_t next_ts_ = 0;
+  std::unordered_map<GlobalTxnId, int64_t> ts_;
+  std::unordered_map<SiteId, int64_t> max_executed_ts_;
+  /// Executed-but-unacked ser per site: the physical pin.
+  std::unordered_map<SiteId, std::optional<GlobalTxnId>> executing_;
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_BASELINES_H_

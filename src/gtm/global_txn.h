@@ -1,0 +1,62 @@
+#ifndef MDBS_GTM_GLOBAL_TXN_H_
+#define MDBS_GTM_GLOBAL_TXN_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/types.h"
+
+namespace mdbs::gtm {
+
+/// Values read so far by the current attempt of a global transaction,
+/// keyed by (site, item). Passed to value functions of later writes.
+using ReadContext = std::map<std::pair<SiteId, DataItemId>, int64_t>;
+
+/// One operation of a global transaction, bound to a site. For writes, if
+/// `value_fn` is set it computes the value from the reads observed earlier
+/// in the same attempt (enabling read-modify-write transactions such as
+/// transfers); otherwise `op.value` is written as-is.
+struct GlobalOp {
+  SiteId site;
+  DataOp op;
+  std::function<int64_t(const ReadContext&)> value_fn;
+
+  static GlobalOp Read(SiteId site, DataItemId item) {
+    return GlobalOp{site, DataOp::Read(item), nullptr};
+  }
+  static GlobalOp Write(SiteId site, DataItemId item, int64_t value) {
+    return GlobalOp{site, DataOp::Write(item, value), nullptr};
+  }
+  static GlobalOp WriteFn(SiteId site, DataItemId item,
+                          std::function<int64_t(const ReadContext&)> fn) {
+    return GlobalOp{site, DataOp::Write(item, 0), std::move(fn)};
+  }
+};
+
+/// A global transaction: a totally ordered list of operations spanning one
+/// or more sites (the paper's model — GTM1 submits them strictly one at a
+/// time, awaiting each acknowledgement). Begin/ticket/commit operations are
+/// synthesized by GTM1; the spec lists only data operations.
+struct GlobalTxnSpec {
+  std::vector<GlobalOp> ops;
+
+  /// Distinct sites in first-touch order.
+  std::vector<SiteId> Sites() const {
+    std::vector<SiteId> sites;
+    for (const GlobalOp& global_op : ops) {
+      bool seen = false;
+      for (SiteId site : sites) {
+        if (site == global_op.site) seen = true;
+      }
+      if (!seen) sites.push_back(global_op.site);
+    }
+    return sites;
+  }
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_GLOBAL_TXN_H_

@@ -1,0 +1,324 @@
+#include "gtm/gtm1.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+Gtm1::Gtm1(const Gtm1Config& config, sim::EventLoop* loop,
+           SiteGateway* gateway, uint64_t seed)
+    : config_(config), loop_(loop), gateway_(gateway), rng_(seed) {
+  Gtm2::Callbacks callbacks;
+  callbacks.release_ser = [this](GlobalTxnId txn, SiteId site) {
+    OnSerReleased(txn, site);
+  };
+  callbacks.forward_ack = [this](GlobalTxnId txn, SiteId site) {
+    OnAckForwarded(txn, site);
+  };
+  callbacks.validate_passed = [this](GlobalTxnId txn) {
+    // Defer: validate_passed fires inside the GTM2 pump.
+    loop_->Schedule(0, [this, txn]() { OnValidatePassed(txn); });
+  };
+  callbacks.abort_txn = [this](GlobalTxnId txn) {
+    loop_->Schedule(0, [this, txn]() {
+      FailAttempt(txn, Status::TransactionAborted("GTM scheme abort"),
+                  /*scheme_demanded=*/true);
+    });
+  };
+  std::unique_ptr<Scheme> scheme = config.scheme_factory
+                                       ? config.scheme_factory()
+                                       : MakeScheme(config.scheme);
+  gtm2_ = std::make_unique<Gtm2>(std::move(scheme), std::move(callbacks));
+}
+
+void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
+  MDBS_CHECK(!spec.ops.empty()) << "empty global transaction";
+  ++stats_.submitted;
+  ++in_flight_;
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  job->cb = std::move(cb);
+  job->submit_time = loop_->now();
+  Job* raw = job.get();
+  jobs_.push_back(std::move(job));
+  StartAttempt(raw);
+}
+
+std::vector<Gtm1::Step> Gtm1::BuildSteps(const GlobalTxnSpec& spec) const {
+  std::vector<Step> steps;
+  std::vector<SiteId> seen;
+  // Last data-op index per site, for the kLastOp serialization point.
+  std::unordered_map<SiteId, size_t> last_data_index;
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    last_data_index[spec.ops[i].site] = i;
+  }
+  for (size_t i = 0; i < spec.ops.size(); ++i) {
+    SiteId site = spec.ops[i].site;
+    SerPointKind ser_point = SerPointKindFor(gateway_->ProtocolAt(site));
+    if (std::find(seen.begin(), seen.end(), site) == seen.end()) {
+      seen.push_back(site);
+      steps.push_back(Step{Step::Kind::kBegin, site, 0,
+                           ser_point == SerPointKind::kBegin});
+      if (ser_point == SerPointKind::kTicket && !config_.ticket_last) {
+        steps.push_back(Step{Step::Kind::kTicket, site, 0, true});
+      }
+    }
+    steps.push_back(Step{Step::Kind::kData, site, i,
+                         ser_point == SerPointKind::kLastOp &&
+                             last_data_index[site] == i});
+    if (ser_point == SerPointKind::kTicket && config_.ticket_last &&
+        last_data_index[site] == i) {
+      steps.push_back(Step{Step::Kind::kTicket, site, 0, true});
+    }
+  }
+  return steps;
+}
+
+void Gtm1::StartAttempt(Job* job) {
+  ++job->attempts;
+  ++stats_.attempts;
+  auto attempt = std::make_unique<Attempt>();
+  attempt->id = GlobalTxnId(next_attempt_id_++);
+  attempt->job = job;
+  attempt->steps = BuildSteps(job->spec);
+  job->current_attempt = attempt->id;
+  GlobalTxnId attempt_id = attempt->id;
+  std::vector<SiteId> sites = job->spec.Sites();
+  attempts_[attempt_id] = std::move(attempt);
+
+  if (config_.attempt_timeout > 0) {
+    loop_->Schedule(config_.attempt_timeout, [this, attempt_id]() {
+      Attempt* timed_out = FindAttempt(attempt_id);
+      if (timed_out == nullptr || timed_out->failed ||
+          timed_out->committing) {
+        return;
+      }
+      ++stats_.timeouts;
+      FailAttempt(attempt_id,
+                  Status::TransactionAborted("attempt timed out"),
+                  /*scheme_demanded=*/false);
+    });
+  }
+
+  gtm2_->Enqueue(QueueOp::Init(attempt_id, std::move(sites)));
+  AdvanceStep(attempt_id);
+}
+
+void Gtm1::AdvanceStep(GlobalTxnId attempt_id) {
+  Attempt* attempt = FindAttempt(attempt_id);
+  if (attempt == nullptr || attempt->failed) return;
+  if (attempt->next_step == attempt->steps.size()) {
+    // All operations acknowledged: pre-commit validation point.
+    gtm2_->Enqueue(QueueOp::Validate(attempt_id));
+    return;
+  }
+  const Step& step = attempt->steps[attempt->next_step];
+  if (step.is_ser) {
+    // Route through GTM2; PerformStep happens when the scheme releases it.
+    gtm2_->Enqueue(QueueOp::Ser(attempt_id, step.site));
+    return;
+  }
+  PerformStep(attempt, step,
+              [this, attempt_id](const Status& status, int64_t) {
+                Attempt* done = FindAttempt(attempt_id);
+                if (done == nullptr || done->failed) return;
+                if (!status.ok()) {
+                  FailAttempt(attempt_id, status, /*scheme_demanded=*/false);
+                  return;
+                }
+                ++done->next_step;
+                AdvanceStep(attempt_id);
+              });
+}
+
+void Gtm1::OnSerReleased(GlobalTxnId attempt_id, SiteId site) {
+  Attempt* attempt = FindAttempt(attempt_id);
+  if (attempt == nullptr || attempt->failed) return;
+  MDBS_CHECK(attempt->next_step < attempt->steps.size());
+  const Step& step = attempt->steps[attempt->next_step];
+  MDBS_CHECK(step.is_ser && step.site == site)
+      << "ser release does not match current step of " << attempt_id;
+  PerformStep(attempt, step,
+              [this, attempt_id, site](const Status& status, int64_t) {
+                Attempt* done = FindAttempt(attempt_id);
+                if (done == nullptr || done->failed) return;
+                if (!status.ok()) {
+                  FailAttempt(attempt_id, status, /*scheme_demanded=*/false);
+                  return;
+                }
+                // The server inserts the ack into QUEUE (paper §4).
+                gtm2_->Enqueue(QueueOp::Ack(attempt_id, site));
+              });
+}
+
+void Gtm1::OnAckForwarded(GlobalTxnId attempt_id, SiteId) {
+  // Deferred: forward_ack fires inside the GTM2 pump.
+  loop_->Schedule(0, [this, attempt_id]() {
+    Attempt* attempt = FindAttempt(attempt_id);
+    if (attempt == nullptr || attempt->failed) return;
+    ++attempt->next_step;
+    AdvanceStep(attempt_id);
+  });
+}
+
+void Gtm1::PerformStep(Attempt* attempt, const Step& step,
+                       SiteGateway::OpCallback done) {
+  GlobalTxnId attempt_id = attempt->id;
+  switch (step.kind) {
+    case Step::Kind::kBegin: {
+      TxnId sub_id = TxnId(next_txn_id_++);
+      attempt->sub_ids[step.site] = sub_id;
+      attempt->begun_sites.push_back(step.site);
+      gateway_->Begin(step.site, sub_id, attempt_id,
+                      [done](const Status& status) { done(status, 0); });
+      return;
+    }
+    case Step::Kind::kTicket: {
+      DataOp ticket = DataOp::Write(kTicketItem, next_ticket_value_++);
+      gateway_->Submit(step.site, attempt->sub_ids.at(step.site), ticket,
+                       std::move(done));
+      return;
+    }
+    case Step::Kind::kData: {
+      const GlobalOp& global_op = attempt->job->spec.ops[step.spec_index];
+      DataOp op = global_op.op;
+      if (op.type == OpType::kWrite && global_op.value_fn != nullptr) {
+        op.value = global_op.value_fn(attempt->reads);
+      }
+      SiteId site = step.site;
+      gateway_->Submit(
+          site, attempt->sub_ids.at(site), op,
+          [this, attempt_id, site, op, done = std::move(done)](
+              const Status& status, int64_t value) {
+            Attempt* reader = FindAttempt(attempt_id);
+            if (reader != nullptr && status.ok() &&
+                op.type == OpType::kRead) {
+              reader->reads[{site, op.item}] = value;
+            }
+            done(status, value);
+          });
+      return;
+    }
+  }
+}
+
+void Gtm1::OnValidatePassed(GlobalTxnId attempt_id) {
+  Attempt* attempt = FindAttempt(attempt_id);
+  if (attempt == nullptr || attempt->failed) return;
+  attempt->committing = true;
+  CommitNextSite(attempt_id, 0);
+}
+
+void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
+  Attempt* attempt = FindAttempt(attempt_id);
+  if (attempt == nullptr || attempt->failed) return;
+  if (index == attempt->begun_sites.size()) {
+    // Fully committed.
+    gtm2_->Enqueue(QueueOp::Fin(attempt_id));
+    Job* job = attempt->job;
+    ++stats_.committed;
+    GlobalTxnResult result;
+    result.status = Status::OK();
+    result.attempts = job->attempts;
+    result.submit_time = job->submit_time;
+    result.finish_time = loop_->now();
+    result.reads = std::move(attempt->reads);
+    attempts_.erase(attempt_id);
+    FinishJob(job, std::move(result));
+    return;
+  }
+  SiteId site = attempt->begun_sites[index];
+  TxnId sub_id = attempt->sub_ids.at(site);
+  gateway_->Commit(
+      site, sub_id, [this, attempt_id, index](const Status& status) {
+        Attempt* committing = FindAttempt(attempt_id);
+        if (committing == nullptr || committing->failed) return;
+        if (status.ok()) {
+          CommitNextSite(attempt_id, index + 1);
+          return;
+        }
+        // Local validation failed at commit (OCC).
+        if (index == 0) {
+          // Nothing committed yet: the attempt is cleanly retryable.
+          committing->committing = false;
+          FailAttempt(attempt_id, status, /*scheme_demanded=*/false);
+          return;
+        }
+        // Some subtransactions already committed: atomic commitment is out
+        // of the paper's scope, so report a partial commit and do not retry
+        // (a retry would double-apply the committed sites' effects).
+        ++stats_.partial_commits;
+        Job* job = committing->job;
+        // Abort the rest.
+        for (size_t i = index + 1; i < committing->begun_sites.size(); ++i) {
+          SiteId rest = committing->begun_sites[i];
+          gateway_->Abort(rest, committing->sub_ids.at(rest),
+                          [](const Status&) {});
+        }
+        gtm2_->AbortCleanup(attempt_id);
+        GlobalTxnResult result;
+        result.status =
+            Status::TransactionAborted("partial commit: " + status.message());
+        result.attempts = job->attempts;
+        result.submit_time = job->submit_time;
+        result.finish_time = loop_->now();
+        attempts_.erase(attempt_id);
+        ++stats_.failed;
+        FinishJob(job, std::move(result));
+      });
+}
+
+void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
+                       bool scheme_demanded) {
+  Attempt* attempt = FindAttempt(attempt_id);
+  if (attempt == nullptr || attempt->failed) return;
+  attempt->failed = true;
+  ++stats_.aborted_attempts;
+  if (scheme_demanded) ++stats_.scheme_aborts;
+
+  // Abort every begun subtransaction (idempotent at the sites).
+  for (SiteId site : attempt->begun_sites) {
+    gateway_->Abort(site, attempt->sub_ids.at(site), [](const Status&) {});
+  }
+  gtm2_->AbortCleanup(attempt_id);
+
+  Job* job = attempt->job;
+  attempts_.erase(attempt_id);
+  if (job->attempts >= config_.max_attempts) {
+    ++stats_.failed;
+    GlobalTxnResult result;
+    result.status = Status::TransactionAborted(
+        "gave up after " + std::to_string(job->attempts) +
+        " attempts; last: " + reason.ToString());
+    result.attempts = job->attempts;
+    result.submit_time = job->submit_time;
+    result.finish_time = loop_->now();
+    FinishJob(job, std::move(result));
+    return;
+  }
+  // Randomized backoff, then a fresh attempt.
+  sim::Time delay =
+      config_.retry_backoff +
+      static_cast<sim::Time>(
+          rng_.NextBelow(static_cast<uint64_t>(config_.retry_backoff) + 1));
+  loop_->Schedule(delay, [this, job]() { StartAttempt(job); });
+}
+
+void Gtm1::FinishJob(Job* job, GlobalTxnResult result) {
+  --in_flight_;
+  ResultCallback cb = std::move(job->cb);
+  auto it = std::find_if(
+      jobs_.begin(), jobs_.end(),
+      [job](const std::unique_ptr<Job>& owned) { return owned.get() == job; });
+  MDBS_CHECK(it != jobs_.end());
+  jobs_.erase(it);
+  if (cb) cb(result);
+}
+
+Gtm1::Attempt* Gtm1::FindAttempt(GlobalTxnId attempt_id) {
+  auto it = attempts_.find(attempt_id);
+  return it == attempts_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mdbs::gtm

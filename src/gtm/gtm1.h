@@ -1,0 +1,168 @@
+#ifndef MDBS_GTM_GTM1_H_
+#define MDBS_GTM_GTM1_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "gtm/global_txn.h"
+#include "gtm/gtm2.h"
+#include "gtm/serialization_function.h"
+#include "sim/event_loop.h"
+
+namespace mdbs::gtm {
+
+/// The "servers" of the paper (Figure 1): GTM1's asynchronous gateway to the
+/// local DBMSs, one logical server per transaction per site. The MDBS
+/// facade implements it over LocalDbms instances plus network delays.
+class SiteGateway {
+ public:
+  using OpCallback = std::function<void(const Status&, int64_t value)>;
+  using TxnCallback = std::function<void(const Status&)>;
+
+  virtual ~SiteGateway() = default;
+
+  virtual lcc::ProtocolKind ProtocolAt(SiteId site) const = 0;
+  virtual void Begin(SiteId site, TxnId txn, GlobalTxnId global,
+                     TxnCallback cb) = 0;
+  virtual void Submit(SiteId site, TxnId txn, const DataOp& op,
+                      OpCallback cb) = 0;
+  virtual void Commit(SiteId site, TxnId txn, TxnCallback cb) = 0;
+  virtual void Abort(SiteId site, TxnId txn, TxnCallback cb) = 0;
+};
+
+struct Gtm1Config {
+  SchemeKind scheme = SchemeKind::kScheme3;
+  /// Overrides `scheme` with a custom GTM2 scheme instance when set (used
+  /// by the ablation experiments for scheme variants).
+  std::function<std::unique_ptr<Scheme>()> scheme_factory;
+  /// Ablation: place the forced-conflict ticket write after the last data
+  /// operation at the site instead of right after begin. Shortens the
+  /// ticket latch window at SGT sites at the cost of a later
+  /// serialization point.
+  bool ticket_last = false;
+  /// Backoff before retrying an aborted attempt (uniform jitter up to 2x).
+  sim::Time retry_backoff = 500;
+  /// Maximum attempts per global transaction before giving up.
+  int max_attempts = 50;
+  /// Abort an attempt whose next acknowledgement takes longer than this —
+  /// the MDBS-level answer to cross-site blocking the paper leaves out of
+  /// scope (it only treats serializability). 0 disables.
+  sim::Time attempt_timeout = 200'000;
+};
+
+/// Final outcome of one global transaction (across all its attempts).
+struct GlobalTxnResult {
+  Status status;
+  int attempts = 0;
+  sim::Time submit_time = 0;
+  sim::Time finish_time = 0;
+  /// Values read by the successful attempt, keyed by (site, item).
+  ReadContext reads;
+};
+
+struct Gtm1Stats {
+  int64_t submitted = 0;
+  int64_t committed = 0;
+  int64_t failed = 0;           // Gave up after max_attempts.
+  int64_t attempts = 0;
+  int64_t aborted_attempts = 0; // Local aborts + scheme aborts + timeouts.
+  int64_t scheme_aborts = 0;    // Subset demanded by the (non-conservative) scheme.
+  int64_t timeouts = 0;
+  int64_t partial_commits = 0;  // OCC validation failed after some commits.
+};
+
+/// GTM1 (paper §2.3 / Figure 1): drives global transactions. For every
+/// transaction it determines the ser_k operations from the sites' protocol
+/// kinds (injecting ticket writes where needed), inserts init/ser/fin
+/// operations into GTM2's QUEUE, submits all other operations directly to
+/// the sites, and never submits an operation before the previous one is
+/// acknowledged. Local-DBMS aborts and timeouts retire the whole attempt;
+/// GTM1 retries with a fresh attempt id after a randomized backoff.
+class Gtm1 {
+ public:
+  using ResultCallback = std::function<void(const GlobalTxnResult&)>;
+
+  Gtm1(const Gtm1Config& config, sim::EventLoop* loop, SiteGateway* gateway,
+       uint64_t seed);
+
+  Gtm1(const Gtm1&) = delete;
+  Gtm1& operator=(const Gtm1&) = delete;
+
+  /// Submits a global transaction; `cb` fires once with the final outcome.
+  void Submit(GlobalTxnSpec spec, ResultCallback cb);
+
+  /// Number of transactions submitted but not yet finished.
+  int64_t InFlight() const { return in_flight_; }
+
+  const Gtm2& gtm2() const { return *gtm2_; }
+  Gtm2& mutable_gtm2() { return *gtm2_; }
+  const Gtm1Stats& stats() const { return stats_; }
+
+ private:
+  struct Step {
+    enum class Kind { kBegin, kTicket, kData };
+    Kind kind = Kind::kData;
+    SiteId site;
+    /// Index into the spec's ops for kData; unused otherwise.
+    size_t spec_index = 0;
+    bool is_ser = false;
+  };
+
+  struct Job;
+
+  struct Attempt {
+    GlobalTxnId id;
+    Job* job = nullptr;
+    std::vector<Step> steps;
+    size_t next_step = 0;
+    std::unordered_map<SiteId, TxnId> sub_ids;
+    std::vector<SiteId> begun_sites;
+    ReadContext reads;
+    bool failed = false;
+    bool committing = false;
+  };
+
+  struct Job {
+    GlobalTxnSpec spec;
+    ResultCallback cb;
+    int attempts = 0;
+    sim::Time submit_time = 0;
+    GlobalTxnId current_attempt;
+  };
+
+  void StartAttempt(Job* job);
+  std::vector<Step> BuildSteps(const GlobalTxnSpec& spec) const;
+  void AdvanceStep(GlobalTxnId attempt_id);
+  void PerformStep(Attempt* attempt, const Step& step,
+                   SiteGateway::OpCallback done);
+  void OnSerReleased(GlobalTxnId attempt_id, SiteId site);
+  void OnAckForwarded(GlobalTxnId attempt_id, SiteId site);
+  void OnValidatePassed(GlobalTxnId attempt_id);
+  void CommitNextSite(GlobalTxnId attempt_id, size_t index);
+  void FailAttempt(GlobalTxnId attempt_id, const Status& reason,
+                   bool scheme_demanded);
+  void FinishJob(Job* job, GlobalTxnResult result);
+  Attempt* FindAttempt(GlobalTxnId attempt_id);
+
+  Gtm1Config config_;
+  sim::EventLoop* loop_;
+  SiteGateway* gateway_;
+  std::unique_ptr<Gtm2> gtm2_;
+  Rng rng_;
+  int64_t next_txn_id_ = 0;
+  int64_t next_attempt_id_ = 0;
+  int64_t next_ticket_value_ = 1;
+  int64_t in_flight_ = 0;
+  std::unordered_map<GlobalTxnId, std::unique_ptr<Attempt>> attempts_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  Gtm1Stats stats_;
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_GTM1_H_

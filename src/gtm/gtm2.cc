@@ -1,0 +1,138 @@
+#include "gtm/gtm2.h"
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+Gtm2::Gtm2(std::unique_ptr<Scheme> scheme, Callbacks callbacks)
+    : scheme_(std::move(scheme)), callbacks_(std::move(callbacks)) {
+  MDBS_CHECK(scheme_ != nullptr);
+}
+
+void Gtm2::Enqueue(QueueOp op) {
+  queue_.push_back(std::move(op));
+  if (!pumping_) Pump();
+}
+
+void Gtm2::Pump() {
+  pumping_ = true;
+  while (!queue_.empty()) {
+    QueueOp op = std::move(queue_.front());
+    queue_.pop_front();
+    if (dead_txns_.contains(op.txn)) continue;
+    if (TryProcess(op)) {
+      DrainWait();
+    } else {
+      ++stats_.wait_additions;
+      if (op.kind == QueueOpKind::kSer) ++stats_.ser_wait_additions;
+      wait_.push_back(std::move(op));
+    }
+  }
+  pumping_ = false;
+}
+
+bool Gtm2::TryProcess(const QueueOp& op) {
+  ++stats_.cond_evaluations;
+  Verdict verdict = Verdict::kReady;
+  switch (op.kind) {
+    case QueueOpKind::kInit:
+      verdict = scheme_->CondInit(op);
+      break;
+    case QueueOpKind::kSer:
+      verdict = scheme_->CondSer(op.txn, op.site);
+      break;
+    case QueueOpKind::kAck:
+      verdict = scheme_->CondAck(op.txn, op.site);
+      break;
+    case QueueOpKind::kValidate:
+      verdict = scheme_->CondValidate(op.txn);
+      break;
+    case QueueOpKind::kFin:
+      verdict = scheme_->CondFin(op.txn);
+      break;
+  }
+  switch (verdict) {
+    case Verdict::kWait:
+      return false;
+    case Verdict::kAbort:
+      ++stats_.scheme_aborts;
+      if (callbacks_.abort_txn) callbacks_.abort_txn(op.txn);
+      return true;
+    case Verdict::kReady:
+      RunAct(op);
+      return true;
+  }
+  return false;
+}
+
+void Gtm2::RunAct(const QueueOp& op) {
+  ++stats_.processed_ops;
+  switch (op.kind) {
+    case QueueOpKind::kInit:
+      scheme_->ActInit(op);
+      break;
+    case QueueOpKind::kSer:
+      scheme_->ActSer(op.txn, op.site);
+      if (callbacks_.release_ser) callbacks_.release_ser(op.txn, op.site);
+      break;
+    case QueueOpKind::kAck:
+      scheme_->ActAck(op.txn, op.site);
+      if (callbacks_.forward_ack) callbacks_.forward_ack(op.txn, op.site);
+      break;
+    case QueueOpKind::kValidate:
+      scheme_->ActValidate(op.txn);
+      if (callbacks_.validate_passed) callbacks_.validate_passed(op.txn);
+      break;
+    case QueueOpKind::kFin:
+      scheme_->ActFin(op.txn);
+      if (callbacks_.fin_done) callbacks_.fin_done(op.txn);
+      break;
+  }
+}
+
+void Gtm2::DrainWait() {
+  // Figure 3: after an act, process every waiting operation whose cond now
+  // holds; each success can enable further ones, so rescan to fixpoint.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = wait_.begin(); it != wait_.end();) {
+      if (dead_txns_.contains(it->txn)) {
+        it = wait_.erase(it);
+        continue;
+      }
+      int64_t steps_before = scheme_->steps();
+      if (TryProcess(*it)) {
+        it = wait_.erase(it);
+        progress = true;
+      } else {
+        stats_.failed_rescan_steps += scheme_->steps() - steps_before;
+        ++it;
+      }
+    }
+  }
+}
+
+void Gtm2::AbortCleanup(GlobalTxnId txn) {
+  dead_txns_.insert(txn);
+  if (!pumping_) {
+    // Eager purge. When called from inside the pump (a scheme abort
+    // surfacing mid-scan), the purge must stay lazy: Pump/DrainWait skip
+    // and erase dead transactions' operations as they encounter them, and
+    // erasing here would invalidate the iterator of the scan that invoked
+    // the abort callback.
+    for (auto it = wait_.begin(); it != wait_.end();) {
+      it = (it->txn == txn) ? wait_.erase(it) : std::next(it);
+    }
+  }
+  scheme_->ActAbortCleanup(txn);
+  // Removing the transaction may unblock waiting operations.
+  if (!pumping_) {
+    pumping_ = true;
+    DrainWait();
+    pumping_ = false;
+    if (!queue_.empty()) Pump();
+  }
+}
+
+}  // namespace mdbs::gtm

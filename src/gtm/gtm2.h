@@ -1,0 +1,101 @@
+#ifndef MDBS_GTM_GTM2_H_
+#define MDBS_GTM_GTM2_H_
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "gtm/queue_op.h"
+#include "gtm/scheme.h"
+
+namespace mdbs::gtm {
+
+/// Aggregate counters of one GTM2 instance.
+struct Gtm2Stats {
+  int64_t processed_ops = 0;
+  /// Operations inserted into WAIT at least once (the paper's
+  /// degree-of-concurrency measure counts these).
+  int64_t wait_additions = 0;
+  /// The subset of wait_additions that are ser operations.
+  int64_t ser_wait_additions = 0;
+  /// cond() evaluations performed (both from QUEUE and WAIT rescans).
+  int64_t cond_evaluations = 0;
+  /// Scheme steps spent on WAIT re-evaluations that still failed. The
+  /// paper's complexity model (§4) assumes targeted wakeup — only
+  /// operations whose cond became true are examined — so the theoretical
+  /// per-transaction step counts correspond to scheme().steps() minus this.
+  int64_t failed_rescan_steps = 0;
+  /// Transactions aborted on a scheme's demand (non-conservative only).
+  int64_t scheme_aborts = 0;
+};
+
+/// GTM2: the driver of the paper's Basic_Scheme (Figure 3). It selects
+/// operations from the front of QUEUE; when the scheme's cond holds it runs
+/// the scheme's act plus the operation's side effect (releasing a ser
+/// operation to its site, forwarding an ack to GTM1, ...); otherwise the
+/// operation joins WAIT and is retried after every subsequent act.
+class Gtm2 {
+ public:
+  struct Callbacks {
+    /// act(ser_k(G_i)): submit the serialization-function operation to the
+    /// local DBMS through the servers.
+    std::function<void(GlobalTxnId, SiteId)> release_ser;
+    /// act(ack(ser_k(G_i))): forward the ack to GTM1.
+    std::function<void(GlobalTxnId, SiteId)> forward_ack;
+    /// Validation passed: GTM1 may commit the subtransactions.
+    std::function<void(GlobalTxnId)> validate_passed;
+    /// The scheme demands aborting this transaction (non-conservative
+    /// schemes only). GTM1 must abort the attempt and call AbortCleanup.
+    std::function<void(GlobalTxnId)> abort_txn;
+    /// fin_i processed: DS cleanup done.
+    std::function<void(GlobalTxnId)> fin_done;
+  };
+
+  Gtm2(std::unique_ptr<Scheme> scheme, Callbacks callbacks);
+
+  Gtm2(const Gtm2&) = delete;
+  Gtm2& operator=(const Gtm2&) = delete;
+
+  /// Inserts `op` at the back of QUEUE and processes the queue to
+  /// quiescence (synchronously; all site interaction is deferred through
+  /// the callbacks).
+  void Enqueue(QueueOp op);
+
+  /// Purges every queued/waiting operation of `txn` and removes it from the
+  /// scheme's data structures. Called by GTM1 when an attempt dies.
+  void AbortCleanup(GlobalTxnId txn);
+
+  const Scheme& scheme() const { return *scheme_; }
+  Scheme& mutable_scheme() { return *scheme_; }
+  const Gtm2Stats& stats() const { return stats_; }
+
+  size_t wait_size() const { return wait_.size(); }
+  size_t queue_size() const { return queue_.size(); }
+
+ private:
+  void Pump();
+  /// Evaluates cond(op). kReady -> runs act + side effects and returns true.
+  /// kWait -> returns false. kAbort -> handles the abort and returns true
+  /// (the operation is consumed).
+  bool TryProcess(const QueueOp& op);
+  void RunAct(const QueueOp& op);
+  void DrainWait();
+
+  std::unique_ptr<Scheme> scheme_;
+  Callbacks callbacks_;
+  std::deque<QueueOp> queue_;
+  std::list<QueueOp> wait_;
+  std::unordered_set<GlobalTxnId> dead_txns_;
+  Gtm2Stats stats_;
+  bool pumping_ = false;
+};
+
+/// Constructs the scheme implementation for `kind`.
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind);
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_GTM2_H_

@@ -1,0 +1,33 @@
+#include "gtm/queue_op.h"
+
+#include <sstream>
+
+namespace mdbs::gtm {
+
+const char* QueueOpKindName(QueueOpKind kind) {
+  switch (kind) {
+    case QueueOpKind::kInit:
+      return "init";
+    case QueueOpKind::kSer:
+      return "ser";
+    case QueueOpKind::kAck:
+      return "ack";
+    case QueueOpKind::kValidate:
+      return "validate";
+    case QueueOpKind::kFin:
+      return "fin";
+  }
+  return "?";
+}
+
+std::string QueueOp::ToString() const {
+  std::ostringstream os;
+  os << QueueOpKindName(kind) << "(" << mdbs::ToString(txn);
+  if (kind == QueueOpKind::kSer || kind == QueueOpKind::kAck) {
+    os << "@" << mdbs::ToString(site);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mdbs::gtm

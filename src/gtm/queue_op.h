@@ -1,0 +1,64 @@
+#ifndef MDBS_GTM_QUEUE_OP_H_
+#define MDBS_GTM_QUEUE_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mdbs::gtm {
+
+/// Kinds of operations flowing through GTM2's QUEUE (paper §4, plus a
+/// pre-commit validation hook used by the non-conservative baseline).
+enum class QueueOpKind {
+  /// init_i — announces transaction G̃_i and the sites it executes at;
+  /// inserted by GTM1 before any other operation of G̃_i.
+  kInit,
+  /// ser_k(G_i) — requests execution of the serialization-function operation
+  /// at site s_k.
+  kSer,
+  /// ack(ser_k(G_i)) — inserted by the server when the site completed the
+  /// operation.
+  kAck,
+  /// Pre-commit validation point (trivial for conservative schemes; the
+  /// ticket-optimistic baseline certifies here and may demand an abort).
+  kValidate,
+  /// fin_i — all acks received and the transaction committed; the scheme
+  /// cleans up its data structures.
+  kFin,
+};
+
+const char* QueueOpKindName(QueueOpKind kind);
+
+/// One entry in GTM2's QUEUE.
+struct QueueOp {
+  QueueOpKind kind = QueueOpKind::kInit;
+  GlobalTxnId txn;
+  /// Site of a kSer/kAck operation; unused otherwise.
+  SiteId site;
+  /// Sites of the transaction; carried by kInit only (the paper's "init_i
+  /// contains information relating to G̃_i").
+  std::vector<SiteId> sites;
+
+  static QueueOp Init(GlobalTxnId txn, std::vector<SiteId> sites) {
+    return QueueOp{QueueOpKind::kInit, txn, SiteId(), std::move(sites)};
+  }
+  static QueueOp Ser(GlobalTxnId txn, SiteId site) {
+    return QueueOp{QueueOpKind::kSer, txn, site, {}};
+  }
+  static QueueOp Ack(GlobalTxnId txn, SiteId site) {
+    return QueueOp{QueueOpKind::kAck, txn, site, {}};
+  }
+  static QueueOp Validate(GlobalTxnId txn) {
+    return QueueOp{QueueOpKind::kValidate, txn, SiteId(), {}};
+  }
+  static QueueOp Fin(GlobalTxnId txn) {
+    return QueueOp{QueueOpKind::kFin, txn, SiteId(), {}};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_QUEUE_OP_H_

@@ -1,0 +1,97 @@
+#ifndef MDBS_GTM_SCHEME_H_
+#define MDBS_GTM_SCHEME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "gtm/queue_op.h"
+
+namespace mdbs::gtm {
+
+/// Verdict of a scheme's cond() on a queue operation.
+enum class Verdict {
+  /// cond holds: the driver executes act() now.
+  kReady,
+  /// cond does not hold: the operation joins WAIT (paper Figure 3).
+  kWait,
+  /// The scheme demands aborting the global transaction. Conservative
+  /// schemes — the paper's Schemes 0-3 — never return this; only the
+  /// non-conservative baselines do.
+  kAbort,
+};
+
+/// Which scheme a GTM runs; used for construction and reporting.
+enum class SchemeKind {
+  kScheme0,           // per-site FIFO queues (conservative-TO-like), §4
+  kScheme1,           // transaction-site graph, §5
+  kScheme2,           // TSG with dependencies + Eliminate_Cycles, §6
+  kScheme3,           // O-scheme admitting all serializable schedules, §7
+  kTicketOptimistic,  // non-conservative baseline (GRS91-style), aborts
+  kNone,              // no global control: ser ops released immediately
+};
+
+const char* SchemeKindName(SchemeKind kind);
+
+/// A GTM2 concurrency control scheme in the paper's cond/act formulation
+/// (§4): the driver (Gtm2) selects operations from QUEUE, evaluates Cond,
+/// and on kReady executes Act. Schemes only manipulate their own data
+/// structures (the paper's DS); submitting released operations to sites and
+/// forwarding acks is the driver's job.
+///
+/// Every scheme counts the abstract "steps" its cond/act evaluations take
+/// (nodes visited, set elements touched); the complexity experiments (E1)
+/// read this counter to reproduce Theorems 4, 6 and 9.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual SchemeKind kind() const = 0;
+  virtual const char* Name() const = 0;
+
+  virtual Verdict CondInit(const QueueOp& op) = 0;
+  virtual void ActInit(const QueueOp& op) = 0;
+
+  virtual Verdict CondSer(GlobalTxnId txn, SiteId site) = 0;
+  virtual void ActSer(GlobalTxnId txn, SiteId site) = 0;
+
+  virtual Verdict CondAck(GlobalTxnId txn, SiteId site) = 0;
+  virtual void ActAck(GlobalTxnId txn, SiteId site) = 0;
+
+  virtual Verdict CondValidate(GlobalTxnId txn) = 0;
+  virtual void ActValidate(GlobalTxnId txn) = 0;
+
+  virtual Verdict CondFin(GlobalTxnId txn) = 0;
+  virtual void ActFin(GlobalTxnId txn) = 0;
+
+  /// Removes every trace of an aborted transaction from DS. Not part of the
+  /// paper's model (conservative schemes never abort); needed because local
+  /// DBMSs may abort a subtransaction (deadlock victim, validation failure)
+  /// and GTM1 then retires the whole attempt.
+  virtual void ActAbortCleanup(GlobalTxnId txn) = 0;
+
+  /// Abstract step counter for the complexity experiments.
+  int64_t steps() const { return steps_; }
+  void ResetSteps() { steps_ = 0; }
+
+ protected:
+  void AddSteps(int64_t n) { steps_ += n; }
+
+ private:
+  int64_t steps_ = 0;
+};
+
+/// Base with the common defaults: init/ack/validate are unconditional and
+/// validation is a no-op, as in all of the paper's conservative schemes.
+class ConservativeSchemeBase : public Scheme {
+ public:
+  Verdict CondInit(const QueueOp&) override { return Verdict::kReady; }
+  Verdict CondAck(GlobalTxnId, SiteId) override { return Verdict::kReady; }
+  Verdict CondValidate(GlobalTxnId) override { return Verdict::kReady; }
+  void ActValidate(GlobalTxnId) override {}
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_SCHEME_H_

@@ -1,0 +1,56 @@
+#include "gtm/scheme0.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void Scheme0::ActInit(const QueueOp& op) {
+  for (SiteId site : op.sites) {
+    queues_[site].push_back(op.txn);
+    AddSteps(1);
+  }
+}
+
+Verdict Scheme0::CondSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  auto it = queues_.find(site);
+  MDBS_CHECK(it != queues_.end() && !it->second.empty())
+      << "ser for " << txn << " with empty queue at " << site;
+  return it->second.front() == txn ? Verdict::kReady : Verdict::kWait;
+}
+
+void Scheme0::ActSer(GlobalTxnId, SiteId) { AddSteps(1); }
+
+void Scheme0::ActAck(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  auto it = queues_.find(site);
+  MDBS_CHECK(it != queues_.end() && !it->second.empty() &&
+             it->second.front() == txn)
+      << "ack for " << txn << " that is not at the front of " << site;
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+}
+
+Verdict Scheme0::CondFin(GlobalTxnId) {
+  AddSteps(1);
+  return Verdict::kReady;
+}
+
+void Scheme0::ActFin(GlobalTxnId) { AddSteps(1); }
+
+void Scheme0::ActAbortCleanup(GlobalTxnId txn) {
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    auto& queue = it->second;
+    queue.erase(std::remove(queue.begin(), queue.end(), txn), queue.end());
+    it = queue.empty() ? queues_.erase(it) : std::next(it);
+  }
+}
+
+size_t Scheme0::QueueLength(SiteId site) const {
+  auto it = queues_.find(site);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,116 @@
+#include "gtm/scheme1.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void Scheme1::ActInit(const QueueOp& op) {
+  tsg_.InsertTxn(op.txn, op.sites);
+  for (SiteId site : op.sites) {
+    bool marked = true;
+    if (!mark_all_) {
+      int64_t steps = 0;
+      marked = tsg_.EdgeOnCycle(op.txn, site, &steps);
+      AddSteps(steps);
+    }
+    AddSteps(1);
+    StateOf(site).insert_queue.push_back(InsertEntry{op.txn, marked});
+  }
+}
+
+Verdict Scheme1::CondSer(GlobalTxnId txn, SiteId site) {
+  SiteState& state = StateOf(site);
+  // No executed-but-unacked ser operation may be outstanding at the site.
+  AddSteps(1);
+  if (state.executing.has_value()) return Verdict::kWait;
+  // A marked operation must additionally head the insert queue.
+  for (const InsertEntry& entry : state.insert_queue) {
+    AddSteps(1);
+    if (entry.txn != txn) continue;
+    if (entry.marked && state.insert_queue.front().txn != txn) {
+      return Verdict::kWait;
+    }
+    return Verdict::kReady;
+  }
+  MDBS_CHECK(false) << "ser for " << txn << " not in insert queue of "
+                    << site;
+  return Verdict::kWait;
+}
+
+void Scheme1::ActSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  StateOf(site).executing = txn;
+}
+
+void Scheme1::ActAck(GlobalTxnId txn, SiteId site) {
+  SiteState& state = StateOf(site);
+  auto& queue = state.insert_queue;
+  auto it = std::find_if(queue.begin(), queue.end(), [txn](
+                                                         const InsertEntry&
+                                                             entry) {
+    return entry.txn == txn;
+  });
+  MDBS_CHECK(it != queue.end())
+      << "ack for " << txn << " not in insert queue of " << site;
+  AddSteps(static_cast<int64_t>(std::distance(queue.begin(), it)) + 1);
+  queue.erase(it);
+  state.delete_queue.push_back(txn);
+  MDBS_CHECK(state.executing == txn)
+      << "ack for " << txn << " but executing is different at " << site;
+  state.executing.reset();
+}
+
+Verdict Scheme1::CondFin(GlobalTxnId txn) {
+  for (SiteId site : tsg_.SitesOf(txn)) {
+    AddSteps(1);
+    const SiteState& state = sites_.at(site);
+    if (state.delete_queue.empty() || state.delete_queue.front() != txn) {
+      return Verdict::kWait;
+    }
+  }
+  return Verdict::kReady;
+}
+
+void Scheme1::ActFin(GlobalTxnId txn) {
+  // Copy: RemoveTxn below invalidates SitesOf's storage.
+  std::vector<SiteId> sites = tsg_.SitesOf(txn);
+  for (SiteId site : sites) {
+    SiteState& state = StateOf(site);
+    MDBS_CHECK(!state.delete_queue.empty() &&
+               state.delete_queue.front() == txn)
+        << "fin for " << txn << " not heading delete queue of " << site;
+    state.delete_queue.pop_front();
+    AddSteps(1);
+  }
+  tsg_.RemoveTxn(txn);
+}
+
+void Scheme1::ActAbortCleanup(GlobalTxnId txn) {
+  std::vector<SiteId> sites = tsg_.SitesOf(txn);
+  for (SiteId site : sites) {
+    SiteState& state = StateOf(site);
+    auto& queue = state.insert_queue;
+    queue.erase(std::remove_if(queue.begin(), queue.end(),
+                               [txn](const InsertEntry& entry) {
+                                 return entry.txn == txn;
+                               }),
+                queue.end());
+    auto& dq = state.delete_queue;
+    dq.erase(std::remove(dq.begin(), dq.end(), txn), dq.end());
+    if (state.executing == txn) state.executing.reset();
+  }
+  tsg_.RemoveTxn(txn);
+}
+
+bool Scheme1::IsMarked(GlobalTxnId txn, SiteId site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  for (const InsertEntry& entry : it->second.insert_queue) {
+    if (entry.txn == txn) return entry.marked;
+  }
+  return false;
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,87 @@
+#include "gtm/scheme2.h"
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void Scheme2::ActInit(const QueueOp& op) {
+  tsgd_.InsertTxn(op.txn, op.sites);
+  // Dependencies from every already-executed ser operation at each site:
+  // those transactions are serialized before G̃_i there.
+  for (SiteId site : op.sites) {
+    for (GlobalTxnId other : tsgd_.TxnsAt(site)) {
+      AddSteps(1);
+      if (other == op.txn) continue;
+      if (Executed(other, site)) {
+        tsgd_.AddDependency(site, other, op.txn);
+      }
+    }
+  }
+  // Δ from Eliminate_Cycles breaks every remaining potential cycle through
+  // G̃_i. A single pass suffices (Figure 4); the fixpoint loop guards the
+  // invariant even for adversarial interleavings.
+  for (int pass = 0; pass < 64; ++pass) {
+    int64_t steps = 0;
+    std::vector<Dependency> delta = tsgd_.EliminateCycles(op.txn, &steps);
+    AddSteps(steps);
+    if (delta.empty()) break;
+    for (const Dependency& dep : delta) {
+      tsgd_.AddDependency(dep.site, dep.from, dep.to);
+    }
+  }
+  if (validate_acyclicity_) {
+    MDBS_CHECK(!tsgd_.HasCycleInvolving(op.txn))
+        << "TSGD cycle involving " << op.txn << " survived Eliminate_Cycles";
+  }
+}
+
+Verdict Scheme2::CondSer(GlobalTxnId txn, SiteId site) {
+  for (GlobalTxnId source : tsgd_.DependenciesInto(txn, site)) {
+    AddSteps(1);
+    if (!Acked(source, site)) return Verdict::kWait;
+  }
+  return Verdict::kReady;
+}
+
+void Scheme2::ActSer(GlobalTxnId txn, SiteId site) {
+  executed_.insert({txn.value(), site.value()});
+  // The execution order is now fixed: G̃_i precedes every ser operation at
+  // this site that has not executed yet.
+  for (GlobalTxnId other : tsgd_.TxnsAt(site)) {
+    AddSteps(1);
+    if (other == txn || Executed(other, site)) continue;
+    tsgd_.AddDependency(site, txn, other);
+  }
+}
+
+void Scheme2::ActAck(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  acked_.insert({txn.value(), site.value()});
+}
+
+Verdict Scheme2::CondFin(GlobalTxnId txn) {
+  for (SiteId site : tsgd_.SitesOf(txn)) {
+    AddSteps(1);
+    if (tsgd_.HasDependenciesInto(txn, site)) return Verdict::kWait;
+  }
+  return Verdict::kReady;
+}
+
+void Scheme2::ActFin(GlobalTxnId txn) {
+  for (SiteId site : tsgd_.SitesOf(txn)) {
+    AddSteps(1);
+    executed_.erase({txn.value(), site.value()});
+    acked_.erase({txn.value(), site.value()});
+  }
+  tsgd_.RemoveTxn(txn);
+}
+
+void Scheme2::ActAbortCleanup(GlobalTxnId txn) {
+  for (SiteId site : tsgd_.SitesOf(txn)) {
+    executed_.erase({txn.value(), site.value()});
+    acked_.erase({txn.value(), site.value()});
+  }
+  tsgd_.RemoveTxn(txn);
+}
+
+}  // namespace mdbs::gtm

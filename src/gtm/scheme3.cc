@@ -1,0 +1,119 @@
+#include "gtm/scheme3.h"
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void Scheme3::ActInit(const QueueOp& op) {
+  MDBS_CHECK(!sites_.contains(op.txn)) << op.txn << " init twice";
+  sites_[op.txn] = op.sites;
+  std::set<GlobalTxnId>& sb = ser_bef_[op.txn];
+  for (SiteId site : op.sites) {
+    pending_[site].insert(op.txn);
+    AddSteps(1);
+    auto last_it = last_.find(site);
+    if (last_it == last_.end() || !last_it->second.valid()) continue;
+    GlobalTxnId last = last_it->second;
+    const std::set<GlobalTxnId>& last_sb = ser_bef_.at(last);
+    sb.insert(last_sb.begin(), last_sb.end());
+    sb.insert(last);
+    AddSteps(static_cast<int64_t>(last_sb.size()) + 1);
+  }
+}
+
+Verdict Scheme3::CondSer(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  // The previously executed ser operation at this site must be acked so the
+  // local execution order matches the processing order.
+  if (pin_acks_) {
+    auto last_it = last_.find(site);
+    if (last_it != last_.end() && last_it->second.valid() &&
+        !acked_.contains({last_it->second.value(), site.value()})) {
+      return Verdict::kWait;
+    }
+  }
+  // Executing now serializes txn before every pending transaction at the
+  // site; that must not contradict an established serialized-before
+  // relation.
+  const std::set<GlobalTxnId>& sb = ser_bef_.at(txn);
+  for (GlobalTxnId other : pending_.at(site)) {
+    AddSteps(1);
+    if (other == txn) continue;
+    if (sb.contains(other)) return Verdict::kWait;
+  }
+  return Verdict::kReady;
+}
+
+void Scheme3::ActSer(GlobalTxnId txn, SiteId site) {
+  std::set<GlobalTxnId>& site_pending = pending_.at(site);
+  site_pending.erase(txn);
+  last_[site] = txn;
+
+  // Set_1 = ser_bef(txn) ∪ {txn} flows into every transaction still pending
+  // here and, for transitive closure, into every transaction that already
+  // has a pending one in its ser_bef (the paper's Set_2).
+  std::set<GlobalTxnId> set1 = ser_bef_.at(txn);
+  set1.insert(txn);
+  for (auto& [other, sb] : ser_bef_) {
+    if (other == txn) continue;
+    bool affected = site_pending.contains(other);
+    if (!affected) {
+      for (GlobalTxnId member : site_pending) {
+        AddSteps(1);
+        if (sb.contains(member)) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) {
+      sb.insert(set1.begin(), set1.end());
+      AddSteps(static_cast<int64_t>(set1.size()));
+      MDBS_CHECK(!sb.contains(other))
+          << other << " serialized before itself (Scheme 3 invariant)";
+    }
+  }
+}
+
+void Scheme3::ActAck(GlobalTxnId txn, SiteId site) {
+  AddSteps(1);
+  acked_.insert({txn.value(), site.value()});
+}
+
+Verdict Scheme3::CondFin(GlobalTxnId txn) {
+  AddSteps(1);
+  return ser_bef_.at(txn).empty() ? Verdict::kReady : Verdict::kWait;
+}
+
+void Scheme3::ActFin(GlobalTxnId txn) { RemoveEverywhere(txn); }
+
+void Scheme3::ActAbortCleanup(GlobalTxnId txn) {
+  if (sites_.contains(txn)) RemoveEverywhere(txn);
+}
+
+void Scheme3::RemoveEverywhere(GlobalTxnId txn) {
+  for (auto& [other, sb] : ser_bef_) {
+    AddSteps(1);
+    sb.erase(txn);
+  }
+  for (SiteId site : sites_.at(txn)) {
+    AddSteps(1);
+    pending_.at(site).erase(txn);
+    auto last_it = last_.find(site);
+    if (last_it != last_.end() && last_it->second == txn) {
+      last_.erase(last_it);
+    }
+    acked_.erase({txn.value(), site.value()});
+  }
+  ser_bef_.erase(txn);
+  sites_.erase(txn);
+}
+
+const std::set<GlobalTxnId>& Scheme3::SerBef(GlobalTxnId txn) const {
+  static const std::set<GlobalTxnId>& empty =
+      *new std::set<GlobalTxnId>();
+  auto it = ser_bef_.find(txn);
+  return it == ser_bef_.end() ? empty : it->second;
+}
+
+}  // namespace mdbs::gtm

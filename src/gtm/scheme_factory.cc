@@ -1,0 +1,48 @@
+#include "common/logging.h"
+#include "gtm/baselines.h"
+#include "gtm/gtm2.h"
+#include "gtm/scheme0.h"
+#include "gtm/scheme1.h"
+#include "gtm/scheme2.h"
+#include "gtm/scheme3.h"
+
+namespace mdbs::gtm {
+
+const char* SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kScheme0:
+      return "Scheme0";
+    case SchemeKind::kScheme1:
+      return "Scheme1";
+    case SchemeKind::kScheme2:
+      return "Scheme2";
+    case SchemeKind::kScheme3:
+      return "Scheme3";
+    case SchemeKind::kTicketOptimistic:
+      return "TicketOptimistic";
+    case SchemeKind::kNone:
+      return "NoControl";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheme> MakeScheme(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kScheme0:
+      return std::make_unique<Scheme0>();
+    case SchemeKind::kScheme1:
+      return std::make_unique<Scheme1>();
+    case SchemeKind::kScheme2:
+      return std::make_unique<Scheme2>();
+    case SchemeKind::kScheme3:
+      return std::make_unique<Scheme3>();
+    case SchemeKind::kTicketOptimistic:
+      return std::make_unique<TicketOptimistic>();
+    case SchemeKind::kNone:
+      return std::make_unique<SchemeNone>();
+  }
+  MDBS_CHECK(false) << "unknown scheme kind";
+  return nullptr;
+}
+
+}  // namespace mdbs::gtm

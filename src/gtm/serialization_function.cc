@@ -1,0 +1,37 @@
+#include "gtm/serialization_function.h"
+
+namespace mdbs::gtm {
+
+const char* SerPointKindName(SerPointKind kind) {
+  switch (kind) {
+    case SerPointKind::kBegin:
+      return "begin";
+    case SerPointKind::kLastOp:
+      return "last-op";
+    case SerPointKind::kTicket:
+      return "ticket";
+  }
+  return "?";
+}
+
+SerPointKind SerPointKindFor(lcc::ProtocolKind kind) {
+  switch (kind) {
+    case lcc::ProtocolKind::kTimestampOrdering:
+    case lcc::ProtocolKind::kMultiversionTO:
+      // Both assign their timestamp — the serialization position — at
+      // begin.
+      return SerPointKind::kBegin;
+    case lcc::ProtocolKind::kTwoPhaseLocking:
+    case lcc::ProtocolKind::kTwoPhaseLockingWoundWait:
+    case lcc::ProtocolKind::kTwoPhaseLockingWaitDie:
+      // All strict-2PL flavors reach their lock point at the last data
+      // operation.
+      return SerPointKind::kLastOp;
+    case lcc::ProtocolKind::kSerializationGraph:
+    case lcc::ProtocolKind::kOptimistic:
+      return SerPointKind::kTicket;
+  }
+  return SerPointKind::kTicket;
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,36 @@
+#ifndef MDBS_GTM_SERIALIZATION_FUNCTION_H_
+#define MDBS_GTM_SERIALIZATION_FUNCTION_H_
+
+#include "common/ids.h"
+#include "lcc/protocol.h"
+
+namespace mdbs::gtm {
+
+/// Which operation of a subtransaction realizes the serialization function
+/// ser_k at its site (paper §2.2).
+enum class SerPointKind {
+  /// The begin operation — sites running timestamp ordering, where the
+  /// timestamp is assigned at begin.
+  kBegin,
+  /// The last data operation — sites running strict 2PL, where the lock
+  /// point is reached at the last operation (operation lists are
+  /// predeclared).
+  kLastOp,
+  /// A GTM-injected write to a per-site ticket item, forcing a direct
+  /// conflict — sites whose protocol (SGT, OCC) exposes no serialization
+  /// function [GRS91].
+  kTicket,
+};
+
+const char* SerPointKindName(SerPointKind kind);
+
+/// The serialization-function choice for each local protocol.
+SerPointKind SerPointKindFor(lcc::ProtocolKind kind);
+
+/// The reserved per-site ticket item. Workloads must keep ordinary items
+/// below this id.
+inline constexpr DataItemId kTicketItem{1'000'000'000};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_SERIALIZATION_FUNCTION_H_

@@ -1,0 +1,186 @@
+#include "gtm/synthetic.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sched/graph.h"
+
+namespace mdbs::gtm {
+
+std::string SyntheticReport::ToString() const {
+  std::ostringstream os;
+  os << "completed=" << completed << " ser_ops=" << ser_ops
+     << " ser_waits=" << ser_waits << " waits/ser=" << WaitsPerSerOp()
+     << " steps/txn=" << StepsPerTxn() << " aborts=" << scheme_aborts
+     << " ser(S)-serializable="
+     << (ser_schedule_serializable ? "yes" : "NO");
+  return os.str();
+}
+
+SyntheticGtmHarness::SyntheticGtmHarness(std::unique_ptr<Scheme> scheme,
+                                         const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  Gtm2::Callbacks callbacks;
+  callbacks.release_ser = [this](GlobalTxnId txn, SiteId site) {
+    pending_acks_.push_back(QueueOp::Ack(txn, site));
+  };
+  callbacks.forward_ack = [this](GlobalTxnId txn, SiteId site) {
+    // The ack is the moment the site's execution order becomes known; with
+    // ack pinning (one outstanding ser per site) it coincides with the
+    // release order, without it the randomized ack delivery models an
+    // asynchronous site executing in-flight operations in any order.
+    site_order_[site].push_back(txn);
+    ++txns_.at(txn).acked_sers;
+  };
+  callbacks.validate_passed = [this](GlobalTxnId txn) {
+    txns_.at(txn).validated = true;
+  };
+  callbacks.abort_txn = [this](GlobalTxnId txn) {
+    TxnState& state = txns_.at(txn);
+    if (state.dead) return;
+    state.dead = true;
+    ++aborted_;
+    gtm2_->AbortCleanup(txn);
+    // The pending acks of a dead transaction are dropped by Gtm2 itself.
+  };
+  callbacks.fin_done = [this](GlobalTxnId txn) {
+    txns_.at(txn).finished = true;
+    ++completed_;
+  };
+  gtm2_ = std::make_unique<Gtm2>(std::move(scheme), std::move(callbacks));
+}
+
+GlobalTxnId SyntheticGtmHarness::SpawnTxn() {
+  GlobalTxnId id{next_id_++};
+  std::vector<SiteId> all;
+  all.reserve(static_cast<size_t>(config_.sites));
+  for (int s = 0; s < config_.sites; ++s) all.push_back(SiteId(s));
+  rng_.Shuffle(&all);
+  int dav = static_cast<int>(rng_.NextInRange(
+      config_.dav_min, std::min(config_.dav_max, config_.sites)));
+  all.resize(static_cast<size_t>(std::max(1, dav)));
+  txns_[id] = TxnState{std::move(all)};
+  active_.push_back(id);
+  ++started_;
+  return id;
+}
+
+bool SyntheticGtmHarness::Step() {
+  // Deliver a random pending ack with priority ack_priority.
+  if (!pending_acks_.empty() && rng_.NextBernoulli(config_.ack_priority)) {
+    size_t index = rng_.NextBelow(pending_acks_.size());
+    QueueOp ack = pending_acks_[index];
+    pending_acks_.erase(pending_acks_.begin() +
+                        static_cast<ptrdiff_t>(index));
+    gtm2_->Enqueue(ack);
+    return true;
+  }
+  // Collect GTM1-legal actions over active transactions.
+  std::vector<std::function<void()>> actions;
+  for (GlobalTxnId id : active_) {
+    TxnState& state = txns_.at(id);
+    if (state.dead || state.finished) continue;
+    if (!state.inited) {
+      actions.push_back([this, id] {
+        TxnState& s = txns_.at(id);
+        s.inited = true;
+        gtm2_->Enqueue(QueueOp::Init(id, s.sites));
+      });
+      continue;
+    }
+    if (state.enqueued_sers < state.sites.size() &&
+        state.enqueued_sers == state.acked_sers) {
+      actions.push_back([this, id] {
+        TxnState& s = txns_.at(id);
+        gtm2_->Enqueue(QueueOp::Ser(id, s.sites[s.enqueued_sers++]));
+      });
+    }
+    if (state.acked_sers == state.sites.size() && !state.validate_sent) {
+      actions.push_back([this, id] {
+        txns_.at(id).validate_sent = true;
+        gtm2_->Enqueue(QueueOp::Validate(id));
+      });
+    }
+    if (state.validated && !state.fin_sent) {
+      actions.push_back([this, id] {
+        txns_.at(id).fin_sent = true;
+        gtm2_->Enqueue(QueueOp::Fin(id));
+      });
+    }
+  }
+  if (actions.empty()) {
+    if (pending_acks_.empty()) return false;
+    size_t index = rng_.NextBelow(pending_acks_.size());
+    QueueOp ack = pending_acks_[index];
+    pending_acks_.erase(pending_acks_.begin() +
+                        static_cast<ptrdiff_t>(index));
+    gtm2_->Enqueue(ack);
+    return true;
+  }
+  actions[rng_.NextBelow(actions.size())]();
+  return true;
+}
+
+SyntheticReport SyntheticGtmHarness::Run() {
+  while (completed_ + aborted_ < config_.total_txns) {
+    // Refill the population.
+    size_t live = 0;
+    for (GlobalTxnId id : active_) {
+      const TxnState& state = txns_.at(id);
+      if (!state.finished && !state.dead) ++live;
+    }
+    while (live < static_cast<size_t>(config_.active_txns) &&
+           started_ < config_.total_txns) {
+      SpawnTxn();
+      ++live;
+    }
+    // Compact the active list occasionally.
+    if (active_.size() > 4 * static_cast<size_t>(config_.active_txns)) {
+      active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                   [this](GlobalTxnId id) {
+                                     const TxnState& s = txns_.at(id);
+                                     return s.finished || s.dead;
+                                   }),
+                    active_.end());
+    }
+    if (!Step()) {
+      // Nothing possible: with live transactions this is a scheduler stall.
+      MDBS_CHECK(live == 0) << "synthetic harness stalled with " << live
+                            << " live transactions";
+      break;
+    }
+  }
+
+  SyntheticReport report;
+  report.completed = completed_;
+  const Gtm2Stats& stats = gtm2_->stats();
+  report.scheme_aborts = stats.scheme_aborts;
+  report.ser_waits = stats.ser_wait_additions;
+  report.cond_evaluations = stats.cond_evaluations;
+  report.scheme_steps = gtm2_->scheme().steps();
+  report.scheduling_steps =
+      gtm2_->scheme().steps() - stats.failed_rescan_steps;
+  int64_t ser_ops = 0;
+  for (const auto& [site, order] : site_order_) {
+    ser_ops += static_cast<int64_t>(order.size());
+  }
+  report.ser_ops = ser_ops;
+  sched::DirectedGraph graph;
+  for (const auto& [site, order] : site_order_) {
+    // Aborted attempts vanish from the committed projection; chain the
+    // surviving transactions in their observed order.
+    std::vector<GlobalTxnId> alive;
+    for (GlobalTxnId id : order) {
+      if (!txns_.at(id).dead) alive.push_back(id);
+    }
+    for (size_t i = 1; i < alive.size(); ++i) {
+      graph.AddEdge(alive[i - 1].value(), alive[i].value());
+    }
+  }
+  report.ser_schedule_serializable = !graph.HasCycle();
+  return report;
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,112 @@
+#ifndef MDBS_GTM_SYNTHETIC_H_
+#define MDBS_GTM_SYNTHETIC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtm/gtm2.h"
+
+namespace mdbs::gtm {
+
+/// Workload shape for the synthetic GTM2 harness.
+struct SyntheticConfig {
+  /// Sites in the multidatabase (the paper's m).
+  int sites = 8;
+  /// Concurrently active transactions (the paper's n).
+  int active_txns = 16;
+  /// Total transactions to run through the scheduler.
+  int64_t total_txns = 1000;
+  /// Sites per transaction: uniform in [dav_min, dav_max] (mean = dav).
+  int dav_min = 2;
+  int dav_max = 4;
+  /// Probability that, at each step, a pending ack is delivered before any
+  /// other action is taken; lower values produce more reordering and more
+  /// in-flight transactions per site.
+  double ack_priority = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Results of a synthetic run.
+struct SyntheticReport {
+  int64_t completed = 0;
+  int64_t scheme_aborts = 0;
+  int64_t ser_ops = 0;
+  int64_t ser_waits = 0;
+  int64_t scheme_steps = 0;
+  /// scheme_steps minus the cost of failed WAIT re-evaluations — the
+  /// paper's §4 cost model (targeted wakeup).
+  int64_t scheduling_steps = 0;
+  int64_t cond_evaluations = 0;
+  /// ser(S) acyclic over the observed per-site execution orders.
+  bool ser_schedule_serializable = true;
+
+  double StepsPerTxn() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(scheme_steps) /
+                                static_cast<double>(completed);
+  }
+  double SchedulingStepsPerTxn() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(scheduling_steps) /
+                                static_cast<double>(completed);
+  }
+  double WaitsPerSerOp() const {
+    return ser_ops == 0 ? 0.0
+                        : static_cast<double>(ser_waits) /
+                              static_cast<double>(ser_ops);
+  }
+  std::string ToString() const;
+};
+
+/// Drives a GTM2 scheme with a synthetic population of global transactions
+/// — no local DBMSs, no event loop — exactly the abstraction of the
+/// paper's §4: inits, sequential ser operations with acks, validates and
+/// fins, under randomized arrival/ack interleavings. Used by the
+/// complexity (E1), degree-of-concurrency (E2) and naive-GTM (E7)
+/// experiments and reusable for standalone scheme exploration.
+///
+/// A scheme abort (non-conservative baselines) retires the transaction; a
+/// fresh one replaces it so the active population stays constant.
+class SyntheticGtmHarness {
+ public:
+  SyntheticGtmHarness(std::unique_ptr<Scheme> scheme,
+                      const SyntheticConfig& config);
+
+  /// Runs the configured population to completion and reports.
+  SyntheticReport Run();
+
+ private:
+  struct TxnState {
+    std::vector<SiteId> sites;
+    bool inited = false;
+    size_t enqueued_sers = 0;
+    size_t acked_sers = 0;
+    bool validate_sent = false;
+    bool validated = false;
+    bool fin_sent = false;
+    bool finished = false;
+    bool dead = false;
+  };
+
+  GlobalTxnId SpawnTxn();
+  bool Step();  // One randomized action; false when nothing is possible.
+
+  SyntheticConfig config_;
+  Rng rng_;
+  std::unique_ptr<Gtm2> gtm2_;
+  std::map<GlobalTxnId, TxnState> txns_;
+  std::vector<GlobalTxnId> active_;
+  std::vector<QueueOp> pending_acks_;
+  std::map<SiteId, std::vector<GlobalTxnId>> site_order_;
+  int64_t next_id_ = 0;
+  int64_t started_ = 0;
+  int64_t completed_ = 0;
+  int64_t aborted_ = 0;
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_SYNTHETIC_H_

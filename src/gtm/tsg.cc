@@ -1,0 +1,78 @@
+#include "gtm/tsg.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void TransactionSiteGraph::InsertTxn(GlobalTxnId txn,
+                                     const std::vector<SiteId>& sites) {
+  MDBS_CHECK(!txns_.contains(txn)) << txn << " already in TSG";
+  txns_[txn] = sites;
+  for (SiteId site : sites) {
+    sites_[site].insert(txn);
+    ++edge_count_;
+  }
+}
+
+void TransactionSiteGraph::RemoveTxn(GlobalTxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  for (SiteId site : it->second) {
+    auto site_it = sites_.find(site);
+    if (site_it != sites_.end()) {
+      site_it->second.erase(txn);
+      --edge_count_;
+      if (site_it->second.empty()) sites_.erase(site_it);
+    }
+  }
+  txns_.erase(it);
+}
+
+const std::vector<SiteId>& TransactionSiteGraph::SitesOf(
+    GlobalTxnId txn) const {
+  static const std::vector<SiteId>& empty = *new std::vector<SiteId>();
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? empty : it->second;
+}
+
+bool TransactionSiteGraph::EdgeOnCycle(GlobalTxnId txn, SiteId site,
+                                       int64_t* steps) const {
+  // BFS from `site` towards `txn`, never crossing the (txn, site) edge
+  // itself: reaching txn means the edge closes a cycle.
+  auto start_it = sites_.find(site);
+  if (start_it == sites_.end()) return false;
+
+  std::unordered_set<int64_t> visited_txns;
+  std::unordered_set<int64_t> visited_sites{site.value()};
+  std::deque<GlobalTxnId> frontier;
+  for (GlobalTxnId neighbor : start_it->second) {
+    if (steps != nullptr) ++*steps;
+    if (neighbor == txn) continue;  // Skip the direct edge.
+    frontier.push_back(neighbor);
+    visited_txns.insert(neighbor.value());
+  }
+  while (!frontier.empty()) {
+    GlobalTxnId current = frontier.front();
+    frontier.pop_front();
+    auto txn_it = txns_.find(current);
+    if (txn_it == txns_.end()) continue;
+    for (SiteId next_site : txn_it->second) {
+      if (steps != nullptr) ++*steps;
+      if (!visited_sites.insert(next_site.value()).second) continue;
+      auto site_it = sites_.find(next_site);
+      if (site_it == sites_.end()) continue;
+      for (GlobalTxnId next_txn : site_it->second) {
+        if (steps != nullptr) ++*steps;
+        if (next_txn == txn) return true;
+        if (visited_txns.insert(next_txn.value()).second) {
+          frontier.push_back(next_txn);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace mdbs::gtm

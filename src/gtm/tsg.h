@@ -1,0 +1,46 @@
+#ifndef MDBS_GTM_TSG_H_
+#define MDBS_GTM_TSG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mdbs::gtm {
+
+/// The Transaction-Site Graph of Scheme 1 (paper §5): an undirected
+/// bipartite graph with transaction nodes and site nodes; the edge
+/// (G_i, s_k) exists iff ser_k(G_i) ∈ G̃_i.
+class TransactionSiteGraph {
+ public:
+  /// Inserts `txn` with one edge per site. `txn` must be absent.
+  void InsertTxn(GlobalTxnId txn, const std::vector<SiteId>& sites);
+
+  /// Removes `txn` and its edges; no-op when absent.
+  void RemoveTxn(GlobalTxnId txn);
+
+  bool HasTxn(GlobalTxnId txn) const { return txns_.contains(txn); }
+
+  /// Sites adjacent to `txn` (empty when absent).
+  const std::vector<SiteId>& SitesOf(GlobalTxnId txn) const;
+
+  /// True iff edge (txn, site) lies on a cycle, i.e. `site` and `txn`
+  /// remain connected when that edge is removed (BFS). `steps`, when
+  /// non-null, accumulates the nodes+edges visited (complexity metering).
+  bool EdgeOnCycle(GlobalTxnId txn, SiteId site, int64_t* steps) const;
+
+  size_t TxnCount() const { return txns_.size(); }
+  size_t SiteCount() const { return sites_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+
+ private:
+  std::unordered_map<GlobalTxnId, std::vector<SiteId>> txns_;
+  std::unordered_map<SiteId, std::unordered_set<GlobalTxnId>> sites_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_TSG_H_

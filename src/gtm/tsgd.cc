@@ -1,0 +1,189 @@
+#include "gtm/tsgd.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+void Tsgd::InsertTxn(GlobalTxnId txn, const std::vector<SiteId>& sites) {
+  MDBS_CHECK(!txns_.contains(txn)) << txn << " already in TSGD";
+  std::vector<SiteId> sorted = sites;
+  std::sort(sorted.begin(), sorted.end());
+  txns_[txn] = std::move(sorted);
+  for (SiteId site : txns_[txn]) sites_[site].insert(txn);
+}
+
+void Tsgd::RemoveTxn(GlobalTxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  for (SiteId site : it->second) {
+    auto site_it = sites_.find(site);
+    if (site_it != sites_.end()) {
+      site_it->second.erase(txn);
+      if (site_it->second.empty()) sites_.erase(site_it);
+    }
+    // Drop dependencies at this site that involve txn, both directions.
+    auto drop = [&](auto& primary, auto& mirror, GlobalTxnId key) {
+      auto map_it = primary.find(site);
+      if (map_it == primary.end()) return;
+      auto entry_it = map_it->second.find(key);
+      if (entry_it == map_it->second.end()) return;
+      for (GlobalTxnId other : entry_it->second) {
+        auto mirror_it = mirror.find(site);
+        if (mirror_it != mirror.end()) {
+          auto other_it = mirror_it->second.find(other);
+          if (other_it != mirror_it->second.end()) {
+            other_it->second.erase(txn);
+            if (other_it->second.empty()) {
+              mirror_it->second.erase(other_it);
+            }
+          }
+        }
+        --dep_count_;
+      }
+      map_it->second.erase(entry_it);
+    };
+    drop(deps_into_, deps_from_, txn);
+    drop(deps_from_, deps_into_, txn);
+  }
+  txns_.erase(it);
+}
+
+const std::vector<SiteId>& Tsgd::SitesOf(GlobalTxnId txn) const {
+  static const std::vector<SiteId>& empty = *new std::vector<SiteId>();
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? empty : it->second;
+}
+
+const std::set<GlobalTxnId>& Tsgd::TxnsAt(SiteId site) const {
+  static const std::set<GlobalTxnId>& empty = *new std::set<GlobalTxnId>();
+  auto it = sites_.find(site);
+  return it == sites_.end() ? empty : it->second;
+}
+
+void Tsgd::AddDependency(SiteId site, GlobalTxnId from, GlobalTxnId to) {
+  MDBS_CHECK(from != to) << "self-dependency on " << from;
+  if (deps_into_[site][to].insert(from).second) {
+    deps_from_[site][from].insert(to);
+    ++dep_count_;
+  }
+}
+
+bool Tsgd::HasDependency(SiteId site, GlobalTxnId from,
+                         GlobalTxnId to) const {
+  auto site_it = deps_into_.find(site);
+  if (site_it == deps_into_.end()) return false;
+  auto to_it = site_it->second.find(to);
+  return to_it != site_it->second.end() && to_it->second.contains(from);
+}
+
+std::vector<GlobalTxnId> Tsgd::DependenciesInto(GlobalTxnId txn,
+                                                SiteId site) const {
+  auto site_it = deps_into_.find(site);
+  if (site_it == deps_into_.end()) return {};
+  auto to_it = site_it->second.find(txn);
+  if (to_it == site_it->second.end()) return {};
+  return std::vector<GlobalTxnId>(to_it->second.begin(),
+                                  to_it->second.end());
+}
+
+bool Tsgd::HasDependenciesInto(GlobalTxnId txn, SiteId site) const {
+  auto site_it = deps_into_.find(site);
+  if (site_it == deps_into_.end()) return false;
+  auto to_it = site_it->second.find(txn);
+  return to_it != site_it->second.end() && !to_it->second.empty();
+}
+
+bool Tsgd::CycleSearch(GlobalTxnId origin, GlobalTxnId current,
+                       std::set<GlobalTxnId>* txns_on_path,
+                       std::set<SiteId>* sites_on_path) const {
+  for (SiteId site : SitesOf(current)) {
+    if (sites_on_path->contains(site)) continue;
+    for (GlobalTxnId next : TxnsAt(site)) {
+      if (next == current) continue;
+      // Traversal current -> site -> next means "current serializes before
+      // next at site"; the opposing dependency forbids that orientation.
+      if (HasDependency(site, next, current)) continue;
+      if (next == origin) {
+        if (txns_on_path->size() >= 2) return true;
+        continue;
+      }
+      if (txns_on_path->contains(next)) continue;
+      txns_on_path->insert(next);
+      sites_on_path->insert(site);
+      if (CycleSearch(origin, next, txns_on_path, sites_on_path)) {
+        return true;
+      }
+      txns_on_path->erase(next);
+      sites_on_path->erase(site);
+    }
+  }
+  return false;
+}
+
+bool Tsgd::HasCycleInvolving(GlobalTxnId txn) const {
+  if (!HasTxn(txn)) return false;
+  std::set<GlobalTxnId> txns_on_path{txn};
+  std::set<SiteId> sites_on_path;
+  return CycleSearch(txn, txn, &txns_on_path, &sites_on_path);
+}
+
+std::vector<Dependency> Tsgd::EliminateCycles(GlobalTxnId origin,
+                                              int64_t* steps) const {
+  // Figure 4 of the paper, with std::vector-as-stack lists (back == head).
+  // The procedure walks the TSGD from `origin` in reverse serialization
+  // direction; whenever a walk can close back into `origin` through site u
+  // from transaction v, the dependency (v, u) -> (u, origin) is added to Δ,
+  // committing v before origin at u and thereby breaking that cycle.
+  std::vector<Dependency> delta;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> delta_index;  // (u, v, w)
+  std::set<std::pair<int64_t, int64_t>> used;                   // (u, w)
+  std::unordered_map<GlobalTxnId, std::vector<SiteId>> s_par;
+  std::unordered_map<GlobalTxnId, std::vector<GlobalTxnId>> t_par;
+
+  auto in_delta = [&](SiteId u, GlobalTxnId v, GlobalTxnId w) {
+    return delta_index.contains({u.value(), v.value(), w.value()});
+  };
+
+  GlobalTxnId v = origin;
+  int64_t guard = 0;
+  for (;;) {
+    MDBS_CHECK(++guard < (1 << 26)) << "Eliminate_Cycles runaway";
+    // Steps 2-3: look for a traversable pair of edges (v,u),(u,w).
+    bool traversed = false;
+    for (SiteId u : SitesOf(v)) {
+      const auto& stack = s_par[v];
+      if (!stack.empty() && stack.back() == u) continue;  // Entry site.
+      for (GlobalTxnId w : TxnsAt(u)) {
+        if (steps != nullptr) ++*steps;
+        if (w == v) continue;
+        if (w != origin && used.contains({u.value(), w.value()})) continue;
+        if (HasDependency(u, v, w) || in_delta(u, v, w)) continue;
+        used.insert({u.value(), w.value()});
+        if (w == origin) {
+          delta.push_back(Dependency{u, v, origin});
+          delta_index.insert({u.value(), v.value(), origin.value()});
+          // Stay at v and keep searching.
+        } else {
+          s_par[w].push_back(u);
+          t_par[w].push_back(v);
+          v = w;
+        }
+        traversed = true;
+        break;
+      }
+      if (traversed) break;
+    }
+    if (traversed) continue;
+    // Step 4: backtrack; step 5: done.
+    if (v == origin) break;
+    GlobalTxnId parent = t_par[v].back();
+    t_par[v].pop_back();
+    s_par[v].pop_back();
+    v = parent;
+  }
+  return delta;
+}
+
+}  // namespace mdbs::gtm

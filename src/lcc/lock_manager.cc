@@ -1,0 +1,232 @@
+#include "lcc/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mdbs::lcc {
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kShared ? "S" : "X";
+}
+
+std::optional<LockMode> LockManager::HeldMode(const ItemLock& entry,
+                                              TxnId txn) const {
+  for (const Request& r : entry.granted) {
+    if (r.txn == txn) return r.mode;
+  }
+  return std::nullopt;
+}
+
+std::vector<TxnId> LockManager::Blockers(const ItemLock& entry, TxnId txn,
+                                         LockMode mode) const {
+  std::vector<TxnId> blockers;
+  for (const Request& r : entry.granted) {
+    if (r.txn != txn && !Compatible(r.mode, mode)) blockers.push_back(r.txn);
+  }
+  // A new request queues at the back, so every already-queued conflicting
+  // request is "ahead" of it. (Upgrades queue at the front but an upgrader,
+  // by definition, already holds the lock, so it is covered above as a
+  // holder when modes conflict.)
+  for (const Request& r : entry.waiting) {
+    if (r.txn != txn && !Compatible(r.mode, mode)) blockers.push_back(r.txn);
+  }
+  return blockers;
+}
+
+bool LockManager::WaitsForReaches(TxnId from, TxnId target,
+                                  std::unordered_set<TxnId>* visited) const {
+  if (from == target) return true;
+  if (!visited->insert(from).second) return false;
+  auto wait_it = waiting_on_.find(from);
+  if (wait_it == waiting_on_.end()) return false;
+  auto table_it = table_.find(wait_it->second);
+  if (table_it == table_.end()) return false;
+  const ItemLock& entry = table_it->second;
+  // Find from's queued request to know its mode and queue position.
+  LockMode mode = LockMode::kShared;
+  size_t pos = entry.waiting.size();
+  for (size_t i = 0; i < entry.waiting.size(); ++i) {
+    if (entry.waiting[i].txn == from) {
+      mode = entry.waiting[i].mode;
+      pos = i;
+      break;
+    }
+  }
+  for (const Request& r : entry.granted) {
+    if (r.txn != from && !Compatible(r.mode, mode) &&
+        WaitsForReaches(r.txn, target, visited)) {
+      return true;
+    }
+  }
+  for (size_t i = 0; i < pos && i < entry.waiting.size(); ++i) {
+    const Request& r = entry.waiting[i];
+    if (r.txn != from && !Compatible(r.mode, mode) &&
+        WaitsForReaches(r.txn, target, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LockResult LockManager::Acquire(TxnId txn, DataItemId item, LockMode mode) {
+  MDBS_CHECK(!waiting_on_.contains(txn))
+      << txn << " already has an outstanding lock request";
+  ItemLock& entry = table_[item];
+
+  std::optional<LockMode> held = HeldMode(entry, txn);
+  if (held.has_value()) {
+    if (*held == LockMode::kExclusive || mode == LockMode::kShared) {
+      return LockResult::kGranted;  // Already covered.
+    }
+    // Upgrade S -> X: immediate if sole holder, else wait at queue front.
+    if (entry.granted.size() == 1) {
+      entry.granted[0].mode = LockMode::kExclusive;
+      RecordGrant(txn, item);
+      return LockResult::kGranted;
+    }
+    // Deadlock test: would any conflicting holder (transitively) wait for us?
+    for (const Request& r : entry.granted) {
+      if (r.txn == txn) continue;
+      std::unordered_set<TxnId> visited;
+      if (WaitsForReaches(r.txn, txn, &visited)) return LockResult::kDeadlock;
+    }
+    entry.waiting.push_front(Request{txn, LockMode::kExclusive, true});
+    waiting_on_[txn] = item;
+    return LockResult::kWaiting;
+  }
+
+  bool conflict = false;
+  for (const Request& r : entry.granted) {
+    if (!Compatible(r.mode, mode)) conflict = true;
+  }
+  if (!conflict && entry.waiting.empty()) {
+    entry.granted.push_back(Request{txn, mode, false});
+    RecordGrant(txn, item);
+    return LockResult::kGranted;
+  }
+  // Must wait (either a conflicting holder, or FIFO fairness behind queued
+  // requests). Deadlock test first: does any blocker reach us?
+  for (TxnId blocker : Blockers(entry, txn, mode)) {
+    std::unordered_set<TxnId> visited;
+    if (WaitsForReaches(blocker, txn, &visited)) return LockResult::kDeadlock;
+  }
+  entry.waiting.push_back(Request{txn, mode, false});
+  waiting_on_[txn] = item;
+  return LockResult::kWaiting;
+}
+
+void LockManager::GrantFromQueue(DataItemId item, ItemLock* entry,
+                                 std::vector<TxnId>* granted_out) {
+  while (!entry->waiting.empty()) {
+    const Request& front = entry->waiting.front();
+    if (front.is_upgrade) {
+      // Grantable when the upgrader is the sole remaining holder.
+      if (entry->granted.size() == 1 && entry->granted[0].txn == front.txn) {
+        entry->granted[0].mode = LockMode::kExclusive;
+      } else {
+        break;
+      }
+    } else {
+      bool compatible = true;
+      for (const Request& g : entry->granted) {
+        if (!Compatible(g.mode, front.mode)) compatible = false;
+      }
+      if (!compatible) break;
+      entry->granted.push_back(front);
+    }
+    TxnId txn = front.txn;
+    entry->waiting.pop_front();
+    waiting_on_.erase(txn);
+    RecordGrant(txn, item);
+    granted_out->push_back(txn);
+  }
+}
+
+std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<TxnId> granted;
+
+  // Remove a waiting request, if any (txn aborted while blocked). Its
+  // removal can unblock requests queued behind it, so re-evaluate.
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it != waiting_on_.end()) {
+    DataItemId item = wait_it->second;
+    waiting_on_.erase(wait_it);
+    auto table_it = table_.find(item);
+    if (table_it != table_.end()) {
+      auto& waiting = table_it->second.waiting;
+      waiting.erase(std::remove_if(waiting.begin(), waiting.end(),
+                                   [txn](const Request& r) {
+                                     return r.txn == txn;
+                                   }),
+                    waiting.end());
+      GrantFromQueue(item, &table_it->second, &granted);
+      if (table_it->second.granted.empty() &&
+          table_it->second.waiting.empty()) {
+        table_.erase(table_it);
+      }
+    }
+  }
+
+  auto held_it = held_items_.find(txn);
+  if (held_it != held_items_.end()) {
+    for (DataItemId item : held_it->second) {
+      auto table_it = table_.find(item);
+      if (table_it == table_.end()) continue;
+      ItemLock& entry = table_it->second;
+      entry.granted.erase(std::remove_if(entry.granted.begin(),
+                                         entry.granted.end(),
+                                         [txn](const Request& r) {
+                                           return r.txn == txn;
+                                         }),
+                          entry.granted.end());
+      GrantFromQueue(item, &entry, &granted);
+      if (entry.granted.empty() && entry.waiting.empty()) {
+        table_.erase(table_it);
+      }
+    }
+    held_items_.erase(held_it);
+  }
+  lock_point_.erase(txn);
+  return granted;
+}
+
+bool LockManager::Holds(TxnId txn, DataItemId item, LockMode mode) const {
+  auto it = table_.find(item);
+  if (it == table_.end()) return false;
+  std::optional<LockMode> held = HeldMode(it->second, txn);
+  if (!held.has_value()) return false;
+  return *held == LockMode::kExclusive || mode == LockMode::kShared;
+}
+
+std::optional<int64_t> LockManager::LockPoint(TxnId txn) const {
+  auto it = lock_point_.find(txn);
+  if (it == lock_point_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TxnId> LockManager::BlockersOf(TxnId txn, DataItemId item,
+                                           LockMode mode) const {
+  auto it = table_.find(item);
+  if (it == table_.end()) return {};
+  // A held exclusive (or covering) lock has no blockers for re-requests.
+  std::optional<LockMode> held = HeldMode(it->second, txn);
+  if (held.has_value() &&
+      (*held == LockMode::kExclusive || mode == LockMode::kShared)) {
+    return {};
+  }
+  return Blockers(it->second, txn, mode);
+}
+
+std::optional<DataItemId> LockManager::WaitingOn(TxnId txn) const {
+  auto it = waiting_on_.find(txn);
+  if (it == waiting_on_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LockManager::RecordGrant(TxnId txn, DataItemId item) {
+  held_items_[txn].insert(item);
+  lock_point_[txn] = next_grant_seq_++;
+}
+
+}  // namespace mdbs::lcc

@@ -1,0 +1,115 @@
+#ifndef MDBS_LCC_LOCK_MANAGER_H_
+#define MDBS_LCC_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mdbs::lcc {
+
+enum class LockMode { kShared, kExclusive };
+
+const char* LockModeName(LockMode mode);
+
+/// Result of a lock request.
+enum class LockResult {
+  /// The lock is held by the requester on return.
+  kGranted,
+  /// The request was queued; the requester must wait. It will appear in the
+  /// grant list of a later ReleaseAll call.
+  kWaiting,
+  /// Granting would deadlock (the new wait edge closes a waits-for cycle);
+  /// the request was NOT queued and the requester should abort.
+  kDeadlock,
+};
+
+/// A strict two-phase lock table with shared/exclusive modes, FIFO wait
+/// queues, upgrade support, and waits-for-graph deadlock detection performed
+/// at request time (the requester is the victim, so deadlock never involves
+/// asynchronously aborting a third party).
+class LockManager {
+ public:
+  LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `item` for `txn`. Re-requesting a mode already
+  /// covered by a held lock returns kGranted without side effects.
+  /// A transaction may have at most one outstanding (waiting) request.
+  LockResult Acquire(TxnId txn, DataItemId item, LockMode mode);
+
+  /// Releases all locks held by `txn` and removes any waiting request it
+  /// has. Returns the transactions whose waiting request became granted as
+  /// a consequence, in grant order.
+  std::vector<TxnId> ReleaseAll(TxnId txn);
+
+  /// True when `txn` holds a lock on `item` covering `mode` (X covers S).
+  bool Holds(TxnId txn, DataItemId item, LockMode mode) const;
+
+  /// Monotone sequence number of the last lock grant to `txn` — its lock
+  /// point once the transaction stops acquiring. nullopt before any grant.
+  std::optional<int64_t> LockPoint(TxnId txn) const;
+
+  /// Item the transaction is currently waiting on, if any.
+  std::optional<DataItemId> WaitingOn(TxnId txn) const;
+
+  /// Transactions a request by `txn` for `mode` on `item` would wait for:
+  /// conflicting holders plus conflicting queued requests ahead of it.
+  /// Used by prevention policies (wound-wait / wait-die) to decide before
+  /// acquiring.
+  std::vector<TxnId> BlockersOf(TxnId txn, DataItemId item,
+                                LockMode mode) const;
+
+  /// Number of items with a non-empty lock entry (for tests).
+  size_t ActiveItemCount() const { return table_.size(); }
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    bool is_upgrade = false;
+  };
+  struct ItemLock {
+    std::vector<Request> granted;
+    std::deque<Request> waiting;
+  };
+
+  static bool Compatible(LockMode a, LockMode b) {
+    return a == LockMode::kShared && b == LockMode::kShared;
+  }
+
+  /// Mode currently held by txn on the entry, if any.
+  std::optional<LockMode> HeldMode(const ItemLock& entry, TxnId txn) const;
+
+  /// Transactions a request by `txn` for `mode` on `entry` would wait for:
+  /// conflicting holders plus conflicting queued requests ahead of it.
+  std::vector<TxnId> Blockers(const ItemLock& entry, TxnId txn,
+                              LockMode mode) const;
+
+  /// True if `from` can reach `target` in the waits-for graph.
+  bool WaitsForReaches(TxnId from, TxnId target,
+                       std::unordered_set<TxnId>* visited) const;
+
+  /// Grants queued requests on `entry` that are now compatible, appending
+  /// granted transactions to `granted_out`.
+  void GrantFromQueue(DataItemId item, ItemLock* entry,
+                      std::vector<TxnId>* granted_out);
+
+  void RecordGrant(TxnId txn, DataItemId item);
+
+  std::unordered_map<DataItemId, ItemLock> table_;
+  std::unordered_map<TxnId, std::unordered_set<DataItemId>> held_items_;
+  std::unordered_map<TxnId, DataItemId> waiting_on_;
+  std::unordered_map<TxnId, int64_t> lock_point_;
+  int64_t next_grant_seq_ = 0;
+};
+
+}  // namespace mdbs::lcc
+
+#endif  // MDBS_LCC_LOCK_MANAGER_H_

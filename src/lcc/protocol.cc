@@ -1,0 +1,31 @@
+#include "lcc/protocol.h"
+
+#include "common/logging.h"
+
+namespace mdbs::lcc {
+
+void ProtocolHost::AbortTransaction(TxnId txn, const std::string& reason) {
+  MDBS_CHECK(false) << "host cannot preempt " << txn << ": " << reason;
+}
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kTwoPhaseLocking:
+      return "2PL";
+    case ProtocolKind::kTimestampOrdering:
+      return "TO";
+    case ProtocolKind::kSerializationGraph:
+      return "SGT";
+    case ProtocolKind::kOptimistic:
+      return "OCC";
+    case ProtocolKind::kMultiversionTO:
+      return "MVTO";
+    case ProtocolKind::kTwoPhaseLockingWoundWait:
+      return "2PL-WW";
+    case ProtocolKind::kTwoPhaseLockingWaitDie:
+      return "2PL-WD";
+  }
+  return "?";
+}
+
+}  // namespace mdbs::lcc

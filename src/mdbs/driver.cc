@@ -1,0 +1,252 @@
+#include "mdbs/driver.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mdbs {
+
+namespace {
+
+struct RunState {
+  Mdbs* mdbs = nullptr;
+  DriverConfig config;
+  int64_t global_committed = 0;
+  int64_t global_failed = 0;
+  int64_t local_committed = 0;
+  int64_t local_failed = 0;
+  int64_t local_retries = 0;
+  sim::Summary response;
+  sim::Summary attempts;
+  bool stop_issuing = false;
+
+  bool TargetReached() const {
+    return global_committed + global_failed >=
+           config.target_global_commits;
+  }
+};
+
+/// One closed-loop global client.
+void GlobalClientIssue(const std::shared_ptr<RunState>& state,
+                       const std::shared_ptr<Rng>& rng) {
+  if (state->stop_issuing) return;
+  gtm::GlobalTxnSpec spec = MakeGlobalTxn(
+      state->config.global_workload, state->mdbs->site_ids(), rng.get());
+  sim::Time start = state->mdbs->loop().now();
+  state->mdbs->gtm().Submit(
+      std::move(spec),
+      [state, rng, start](const gtm::GlobalTxnResult& result) {
+        if (result.status.ok()) {
+          ++state->global_committed;
+          state->response.Add(
+              static_cast<double>(result.finish_time - start));
+          state->attempts.Add(result.attempts);
+        } else {
+          ++state->global_failed;
+        }
+        if (state->TargetReached()) {
+          state->stop_issuing = true;
+          return;
+        }
+        state->mdbs->loop().Schedule(state->config.global_think,
+                                     [state, rng]() {
+                                       GlobalClientIssue(state, rng);
+                                     });
+      });
+}
+
+/// One closed-loop local client at `site`. Submits operations one at a
+/// time; retries the whole transaction on a local abort.
+struct LocalTxnRun {
+  std::shared_ptr<RunState> state;
+  std::shared_ptr<Rng> rng;
+  SiteId site;
+  std::vector<DataOp> ops;
+  size_t next_op = 0;
+  TxnId txn;
+  int attempt = 0;
+};
+
+void LocalClientIssue(const std::shared_ptr<RunState>& state,
+                      const std::shared_ptr<Rng>& rng, SiteId site);
+
+void LocalTxnStep(const std::shared_ptr<LocalTxnRun>& run);
+
+void LocalTxnRetryOrFinish(const std::shared_ptr<LocalTxnRun>& run,
+                           bool committed) {
+  auto& state = *run->state;
+  if (committed) {
+    ++state.local_committed;
+  } else if (run->attempt >= state.config.local_max_attempts) {
+    ++state.local_failed;
+  } else {
+    // Retry the same operations after a randomized backoff.
+    ++state.local_retries;
+    run->next_op = 0;
+    state.mdbs->loop().Schedule(
+        static_cast<sim::Time>(50 + run->rng->NextBelow(100)),
+        [run]() {
+          StatusOr<TxnId> txn = run->state->mdbs->BeginLocal(run->site);
+          if (!txn.ok()) {
+            // Site down: count the attempt and keep retrying.
+            ++run->attempt;
+            LocalTxnRetryOrFinish(run, /*committed=*/false);
+            return;
+          }
+          run->txn = *txn;
+          ++run->attempt;
+          LocalTxnStep(run);
+        });
+    return;
+  }
+  if (state.stop_issuing) return;
+  state.mdbs->loop().Schedule(state.config.local_think,
+                              [state_ptr = run->state, rng = run->rng,
+                               site = run->site]() {
+                                LocalClientIssue(state_ptr, rng, site);
+                              });
+}
+
+void LocalTxnStep(const std::shared_ptr<LocalTxnRun>& run) {
+  Mdbs* mdbs = run->state->mdbs;
+  if (run->next_op == run->ops.size()) {
+    mdbs->site(run->site).Commit(run->txn, [run](const Status& status) {
+      LocalTxnRetryOrFinish(run, status.ok());
+    });
+    return;
+  }
+  const DataOp& op = run->ops[run->next_op];
+  mdbs->site(run->site).Submit(
+      run->txn, op, [run](const Status& status, int64_t) {
+        if (!status.ok()) {
+          LocalTxnRetryOrFinish(run, /*committed=*/false);
+          return;
+        }
+        ++run->next_op;
+        LocalTxnStep(run);
+      });
+}
+
+void LocalClientIssue(const std::shared_ptr<RunState>& state,
+                      const std::shared_ptr<Rng>& rng, SiteId site) {
+  if (state->stop_issuing) return;
+  auto run = std::make_shared<LocalTxnRun>();
+  run->state = state;
+  run->rng = rng;
+  run->site = site;
+  run->ops = MakeLocalTxn(state->config.local_workload, rng.get());
+  if (run->ops.empty()) run->ops.push_back(DataOp::Read(DataItemId(0)));
+  StatusOr<TxnId> txn = state->mdbs->BeginLocal(site);
+  if (!txn.ok()) {
+    // Site down right now; try again shortly.
+    state->mdbs->loop().Schedule(
+        static_cast<sim::Time>(200 + rng->NextBelow(200)),
+        [state, rng, site]() { LocalClientIssue(state, rng, site); });
+    return;
+  }
+  run->txn = *txn;
+  run->attempt = 1;
+  LocalTxnStep(run);
+}
+
+/// Failure injection: every crash_interval ticks, crash a random up-site
+/// and recover it crash_duration later, until the run stops issuing work.
+void ArmCrashInjection(const std::shared_ptr<RunState>& state,
+                       const std::shared_ptr<Rng>& rng) {
+  if (state->stop_issuing) return;
+  Mdbs* mdbs = state->mdbs;
+  mdbs->loop().Schedule(state->config.crash_interval, [state, rng]() {
+    if (state->stop_issuing) return;
+    Mdbs* inner = state->mdbs;
+    SiteId victim =
+        inner->site_ids()[rng->NextBelow(inner->site_ids().size())];
+    if (!inner->site(victim).IsDown()) {
+      inner->site(victim).Crash();
+      inner->loop().Schedule(
+          state->config.crash_duration,
+          [state, victim]() { state->mdbs->site(victim).Recover(); });
+    }
+    ArmCrashInjection(state, rng);
+  });
+}
+
+}  // namespace
+
+std::string DriverReport::ToString() const {
+  std::ostringstream os;
+  os << "global: committed=" << global_committed << " failed=" << global_failed
+     << " throughput=" << global_throughput << "/Mtick\n"
+     << "  response: " << global_response.ToString() << "\n"
+     << "  attempts: " << global_attempts.ToString() << "\n"
+     << "local: committed=" << local_committed << " failed=" << local_failed
+     << " retries=" << local_abort_retries << "\n"
+     << "gtm1: attempts=" << gtm1.attempts
+     << " aborted=" << gtm1.aborted_attempts
+     << " scheme_aborts=" << gtm1.scheme_aborts
+     << " timeouts=" << gtm1.timeouts
+     << " partial_commits=" << gtm1.partial_commits << "\n"
+     << "gtm2: processed=" << gtm2.processed_ops
+     << " waits=" << gtm2.wait_additions
+     << " ser_waits=" << gtm2.ser_wait_additions << "\n"
+     << "sites: blocked=" << site_blocked << " local_aborts=" << site_aborts
+     << "\n"
+     << "duration=" << duration << " ticks\n";
+  return os.str();
+}
+
+DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
+                       uint64_t seed) {
+  auto state = std::make_shared<RunState>();
+  state->mdbs = mdbs;
+  state->config = config;
+  Rng root(seed);
+
+  sim::Time start_time = mdbs->loop().now();
+  for (int i = 0; i < config.global_clients; ++i) {
+    auto rng = std::make_shared<Rng>(root.Fork());
+    mdbs->loop().Schedule(static_cast<sim::Time>(i),
+                          [state, rng]() { GlobalClientIssue(state, rng); });
+  }
+  if (config.local_clients_per_site > 0) {
+    for (SiteId site : mdbs->site_ids()) {
+      for (int i = 0; i < config.local_clients_per_site; ++i) {
+        auto rng = std::make_shared<Rng>(root.Fork());
+        mdbs->loop().Schedule(
+            static_cast<sim::Time>(i),
+            [state, rng, site]() { LocalClientIssue(state, rng, site); });
+      }
+    }
+  }
+  if (config.crash_interval > 0) {
+    auto crash_rng = std::make_shared<Rng>(root.Fork());
+    ArmCrashInjection(state, crash_rng);
+  }
+
+  mdbs->RunUntilIdle();
+
+  DriverReport report;
+  report.global_committed = state->global_committed;
+  report.global_failed = state->global_failed;
+  report.local_committed = state->local_committed;
+  report.local_failed = state->local_failed;
+  report.local_abort_retries = state->local_retries;
+  report.duration = mdbs->loop().now() - start_time;
+  if (report.duration > 0) {
+    report.global_throughput = 1e6 *
+                               static_cast<double>(report.global_committed) /
+                               static_cast<double>(report.duration);
+  }
+  report.global_response = state->response;
+  report.global_attempts = state->attempts;
+  report.gtm1 = mdbs->gtm().stats();
+  report.gtm2 = mdbs->gtm().gtm2().stats();
+  for (SiteId site : mdbs->site_ids()) {
+    report.site_blocked += mdbs->site(site).blocked_count();
+    report.site_aborts += mdbs->site(site).abort_count();
+    report.crashes += mdbs->site(site).crash_count();
+  }
+  return report;
+}
+
+}  // namespace mdbs

@@ -1,0 +1,62 @@
+#ifndef MDBS_MDBS_DRIVER_H_
+#define MDBS_MDBS_DRIVER_H_
+
+#include <string>
+
+#include "mdbs/mdbs.h"
+#include "mdbs/workload.h"
+#include "sim/metrics.h"
+
+namespace mdbs {
+
+/// A closed-loop experiment: `global_clients` clients each keep one global
+/// transaction in flight (multiprogramming level), while
+/// `local_clients_per_site` clients per site run local transactions that
+/// the GTM never sees — the source of indirect conflicts. The run stops
+/// once `target_global_commits` global transactions committed and all
+/// in-flight work drained.
+struct DriverConfig {
+  int global_clients = 8;
+  int local_clients_per_site = 2;
+  int64_t target_global_commits = 200;
+  /// Think time between a client's transactions.
+  sim::Time global_think = 50;
+  sim::Time local_think = 50;
+  /// Give up on a local transaction after this many aborts.
+  int local_max_attempts = 50;
+  /// Failure injection: every `crash_interval` ticks a random site crashes
+  /// for `crash_duration` ticks (all its active transactions abort; the
+  /// GTM retries). 0 disables.
+  sim::Time crash_interval = 0;
+  sim::Time crash_duration = 2000;
+  GlobalWorkloadConfig global_workload;
+  LocalWorkloadConfig local_workload;
+};
+
+/// Results of one driver run.
+struct DriverReport {
+  int64_t global_committed = 0;
+  int64_t global_failed = 0;
+  int64_t local_committed = 0;
+  int64_t local_failed = 0;
+  int64_t local_abort_retries = 0;
+  sim::Time duration = 0;
+  /// Committed global transactions per million ticks.
+  double global_throughput = 0;
+  sim::Summary global_response;  // Submit-to-commit latency.
+  sim::Summary global_attempts;  // Attempts per committed transaction.
+  gtm::Gtm1Stats gtm1;
+  gtm::Gtm2Stats gtm2;
+  int64_t site_blocked = 0;  // Blocked operations across sites.
+  int64_t site_aborts = 0;   // Local protocol aborts across sites.
+  int64_t crashes = 0;       // Injected site crashes.
+
+  std::string ToString() const;
+};
+
+/// Runs the closed-loop experiment on `mdbs`. Deterministic given `seed`.
+DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config, uint64_t seed);
+
+}  // namespace mdbs
+
+#endif  // MDBS_MDBS_DRIVER_H_

@@ -1,0 +1,164 @@
+#include "mdbs/mdbs.h"
+
+#include "common/logging.h"
+
+namespace mdbs {
+
+MdbsConfig MdbsConfig::Uniform(int count, lcc::ProtocolKind protocol,
+                               gtm::SchemeKind scheme) {
+  MdbsConfig config;
+  for (int i = 0; i < count; ++i) {
+    site::SiteConfig site;
+    site.id = SiteId(i);
+    site.protocol = protocol;
+    config.sites.push_back(site);
+  }
+  config.gtm.scheme = scheme;
+  return config;
+}
+
+MdbsConfig MdbsConfig::Mixed(const std::vector<lcc::ProtocolKind>& protocols,
+                             gtm::SchemeKind scheme) {
+  MdbsConfig config;
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    site::SiteConfig site;
+    site.id = SiteId(static_cast<int64_t>(i));
+    site.protocol = protocols[i];
+    config.sites.push_back(site);
+  }
+  config.gtm.scheme = scheme;
+  return config;
+}
+
+Mdbs::Mdbs(const MdbsConfig& config)
+    : config_(config), net_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  MDBS_CHECK(!config.sites.empty()) << "an MDBS needs at least one site";
+  for (const site::SiteConfig& site_config : config.sites) {
+    MDBS_CHECK(!sites_.contains(site_config.id))
+        << "duplicate site " << site_config.id;
+    sites_[site_config.id] =
+        std::make_unique<site::LocalDbms>(site_config, &loop_, &recorder_);
+    site_ids_.push_back(site_config.id);
+  }
+  gtm1_ = std::make_unique<gtm::Gtm1>(config.gtm, &loop_, this, config.seed);
+}
+
+StatusOr<TxnId> Mdbs::BeginLocal(SiteId site) {
+  TxnId txn = TxnId(next_local_txn_id_++);
+  Status status = sites_.at(site)->Begin(txn, GlobalTxnId());
+  if (!status.ok()) return status;
+  return txn;
+}
+
+std::vector<SiteId> Mdbs::MultiversionSites() const {
+  std::vector<SiteId> result;
+  for (SiteId id : site_ids_) {
+    if (sites_.at(id)->protocol().IsMultiversion()) result.push_back(id);
+  }
+  return result;
+}
+
+Status Mdbs::CheckLocallySerializable() const {
+  for (SiteId id : site_ids_) {
+    sched::SerializabilityResult result =
+        sites_.at(id)->protocol().IsMultiversion()
+            ? sched::CheckMultiversionSerializability(recorder_, id)
+            : sched::CheckLocalSerializability(recorder_, id);
+    if (!result.serializable) {
+      return Status::Internal("local schedule at " + ToString(id) + " " +
+                              result.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status Mdbs::CheckSerializationKeyProperty() const {
+  for (SiteId id : site_ids_) {
+    // Multiversion sites legitimately violate single-version conflict
+    // order (old-version reads); their MVSG check subsumes the property.
+    if (sites_.at(id)->protocol().IsMultiversion()) continue;
+    MDBS_RETURN_IF_ERROR(
+        sched::CheckSerializationKeyProperty(recorder_, id));
+  }
+  return Status::OK();
+}
+
+Status Mdbs::CheckStrictness() const {
+  for (SiteId id : site_ids_) {
+    MDBS_RETURN_IF_ERROR(sched::CheckStrictness(
+        recorder_, id, sites_.at(id)->protocol().IsMultiversion()));
+  }
+  return Status::OK();
+}
+
+Status Mdbs::CheckGloballySerializable() const {
+  sched::SerializabilityResult result = GlobalSerializabilityResult();
+  if (!result.serializable) {
+    return Status::Internal("global schedule " + result.ToString());
+  }
+  return Status::OK();
+}
+
+sched::SerializabilityResult Mdbs::GlobalSerializabilityResult() const {
+  std::vector<SiteId> mv_sites = MultiversionSites();
+  if (mv_sites.empty()) {
+    return sched::CheckGlobalSerializability(recorder_);
+  }
+  return sched::CheckGlobalSerializabilityMixed(recorder_, mv_sites);
+}
+
+lcc::ProtocolKind Mdbs::ProtocolAt(SiteId site) const {
+  return sites_.at(site)->protocol_kind();
+}
+
+bool Mdbs::LoseResponse() {
+  return config_.response_loss_probability > 0 &&
+         net_rng_.NextBernoulli(config_.response_loss_probability);
+}
+
+void Mdbs::Begin(SiteId site, TxnId txn, GlobalTxnId global, TxnCallback cb) {
+  loop_.Schedule(config_.net_delay, [this, site, txn, global,
+                                     cb = std::move(cb)]() {
+    Status status = sites_.at(site)->Begin(txn, global);
+    if (LoseResponse()) return;  // GTM1's timeout takes it from here.
+    loop_.Schedule(config_.net_delay,
+                   [status, cb = std::move(cb)]() { cb(status); });
+  });
+}
+
+void Mdbs::Submit(SiteId site, TxnId txn, const DataOp& op, OpCallback cb) {
+  loop_.Schedule(config_.net_delay, [this, site, txn, op,
+                                     cb = std::move(cb)]() {
+    sites_.at(site)->Submit(
+        txn, op,
+        [this, cb = std::move(cb)](const Status& status, int64_t value) {
+          if (LoseResponse()) return;
+          loop_.Schedule(config_.net_delay, [status, value,
+                                             cb = std::move(cb)]() {
+            cb(status, value);
+          });
+        });
+  });
+}
+
+void Mdbs::Commit(SiteId site, TxnId txn, TxnCallback cb) {
+  loop_.Schedule(config_.net_delay, [this, site, txn, cb = std::move(cb)]() {
+    sites_.at(site)->Commit(
+        txn, [this, cb = std::move(cb)](const Status& status) {
+          loop_.Schedule(config_.net_delay,
+                         [status, cb = std::move(cb)]() { cb(status); });
+        });
+  });
+}
+
+void Mdbs::Abort(SiteId site, TxnId txn, TxnCallback cb) {
+  loop_.Schedule(config_.net_delay, [this, site, txn, cb = std::move(cb)]() {
+    sites_.at(site)->Abort(
+        txn, [this, cb = std::move(cb)](const Status& status) {
+          loop_.Schedule(config_.net_delay,
+                         [status, cb = std::move(cb)]() { cb(status); });
+        });
+  });
+}
+
+}  // namespace mdbs

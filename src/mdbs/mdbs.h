@@ -1,0 +1,113 @@
+#ifndef MDBS_MDBS_MDBS_H_
+#define MDBS_MDBS_MDBS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "gtm/gtm1.h"
+#include "sched/schedule.h"
+#include "sched/serializability.h"
+#include "sim/event_loop.h"
+#include "site/local_dbms.h"
+
+namespace mdbs {
+
+/// Top-level configuration of a simulated multidatabase.
+struct MdbsConfig {
+  std::vector<site::SiteConfig> sites;
+  gtm::Gtm1Config gtm;
+  /// One-way GTM <-> site network delay.
+  sim::Time net_delay = 5;
+  /// Probability that a site's response to a begin/data operation is lost
+  /// in transit (the operation may still have executed!); GTM1's timeout
+  /// aborts and retries the attempt. Commit/abort acknowledgements are
+  /// assumed reliable — losing them would need an atomic commitment
+  /// protocol, which the paper leaves out of scope.
+  double response_loss_probability = 0;
+  uint64_t seed = 42;
+
+  /// Convenience: `count` sites with the given protocols round-robin.
+  static MdbsConfig Uniform(int count, lcc::ProtocolKind protocol,
+                            gtm::SchemeKind scheme);
+  static MdbsConfig Mixed(const std::vector<lcc::ProtocolKind>& protocols,
+                          gtm::SchemeKind scheme);
+};
+
+/// The assembled multidatabase: local DBMSs, the GTM (GTM1+GTM2), the
+/// simulation event loop and the verification recorder. Also implements the
+/// SiteGateway ("servers") with network delays.
+///
+/// Typical use:
+///   Mdbs mdbs(MdbsConfig::Mixed({k2PL, kTO, kSGT}, SchemeKind::kScheme3));
+///   mdbs.gtm().Submit(spec, [&](const gtm::GlobalTxnResult& r) {...});
+///   mdbs.RunUntilIdle();
+///   ASSERT_TRUE(mdbs.CheckGloballySerializable().ok());
+class Mdbs : public gtm::SiteGateway {
+ public:
+  explicit Mdbs(const MdbsConfig& config);
+  ~Mdbs() override = default;
+
+  Mdbs(const Mdbs&) = delete;
+  Mdbs& operator=(const Mdbs&) = delete;
+
+  sim::EventLoop& loop() { return loop_; }
+  sched::ScheduleRecorder& recorder() { return recorder_; }
+  gtm::Gtm1& gtm() { return *gtm1_; }
+  const gtm::Gtm1& gtm() const { return *gtm1_; }
+  site::LocalDbms& site(SiteId id) { return *sites_.at(id); }
+  const std::vector<SiteId>& site_ids() const { return site_ids_; }
+  const MdbsConfig& config() const { return config_; }
+
+  /// Runs the simulation until no events remain.
+  void RunUntilIdle() { loop_.Run(); }
+
+  /// Begins a purely local transaction at `site` (a pre-existing local
+  /// application: invisible to the GTM). Returns the fresh transaction id,
+  /// or TransactionAborted while the site is down.
+  StatusOr<TxnId> BeginLocal(SiteId site);
+
+  /// Verification: local CSR at every site, the serialization-key property
+  /// at every site, and global CSR across sites.
+  Status CheckLocallySerializable() const;
+  Status CheckSerializationKeyProperty() const;
+  Status CheckGloballySerializable() const;
+  /// No dirty reads / dirty overwrites anywhere (all protocols promise it).
+  Status CheckStrictness() const;
+  sched::SerializabilityResult GlobalSerializabilityResult() const;
+
+  /// Sites running a multiversion protocol (verified via MVSG).
+  std::vector<SiteId> MultiversionSites() const;
+
+  // SiteGateway (network-delayed access to the local DBMSs):
+  lcc::ProtocolKind ProtocolAt(SiteId site) const override;
+  void Begin(SiteId site, TxnId txn, GlobalTxnId global,
+             TxnCallback cb) override;
+  void Submit(SiteId site, TxnId txn, const DataOp& op,
+              OpCallback cb) override;
+  void Commit(SiteId site, TxnId txn, TxnCallback cb) override;
+  void Abort(SiteId site, TxnId txn, TxnCallback cb) override;
+
+ private:
+  /// Local transactions allocate ids from this base; GTM1's subtransaction
+  /// ids are small sequential integers, so the ranges never collide.
+  static constexpr int64_t kLocalTxnIdBase = 1'000'000'000;
+
+  /// True when this response should be dropped (lossy network injection).
+  bool LoseResponse();
+
+  MdbsConfig config_;
+  sim::EventLoop loop_;
+  Rng net_rng_;
+  sched::ScheduleRecorder recorder_;
+  std::unordered_map<SiteId, std::unique_ptr<site::LocalDbms>> sites_;
+  std::vector<SiteId> site_ids_;
+  std::unique_ptr<gtm::Gtm1> gtm1_;
+  int64_t next_local_txn_id_ = kLocalTxnIdBase;
+};
+
+}  // namespace mdbs
+
+#endif  // MDBS_MDBS_MDBS_H_

@@ -1,0 +1,50 @@
+#ifndef MDBS_MDBS_WORKLOAD_H_
+#define MDBS_MDBS_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "gtm/global_txn.h"
+
+namespace mdbs {
+
+/// Shape of randomly generated global transactions.
+struct GlobalWorkloadConfig {
+  /// Number of sites a transaction touches: uniform in [dav_min, dav_max]
+  /// (the paper's dav is the mean).
+  int dav_min = 2;
+  int dav_max = 3;
+  /// Data operations per touched site: uniform in [min, max].
+  int ops_per_site_min = 2;
+  int ops_per_site_max = 4;
+  /// Items addressable at each site (ticket item excluded automatically).
+  int64_t items_per_site = 1000;
+  /// Zipf skew over items; 0 = uniform.
+  double zipf_theta = 0.0;
+  /// Fraction of operations that are reads.
+  double read_ratio = 0.5;
+  /// When true, a transaction's operations interleave across its sites
+  /// randomly; when false they are grouped site by site.
+  bool interleave_sites = true;
+};
+
+/// Shape of randomly generated local transactions.
+struct LocalWorkloadConfig {
+  int ops_min = 2;
+  int ops_max = 5;
+  int64_t items_per_site = 1000;
+  double zipf_theta = 0.0;
+  double read_ratio = 0.5;
+};
+
+/// Generates one random global transaction over `sites`.
+gtm::GlobalTxnSpec MakeGlobalTxn(const GlobalWorkloadConfig& config,
+                                 const std::vector<SiteId>& sites, Rng* rng);
+
+/// Generates one random local transaction's operations.
+std::vector<DataOp> MakeLocalTxn(const LocalWorkloadConfig& config, Rng* rng);
+
+}  // namespace mdbs
+
+#endif  // MDBS_MDBS_WORKLOAD_H_

@@ -1,0 +1,43 @@
+#ifndef MDBS_SCHED_GRAPH_H_
+#define MDBS_SCHED_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mdbs::sched {
+
+/// Small directed graph over int64 node keys with cycle detection and
+/// topological ordering; used for serialization graphs of all flavors.
+class DirectedGraph {
+ public:
+  void AddNode(int64_t node);
+  void AddEdge(int64_t from, int64_t to);
+
+  bool HasNode(int64_t node) const { return adj_.contains(node); }
+  bool HasEdge(int64_t from, int64_t to) const;
+
+  size_t NodeCount() const { return adj_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+
+  /// True iff the graph contains a directed cycle (self-loops count).
+  bool HasCycle() const;
+
+  /// A cycle as a node sequence (first == last), if one exists.
+  std::optional<std::vector<int64_t>> FindCycle() const;
+
+  /// Topological order; nullopt when cyclic.
+  std::optional<std::vector<int64_t>> TopologicalOrder() const;
+
+  const std::unordered_set<int64_t>& Successors(int64_t node) const;
+
+ private:
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> adj_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace mdbs::sched
+
+#endif  // MDBS_SCHED_GRAPH_H_

@@ -1,0 +1,62 @@
+#include "sched/stats.h"
+
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdbs::sched {
+
+ScheduleStats ComputeScheduleStats(const ScheduleRecorder& recorder) {
+  ScheduleStats stats;
+  std::unordered_map<SiteId, std::unordered_set<int64_t>> items;
+  for (const RecordedOp& op : recorder.ops()) {
+    SiteScheduleStats& site = stats.per_site[op.site];
+    if (op.op.type == OpType::kRead) {
+      ++site.reads;
+    } else {
+      ++site.writes;
+    }
+    items[op.site].insert(op.op.item.value());
+    ++stats.total_ops;
+  }
+  std::set<int64_t> committed_globals;
+  for (const auto& [txn, record] : recorder.txns()) {
+    SiteScheduleStats& site = stats.per_site[record.site];
+    if (record.outcome == TxnOutcome::kCommitted) {
+      ++site.committed_txns;
+      if (record.global.valid()) {
+        ++site.global_subtxns;
+        committed_globals.insert(record.global.value());
+      } else {
+        ++stats.committed_local_txns;
+      }
+    } else if (record.outcome == TxnOutcome::kAborted) {
+      ++site.aborted_txns;
+    }
+  }
+  stats.committed_global_txns =
+      static_cast<int64_t>(committed_globals.size());
+  for (auto& [site, site_stats] : stats.per_site) {
+    site_stats.distinct_items =
+        static_cast<int64_t>(items[site].size());
+  }
+  return stats;
+}
+
+std::string ScheduleStats::ToString() const {
+  std::ostringstream os;
+  os << "schedule: " << total_ops << " ops, " << committed_global_txns
+     << " global txns, " << committed_local_txns
+     << " local txns committed\n";
+  for (const auto& [site, s] : per_site) {
+    os << "  " << mdbs::ToString(site) << ": r=" << s.reads
+       << " w=" << s.writes << " committed=" << s.committed_txns << " ("
+       << s.global_subtxns << " global)"
+       << " aborted=" << s.aborted_txns << " items=" << s.distinct_items
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mdbs::sched

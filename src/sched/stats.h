@@ -1,0 +1,37 @@
+#ifndef MDBS_SCHED_STATS_H_
+#define MDBS_SCHED_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "sched/schedule.h"
+
+namespace mdbs::sched {
+
+/// Per-site aggregate of a recorded schedule.
+struct SiteScheduleStats {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t committed_txns = 0;
+  int64_t aborted_txns = 0;
+  int64_t global_subtxns = 0;  // Of the committed ones.
+  int64_t distinct_items = 0;
+};
+
+/// Whole-schedule aggregate, for reports and the mdbsim frontend.
+struct ScheduleStats {
+  std::map<SiteId, SiteScheduleStats> per_site;
+  int64_t total_ops = 0;
+  int64_t committed_global_txns = 0;
+  int64_t committed_local_txns = 0;
+
+  std::string ToString() const;
+};
+
+ScheduleStats ComputeScheduleStats(const ScheduleRecorder& recorder);
+
+}  // namespace mdbs::sched
+
+#endif  // MDBS_SCHED_STATS_H_

@@ -1,0 +1,44 @@
+#include "sim/event_loop.h"
+
+#include "common/logging.h"
+
+namespace mdbs::sim {
+
+void EventLoop::Schedule(Time delay, Callback cb) {
+  MDBS_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventLoop::ScheduleAt(Time at, Callback cb) {
+  MDBS_CHECK(at >= now_) << "scheduling in the past: " << at << " < " << now_;
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+int64_t EventLoop::Run() {
+  int64_t count = 0;
+  while (RunOne()) ++count;
+  return count;
+}
+
+int64_t EventLoop::RunUntil(Time deadline) {
+  int64_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    RunOne();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  // Moving out of the priority queue requires a const_cast because top() is
+  // const; the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  event.cb();
+  return true;
+}
+
+}  // namespace mdbs::sim

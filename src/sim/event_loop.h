@@ -1,0 +1,69 @@
+#ifndef MDBS_SIM_EVENT_LOOP_H_
+#define MDBS_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mdbs::sim {
+
+/// Virtual time in abstract "ticks" (we treat one tick as one microsecond in
+/// reports, but nothing depends on the unit).
+using Time = int64_t;
+
+/// Deterministic discrete-event simulation loop. Events scheduled for the
+/// same time fire in scheduling order (a monotone sequence number breaks
+/// ties), so a run is a pure function of its inputs and seeds.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` ticks from now (delay >= 0).
+  void Schedule(Time delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (>= now()).
+  void ScheduleAt(Time at, Callback cb);
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  int64_t Run();
+
+  /// Runs events until the queue drains or virtual time would exceed
+  /// `deadline`; events after the deadline remain queued.
+  int64_t RunUntil(Time deadline);
+
+  /// Runs a single event if one is pending. Returns false when idle.
+  bool RunOne();
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    int64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  int64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mdbs::sim
+
+#endif  // MDBS_SIM_EVENT_LOOP_H_

@@ -1,0 +1,71 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mdbs::sim {
+
+void Summary::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double Summary::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<size_t>(std::floor(pos));
+  auto hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " min=" << min()
+     << " p50=" << Median() << " p95=" << P95() << " max=" << max();
+  return os.str();
+}
+
+void MetricsRegistry::Increment(const std::string& name, int64_t delta) {
+  counters_[name] += delta;
+}
+
+int64_t MetricsRegistry::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  summaries_[name].Add(value);
+}
+
+const Summary* MetricsRegistry::GetSummary(const std::string& name) const {
+  auto it = summaries_.find(name);
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, summary] : summaries_) {
+    os << name << ": " << summary.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mdbs::sim

@@ -1,0 +1,62 @@
+#ifndef MDBS_SIM_METRICS_H_
+#define MDBS_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mdbs::sim {
+
+/// Streaming summary of a scalar series: count/mean/min/max plus quantiles
+/// from retained samples. Small enough for per-experiment use; not intended
+/// for unbounded production telemetry.
+class Summary {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// q in [0, 1]. Exact over retained samples.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Named counters + summaries for one simulation run.
+class MetricsRegistry {
+ public:
+  void Increment(const std::string& name, int64_t delta = 1);
+  int64_t Counter(const std::string& name) const;
+
+  void Observe(const std::string& name, double value);
+  const Summary* GetSummary(const std::string& name) const;
+
+  /// Multi-line human-readable dump, sorted by name.
+  std::string Report() const;
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace mdbs::sim
+
+#endif  // MDBS_SIM_METRICS_H_

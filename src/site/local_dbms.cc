@@ -1,0 +1,280 @@
+#include "site/local_dbms.h"
+
+#include "common/logging.h"
+#include "lcc/mvto.h"
+#include "lcc/occ.h"
+#include "lcc/sgt.h"
+#include "lcc/timestamp_ordering.h"
+#include "lcc/two_phase_locking.h"
+
+namespace mdbs::site {
+
+std::unique_ptr<lcc::ConcurrencyControl> MakeProtocol(
+    lcc::ProtocolKind kind, lcc::ProtocolHost* host) {
+  switch (kind) {
+    case lcc::ProtocolKind::kTwoPhaseLocking:
+      return std::make_unique<lcc::TwoPhaseLocking>(host);
+    case lcc::ProtocolKind::kTimestampOrdering:
+      return std::make_unique<lcc::TimestampOrdering>(host);
+    case lcc::ProtocolKind::kSerializationGraph:
+      return std::make_unique<lcc::SerializationGraphTesting>(host);
+    case lcc::ProtocolKind::kOptimistic:
+      return std::make_unique<lcc::OptimisticConcurrencyControl>();
+    case lcc::ProtocolKind::kMultiversionTO:
+      return std::make_unique<lcc::MultiversionTimestampOrdering>(host);
+    case lcc::ProtocolKind::kTwoPhaseLockingWoundWait:
+      return std::make_unique<lcc::TwoPhaseLocking>(
+          host, lcc::DeadlockPolicy::kWoundWait);
+    case lcc::ProtocolKind::kTwoPhaseLockingWaitDie:
+      return std::make_unique<lcc::TwoPhaseLocking>(
+          host, lcc::DeadlockPolicy::kWaitDie);
+  }
+  return nullptr;
+}
+
+LocalDbms::LocalDbms(const SiteConfig& config, sim::EventLoop* loop,
+                     sched::ScheduleRecorder* recorder)
+    : config_(config), loop_(loop), recorder_(recorder) {
+  protocol_ = MakeProtocol(config.protocol, this);
+  MDBS_CHECK(protocol_ != nullptr);
+}
+
+Status LocalDbms::Begin(TxnId txn, GlobalTxnId global) {
+  if (down_) {
+    return Status::TransactionAborted(ToString(config_.id) + " is down");
+  }
+  if (txns_.contains(txn)) {
+    return Status::FailedPrecondition(ToString(txn) + " already active");
+  }
+  txns_[txn].global = global;
+  protocol_->OnBegin(txn);
+  if (recorder_ != nullptr) recorder_->RecordBegin(config_.id, txn, global);
+  return Status::OK();
+}
+
+void LocalDbms::Submit(TxnId txn, const DataOp& op, OpCallback cb) {
+  loop_->Schedule(config_.op_service_time,
+                  [this, txn, op, cb = std::move(cb)]() mutable {
+                    ProcessOp(txn, op, std::move(cb));
+                  });
+}
+
+void LocalDbms::ProcessOp(TxnId txn, const DataOp& op, OpCallback cb) {
+  if (down_) {
+    cb(Status::TransactionAborted(ToString(config_.id) + " is down"), 0);
+    return;
+  }
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    // The transaction died (deadlock victim / client abort) while this
+    // operation was queued or blocked.
+    cb(Status::TransactionAborted(ToString(txn) + " is not active"), 0);
+    return;
+  }
+  TxnState& state = it->second;
+  switch (protocol_->OnAccess(txn, op)) {
+    case lcc::AccessDecision::kProceed: {
+      int64_t value = ApplyOp(txn, &state, op);
+      protocol_->OnAccessApplied(txn, op);
+      cb(Status::OK(), value);
+      return;
+    }
+    case lcc::AccessDecision::kBlock: {
+      ++blocked_count_;
+      MDBS_CHECK(!state.pending_op.has_value())
+          << ToString(txn) << " blocked with an operation already pending";
+      state.pending_op = op;
+      state.pending_cb = std::move(cb);
+      return;
+    }
+    case lcc::AccessDecision::kAbort: {
+      ++abort_count_;
+      DoAbort(txn, &state);
+      txns_.erase(txn);
+      cb(Status::TransactionAborted("local protocol abort at " +
+                                    ToString(config_.id)),
+         0);
+      return;
+    }
+  }
+}
+
+int64_t LocalDbms::ApplyOp(TxnId txn, TxnState* state, const DataOp& op) {
+  (void)txn;
+  if (op.type == OpType::kRead) {
+    int64_t value;
+    TxnId read_from;
+    if (std::optional<lcc::ResolvedRead> versioned =
+            protocol_->ResolveRead(txn, op.item);
+        versioned.has_value()) {
+      value = versioned->value;  // Multiversion protocols answer directly.
+      read_from = versioned->writer;
+    } else if (!protocol_->WritesInPlace() &&
+               state->write_buffer.contains(op.item)) {
+      value = state->write_buffer.at(op.item);  // Read-your-own-writes.
+      read_from = txn;
+    } else if (protocol_->IsMultiversion() &&
+               mv_initial_images_.contains(op.item)) {
+      // Initial-version read after newer versions committed to the store.
+      value = mv_initial_images_.at(op.item);
+    } else {
+      value = store_.Get(op.item);
+    }
+    if (recorder_ != nullptr) {
+      DataOp observed = op;
+      observed.value = value;
+      recorder_->RecordOp(config_.id, txn, observed, loop_->now(),
+                          read_from);
+    }
+    return value;
+  }
+  // Write.
+  if (protocol_->WritesInPlace()) {
+    int64_t before = store_.Put(op.item, op.value);
+    state->undo_log.emplace_back(op.item, before);
+    if (recorder_ != nullptr) {
+      recorder_->RecordOp(config_.id, txn, op, loop_->now());
+    }
+  } else {
+    auto [buf_it, inserted] = state->write_buffer.try_emplace(op.item);
+    buf_it->second = op.value;
+    if (inserted) state->write_order.push_back(op.item);
+    // Deferred writes are recorded when applied at commit, which is when
+    // they become visible and conflict-ordered.
+  }
+  return op.value;
+}
+
+void LocalDbms::Commit(TxnId txn, TxnCallback cb) {
+  loop_->Schedule(config_.commit_service_time,
+                  [this, txn, cb = std::move(cb)]() mutable {
+                    ProcessCommit(txn, std::move(cb));
+                  });
+}
+
+void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
+  if (down_) {
+    cb(Status::TransactionAborted(ToString(config_.id) + " is down"));
+    return;
+  }
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    cb(Status::TransactionAborted(ToString(txn) + " is not active"));
+    return;
+  }
+  TxnState& state = it->second;
+  MDBS_CHECK(!state.pending_op.has_value())
+      << ToString(txn) << " committing with a blocked operation";
+  if (protocol_->OnValidate(txn) == lcc::AccessDecision::kAbort) {
+    ++abort_count_;
+    DoAbort(txn, &state);
+    txns_.erase(txn);
+    cb(Status::TransactionAborted("validation failed at " +
+                                  ToString(config_.id)));
+    return;
+  }
+  // Install deferred writes in submission order; they become visible (and
+  // conflict-ordered) here.
+  for (DataItemId item : state.write_order) {
+    int64_t before = store_.Put(item, state.write_buffer.at(item));
+    if (protocol_->IsMultiversion()) {
+      mv_initial_images_.try_emplace(item, before);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->RecordOp(config_.id, txn,
+                          DataOp::Write(item, state.write_buffer.at(item)),
+                          loop_->now());
+    }
+  }
+  protocol_->OnFinish(txn, TxnOutcome::kCommitted);
+  if (recorder_ != nullptr) {
+    recorder_->RecordFinish(txn, TxnOutcome::kCommitted,
+                            protocol_->SerializationKey(txn));
+  }
+  txns_.erase(txn);
+  cb(Status::OK());
+}
+
+void LocalDbms::Abort(TxnId txn, TxnCallback cb) {
+  loop_->Schedule(config_.commit_service_time,
+                  [this, txn, cb = std::move(cb)]() mutable {
+                    auto it = txns_.find(txn);
+                    if (it == txns_.end()) {
+                      cb(Status::OK());  // Already gone; abort is idempotent.
+                      return;
+                    }
+                    DoAbort(txn, &it->second);
+                    txns_.erase(it);
+                    cb(Status::OK());
+                  });
+}
+
+void LocalDbms::DoAbort(TxnId txn, TxnState* state) {
+  // Undo in-place writes in reverse order.
+  for (auto undo_it = state->undo_log.rbegin();
+       undo_it != state->undo_log.rend(); ++undo_it) {
+    store_.Restore(undo_it->first, undo_it->second);
+  }
+  protocol_->OnFinish(txn, TxnOutcome::kAborted);
+  if (recorder_ != nullptr) {
+    recorder_->RecordFinish(txn, TxnOutcome::kAborted, std::nullopt);
+  }
+  // Fail the blocked operation's caller, if any.
+  if (state->pending_op.has_value()) {
+    OpCallback cb = std::move(state->pending_cb);
+    state->pending_op.reset();
+    loop_->Schedule(0, [cb = std::move(cb), txn]() {
+      cb(Status::TransactionAborted(ToString(txn) + " aborted while blocked"),
+         0);
+    });
+  }
+}
+
+void LocalDbms::AbortTransaction(TxnId txn, const std::string& reason) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;  // Already gone.
+  (void)reason;
+  ++abort_count_;
+  DoAbort(txn, &it->second);
+  txns_.erase(it);
+}
+
+void LocalDbms::Crash() {
+  down_ = true;
+  ++crash_count_;
+  ++abort_count_;
+  // Abort every active transaction; uncommitted in-place writes roll back,
+  // committed data stands (the store is our "stable storage").
+  std::vector<TxnId> active;
+  active.reserve(txns_.size());
+  for (const auto& [txn, state] : txns_) active.push_back(txn);
+  for (TxnId txn : active) {
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) continue;
+    DoAbort(txn, &it->second);
+    txns_.erase(it);
+  }
+}
+
+void LocalDbms::Recover() { down_ = false; }
+
+void LocalDbms::ResumeTransaction(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;  // Woken after finishing: ignore.
+  TxnState& state = it->second;
+  if (!state.pending_op.has_value() || state.resume_scheduled) return;
+  state.resume_scheduled = true;
+  loop_->Schedule(0, [this, txn]() {
+    auto resume_it = txns_.find(txn);
+    if (resume_it == txns_.end()) return;
+    TxnState& resume_state = resume_it->second;
+    resume_state.resume_scheduled = false;
+    if (!resume_state.pending_op.has_value()) return;
+    DataOp op = *resume_state.pending_op;
+    OpCallback cb = std::move(resume_state.pending_cb);
+    resume_state.pending_op.reset();
+    ProcessOp(txn, op, std::move(cb));
+  });
+}
+
+}  // namespace mdbs::site

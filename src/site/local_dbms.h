@@ -1,0 +1,142 @@
+#ifndef MDBS_SITE_LOCAL_DBMS_H_
+#define MDBS_SITE_LOCAL_DBMS_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lcc/protocol.h"
+#include "sched/schedule.h"
+#include "sim/event_loop.h"
+#include "storage/kv_store.h"
+
+namespace mdbs::site {
+
+/// Static description of one local DBMS.
+struct SiteConfig {
+  SiteId id;
+  lcc::ProtocolKind protocol = lcc::ProtocolKind::kTwoPhaseLocking;
+  /// Virtual service time charged per data operation.
+  sim::Time op_service_time = 10;
+  /// Virtual service time charged per commit/abort.
+  sim::Time commit_service_time = 20;
+};
+
+/// A pre-existing, autonomous local DBMS: storage plus one concurrency
+/// control protocol, executing operations asynchronously on the simulation
+/// event loop. It does not distinguish local transactions from global
+/// subtransactions (paper §2.1) — `GlobalTxnId` is threaded through solely
+/// for the verification recorder.
+///
+/// Interface contract (one operation in flight per transaction):
+///   Begin -> Submit* -> Commit | Abort
+/// Each Submit/Commit answers exactly once through its callback, possibly
+/// after blocking delays, with OK or TransactionAborted.
+class LocalDbms : public lcc::ProtocolHost {
+ public:
+  /// Callback for a data operation: status plus the value observed (reads)
+  /// or installed (writes).
+  using OpCallback = std::function<void(const Status&, int64_t value)>;
+  using TxnCallback = std::function<void(const Status&)>;
+
+  LocalDbms(const SiteConfig& config, sim::EventLoop* loop,
+            sched::ScheduleRecorder* recorder);
+  ~LocalDbms() override = default;
+
+  LocalDbms(const LocalDbms&) = delete;
+  LocalDbms& operator=(const LocalDbms&) = delete;
+
+  SiteId id() const { return config_.id; }
+  lcc::ProtocolKind protocol_kind() const { return config_.protocol; }
+  const lcc::ConcurrencyControl& protocol() const { return *protocol_; }
+
+  /// Starts a transaction. `global` is invalid for purely local ones.
+  Status Begin(TxnId txn, GlobalTxnId global);
+
+  /// Submits one data operation. The callback fires through the event loop
+  /// after at least `op_service_time`, later if the protocol blocks it.
+  void Submit(TxnId txn, const DataOp& op, OpCallback cb);
+
+  /// Requests commit; the protocol may still reject (OCC validation).
+  void Commit(TxnId txn, TxnCallback cb);
+
+  /// Client-initiated abort; always succeeds.
+  void Abort(TxnId txn, TxnCallback cb);
+
+  /// Crashes the site: every active transaction aborts (in-place writes are
+  /// rolled back — committed state survives, as from stable storage), and
+  /// until Recover() all requests are refused with TransactionAborted.
+  /// Models the failure mode the paper defers to future work.
+  void Crash();
+  void Recover();
+  bool IsDown() const { return down_; }
+  int64_t crash_count() const { return crash_count_; }
+
+  /// True while `txn` is active (begun, not finished).
+  bool IsActive(TxnId txn) const { return txns_.contains(txn); }
+
+  /// Direct store access for test setup and invariant checks; bypasses
+  /// concurrency control, so only use it while the site is quiescent.
+  int64_t UnsafePeek(DataItemId item) const { return store_.Get(item); }
+  void UnsafePoke(DataItemId item, int64_t value) { store_.Put(item, value); }
+
+  // ProtocolHost:
+  void ResumeTransaction(TxnId txn) override;
+  void AbortTransaction(TxnId txn, const std::string& reason) override;
+
+  /// Counters: blocked operation instances, protocol-initiated aborts.
+  int64_t blocked_count() const { return blocked_count_; }
+  int64_t abort_count() const { return abort_count_; }
+
+ private:
+  struct TxnState {
+    GlobalTxnId global;
+    /// Blocked operation awaiting resume, if any.
+    std::optional<DataOp> pending_op;
+    OpCallback pending_cb;
+    bool resume_scheduled = false;
+    /// Undo log for in-place protocols (item, before-image) in apply order.
+    std::vector<std::pair<DataItemId, int64_t>> undo_log;
+    /// Deferred-write buffer (OCC/MVTO): last value per item + apply order.
+    std::unordered_map<DataItemId, int64_t> write_buffer;
+    std::vector<DataItemId> write_order;
+  };
+
+  void ProcessOp(TxnId txn, const DataOp& op, OpCallback cb);
+  void ProcessCommit(TxnId txn, TxnCallback cb);
+
+  /// Applies the operation (visibility per protocol), records it, and
+  /// returns the value read/written.
+  int64_t ApplyOp(TxnId txn, TxnState* state, const DataOp& op);
+
+  /// Rolls back and finishes the transaction as aborted.
+  void DoAbort(TxnId txn, TxnState* state);
+
+  SiteConfig config_;
+  sim::EventLoop* loop_;
+  sched::ScheduleRecorder* recorder_;
+  storage::KvStore store_;
+  std::unique_ptr<lcc::ConcurrencyControl> protocol_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  /// Multiversion sites: value an item had before its first committed
+  /// write — the "initial version" readers with very old timestamps must
+  /// observe after the store has moved on.
+  std::unordered_map<DataItemId, int64_t> mv_initial_images_;
+  bool down_ = false;
+  int64_t crash_count_ = 0;
+  int64_t blocked_count_ = 0;
+  int64_t abort_count_ = 0;
+};
+
+/// Factory for the protocol implementations in src/lcc.
+std::unique_ptr<lcc::ConcurrencyControl> MakeProtocol(lcc::ProtocolKind kind,
+                                                      lcc::ProtocolHost* host);
+
+}  // namespace mdbs::site
+
+#endif  // MDBS_SITE_LOCAL_DBMS_H_

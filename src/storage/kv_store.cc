@@ -1,0 +1,21 @@
+#include "storage/kv_store.h"
+
+namespace mdbs::storage {
+
+int64_t KvStore::Get(DataItemId item) const {
+  auto it = data_.find(item);
+  return it == data_.end() ? 0 : it->second;
+}
+
+int64_t KvStore::Put(DataItemId item, int64_t value) {
+  auto [it, inserted] = data_.try_emplace(item, 0);
+  int64_t before = it->second;
+  it->second = value;
+  return before;
+}
+
+void KvStore::Restore(DataItemId item, int64_t before_image) {
+  data_[item] = before_image;
+}
+
+}  // namespace mdbs::storage

@@ -1,0 +1,45 @@
+#ifndef MDBS_STORAGE_KV_STORE_H_
+#define MDBS_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace mdbs::storage {
+
+/// In-memory key-value store backing one local DBMS site. Items are 64-bit
+/// integers keyed by DataItemId; absent items read as 0 (the whole id space
+/// is logically pre-initialized), which lets workloads address large key
+/// spaces without materializing them.
+///
+/// The store is policy-free: visibility, locking and undo are the concurrency
+/// control protocol's job. It provides before-image capture so protocols that
+/// update in place can roll back.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Current value of `item` (0 if never written).
+  int64_t Get(DataItemId item) const;
+
+  /// Installs `value`, returning the before-image.
+  int64_t Put(DataItemId item, int64_t value);
+
+  /// Restores a before-image captured by Put.
+  void Restore(DataItemId item, int64_t before_image);
+
+  /// Number of items that have been materialized by writes.
+  size_t MaterializedCount() const { return data_.size(); }
+
+ private:
+  std::unordered_map<DataItemId, int64_t> data_;
+};
+
+}  // namespace mdbs::storage
+
+#endif  // MDBS_STORAGE_KV_STORE_H_

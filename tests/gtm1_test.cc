@@ -1,0 +1,337 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gtm/gtm1.h"
+#include "sim/event_loop.h"
+
+namespace mdbs::gtm {
+namespace {
+
+const SiteId kA{0};
+const SiteId kB{1};
+const SiteId kC{2};
+const DataItemId kX{1};
+
+/// A scriptable in-memory gateway: protocol kinds per site, per-op logs,
+/// and programmable failures.
+class MockGateway : public SiteGateway {
+ public:
+  explicit MockGateway(sim::EventLoop* loop) : loop_(loop) {}
+
+  void SetProtocol(SiteId site, lcc::ProtocolKind kind) {
+    protocols_[site] = kind;
+  }
+
+  lcc::ProtocolKind ProtocolAt(SiteId site) const override {
+    auto it = protocols_.find(site);
+    return it == protocols_.end() ? lcc::ProtocolKind::kTwoPhaseLocking
+                                  : it->second;
+  }
+
+  void Begin(SiteId site, TxnId txn, GlobalTxnId, TxnCallback cb) override {
+    log.push_back({"begin", site, txn, DataOp{}});
+    loop_->Schedule(1, [cb = std::move(cb)]() { cb(Status::OK()); });
+  }
+
+  void Submit(SiteId site, TxnId txn, const DataOp& op,
+              OpCallback cb) override {
+    log.push_back({"op", site, txn, op});
+    ++ops_seen_;
+    if (ops_seen_ == abort_on_op_) {
+      loop_->Schedule(1, [cb = std::move(cb)]() {
+        cb(Status::TransactionAborted("scripted abort"), 0);
+      });
+      return;
+    }
+    if (swallow_ops_from_ > 0 && ops_seen_ >= swallow_ops_from_) {
+      return;  // Never answer: simulates a stuck site (timeout path).
+    }
+    loop_->Schedule(1, [cb = std::move(cb), op]() {
+      cb(Status::OK(), op.value);
+    });
+  }
+
+  void Commit(SiteId site, TxnId txn, TxnCallback cb) override {
+    log.push_back({"commit", site, txn, DataOp{}});
+    bool fail = fail_commits_at_.contains(site.value()) &&
+                commit_failures_remaining_-- > 0;
+    loop_->Schedule(1, [cb = std::move(cb), fail]() {
+      cb(fail ? Status::TransactionAborted("validation failed")
+              : Status::OK());
+    });
+  }
+
+  void Abort(SiteId site, TxnId txn, TxnCallback cb) override {
+    log.push_back({"abort", site, txn, DataOp{}});
+    aborts_issued.push_back({site, txn});
+    loop_->Schedule(1, [cb = std::move(cb)]() { cb(Status::OK()); });
+  }
+
+  struct Entry {
+    std::string what;
+    SiteId site;
+    TxnId txn;
+    DataOp op;
+  };
+  std::vector<Entry> log;
+  std::vector<std::pair<SiteId, TxnId>> aborts_issued;
+
+  void AbortOnNthOp(int n) { abort_on_op_ = n; }
+  void SwallowOpsFrom(int n) { swallow_ops_from_ = n; }
+  void FailCommitsAt(SiteId site, int count) {
+    fail_commits_at_.insert(site.value());
+    commit_failures_remaining_ = count;
+  }
+
+ private:
+  sim::EventLoop* loop_;
+  std::map<SiteId, lcc::ProtocolKind> protocols_;
+  int ops_seen_ = 0;
+  int abort_on_op_ = -1;
+  int swallow_ops_from_ = -1;
+  std::set<int64_t> fail_commits_at_;
+  int commit_failures_remaining_ = 0;
+};
+
+struct Gtm1Fixture : public ::testing::Test {
+  Gtm1Fixture() : gateway(&loop) {}
+
+  Gtm1* MakeGtm(Gtm1Config config = {}) {
+    gtm = std::make_unique<Gtm1>(config, &loop, &gateway, /*seed=*/1);
+    return gtm.get();
+  }
+
+  GlobalTxnResult SubmitAndRun(GlobalTxnSpec spec) {
+    GlobalTxnResult result;
+    bool done = false;
+    gtm->Submit(std::move(spec), [&](const GlobalTxnResult& r) {
+      result = r;
+      done = true;
+    });
+    loop.Run();
+    EXPECT_TRUE(done) << "transaction never completed";
+    return result;
+  }
+
+  sim::EventLoop loop;
+  MockGateway gateway;
+  std::unique_ptr<Gtm1> gtm;
+};
+
+// Counts log entries of a kind.
+int Count(const MockGateway& gw, const std::string& what) {
+  int n = 0;
+  for (const auto& entry : gw.log) {
+    if (entry.what == what) ++n;
+  }
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Step construction / serialization points
+// --------------------------------------------------------------------------
+
+TEST_F(Gtm1Fixture, TwoPlSiteTicketFreeAndBeginsOnce) {
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kTwoPhaseLocking);
+  MakeGtm();
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Read(kA, kX));
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(Count(gateway, "begin"), 1);
+  EXPECT_EQ(Count(gateway, "op"), 2);       // No ticket injected.
+  EXPECT_EQ(Count(gateway, "commit"), 1);
+}
+
+TEST_F(Gtm1Fixture, TicketInjectedForSgtSite) {
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kSerializationGraph);
+  MakeGtm();
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Read(kA, kX));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  ASSERT_EQ(Count(gateway, "op"), 2);  // Ticket write + the read.
+  // The ticket is the first operation after begin and targets kTicketItem.
+  const auto& ticket = gateway.log[1];
+  EXPECT_EQ(ticket.what, "op");
+  EXPECT_EQ(ticket.op.type, OpType::kWrite);
+  EXPECT_EQ(ticket.op.item, kTicketItem);
+}
+
+TEST_F(Gtm1Fixture, TicketInjectedForOccSiteButNotToSite) {
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kOptimistic);
+  gateway.SetProtocol(kB, lcc::ProtocolKind::kTimestampOrdering);
+  MakeGtm();
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Read(kA, kX));
+  spec.ops.push_back(GlobalOp::Read(kB, kX));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  int tickets = 0;
+  for (const auto& entry : gateway.log) {
+    if (entry.what == "op" && entry.op.item == kTicketItem) {
+      ++tickets;
+      EXPECT_EQ(entry.site, kA);
+    }
+  }
+  EXPECT_EQ(tickets, 1);
+}
+
+TEST_F(Gtm1Fixture, TicketValuesAreUniqueAndIncreasing) {
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kSerializationGraph);
+  MakeGtm();
+  for (int i = 0; i < 3; ++i) {
+    GlobalTxnSpec spec;
+    spec.ops.push_back(GlobalOp::Read(kA, kX));
+    EXPECT_TRUE(SubmitAndRun(std::move(spec)).status.ok());
+  }
+  std::vector<int64_t> tickets;
+  for (const auto& entry : gateway.log) {
+    if (entry.what == "op" && entry.op.item == kTicketItem) {
+      tickets.push_back(entry.op.value);
+    }
+  }
+  ASSERT_EQ(tickets.size(), 3u);
+  EXPECT_LT(tickets[0], tickets[1]);
+  EXPECT_LT(tickets[1], tickets[2]);
+}
+
+TEST_F(Gtm1Fixture, OperationsAreStrictlySequential) {
+  // The paper's GTM1 rule: never submit an operation before the previous
+  // one acked. With the mock's 1-tick latency, operations must appear in
+  // spec order in the log.
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kTwoPhaseLocking);
+  gateway.SetProtocol(kB, lcc::ProtocolKind::kTwoPhaseLocking);
+  MakeGtm();
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, DataItemId(1), 1));
+  spec.ops.push_back(GlobalOp::Write(kB, DataItemId(2), 2));
+  spec.ops.push_back(GlobalOp::Write(kA, DataItemId(3), 3));
+  EXPECT_TRUE(SubmitAndRun(std::move(spec)).status.ok());
+  std::vector<int64_t> data_items;
+  for (const auto& entry : gateway.log) {
+    if (entry.what == "op") data_items.push_back(entry.op.item.value());
+  }
+  EXPECT_EQ(data_items, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(Gtm1Fixture, ValueFunctionSeesEarlierReads) {
+  gateway.SetProtocol(kA, lcc::ProtocolKind::kTwoPhaseLocking);
+  MakeGtm();
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Read(kA, kX));
+  spec.ops.push_back(GlobalOp::WriteFn(
+      kA, DataItemId(2), [](const ReadContext& reads) {
+        return reads.at({kA, kX}) + 100;
+      }));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  // The mock echoes op.value (0) for reads, so the write sees 0 + 100.
+  for (const auto& entry : gateway.log) {
+    if (entry.what == "op" && entry.op.item == DataItemId(2)) {
+      EXPECT_EQ(entry.op.value, 100);
+    }
+  }
+  EXPECT_EQ(result.reads.at({kA, kX}), 0);
+}
+
+// --------------------------------------------------------------------------
+// Failure handling
+// --------------------------------------------------------------------------
+
+TEST_F(Gtm1Fixture, LocalAbortTriggersRetryAndSucceeds) {
+  MakeGtm();
+  gateway.AbortOnNthOp(1);  // First data op fails once.
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(gtm->stats().aborted_attempts, 1);
+  EXPECT_EQ(gtm->stats().committed, 1);
+  // The failed attempt's subtransaction was aborted at the site.
+  EXPECT_EQ(Count(gateway, "abort"), 1);
+}
+
+TEST_F(Gtm1Fixture, GivesUpAfterMaxAttempts) {
+  Gtm1Config config;
+  config.max_attempts = 3;
+  config.retry_backoff = 10;
+  MakeGtm(config);
+  gateway.AbortOnNthOp(-2);  // Never equal: use commit failures instead.
+  gateway.FailCommitsAt(kA, 1000000);
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.IsTransactionAborted());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(gtm->stats().failed, 1);
+  EXPECT_EQ(gtm->stats().committed, 0);
+}
+
+TEST_F(Gtm1Fixture, TimeoutAbortsStuckAttempt) {
+  Gtm1Config config;
+  config.attempt_timeout = 500;
+  config.max_attempts = 2;
+  config.retry_backoff = 10;
+  MakeGtm(config);
+  gateway.SwallowOpsFrom(1);  // Site never answers.
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.IsTransactionAborted());
+  EXPECT_EQ(gtm->stats().timeouts, 2);
+}
+
+TEST_F(Gtm1Fixture, PartialCommitReportedNotRetried) {
+  MakeGtm();
+  // Commit fails at site B only; site A commits first.
+  gateway.FailCommitsAt(kB, 1);
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  spec.ops.push_back(GlobalOp::Write(kB, kX, 6));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.IsTransactionAborted());
+  EXPECT_NE(result.status.message().find("partial"), std::string::npos);
+  EXPECT_EQ(result.attempts, 1);  // No retry after a partial commit.
+  EXPECT_EQ(gtm->stats().partial_commits, 1);
+}
+
+TEST_F(Gtm1Fixture, CleanCommitFailureAtFirstSiteRetries) {
+  MakeGtm();
+  gateway.FailCommitsAt(kA, 1);  // Only the first commit attempt fails.
+  GlobalTxnSpec spec;
+  spec.ops.push_back(GlobalOp::Write(kA, kX, 5));
+  spec.ops.push_back(GlobalOp::Write(kB, kX, 6));
+  GlobalTxnResult result = SubmitAndRun(std::move(spec));
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(gtm->stats().partial_commits, 0);
+}
+
+TEST_F(Gtm1Fixture, ManyConcurrentTxnsAllComplete) {
+  MakeGtm();
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    GlobalTxnSpec spec;
+    spec.ops.push_back(GlobalOp::Write(kA, DataItemId(i), i));
+    spec.ops.push_back(GlobalOp::Write(kB, DataItemId(i), i));
+    spec.ops.push_back(GlobalOp::Read(kC, DataItemId(i)));
+    gtm->Submit(std::move(spec),
+                [&done](const GlobalTxnResult& r) {
+                  EXPECT_TRUE(r.status.ok());
+                  ++done;
+                });
+  }
+  loop.Run();
+  EXPECT_EQ(done, 50);
+  EXPECT_EQ(gtm->InFlight(), 0);
+  EXPECT_EQ(gtm->stats().committed, 50);
+}
+
+}  // namespace
+}  // namespace mdbs::gtm

@@ -1,0 +1,348 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lcc/occ.h"
+#include "lcc/sgt.h"
+#include "lcc/timestamp_ordering.h"
+#include "lcc/two_phase_locking.h"
+
+namespace mdbs::lcc {
+namespace {
+
+const TxnId kT1{1};
+const TxnId kT2{2};
+const TxnId kT3{3};
+const DataItemId kX{10};
+const DataItemId kY{11};
+
+class FakeHost : public ProtocolHost {
+ public:
+  void ResumeTransaction(TxnId txn) override { resumed.push_back(txn); }
+  std::vector<TxnId> resumed;
+};
+
+// Convenience: access that is expected to proceed, with bookkeeping applied.
+void MustProceed(ConcurrencyControl* cc, TxnId txn, const DataOp& op) {
+  ASSERT_EQ(cc->OnAccess(txn, op), AccessDecision::kProceed)
+      << ToString(txn) << " " << op.ToString();
+  cc->OnAccessApplied(txn, op);
+}
+
+// --------------------------------------------------------------------------
+// Strict TO
+// --------------------------------------------------------------------------
+
+TEST(TimestampOrderingTest, TimestampsAssignedAtBeginInOrder) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  to.OnBegin(kT2);
+  EXPECT_LT(to.TimestampOf(kT1), to.TimestampOf(kT2));
+  EXPECT_EQ(to.SerializationKey(kT1), to.TimestampOf(kT1));
+}
+
+TEST(TimestampOrderingTest, LateReadAborts) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);  // ts 0
+  to.OnBegin(kT2);  // ts 1
+  MustProceed(&to, kT2, DataOp::Write(kX, 5));
+  to.OnFinish(kT2, TxnOutcome::kCommitted);
+  // T1 (older) now reads an item written by a younger txn: too late.
+  EXPECT_EQ(to.OnAccess(kT1, DataOp::Read(kX)), AccessDecision::kAbort);
+}
+
+TEST(TimestampOrderingTest, LateWriteAbortsOnNewerRead) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  to.OnBegin(kT2);
+  MustProceed(&to, kT2, DataOp::Read(kX));
+  EXPECT_EQ(to.OnAccess(kT1, DataOp::Write(kX, 1)), AccessDecision::kAbort);
+}
+
+TEST(TimestampOrderingTest, LateWriteAbortsOnNewerWrite) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  to.OnBegin(kT2);
+  MustProceed(&to, kT2, DataOp::Write(kX, 5));
+  to.OnFinish(kT2, TxnOutcome::kCommitted);
+  EXPECT_EQ(to.OnAccess(kT1, DataOp::Write(kX, 1)), AccessDecision::kAbort);
+}
+
+TEST(TimestampOrderingTest, YoungerReaderBlocksOnUncommittedWrite) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  to.OnBegin(kT2);
+  MustProceed(&to, kT1, DataOp::Write(kX, 5));
+  // T2 is younger, so no timestamp violation — but the write is uncommitted.
+  EXPECT_EQ(to.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kBlock);
+  to.OnFinish(kT1, TxnOutcome::kCommitted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  EXPECT_EQ(host.resumed[0], kT2);
+  // After the writer committed, the read proceeds.
+  MustProceed(&to, kT2, DataOp::Read(kX));
+}
+
+TEST(TimestampOrderingTest, OwnWriteDoesNotBlockSelf) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  MustProceed(&to, kT1, DataOp::Write(kX, 5));
+  MustProceed(&to, kT1, DataOp::Read(kX));
+  MustProceed(&to, kT1, DataOp::Write(kX, 6));
+}
+
+TEST(TimestampOrderingTest, AbortedWriterWakesWaiters) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  to.OnBegin(kT2);
+  MustProceed(&to, kT1, DataOp::Write(kX, 5));
+  EXPECT_EQ(to.OnAccess(kT2, DataOp::Write(kX, 6)), AccessDecision::kBlock);
+  to.OnFinish(kT1, TxnOutcome::kAborted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  // The aborted write's timestamp is conservatively retained, but T2 is
+  // younger so its write still proceeds.
+  MustProceed(&to, kT2, DataOp::Write(kX, 6));
+}
+
+TEST(TimestampOrderingTest, CommitAlwaysValidates) {
+  FakeHost host;
+  TimestampOrdering to(&host);
+  to.OnBegin(kT1);
+  EXPECT_EQ(to.OnValidate(kT1), AccessDecision::kProceed);
+}
+
+// --------------------------------------------------------------------------
+// SGT
+// --------------------------------------------------------------------------
+
+TEST(SgtTest, NoSerializationKey) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  EXPECT_FALSE(sgt.SerializationKey(kT1).has_value());
+}
+
+TEST(SgtTest, SimpleCycleAborts) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  sgt.OnBegin(kT2);
+  // r1(x) r2(y) w2(x)... w2(x) would give T1 -> T2 (r-w). Then w1(y) gives
+  // T2 -> T1: cycle, abort.
+  MustProceed(&sgt, kT1, DataOp::Read(kX));
+  MustProceed(&sgt, kT2, DataOp::Read(kY));
+  MustProceed(&sgt, kT2, DataOp::Write(kX, 1));
+  EXPECT_EQ(sgt.OnAccess(kT1, DataOp::Write(kY, 1)), AccessDecision::kAbort);
+}
+
+TEST(SgtTest, AcyclicInterleavingProceeds) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  sgt.OnBegin(kT2);
+  MustProceed(&sgt, kT1, DataOp::Read(kX));
+  MustProceed(&sgt, kT2, DataOp::Write(kX, 1));  // T1 -> T2
+  MustProceed(&sgt, kT1, DataOp::Read(kY));
+  MustProceed(&sgt, kT2, DataOp::Write(kY, 1));  // T1 -> T2 again: fine.
+  sgt.OnFinish(kT1, TxnOutcome::kCommitted);
+  sgt.OnFinish(kT2, TxnOutcome::kCommitted);
+}
+
+TEST(SgtTest, UncommittedWriteLatchBlocksOtherAccessors) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  sgt.OnBegin(kT2);
+  MustProceed(&sgt, kT1, DataOp::Write(kX, 1));
+  EXPECT_EQ(sgt.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kBlock);
+  sgt.OnFinish(kT1, TxnOutcome::kCommitted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  MustProceed(&sgt, kT2, DataOp::Read(kX));
+}
+
+TEST(SgtTest, LatchWaitCycleAborts) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  sgt.OnBegin(kT2);
+  MustProceed(&sgt, kT1, DataOp::Write(kX, 1));
+  MustProceed(&sgt, kT2, DataOp::Write(kY, 1));
+  EXPECT_EQ(sgt.OnAccess(kT1, DataOp::Read(kY)), AccessDecision::kBlock);
+  // T2 -> x would wait on T1 which waits on T2: deadlock, abort requester.
+  EXPECT_EQ(sgt.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kAbort);
+}
+
+TEST(SgtTest, AbortedTxnEdgesVanish) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  sgt.OnBegin(kT1);
+  sgt.OnBegin(kT2);
+  MustProceed(&sgt, kT1, DataOp::Read(kX));
+  MustProceed(&sgt, kT2, DataOp::Write(kX, 1));  // T1 -> T2.
+  sgt.OnFinish(kT1, TxnOutcome::kAborted);
+  // With T1 gone, the reverse edge no longer closes a cycle.
+  MustProceed(&sgt, kT2, DataOp::Read(kY));
+  sgt.OnBegin(kT3);
+  MustProceed(&sgt, kT3, DataOp::Read(kY));
+  sgt.OnFinish(kT2, TxnOutcome::kCommitted);
+  sgt.OnFinish(kT3, TxnOutcome::kCommitted);
+}
+
+TEST(SgtTest, GarbageCollectionBoundsGraph) {
+  FakeHost host;
+  SerializationGraphTesting sgt(&host);
+  // Many sequential committed transactions; the graph must not grow without
+  // bound.
+  for (int i = 0; i < 1000; ++i) {
+    TxnId txn{100 + i};
+    sgt.OnBegin(txn);
+    DataOp write = DataOp::Write(kX, i);
+    ASSERT_EQ(sgt.OnAccess(txn, write), AccessDecision::kProceed);
+    sgt.OnAccessApplied(txn, write);
+    sgt.OnFinish(txn, TxnOutcome::kCommitted);
+  }
+  EXPECT_LT(sgt.GraphSize(), 200u);
+}
+
+// --------------------------------------------------------------------------
+// OCC
+// --------------------------------------------------------------------------
+
+TEST(OccTest, WritesAreDeferred) {
+  OptimisticConcurrencyControl occ;
+  EXPECT_FALSE(occ.WritesInPlace());
+}
+
+TEST(OccTest, AccessAlwaysProceeds) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  EXPECT_EQ(occ.OnAccess(kT1, DataOp::Read(kX)), AccessDecision::kProceed);
+  EXPECT_EQ(occ.OnAccess(kT1, DataOp::Write(kX, 1)),
+            AccessDecision::kProceed);
+}
+
+TEST(OccTest, ValidationFailsOnReadWriteOverlap) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  occ.OnBegin(kT2);
+  occ.OnAccessApplied(kT1, DataOp::Read(kX));
+  occ.OnAccessApplied(kT2, DataOp::Write(kX, 1));
+  EXPECT_EQ(occ.OnValidate(kT2), AccessDecision::kProceed);
+  occ.OnFinish(kT2, TxnOutcome::kCommitted);
+  // T1 read x, and T2 wrote x and committed during T1's lifetime.
+  EXPECT_EQ(occ.OnValidate(kT1), AccessDecision::kAbort);
+}
+
+TEST(OccTest, ValidationPassesWithoutOverlap) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  occ.OnBegin(kT2);
+  occ.OnAccessApplied(kT1, DataOp::Read(kX));
+  occ.OnAccessApplied(kT2, DataOp::Write(kY, 1));
+  occ.OnFinish(kT2, TxnOutcome::kCommitted);
+  EXPECT_EQ(occ.OnValidate(kT1), AccessDecision::kProceed);
+}
+
+TEST(OccTest, CommitsBeforeStartDoNotInvalidate) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT2);
+  occ.OnAccessApplied(kT2, DataOp::Write(kX, 1));
+  occ.OnFinish(kT2, TxnOutcome::kCommitted);
+  // T1 starts after T2 committed: no conflict window.
+  occ.OnBegin(kT1);
+  occ.OnAccessApplied(kT1, DataOp::Read(kX));
+  EXPECT_EQ(occ.OnValidate(kT1), AccessDecision::kProceed);
+}
+
+TEST(OccTest, WriteWriteOverlapAlonePasses) {
+  // BOCC validates read sets only; blind write-write overlap is ordered by
+  // commit order and passes.
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  occ.OnBegin(kT2);
+  occ.OnAccessApplied(kT1, DataOp::Write(kX, 1));
+  occ.OnAccessApplied(kT2, DataOp::Write(kX, 2));
+  occ.OnFinish(kT2, TxnOutcome::kCommitted);
+  EXPECT_EQ(occ.OnValidate(kT1), AccessDecision::kProceed);
+}
+
+TEST(OccTest, CommitNumbersOrderCommits) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  occ.OnBegin(kT2);
+  occ.OnFinish(kT1, TxnOutcome::kCommitted);
+  occ.OnFinish(kT2, TxnOutcome::kCommitted);
+  ASSERT_TRUE(occ.SerializationKey(kT1).has_value());
+  ASSERT_TRUE(occ.SerializationKey(kT2).has_value());
+  EXPECT_LT(*occ.SerializationKey(kT1), *occ.SerializationKey(kT2));
+}
+
+TEST(OccTest, AbortedTxnGetsNoCommitNumber) {
+  OptimisticConcurrencyControl occ;
+  occ.OnBegin(kT1);
+  occ.OnFinish(kT1, TxnOutcome::kAborted);
+  EXPECT_FALSE(occ.SerializationKey(kT1).has_value());
+}
+
+TEST(OccTest, ValidationLogIsGarbageCollected) {
+  OptimisticConcurrencyControl occ;
+  for (int i = 0; i < 100; ++i) {
+    TxnId txn{100 + i};
+    occ.OnBegin(txn);
+    occ.OnAccessApplied(txn, DataOp::Write(kX, i));
+    occ.OnFinish(txn, TxnOutcome::kCommitted);
+  }
+  // With no active transactions, the log prunes completely.
+  EXPECT_EQ(occ.LogSize(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// 2PL protocol adapter
+// --------------------------------------------------------------------------
+
+TEST(TwoPhaseLockingTest, ConflictBlocksAndResumes) {
+  FakeHost host;
+  TwoPhaseLocking tpl(&host);
+  tpl.OnBegin(kT1);
+  tpl.OnBegin(kT2);
+  MustProceed(&tpl, kT1, DataOp::Write(kX, 1));
+  EXPECT_EQ(tpl.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kBlock);
+  tpl.OnFinish(kT1, TxnOutcome::kCommitted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  EXPECT_EQ(host.resumed[0], kT2);
+  MustProceed(&tpl, kT2, DataOp::Read(kX));
+}
+
+TEST(TwoPhaseLockingTest, DeadlockAbortsRequester) {
+  FakeHost host;
+  TwoPhaseLocking tpl(&host);
+  tpl.OnBegin(kT1);
+  tpl.OnBegin(kT2);
+  MustProceed(&tpl, kT1, DataOp::Write(kX, 1));
+  MustProceed(&tpl, kT2, DataOp::Write(kY, 1));
+  EXPECT_EQ(tpl.OnAccess(kT1, DataOp::Read(kY)), AccessDecision::kBlock);
+  EXPECT_EQ(tpl.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kAbort);
+}
+
+TEST(TwoPhaseLockingTest, SerializationKeySurvivesCommit) {
+  FakeHost host;
+  TwoPhaseLocking tpl(&host);
+  tpl.OnBegin(kT1);
+  tpl.OnBegin(kT2);
+  MustProceed(&tpl, kT1, DataOp::Write(kX, 1));
+  tpl.OnFinish(kT1, TxnOutcome::kCommitted);
+  MustProceed(&tpl, kT2, DataOp::Write(kX, 2));
+  tpl.OnFinish(kT2, TxnOutcome::kCommitted);
+  ASSERT_TRUE(tpl.SerializationKey(kT1).has_value());
+  ASSERT_TRUE(tpl.SerializationKey(kT2).has_value());
+  EXPECT_LT(*tpl.SerializationKey(kT1), *tpl.SerializationKey(kT2));
+}
+
+}  // namespace
+}  // namespace mdbs::lcc

@@ -1,0 +1,356 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/serializability.h"
+#include "sim/event_loop.h"
+#include "site/local_dbms.h"
+
+namespace mdbs::site {
+namespace {
+
+const SiteId kSite{0};
+const DataItemId kX{1};
+const DataItemId kY{2};
+
+struct Harness {
+  explicit Harness(lcc::ProtocolKind protocol) {
+    SiteConfig config;
+    config.id = kSite;
+    config.protocol = protocol;
+    dbms = std::make_unique<LocalDbms>(config, &loop, &recorder);
+  }
+
+  TxnId Begin() {
+    TxnId txn{next_id_++};
+    EXPECT_TRUE(dbms->Begin(txn, GlobalTxnId()).ok());
+    return txn;
+  }
+
+  /// Submits and runs to completion; returns (status, value).
+  std::pair<Status, int64_t> Do(TxnId txn, const DataOp& op) {
+    Status status = Status::Internal("callback never ran");
+    int64_t value = 0;
+    dbms->Submit(txn, op, [&](const Status& s, int64_t v) {
+      status = s;
+      value = v;
+    });
+    loop.Run();
+    return {status, value};
+  }
+
+  /// Submits without running the loop (for blocking scenarios).
+  void DoAsync(TxnId txn, const DataOp& op, Status* out) {
+    *out = Status::Internal("pending");
+    dbms->Submit(txn, op,
+                 [out](const Status& s, int64_t) { *out = s; });
+  }
+
+  Status Commit(TxnId txn) {
+    Status status = Status::Internal("callback never ran");
+    dbms->Commit(txn, [&](const Status& s) { status = s; });
+    loop.Run();
+    return status;
+  }
+
+  Status Abort(TxnId txn) {
+    Status status = Status::Internal("callback never ran");
+    dbms->Abort(txn, [&](const Status& s) { status = s; });
+    loop.Run();
+    return status;
+  }
+
+  sim::EventLoop loop;
+  sched::ScheduleRecorder recorder;
+  std::unique_ptr<LocalDbms> dbms;
+  int64_t next_id_ = 1;
+};
+
+// --------------------------------------------------------------------------
+// Basic execution, all protocols (parameterized)
+// --------------------------------------------------------------------------
+
+class LocalDbmsAllProtocols
+    : public ::testing::TestWithParam<lcc::ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, LocalDbmsAllProtocols,
+    ::testing::Values(lcc::ProtocolKind::kTwoPhaseLocking,
+                      lcc::ProtocolKind::kTimestampOrdering,
+                      lcc::ProtocolKind::kSerializationGraph,
+                      lcc::ProtocolKind::kOptimistic,
+                      lcc::ProtocolKind::kMultiversionTO,
+                      lcc::ProtocolKind::kTwoPhaseLockingWoundWait,
+                      lcc::ProtocolKind::kTwoPhaseLockingWaitDie),
+    [](const auto& info) {
+      std::string name = lcc::ProtocolKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(LocalDbmsAllProtocols, WriteThenReadRoundTrip) {
+  Harness h(GetParam());
+  TxnId txn = h.Begin();
+  EXPECT_TRUE(h.Do(txn, DataOp::Write(kX, 42)).first.ok());
+  auto [status, value] = h.Do(txn, DataOp::Read(kX));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(value, 42);  // Read-your-own-writes, even with deferred writes.
+  EXPECT_TRUE(h.Commit(txn).ok());
+  EXPECT_EQ(h.dbms->UnsafePeek(kX), 42);
+}
+
+TEST_P(LocalDbmsAllProtocols, AbortUndoesWrites) {
+  Harness h(GetParam());
+  h.dbms->UnsafePoke(kX, 7);
+  TxnId txn = h.Begin();
+  EXPECT_TRUE(h.Do(txn, DataOp::Write(kX, 99)).first.ok());
+  EXPECT_TRUE(h.Abort(txn).ok());
+  EXPECT_EQ(h.dbms->UnsafePeek(kX), 7);
+  EXPECT_FALSE(h.dbms->IsActive(txn));
+}
+
+TEST_P(LocalDbmsAllProtocols, SequentialTxnsAllCommit) {
+  Harness h(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    TxnId txn = h.Begin();
+    EXPECT_TRUE(h.Do(txn, DataOp::Read(kX)).first.ok());
+    EXPECT_TRUE(h.Do(txn, DataOp::Write(kX, i)).first.ok());
+    EXPECT_TRUE(h.Commit(txn).ok());
+  }
+  EXPECT_EQ(h.dbms->UnsafePeek(kX), 19);
+  EXPECT_EQ(h.recorder.CommittedCount(), 20);
+}
+
+TEST_P(LocalDbmsAllProtocols, DoubleBeginFails) {
+  Harness h(GetParam());
+  TxnId txn = h.Begin();
+  EXPECT_TRUE(h.dbms->Begin(txn, GlobalTxnId()).IsFailedPrecondition());
+}
+
+TEST_P(LocalDbmsAllProtocols, OpOnFinishedTxnReportsAborted) {
+  Harness h(GetParam());
+  TxnId txn = h.Begin();
+  ASSERT_TRUE(h.Commit(txn).ok());
+  auto [status, value] = h.Do(txn, DataOp::Read(kX));
+  EXPECT_TRUE(status.IsTransactionAborted());
+}
+
+// --------------------------------------------------------------------------
+// Protocol-specific site behavior
+// --------------------------------------------------------------------------
+
+TEST(LocalDbms2plTest, ConflictingOpBlocksUntilCommit) {
+  Harness h(lcc::ProtocolKind::kTwoPhaseLocking);
+  TxnId t1 = h.Begin();
+  TxnId t2 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 1)).first.ok());
+  Status blocked;
+  h.DoAsync(t2, DataOp::Read(kX), &blocked);
+  h.loop.Run();
+  EXPECT_TRUE(blocked.IsInternal()) << "should still be pending";
+  EXPECT_EQ(h.dbms->blocked_count(), 1);
+  EXPECT_TRUE(h.Commit(t1).ok());  // Releases the lock, resumes T2.
+  EXPECT_TRUE(blocked.ok());
+}
+
+TEST(LocalDbms2plTest, DeadlockVictimGetsAborted) {
+  Harness h(lcc::ProtocolKind::kTwoPhaseLocking);
+  TxnId t1 = h.Begin();
+  TxnId t2 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 1)).first.ok());
+  ASSERT_TRUE(h.Do(t2, DataOp::Write(kY, 1)).first.ok());
+  Status t1_blocked;
+  h.DoAsync(t1, DataOp::Read(kY), &t1_blocked);
+  h.loop.Run();
+  auto [status, value] = h.Do(t2, DataOp::Read(kX));
+  EXPECT_TRUE(status.IsTransactionAborted());
+  EXPECT_EQ(h.dbms->abort_count(), 1);
+  // T2's abort released Y, so T1 resumed.
+  EXPECT_TRUE(t1_blocked.ok());
+  EXPECT_TRUE(h.Commit(t1).ok());
+}
+
+TEST(LocalDbms2plTest, AbortWhileBlockedFailsPendingOp) {
+  Harness h(lcc::ProtocolKind::kTwoPhaseLocking);
+  TxnId t1 = h.Begin();
+  TxnId t2 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 1)).first.ok());
+  Status blocked;
+  h.DoAsync(t2, DataOp::Read(kX), &blocked);
+  h.loop.Run();
+  EXPECT_TRUE(h.Abort(t2).ok());
+  EXPECT_TRUE(blocked.IsTransactionAborted());
+  EXPECT_TRUE(h.Commit(t1).ok());
+}
+
+TEST(LocalDbmsOccTest, ValidationFailureAtCommit) {
+  Harness h(lcc::ProtocolKind::kOptimistic);
+  TxnId t1 = h.Begin();
+  TxnId t2 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Read(kX)).first.ok());
+  ASSERT_TRUE(h.Do(t2, DataOp::Write(kX, 5)).first.ok());
+  ASSERT_TRUE(h.Commit(t2).ok());
+  EXPECT_TRUE(h.Commit(t1).IsTransactionAborted());
+  EXPECT_EQ(h.recorder.AbortedCount(), 1);
+}
+
+TEST(LocalDbmsOccTest, DeferredWritesInvisibleUntilCommit) {
+  Harness h(lcc::ProtocolKind::kOptimistic);
+  TxnId t1 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 5)).first.ok());
+  EXPECT_EQ(h.dbms->UnsafePeek(kX), 0);  // Still buffered.
+  TxnId t2 = h.Begin();
+  EXPECT_EQ(h.Do(t2, DataOp::Read(kX)).second, 0);
+  ASSERT_TRUE(h.Commit(t1).ok());
+  EXPECT_EQ(h.dbms->UnsafePeek(kX), 5);
+}
+
+TEST(LocalDbmsToTest, OldReaderAbortsAfterYoungerWriteCommits) {
+  Harness h(lcc::ProtocolKind::kTimestampOrdering);
+  TxnId t1 = h.Begin();  // Older.
+  TxnId t2 = h.Begin();  // Younger.
+  ASSERT_TRUE(h.Do(t2, DataOp::Write(kX, 5)).first.ok());
+  ASSERT_TRUE(h.Commit(t2).ok());
+  EXPECT_TRUE(h.Do(t1, DataOp::Read(kX)).first.IsTransactionAborted());
+}
+
+// --------------------------------------------------------------------------
+// Recorder integration
+// --------------------------------------------------------------------------
+
+TEST(LocalDbmsRecorderTest, OpsRecordedInExecutionOrder) {
+  Harness h(lcc::ProtocolKind::kTwoPhaseLocking);
+  TxnId t1 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 1)).first.ok());
+  ASSERT_TRUE(h.Do(t1, DataOp::Read(kY)).first.ok());
+  ASSERT_TRUE(h.Commit(t1).ok());
+  const auto& ops = h.recorder.ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op.type, OpType::kWrite);
+  EXPECT_EQ(ops[1].op.type, OpType::kRead);
+  EXPECT_LT(ops[0].seq, ops[1].seq);
+  const sched::TxnRecord* record = h.recorder.FindTxn(t1);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(record->serialization_key.has_value());
+}
+
+TEST(LocalDbmsRecorderTest, OccWritesRecordedAtCommit) {
+  Harness h(lcc::ProtocolKind::kOptimistic);
+  TxnId t1 = h.Begin();
+  TxnId t2 = h.Begin();
+  ASSERT_TRUE(h.Do(t1, DataOp::Write(kX, 1)).first.ok());
+  ASSERT_TRUE(h.Do(t2, DataOp::Write(kY, 1)).first.ok());
+  ASSERT_TRUE(h.Commit(t2).ok());
+  ASSERT_TRUE(h.Commit(t1).ok());
+  // T2's write applied (and was recorded) first even though T1 buffered
+  // its write earlier.
+  const auto& ops = h.recorder.ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].txn, t2);
+  EXPECT_EQ(ops[1].txn, t1);
+}
+
+// --------------------------------------------------------------------------
+// Property: random single-site stress keeps local schedules serializable
+// and consistent with the protocol's serialization keys.
+// --------------------------------------------------------------------------
+
+struct StressCase {
+  lcc::ProtocolKind protocol;
+  uint64_t seed;
+};
+
+class LocalDbmsStress : public ::testing::TestWithParam<StressCase> {};
+
+std::string StressName(const ::testing::TestParamInfo<StressCase>& info) {
+  std::string name = lcc::ProtocolKindName(info.param.protocol);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LocalDbmsStress,
+    ::testing::Values(
+        StressCase{lcc::ProtocolKind::kTwoPhaseLocking, 1},
+        StressCase{lcc::ProtocolKind::kTwoPhaseLocking, 2},
+        StressCase{lcc::ProtocolKind::kTimestampOrdering, 1},
+        StressCase{lcc::ProtocolKind::kTimestampOrdering, 2},
+        StressCase{lcc::ProtocolKind::kSerializationGraph, 1},
+        StressCase{lcc::ProtocolKind::kSerializationGraph, 2},
+        StressCase{lcc::ProtocolKind::kOptimistic, 1},
+        StressCase{lcc::ProtocolKind::kOptimistic, 2},
+        StressCase{lcc::ProtocolKind::kTwoPhaseLockingWoundWait, 1},
+        StressCase{lcc::ProtocolKind::kTwoPhaseLockingWoundWait, 2},
+        StressCase{lcc::ProtocolKind::kTwoPhaseLockingWaitDie, 1},
+        StressCase{lcc::ProtocolKind::kTwoPhaseLockingWaitDie, 2}),
+    StressName);
+
+// A minimal closed-loop local client used by the stress test.
+struct StressClient {
+  Harness* h;
+  Rng rng;
+  int remaining;
+  TxnId txn;
+  std::vector<DataOp> ops;
+  size_t next = 0;
+
+  StressClient(Harness* harness, uint64_t seed, int txns)
+      : h(harness), rng(seed), remaining(txns) {}
+
+  void StartTxn() {
+    if (remaining-- <= 0) return;
+    txn = h->Begin();
+    ops.clear();
+    int n = static_cast<int>(rng.NextInRange(1, 4));
+    for (int i = 0; i < n; ++i) {
+      DataItemId item{static_cast<int64_t>(rng.NextBelow(6))};
+      ops.push_back(rng.NextBernoulli(0.5)
+                        ? DataOp::Read(item)
+                        : DataOp::Write(item, static_cast<int64_t>(
+                                                  rng.NextBelow(1000))));
+    }
+    next = 0;
+    Step();
+  }
+
+  void Step() {
+    if (next == ops.size()) {
+      h->dbms->Commit(txn, [this](const Status&) { StartTxn(); });
+      return;
+    }
+    h->dbms->Submit(txn, ops[next], [this](const Status& status, int64_t) {
+      if (!status.ok()) {
+        StartTxn();  // Abort: move on to the next transaction.
+        return;
+      }
+      ++next;
+      Step();
+    });
+  }
+};
+
+TEST_P(LocalDbmsStress, ConcurrentClientsStaySerializable) {
+  Harness h(GetParam().protocol);
+  std::vector<std::unique_ptr<StressClient>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<StressClient>(
+        &h, GetParam().seed * 100 + i, 50));
+    clients.back()->StartTxn();
+  }
+  h.loop.Run();
+  EXPECT_GT(h.recorder.CommittedCount(), 50);
+  sched::SerializabilityResult result =
+      sched::CheckLocalSerializability(h.recorder, kSite);
+  EXPECT_TRUE(result.serializable) << result.ToString();
+  EXPECT_TRUE(
+      sched::CheckSerializationKeyProperty(h.recorder, kSite).ok());
+}
+
+}  // namespace
+}  // namespace mdbs::site

@@ -1,0 +1,153 @@
+// Model-based randomized testing of the LockManager: after every random
+// Acquire/ReleaseAll step, structural invariants of a correct S/X lock
+// table must hold. Complements the scenario tests in lock_manager_test.cc.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lcc/lock_manager.h"
+
+namespace mdbs::lcc {
+namespace {
+
+constexpr int kTxns = 8;
+constexpr int kItems = 5;
+
+class Model {
+ public:
+  explicit Model(uint64_t seed) : rng_(seed) {}
+
+  void Run(int steps) {
+    for (int step = 0; step < steps; ++step) {
+      if (rng_.NextBernoulli(0.25)) {
+        ReleaseRandom();
+      } else {
+        AcquireRandom();
+      }
+      CheckInvariants(step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    // Drain: everyone releases; the table must empty out.
+    for (int t = 0; t < kTxns; ++t) Release(TxnId(t));
+    ASSERT_EQ(lm_.ActiveItemCount(), 0u);
+  }
+
+ private:
+  void AcquireRandom() {
+    TxnId txn{static_cast<int64_t>(rng_.NextBelow(kTxns))};
+    if (waiting_.contains(txn)) return;  // One outstanding request only.
+    DataItemId item{static_cast<int64_t>(rng_.NextBelow(kItems))};
+    LockMode mode =
+        rng_.NextBernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive;
+    switch (lm_.Acquire(txn, item, mode)) {
+      case LockResult::kGranted:
+        held_[txn][item] = Covers(txn, item, LockMode::kExclusive)
+                               ? LockMode::kExclusive
+                               : mode;
+        break;
+      case LockResult::kWaiting:
+        waiting_[txn] = {item, mode};
+        break;
+      case LockResult::kDeadlock:
+        // The model treats deadlock as an abort.
+        Release(txn);
+        break;
+    }
+  }
+
+  void ReleaseRandom() {
+    Release(TxnId(static_cast<int64_t>(rng_.NextBelow(kTxns))));
+  }
+
+  void Release(TxnId txn) {
+    std::vector<TxnId> granted = lm_.ReleaseAll(txn);
+    held_.erase(txn);
+    waiting_.erase(txn);
+    for (TxnId woken : granted) {
+      auto it = waiting_.find(woken);
+      ASSERT_TRUE(it != waiting_.end())
+          << ToString(woken) << " granted but was not waiting";
+      held_[woken][it->second.first] = it->second.second;
+      // An upgrade grant supersedes a previously held shared lock.
+      if (it->second.second == LockMode::kExclusive) {
+        held_[woken][it->second.first] = LockMode::kExclusive;
+      }
+      waiting_.erase(it);
+    }
+  }
+
+  bool Covers(TxnId txn, DataItemId item, LockMode mode) {
+    auto txn_it = held_.find(txn);
+    if (txn_it == held_.end()) return false;
+    auto item_it = txn_it->second.find(item);
+    if (item_it == txn_it->second.end()) return false;
+    return item_it->second == LockMode::kExclusive ||
+           mode == LockMode::kShared;
+  }
+
+  void CheckInvariants(int step) {
+    // 1. The manager's view matches the model's: every modeled grant is
+    //    reported held, and waiting txns are reported waiting.
+    for (const auto& [txn, items] : held_) {
+      for (const auto& [item, mode] : items) {
+        ASSERT_TRUE(lm_.Holds(txn, item, mode))
+            << "step " << step << ": " << ToString(txn)
+            << " lost its lock on " << ToString(item);
+      }
+    }
+    for (const auto& [txn, request] : waiting_) {
+      ASSERT_EQ(lm_.WaitingOn(txn), request.first)
+          << "step " << step << ": " << ToString(txn) << " wait mismatch";
+    }
+    // 2. Mutual exclusion: at most one exclusive holder per item, and no
+    //    shared holder alongside it.
+    for (int i = 0; i < kItems; ++i) {
+      DataItemId item{i};
+      int exclusive = 0;
+      int shared = 0;
+      for (const auto& [txn, items] : held_) {
+        auto it = items.find(item);
+        if (it == items.end()) continue;
+        (it->second == LockMode::kExclusive ? exclusive : shared) += 1;
+      }
+      ASSERT_LE(exclusive, 1) << "two exclusive holders on "
+                              << ToString(item) << " at step " << step;
+      if (exclusive == 1) {
+        ASSERT_EQ(shared, 0) << "shared+exclusive on " << ToString(item)
+                             << " at step " << step;
+      }
+    }
+    // 3. No waiter waits for nothing: each waiting request genuinely
+    //    conflicts with a holder or queued request.
+    for (const auto& [txn, request] : waiting_) {
+      ASSERT_FALSE(lm_.BlockersOf(txn, request.first, request.second).empty())
+          << "step " << step << ": " << ToString(txn)
+          << " waits with no blockers";
+    }
+  }
+
+  Rng rng_;
+  LockManager lm_;
+  std::map<TxnId, std::map<DataItemId, LockMode>> held_;
+  std::map<TxnId, std::pair<DataItemId, LockMode>> waiting_;
+};
+
+class LockManagerModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerModelTest,
+                         ::testing::Range<uint64_t>(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST_P(LockManagerModelTest, InvariantsHoldOverRandomHistories) {
+  Model model(GetParam() * 131);
+  model.Run(2000);
+}
+
+}  // namespace
+}  // namespace mdbs::lcc

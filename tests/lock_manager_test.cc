@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "lcc/lock_manager.h"
+#include "storage/kv_store.h"
+
+namespace mdbs::lcc {
+namespace {
+
+const TxnId kT1{1};
+const TxnId kT2{2};
+const TxnId kT3{3};
+const DataItemId kX{10};
+const DataItemId kY{11};
+
+// --------------------------------------------------------------------------
+// KvStore (small enough to share the file)
+// --------------------------------------------------------------------------
+
+TEST(KvStoreTest, AbsentItemsReadZero) {
+  storage::KvStore store;
+  EXPECT_EQ(store.Get(kX), 0);
+  EXPECT_EQ(store.MaterializedCount(), 0u);
+}
+
+TEST(KvStoreTest, PutReturnsBeforeImage) {
+  storage::KvStore store;
+  EXPECT_EQ(store.Put(kX, 5), 0);
+  EXPECT_EQ(store.Put(kX, 9), 5);
+  EXPECT_EQ(store.Get(kX), 9);
+}
+
+TEST(KvStoreTest, RestoreRollsBack) {
+  storage::KvStore store;
+  int64_t before = store.Put(kX, 5);
+  store.Restore(kX, before);
+  EXPECT_EQ(store.Get(kX), 0);
+}
+
+// --------------------------------------------------------------------------
+// LockManager: grants and conflicts
+// --------------------------------------------------------------------------
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(kT1, kX, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(kT2, kX, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithShared) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_FALSE(lm.Holds(kT2, kX, LockMode::kExclusive));
+  EXPECT_EQ(lm.WaitingOn(kT2), kX);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithExclusive) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive), LockResult::kWaiting);
+}
+
+TEST(LockManagerTest, ReacquiringHeldModeIsGranted) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kY, LockMode::kExclusive), LockResult::kGranted);
+  // X covers S.
+  EXPECT_EQ(lm.Acquire(kT2, kY, LockMode::kShared), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(kT2, kY, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ReleaseGrantsNextWaiterFifo) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive), LockResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(kT3, kX, LockMode::kExclusive), LockResult::kWaiting);
+  std::vector<TxnId> granted = lm.ReleaseAll(kT1);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], kT2);
+  EXPECT_TRUE(lm.Holds(kT2, kX, LockMode::kExclusive));
+  granted = lm.ReleaseAll(kT2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], kT3);
+}
+
+TEST(LockManagerTest, ReleaseGrantsMultipleSharedWaiters) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(kT3, kX, LockMode::kShared), LockResult::kWaiting);
+  std::vector<TxnId> granted = lm.ReleaseAll(kT1);
+  EXPECT_EQ(granted.size(), 2u);
+  EXPECT_TRUE(lm.Holds(kT2, kX, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(kT3, kX, LockMode::kShared));
+}
+
+TEST(LockManagerTest, FifoFairnessBlocksLaterSharedBehindExclusive) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive), LockResult::kWaiting);
+  // A later shared request queues behind the exclusive one (no starvation).
+  EXPECT_EQ(lm.Acquire(kT3, kX, LockMode::kShared), LockResult::kWaiting);
+  std::vector<TxnId> granted = lm.ReleaseAll(kT1);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], kT2);
+}
+
+TEST(LockManagerTest, ReleaseRemovesWaitingRequest) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive), LockResult::kWaiting);
+  lm.ReleaseAll(kT2);  // Abort while waiting.
+  EXPECT_FALSE(lm.WaitingOn(kT2).has_value());
+  std::vector<TxnId> granted = lm.ReleaseAll(kT1);
+  EXPECT_TRUE(granted.empty());
+  EXPECT_EQ(lm.ActiveItemCount(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Upgrades
+// --------------------------------------------------------------------------
+
+TEST(LockManagerTest, UpgradeSoleHolderIsImmediate) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(kT1, kX, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherSharedHolders) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kWaiting);
+  std::vector<TxnId> granted = lm.ReleaseAll(kT2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], kT1);
+  EXPECT_TRUE(lm.Holds(kT1, kX, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeJumpsAheadOfQueuedRequests) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT3, kX, LockMode::kExclusive), LockResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kWaiting);
+  // T2 releases: the upgrade (queue front) wins over T3.
+  std::vector<TxnId> granted = lm.ReleaseAll(kT2);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], kT1);
+  EXPECT_TRUE(lm.Holds(kT1, kX, LockMode::kExclusive));
+}
+
+// --------------------------------------------------------------------------
+// Deadlock detection
+// --------------------------------------------------------------------------
+
+TEST(LockManagerTest, SimpleTwoTxnDeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kY, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT1, kY, LockMode::kExclusive), LockResult::kWaiting);
+  // T2 requesting X would close the cycle T2 -> T1 -> T2.
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive),
+            LockResult::kDeadlock);
+  // The failed request must not have been queued.
+  EXPECT_FALSE(lm.WaitingOn(kT2).has_value());
+}
+
+TEST(LockManagerTest, ThreeTxnDeadlockDetected) {
+  LockManager lm;
+  const DataItemId kZ{12};
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kY, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT3, kZ, LockMode::kExclusive), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT1, kY, LockMode::kExclusive), LockResult::kWaiting);
+  ASSERT_EQ(lm.Acquire(kT2, kZ, LockMode::kExclusive), LockResult::kWaiting);
+  EXPECT_EQ(lm.Acquire(kT3, kX, LockMode::kExclusive),
+            LockResult::kDeadlock);
+}
+
+TEST(LockManagerTest, UpgradeUpgradeDeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kExclusive), LockResult::kWaiting);
+  // Second upgrader deadlocks against the first.
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kExclusive),
+            LockResult::kDeadlock);
+}
+
+TEST(LockManagerTest, NoFalseDeadlockOnSharedChains) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(kT1, kX, LockMode::kShared), LockResult::kGranted);
+  ASSERT_EQ(lm.Acquire(kT2, kY, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT1, kY, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(kT2, kX, LockMode::kShared), LockResult::kGranted);
+}
+
+// --------------------------------------------------------------------------
+// Lock points
+// --------------------------------------------------------------------------
+
+TEST(LockManagerTest, LockPointAdvancesWithGrants) {
+  LockManager lm;
+  EXPECT_FALSE(lm.LockPoint(kT1).has_value());
+  lm.Acquire(kT1, kX, LockMode::kShared);
+  auto p1 = lm.LockPoint(kT1);
+  ASSERT_TRUE(p1.has_value());
+  lm.Acquire(kT1, kY, LockMode::kShared);
+  auto p2 = lm.LockPoint(kT1);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_GT(*p2, *p1);
+}
+
+TEST(LockManagerTest, LockPointOrderMatchesGrantOrderAcrossTxns) {
+  LockManager lm;
+  lm.Acquire(kT1, kX, LockMode::kExclusive);
+  lm.Acquire(kT2, kY, LockMode::kExclusive);
+  EXPECT_LT(*lm.LockPoint(kT1), *lm.LockPoint(kT2));
+}
+
+TEST(LockManagerTest, DelayedGrantCountsAsLaterLockPoint) {
+  LockManager lm;
+  lm.Acquire(kT1, kX, LockMode::kExclusive);
+  lm.Acquire(kT2, kX, LockMode::kExclusive);  // Waits.
+  lm.Acquire(kT3, kY, LockMode::kExclusive);
+  lm.ReleaseAll(kT1);  // Grants T2 now.
+  ASSERT_TRUE(lm.LockPoint(kT2).has_value());
+  EXPECT_GT(*lm.LockPoint(kT2), *lm.LockPoint(kT3));
+}
+
+}  // namespace
+}  // namespace mdbs::lcc

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "lcc/mvto.h"
+#include "mdbs/driver.h"
+#include "mdbs/mdbs.h"
+#include "sched/serializability.h"
+#include "sim/event_loop.h"
+#include "site/local_dbms.h"
+
+namespace mdbs {
+namespace {
+
+using lcc::AccessDecision;
+using lcc::MultiversionTimestampOrdering;
+using lcc::ProtocolKind;
+using gtm::SchemeKind;
+
+const TxnId kT1{1};
+const TxnId kT2{2};
+const TxnId kT3{3};
+const DataItemId kX{10};
+const DataItemId kY{11};
+
+class FakeHost : public lcc::ProtocolHost {
+ public:
+  void ResumeTransaction(TxnId txn) override { resumed.push_back(txn); }
+  std::vector<TxnId> resumed;
+};
+
+void MustProceed(lcc::ConcurrencyControl* cc, TxnId txn, const DataOp& op) {
+  ASSERT_EQ(cc->OnAccess(txn, op), AccessDecision::kProceed)
+      << ToString(txn) << " " << op.ToString();
+  cc->OnAccessApplied(txn, op);
+}
+
+// --------------------------------------------------------------------------
+// Protocol-level
+// --------------------------------------------------------------------------
+
+TEST(MvtoTest, Basics) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  EXPECT_FALSE(mvto.WritesInPlace());
+  EXPECT_TRUE(mvto.IsMultiversion());
+  mvto.OnBegin(kT1);
+  mvto.OnBegin(kT2);
+  ASSERT_TRUE(mvto.SerializationKey(kT1).has_value());
+  EXPECT_LT(*mvto.SerializationKey(kT1), *mvto.SerializationKey(kT2));
+}
+
+TEST(MvtoTest, ReaderSeesVersionAtItsTimestamp) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);  // ts 0
+  mvto.OnBegin(kT2);  // ts 1
+  mvto.OnBegin(kT3);  // ts 2
+  // T2 writes x=20 and commits.
+  MustProceed(&mvto, kT2, DataOp::Write(kX, 20));
+  mvto.OnFinish(kT2, TxnOutcome::kCommitted);
+  // T3 (younger) sees T2's version.
+  MustProceed(&mvto, kT3, DataOp::Read(kX));
+  auto v3 = mvto.ResolveRead(kT3, kX);
+  ASSERT_TRUE(v3.has_value());
+  EXPECT_EQ(v3->value, 20);
+  EXPECT_EQ(v3->writer, kT2);
+  // T1 (older than the writer) sees the INITIAL version — this is exactly
+  // what single-version TO would have aborted.
+  MustProceed(&mvto, kT1, DataOp::Read(kX));
+  EXPECT_FALSE(mvto.ResolveRead(kT1, kX).has_value());
+}
+
+TEST(MvtoTest, LateWriteUnderReadAborts) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);  // ts 0
+  mvto.OnBegin(kT2);  // ts 1
+  // T2 reads the initial version of x (rts 1 on initial version).
+  MustProceed(&mvto, kT2, DataOp::Read(kX));
+  // T1's write would produce the version T2 *should* have read: abort.
+  EXPECT_EQ(mvto.OnAccess(kT1, DataOp::Write(kX, 5)),
+            AccessDecision::kAbort);
+}
+
+TEST(MvtoTest, WriteBehindNewerVersionAllowedWhenUnread) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);  // ts 0
+  mvto.OnBegin(kT2);  // ts 1
+  MustProceed(&mvto, kT2, DataOp::Write(kX, 20));
+  mvto.OnFinish(kT2, TxnOutcome::kCommitted);
+  // T1 writes an OLDER version behind T2's — fine in MVTO (nobody between
+  // ts 0 and ts 1 read the initial version).
+  MustProceed(&mvto, kT1, DataOp::Write(kX, 10));
+  mvto.OnFinish(kT1, TxnOutcome::kCommitted);
+  // A new reader sees the newest version (T2's), not commit order.
+  mvto.OnBegin(kT3);
+  MustProceed(&mvto, kT3, DataOp::Read(kX));
+  auto v = mvto.ResolveRead(kT3, kX);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, 20);
+}
+
+TEST(MvtoTest, ReaderBlocksOnUncommittedVersion) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);  // ts 0
+  mvto.OnBegin(kT2);  // ts 1
+  MustProceed(&mvto, kT1, DataOp::Write(kX, 5));
+  EXPECT_EQ(mvto.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kBlock);
+  mvto.OnFinish(kT1, TxnOutcome::kCommitted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  MustProceed(&mvto, kT2, DataOp::Read(kX));
+  EXPECT_EQ(mvto.ResolveRead(kT2, kX)->value, 5);
+}
+
+TEST(MvtoTest, AbortedWriterVersionDisappears) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);
+  mvto.OnBegin(kT2);
+  MustProceed(&mvto, kT1, DataOp::Write(kX, 5));
+  EXPECT_EQ(mvto.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kBlock);
+  mvto.OnFinish(kT1, TxnOutcome::kAborted);
+  ASSERT_EQ(host.resumed.size(), 1u);
+  // After the abort the version is gone: the reader sees the initial one.
+  MustProceed(&mvto, kT2, DataOp::Read(kX));
+  EXPECT_FALSE(mvto.ResolveRead(kT2, kX).has_value());
+  EXPECT_EQ(mvto.VersionCount(), 0u);
+}
+
+TEST(MvtoTest, ReadOwnWrites) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  mvto.OnBegin(kT1);
+  MustProceed(&mvto, kT1, DataOp::Write(kX, 5));
+  MustProceed(&mvto, kT1, DataOp::Read(kX));
+  auto v = mvto.ResolveRead(kT1, kX);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, 5);
+  EXPECT_EQ(v->writer, kT1);
+  MustProceed(&mvto, kT1, DataOp::Write(kX, 6));  // Own overwrite.
+  EXPECT_EQ(mvto.ResolveRead(kT1, kX)->value, 6);
+}
+
+TEST(MvtoTest, VersionsGarbageCollected) {
+  FakeHost host;
+  MultiversionTimestampOrdering mvto(&host);
+  for (int i = 0; i < 2000; ++i) {
+    TxnId txn{100 + i};
+    mvto.OnBegin(txn);
+    DataOp write = DataOp::Write(kX, i);
+    ASSERT_EQ(mvto.OnAccess(txn, write), AccessDecision::kProceed);
+    mvto.OnAccessApplied(txn, write);
+    mvto.OnFinish(txn, TxnOutcome::kCommitted);
+  }
+  EXPECT_LT(mvto.VersionCount(), 600u);
+}
+
+// --------------------------------------------------------------------------
+// Site-level: old readers survive where strict TO aborts them
+// --------------------------------------------------------------------------
+
+TEST(MvtoSiteTest, OldReaderSurvivesYoungerCommittedWrite) {
+  site::SiteConfig config;
+  config.id = SiteId(0);
+  config.protocol = ProtocolKind::kMultiversionTO;
+  sim::EventLoop loop;
+  sched::ScheduleRecorder recorder;
+  site::LocalDbms dbms(config, &loop, &recorder);
+  dbms.UnsafePoke(kX, 7);
+
+  TxnId t1{1}, t2{2};
+  ASSERT_TRUE(dbms.Begin(t1, GlobalTxnId()).ok());
+  ASSERT_TRUE(dbms.Begin(t2, GlobalTxnId()).ok());
+  // Younger T2 writes x and commits.
+  Status status = Status::Internal("pending");
+  dbms.Submit(t2, DataOp::Write(kX, 99),
+              [&](const Status& s, int64_t) { status = s; });
+  loop.Run();
+  ASSERT_TRUE(status.ok());
+  dbms.Commit(t2, [&](const Status& s) { status = s; });
+  loop.Run();
+  ASSERT_TRUE(status.ok());
+  // Older T1 still reads the pre-T2 value — single-version strict TO
+  // aborts here (LocalDbmsToTest.OldReaderAbortsAfterYoungerWriteCommits).
+  int64_t value = -1;
+  dbms.Submit(t1, DataOp::Read(kX), [&](const Status& s, int64_t v) {
+    status = s;
+    value = v;
+  });
+  loop.Run();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(value, 7);
+  dbms.Commit(t1, [&](const Status& s) { status = s; });
+  loop.Run();
+  EXPECT_TRUE(status.ok());
+  // One-copy serializable via the MVSG, with T1 ordered before T2 (its
+  // read observed the pre-T2 version).
+  sched::SerializabilityResult mvsg =
+      sched::CheckMultiversionSerializability(recorder, SiteId(0));
+  EXPECT_TRUE(mvsg.serializable);
+  sched::DirectedGraph graph =
+      sched::BuildMultiversionSerializationGraph(recorder, SiteId(0));
+  EXPECT_TRUE(graph.HasEdge(t1.value(), t2.value()));  // r-before-version.
+  EXPECT_FALSE(graph.HasEdge(t2.value(), t1.value()));
+}
+
+// --------------------------------------------------------------------------
+// MVSG checker on hand-built histories
+// --------------------------------------------------------------------------
+
+TEST(MvsgCheckerTest, DetectsInconsistentReadsFrom) {
+  sched::ScheduleRecorder recorder;
+  const SiteId kSite{0};
+  // T1 (ts 10) writes x; T2 (ts 20) writes x; T3 reads T1's version but
+  // also reads T2's version of y written BEFORE T2... construct a cycle:
+  // T3 reads x from T1 (so T3 -> T2 via next-version rule) and T2 -> T3
+  // via reads-from on y.
+  recorder.RecordBegin(kSite, kT1, GlobalTxnId());
+  recorder.RecordBegin(kSite, kT2, GlobalTxnId());
+  recorder.RecordBegin(kSite, kT3, GlobalTxnId());
+  recorder.RecordOp(kSite, kT1, DataOp::Write(kX, 1), 0);
+  recorder.RecordOp(kSite, kT2, DataOp::Write(kX, 2), 1);
+  recorder.RecordOp(kSite, kT2, DataOp::Write(kY, 2), 2);
+  recorder.RecordOp(kSite, kT3, DataOp::Read(kX), 3, kT1);  // Old version.
+  recorder.RecordOp(kSite, kT3, DataOp::Read(kY), 4, kT2);  // New version.
+  recorder.RecordFinish(kT1, TxnOutcome::kCommitted, 10);
+  recorder.RecordFinish(kT2, TxnOutcome::kCommitted, 20);
+  recorder.RecordFinish(kT3, TxnOutcome::kCommitted, 15);
+  // MVSG: T1 -> T2 (version order), T3 -> T2 (read old x before T2's
+  // version), T2 -> T3 (reads-from y): cycle T2 -> T3 -> T2.
+  EXPECT_FALSE(sched::CheckMultiversionSerializability(recorder, kSite)
+                   .serializable);
+}
+
+TEST(MvsgCheckerTest, ConsistentSnapshotPasses) {
+  sched::ScheduleRecorder recorder;
+  const SiteId kSite{0};
+  recorder.RecordBegin(kSite, kT1, GlobalTxnId());
+  recorder.RecordBegin(kSite, kT2, GlobalTxnId());
+  recorder.RecordBegin(kSite, kT3, GlobalTxnId());
+  recorder.RecordOp(kSite, kT1, DataOp::Write(kX, 1), 0);
+  recorder.RecordOp(kSite, kT2, DataOp::Write(kX, 2), 1);
+  recorder.RecordOp(kSite, kT2, DataOp::Write(kY, 2), 2);
+  recorder.RecordOp(kSite, kT3, DataOp::Read(kX), 3, kT1);
+  recorder.RecordOp(kSite, kT3, DataOp::Read(kY), 4, TxnId());  // Initial.
+  recorder.RecordFinish(kT1, TxnOutcome::kCommitted, 10);
+  recorder.RecordFinish(kT2, TxnOutcome::kCommitted, 20);
+  recorder.RecordFinish(kT3, TxnOutcome::kCommitted, 15);
+  EXPECT_TRUE(sched::CheckMultiversionSerializability(recorder, kSite)
+                  .serializable);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end with an MVTO site in the federation
+// --------------------------------------------------------------------------
+
+class MvtoIntegration : public ::testing::TestWithParam<SchemeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, MvtoIntegration,
+    ::testing::Values(SchemeKind::kScheme0, SchemeKind::kScheme1,
+                      SchemeKind::kScheme3),
+    [](const auto& info) {
+      return std::string(gtm::SchemeKindName(info.param));
+    });
+
+TEST_P(MvtoIntegration, MixedFederationStaysOneCopySerializable) {
+  MdbsConfig config = MdbsConfig::Mixed(
+      {ProtocolKind::kMultiversionTO, ProtocolKind::kTwoPhaseLocking,
+       ProtocolKind::kMultiversionTO},
+      GetParam());
+  config.seed = 33;
+  Mdbs system(config);
+  EXPECT_EQ(system.MultiversionSites().size(), 2u);
+  DriverConfig driver;
+  driver.global_clients = 6;
+  driver.local_clients_per_site = 2;
+  driver.target_global_commits = 60;
+  driver.global_workload.items_per_site = 20;
+  driver.local_workload.items_per_site = 20;
+  DriverReport report = RunDriver(&system, driver, 33);
+  EXPECT_GE(report.global_committed, 40);
+  EXPECT_GT(report.local_committed, 0);
+  EXPECT_TRUE(system.CheckLocallySerializable().ok());
+  EXPECT_TRUE(system.CheckSerializationKeyProperty().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+  EXPECT_EQ(report.gtm1.scheme_aborts, 0);
+}
+
+}  // namespace
+}  // namespace mdbs

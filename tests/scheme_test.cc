@@ -1,0 +1,610 @@
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gtm/baselines.h"
+#include "gtm/gtm2.h"
+#include "gtm/scheme0.h"
+#include "gtm/scheme1.h"
+#include "gtm/scheme2.h"
+#include "gtm/scheme3.h"
+#include "sched/graph.h"
+
+namespace mdbs::gtm {
+namespace {
+
+const SiteId kA{0};
+const SiteId kB{1};
+const SiteId kC{2};
+
+/// Drives a Gtm2 instance as GTM1 + the servers would: inits, sequential
+/// ser operations per transaction (next enqueued only after the previous
+/// ack was forwarded), acks delivered when the harness chooses (modeling
+/// site/network latency), then validate and fin. Records the per-site ser
+/// execution (release) order for ser(S) checking.
+class SchemeDriver {
+ public:
+  explicit SchemeDriver(std::unique_ptr<Scheme> scheme) {
+    Gtm2::Callbacks callbacks;
+    callbacks.release_ser = [this](GlobalTxnId txn, SiteId site) {
+      site_order_[site].push_back(txn);
+      pending_acks_.push_back(QueueOp::Ack(txn, site));
+    };
+    callbacks.forward_ack = [this](GlobalTxnId txn, SiteId site) {
+      auto& state = txns_.at(txn);
+      ASSERT_LT(state.next_ser, state.sites.size());
+      ASSERT_EQ(state.sites[state.next_ser], site);
+      ++state.next_ser;
+    };
+    callbacks.validate_passed = [this](GlobalTxnId txn) {
+      txns_.at(txn).validated = true;
+    };
+    callbacks.abort_txn = [this](GlobalTxnId txn) {
+      aborted_.push_back(txn);
+      txns_.at(txn).finished = true;  // The attempt is dead.
+      gtm2_->AbortCleanup(txn);       // As GTM1 would.
+    };
+    callbacks.fin_done = [this](GlobalTxnId txn) {
+      txns_.at(txn).finished = true;
+    };
+    gtm2_ = std::make_unique<Gtm2>(std::move(scheme), std::move(callbacks));
+  }
+
+  void AddTxn(GlobalTxnId txn, std::vector<SiteId> sites) {
+    txns_[txn] = TxnState{std::move(sites)};
+    order_.push_back(txn);
+  }
+
+  void Init(GlobalTxnId txn) {
+    auto& state = txns_.at(txn);
+    ASSERT_FALSE(state.inited);
+    state.inited = true;
+    gtm2_->Enqueue(QueueOp::Init(txn, state.sites));
+  }
+
+  /// Enqueues the transaction's next ser operation. GTM1 sequencing: only
+  /// legal when the previous one was acked (EnqueueableSer true).
+  void EnqueueNextSer(GlobalTxnId txn) {
+    auto& state = txns_.at(txn);
+    ASSERT_TRUE(state.inited);
+    ASSERT_LT(state.enqueued_sers, state.sites.size());
+    ASSERT_EQ(state.enqueued_sers, state.next_ser);
+    SiteId site = state.sites[state.enqueued_sers++];
+    gtm2_->Enqueue(QueueOp::Ser(txn, site));
+  }
+
+  /// EnqueueNextSer if another ser remains and the previous was acked;
+  /// returns false otherwise.
+  bool TryEnqueueNextSer(GlobalTxnId txn) {
+    auto& state = txns_.at(txn);
+    if (!state.inited || state.enqueued_sers >= state.sites.size() ||
+        state.enqueued_sers != state.next_ser) {
+      return false;
+    }
+    SiteId site = state.sites[state.enqueued_sers++];
+    gtm2_->Enqueue(QueueOp::Ser(txn, site));
+    return true;
+  }
+
+  /// Delivers the most recently produced ack.
+  void DeliverLastAck() {
+    ASSERT_FALSE(pending_acks_.empty());
+    DeliverAck(pending_acks_.size() - 1);
+  }
+
+  /// Delivers the pending ack at `index`.
+  void DeliverAck(size_t index) {
+    ASSERT_LT(index, pending_acks_.size());
+    QueueOp ack = pending_acks_[index];
+    pending_acks_.erase(pending_acks_.begin() +
+                        static_cast<ptrdiff_t>(index));
+    gtm2_->Enqueue(ack);
+  }
+
+  void Validate(GlobalTxnId txn) { gtm2_->Enqueue(QueueOp::Validate(txn)); }
+  void Fin(GlobalTxnId txn) { gtm2_->Enqueue(QueueOp::Fin(txn)); }
+
+  /// Runs a full randomized execution of all registered transactions.
+  /// Returns true when everything finished (liveness).
+  bool RunRandomized(uint64_t seed) {
+    Rng rng(seed);
+    for (;;) {
+      // Collect available actions.
+      std::vector<std::function<void()>> actions;
+      for (GlobalTxnId txn : order_) {
+        TxnState& state = txns_.at(txn);
+        if (!state.inited) {
+          actions.push_back([this, txn] { Init(txn); });
+          continue;
+        }
+        if (state.enqueued_sers < state.sites.size() &&
+            state.enqueued_sers == state.next_ser) {
+          actions.push_back([this, txn] { EnqueueNextSer(txn); });
+        }
+        if (state.next_ser == state.sites.size() && !state.validate_sent) {
+          actions.push_back([this, txn] {
+            txns_.at(txn).validate_sent = true;
+            Validate(txn);
+          });
+        }
+        if (state.validated && !state.fin_sent) {
+          actions.push_back([this, txn] {
+            txns_.at(txn).fin_sent = true;
+            Fin(txn);
+          });
+        }
+      }
+      for (size_t i = 0; i < pending_acks_.size(); ++i) {
+        actions.push_back([this, i] { DeliverAck(i); });
+      }
+      if (actions.empty()) break;
+      actions[rng.NextBelow(actions.size())]();
+    }
+    for (const auto& [txn, state] : txns_) {
+      if (!state.finished) return false;
+    }
+    return true;
+  }
+
+  /// Builds the ser(S) serialization graph from the observed per-site ser
+  /// execution orders and checks acyclicity (Theorems 3, 5, 8).
+  bool SerScheduleSerializable() const {
+    sched::DirectedGraph graph;
+    for (const auto& [site, txns] : site_order_) {
+      for (size_t i = 1; i < txns.size(); ++i) {
+        graph.AddEdge(txns[i - 1].value(), txns[i].value());
+      }
+    }
+    return !graph.HasCycle();
+  }
+
+  Gtm2& gtm2() { return *gtm2_; }
+  const std::map<SiteId, std::vector<GlobalTxnId>>& site_order() const {
+    return site_order_;
+  }
+  const std::vector<GlobalTxnId>& aborted() const { return aborted_; }
+
+ private:
+  struct TxnState {
+    std::vector<SiteId> sites;
+    bool inited = false;
+    size_t enqueued_sers = 0;  // Sers placed into QUEUE.
+    size_t next_ser = 0;       // Sers acked (forwarded to GTM1).
+    bool validate_sent = false;
+    bool validated = false;
+    bool fin_sent = false;
+    bool finished = false;
+  };
+
+  std::unique_ptr<Gtm2> gtm2_;
+  std::map<GlobalTxnId, TxnState> txns_;
+  std::vector<GlobalTxnId> order_;
+  std::map<SiteId, std::vector<GlobalTxnId>> site_order_;
+  std::vector<QueueOp> pending_acks_;
+  std::vector<GlobalTxnId> aborted_;
+};
+
+// --------------------------------------------------------------------------
+// Scheme 0 — FIFO per site
+// --------------------------------------------------------------------------
+
+TEST(Scheme0Test, SerializesInInitOrderAtEachSite) {
+  SchemeDriver d(std::make_unique<Scheme0>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  // G2's ser arrives first but must wait for G1 (FIFO).
+  d.EnqueueNextSer(g2);
+  EXPECT_EQ(d.site_order().count(kA), 0u);
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 1);
+  d.EnqueueNextSer(g1);
+  ASSERT_EQ(d.site_order().at(kA).size(), 1u);
+  EXPECT_EQ(d.site_order().at(kA)[0], g1);
+  d.DeliverAck(0);  // Ack for G1 releases G2.
+  ASSERT_EQ(d.site_order().at(kA).size(), 2u);
+  EXPECT_EQ(d.site_order().at(kA)[1], g2);
+}
+
+TEST(Scheme0Test, OneOutstandingSerPerSite) {
+  SchemeDriver d(std::make_unique<Scheme0>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g1);
+  d.EnqueueNextSer(g2);
+  // G1 executed but not acked: G2 must not run yet.
+  EXPECT_EQ(d.site_order().at(kA).size(), 1u);
+  d.DeliverAck(0);
+  EXPECT_EQ(d.site_order().at(kA).size(), 2u);
+}
+
+TEST(Scheme0Test, DisjointSitesRunIndependently) {
+  SchemeDriver d(std::make_unique<Scheme0>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kB});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g2);
+  d.EnqueueNextSer(g1);
+  EXPECT_EQ(d.site_order().at(kA).size(), 1u);
+  EXPECT_EQ(d.site_order().at(kB).size(), 1u);
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 0);
+}
+
+// --------------------------------------------------------------------------
+// Scheme 1 — TSG
+// --------------------------------------------------------------------------
+
+TEST(Scheme1Test, UnmarkedOpsExecuteOutOfInitOrder) {
+  // Two txns sharing one site: no TSG cycle, nothing marked, so unlike
+  // Scheme 0 the later-inited transaction may execute first.
+  SchemeDriver d(std::make_unique<Scheme1>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g2);
+  ASSERT_EQ(d.site_order().at(kA).size(), 1u);
+  EXPECT_EQ(d.site_order().at(kA)[0], g2);
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 0);
+}
+
+TEST(Scheme1Test, CycleMarksOperations) {
+  auto scheme = std::make_unique<Scheme1>();
+  Scheme1* raw = scheme.get();
+  SchemeDriver d(std::move(scheme));
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kA, kB});
+  d.Init(g1);
+  EXPECT_FALSE(raw->IsMarked(g1, kA));
+  d.Init(g2);  // Closes the TSG cycle G1-A-G2-B-G1.
+  EXPECT_TRUE(raw->IsMarked(g2, kA));
+  EXPECT_TRUE(raw->IsMarked(g2, kB));
+}
+
+TEST(Scheme1Test, MarkedOpWaitsForQueueFront) {
+  SchemeDriver d(std::make_unique<Scheme1>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kA, kB});
+  d.Init(g1);
+  d.Init(g2);
+  // G2@A is marked and G1@A is ahead in the insert queue: must wait.
+  d.EnqueueNextSer(g2);
+  EXPECT_EQ(d.site_order().count(kA), 0u);
+  // G1 runs A (ack) then B (ack); each ack removes G1 from that insert
+  // queue, letting the marked G2 reach the front.
+  d.EnqueueNextSer(g1);       // ser G1@A executes.
+  d.DeliverAck(0);            // ack G1@A: G2@A now front -> executes.
+  ASSERT_EQ(d.site_order().at(kA).size(), 2u);
+  EXPECT_EQ(d.site_order().at(kA)[0], g1);
+  EXPECT_EQ(d.site_order().at(kA)[1], g2);
+}
+
+TEST(Scheme1Test, FinWaitsForDeleteQueueHead) {
+  SchemeDriver d(std::make_unique<Scheme1>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g2);  // Unmarked: executes first.
+  d.DeliverAck(0);       // G2 acked; delete queue at A: [G2].
+  d.EnqueueNextSer(g1);
+  d.DeliverAck(0);       // Delete queue: [G2, G1].
+  // G1's fin must wait behind G2's.
+  d.Validate(g1);
+  d.Fin(g1);
+  EXPECT_EQ(d.gtm2().wait_size(), 1u);  // fin(G1) waiting.
+  d.Validate(g2);
+  d.Fin(g2);  // Unblocks fin(G1) as well.
+  EXPECT_EQ(d.gtm2().wait_size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Scheme 2 — TSGD
+// --------------------------------------------------------------------------
+
+TEST(Scheme2Test, DependencyFromExecutedSerDelaysSuccessor) {
+  SchemeDriver d(std::make_unique<Scheme2>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kA, kB});
+  d.Init(g1);
+  d.EnqueueNextSer(g1);  // ser G1@A executes (not yet acked).
+  d.Init(g2);            // Dep (G1 -> G2)@A recorded; Δ may add more.
+  d.EnqueueNextSer(g2);  // ser G2@A: must wait for ack(G1@A).
+  ASSERT_EQ(d.site_order().at(kA).size(), 1u);
+  d.DeliverAck(0);
+  ASSERT_EQ(d.site_order().at(kA).size(), 2u);
+  EXPECT_EQ(d.site_order().at(kA)[1], g2);
+}
+
+TEST(Scheme2Test, SingleSharedSiteNeedsNoDelta) {
+  auto scheme = std::make_unique<Scheme2>();
+  Scheme2* raw = scheme.get();
+  SchemeDriver d(std::move(scheme));
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA, kB});
+  d.Init(g1);
+  d.Init(g2);
+  EXPECT_EQ(raw->tsgd().DependencyCount(), 0u);
+  // And the later transaction may execute first (no constraints yet).
+  d.EnqueueNextSer(g2);
+  EXPECT_EQ(d.site_order().at(kA)[0], g2);
+}
+
+TEST(Scheme2Test, FinWaitsForPredecessorFin) {
+  SchemeDriver d(std::make_unique<Scheme2>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.EnqueueNextSer(g1);
+  d.DeliverAck(0);
+  d.Init(g2);  // Dep (G1 -> G2)@A from the executed rule.
+  d.EnqueueNextSer(g2);
+  d.DeliverAck(0);
+  d.Validate(g2);
+  d.Fin(g2);  // Must wait: dependency into G2 still present.
+  EXPECT_EQ(d.gtm2().wait_size(), 1u);
+  d.Validate(g1);
+  d.Fin(g1);
+  EXPECT_EQ(d.gtm2().wait_size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Scheme 3 — O-scheme
+// --------------------------------------------------------------------------
+
+TEST(Scheme3Test, AllowsOutOfInitOrderWhereScheme0Waits) {
+  SchemeDriver d(std::make_unique<Scheme3>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g2);  // No serialized-before relation: executes.
+  ASSERT_EQ(d.site_order().at(kA).size(), 1u);
+  EXPECT_EQ(d.site_order().at(kA)[0], g2);
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 0);
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g1);  // G1 after G2 at A: consistent, fine.
+  EXPECT_EQ(d.site_order().at(kA)[1], g1);
+}
+
+TEST(Scheme3Test, BlocksSerializationCycle) {
+  auto scheme = std::make_unique<Scheme3>();
+  Scheme3* raw = scheme.get();
+  SchemeDriver d(std::move(scheme));
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kB, kA});  // Opposite site order.
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g1);  // G1@A executes: G1 serialized before G2.
+  EXPECT_TRUE(raw->SerBef(g2).contains(g1));
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);  // G2@B would serialize G2 before G1: must wait.
+  EXPECT_EQ(d.site_order().count(kB), 0u);
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 1);
+  d.EnqueueNextSer(g1);  // G1@B executes...
+  d.DeliverAck(0);       // ...and its ack releases G2@B.
+  ASSERT_EQ(d.site_order().at(kB).size(), 2u);
+  EXPECT_EQ(d.site_order().at(kB)[0], g1);
+  EXPECT_EQ(d.site_order().at(kB)[1], g2);
+}
+
+TEST(Scheme3Test, SerBefMaintainsTransitiveClosure) {
+  auto scheme = std::make_unique<Scheme3>();
+  Scheme3* raw = scheme.get();
+  SchemeDriver d(std::move(scheme));
+  GlobalTxnId g1{1}, g2{2}, g3{3};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA, kB});
+  d.AddTxn(g3, {kB});
+  d.Init(g1);
+  d.Init(g2);
+  d.Init(g3);
+  d.EnqueueNextSer(g1);  // G1 before G2 (G2 pending at A).
+  d.DeliverAck(0);
+  EXPECT_TRUE(raw->SerBef(g2).contains(g1));
+  d.EnqueueNextSer(g2);  // G2@A.
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);  // G2@B: G2 before G3, so G1 before G3 too.
+  EXPECT_TRUE(raw->SerBef(g3).contains(g2));
+  EXPECT_TRUE(raw->SerBef(g3).contains(g1));
+}
+
+TEST(Scheme3Test, FinWaitsUntilSerBefEmpty) {
+  SchemeDriver d(std::make_unique<Scheme3>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA});
+  d.AddTxn(g2, {kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g1);
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);
+  d.DeliverAck(0);
+  d.Validate(g2);
+  d.Fin(g2);  // G1 ∈ ser_bef(G2): must wait for G1's fin.
+  EXPECT_EQ(d.gtm2().wait_size(), 1u);
+  d.Validate(g1);
+  d.Fin(g1);
+  EXPECT_EQ(d.gtm2().wait_size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Cross-scheme property tests
+// --------------------------------------------------------------------------
+
+struct SchemeCase {
+  SchemeKind kind;
+  uint64_t seed;
+};
+
+class ConservativeSchemeProperty
+    : public ::testing::TestWithParam<SchemeCase> {};
+
+std::string CaseName(const ::testing::TestParamInfo<SchemeCase>& info) {
+  return std::string(SchemeKindName(info.param.kind)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<SchemeCase> AllCases() {
+  std::vector<SchemeCase> cases;
+  for (SchemeKind kind : {SchemeKind::kScheme0, SchemeKind::kScheme1,
+                          SchemeKind::kScheme2, SchemeKind::kScheme3}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      cases.push_back(SchemeCase{kind, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConservativeSchemeProperty,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+void AddRandomPopulation(SchemeDriver* d, Rng* rng, int txns, int sites) {
+  for (int t = 0; t < txns; ++t) {
+    std::vector<SiteId> all;
+    for (int s = 0; s < sites; ++s) all.push_back(SiteId(s));
+    rng->Shuffle(&all);
+    size_t count = 1 + rng->NextBelow(static_cast<uint64_t>(sites));
+    all.resize(count);
+    d->AddTxn(GlobalTxnId(t), all);
+  }
+}
+
+// Theorems 3, 5, 8 (and trivially Scheme 0): every conservative scheme
+// keeps ser(S) serializable, never aborts, and always completes (no
+// scheduler-induced deadlock) for arbitrary interleavings.
+TEST_P(ConservativeSchemeProperty, SerScheduleSerializableAndLive) {
+  Rng rng(GetParam().seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    SchemeDriver d(MakeScheme(GetParam().kind));
+    AddRandomPopulation(&d, &rng, /*txns=*/8, /*sites=*/4);
+    ASSERT_TRUE(d.RunRandomized(rng.Next()))
+        << SchemeKindName(GetParam().kind) << " stalled in trial " << trial;
+    EXPECT_TRUE(d.SerScheduleSerializable())
+        << SchemeKindName(GetParam().kind) << " produced a ser(S) cycle";
+    EXPECT_TRUE(d.aborted().empty()) << "conservative scheme aborted a txn";
+    EXPECT_EQ(d.gtm2().stats().scheme_aborts, 0);
+    EXPECT_EQ(d.gtm2().wait_size(), 0u);
+    EXPECT_EQ(d.gtm2().queue_size(), 0u);
+  }
+}
+
+// §7: Scheme 3 admits every serializable stream — a π-consistent polite
+// stream never puts a ser operation into WAIT.
+TEST(Scheme3Test, NeverWaitsOnSerializableStreams) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    SchemeDriver d(MakeScheme(SchemeKind::kScheme3));
+    const int kTxns = 8;
+    const int kSites = 4;
+    AddRandomPopulation(&d, &rng, kTxns, kSites);
+    // π = id order. Feed operations so that per-site ser order follows π
+    // and the previous ser at a site is always acked first; that makes the
+    // stream serializable when executed greedily.
+    // Init everything up front (init order is irrelevant to Scheme 3's
+    // waits), then run transactions to completion one at a time in π = id
+    // order, acking each ser immediately. Per-site execution order then
+    // follows π, so processing each operation on arrival is serializable.
+    for (int t = 0; t < kTxns; ++t) d.Init(GlobalTxnId(t));
+    for (int t = 0; t < kTxns; ++t) {
+      GlobalTxnId txn{t};
+      while (d.TryEnqueueNextSer(txn)) d.DeliverLastAck();
+      d.Validate(txn);
+      d.Fin(txn);
+    }
+    EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 0)
+        << "Scheme 3 delayed a serializable stream (trial " << trial << ")";
+    EXPECT_TRUE(d.SerScheduleSerializable());
+  }
+}
+
+// Degree of concurrency (§4, §7): on identical random scenarios Scheme 3
+// causes no more ser WAIT insertions than Scheme 0, and Scheme 1 no more
+// than Scheme 0 (aggregate over trials; the paper's comparison).
+TEST(DegreeOfConcurrencyTest, Scheme3AndScheme1WaitLessThanScheme0) {
+  int64_t waits_s0 = 0, waits_s1 = 0, waits_s3 = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (SchemeKind kind : {SchemeKind::kScheme0, SchemeKind::kScheme1,
+                            SchemeKind::kScheme3}) {
+      Rng rng(seed);
+      SchemeDriver d(MakeScheme(kind));
+      AddRandomPopulation(&d, &rng, 8, 4);
+      ASSERT_TRUE(d.RunRandomized(seed * 31));
+      int64_t waits = d.gtm2().stats().ser_wait_additions;
+      if (kind == SchemeKind::kScheme0) waits_s0 += waits;
+      if (kind == SchemeKind::kScheme1) waits_s1 += waits;
+      if (kind == SchemeKind::kScheme3) waits_s3 += waits;
+    }
+  }
+  EXPECT_LE(waits_s3, waits_s0);
+  EXPECT_LE(waits_s1, waits_s0);
+  EXPECT_GT(waits_s0, 0);
+}
+
+// --------------------------------------------------------------------------
+// Non-conservative baseline
+// --------------------------------------------------------------------------
+
+TEST(TicketOptimisticTest, NeverWaitsButAbortsOnCycle) {
+  SchemeDriver d(std::make_unique<TicketOptimistic>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kB, kA});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g1);  // G1@A.
+  d.EnqueueNextSer(g2);  // G2@B — released immediately (optimism).
+  EXPECT_EQ(d.gtm2().stats().ser_wait_additions, 0);
+  d.DeliverAck(0);       // ack G1@A.
+  d.DeliverAck(0);       // ack G2@B.
+  d.EnqueueNextSer(g1);  // G1@B: observed after G2 there.
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);  // G2@A: observed after G1 there.
+  d.DeliverAck(0);
+  // Orders: A: G1 < G2, B: G2 < G1 — a cycle. Validation must abort one.
+  d.Validate(g1);
+  d.Validate(g2);
+  EXPECT_EQ(d.aborted().size(), 1u);
+  EXPECT_EQ(d.gtm2().stats().scheme_aborts, 1);
+}
+
+TEST(TicketOptimisticTest, ConsistentOrdersValidate) {
+  SchemeDriver d(std::make_unique<TicketOptimistic>());
+  GlobalTxnId g1{1}, g2{2};
+  d.AddTxn(g1, {kA, kB});
+  d.AddTxn(g2, {kA, kB});
+  d.Init(g1);
+  d.Init(g2);
+  d.EnqueueNextSer(g1);
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g1);
+  d.DeliverAck(0);
+  d.EnqueueNextSer(g2);
+  d.DeliverAck(0);
+  d.Validate(g1);
+  d.Validate(g2);
+  EXPECT_TRUE(d.aborted().empty());
+}
+
+}  // namespace
+}  // namespace mdbs::gtm

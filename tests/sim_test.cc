@@ -1,0 +1,170 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "sim/metrics.h"
+
+namespace mdbs::sim {
+namespace {
+
+// --------------------------------------------------------------------------
+// EventLoop
+// --------------------------------------------------------------------------
+
+TEST(EventLoopTest, StartsAtTimeZeroAndIdle) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.idle());
+  EXPECT_EQ(loop.Run(), 0);
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.Run(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, TiesBreakInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(7, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, EventsMayScheduleMoreEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1, [&] {
+    ++fired;
+    loop.Schedule(1, [&] {
+      ++fired;
+      loop.Schedule(1, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(loop.Run(), 3);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.now(), 3);
+}
+
+TEST(EventLoopTest, ZeroDelayRunsAtCurrentTime) {
+  EventLoop loop;
+  Time when = -1;
+  loop.Schedule(50, [&] {
+    loop.Schedule(0, [&] { when = loop.now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(when, 50);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(10, [&] { ++fired; });
+  loop.Schedule(20, [&] { ++fired; });
+  loop.Schedule(30, [&] { ++fired; });
+  EXPECT_EQ(loop.RunUntil(20), 2);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeWhenIdle) {
+  EventLoop loop;
+  loop.RunUntil(500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoopTest, RunOneStepsOneEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(1, [&] { ++fired; });
+  loop.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopDeathTest, NegativeDelayChecks) {
+  EventLoop loop;
+  EXPECT_DEATH(loop.Schedule(-1, [] {}), "negative delay");
+}
+
+// --------------------------------------------------------------------------
+// Summary / MetricsRegistry
+// --------------------------------------------------------------------------
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(SummaryTest, QuantilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 2.0);
+}
+
+TEST(SummaryTest, QuantileAfterInterleavedAdds) {
+  Summary s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(20);
+  s.Add(0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);  // Re-sorts lazily.
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Counter("x"), 0);
+  registry.Increment("x");
+  registry.Increment("x", 4);
+  EXPECT_EQ(registry.Counter("x"), 5);
+}
+
+TEST(MetricsRegistryTest, SummariesObserve) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetSummary("lat"), nullptr);
+  registry.Observe("lat", 1.0);
+  registry.Observe("lat", 3.0);
+  ASSERT_NE(registry.GetSummary("lat"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.GetSummary("lat")->mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, ReportListsEverything) {
+  MetricsRegistry registry;
+  registry.Increment("commits", 2);
+  registry.Observe("latency", 5);
+  std::string report = registry.Report();
+  EXPECT_NE(report.find("commits = 2"), std::string::npos);
+  EXPECT_NE(report.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdbs::sim

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gtm/tsg.h"
+#include "gtm/tsgd.h"
+
+namespace mdbs::gtm {
+namespace {
+
+const GlobalTxnId kG1{1};
+const GlobalTxnId kG2{2};
+const GlobalTxnId kG3{3};
+const GlobalTxnId kG4{4};
+const SiteId kA{0};
+const SiteId kB{1};
+const SiteId kC{2};
+
+// --------------------------------------------------------------------------
+// TransactionSiteGraph (Scheme 1)
+// --------------------------------------------------------------------------
+
+TEST(TsgTest, InsertAndRemove) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  EXPECT_TRUE(tsg.HasTxn(kG1));
+  EXPECT_EQ(tsg.EdgeCount(), 2u);
+  EXPECT_EQ(tsg.SitesOf(kG1).size(), 2u);
+  tsg.RemoveTxn(kG1);
+  EXPECT_FALSE(tsg.HasTxn(kG1));
+  EXPECT_EQ(tsg.EdgeCount(), 0u);
+  EXPECT_EQ(tsg.SiteCount(), 0u);
+}
+
+TEST(TsgTest, SingleTxnHasNoCycle) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  EXPECT_FALSE(tsg.EdgeOnCycle(kG1, kA, nullptr));
+  EXPECT_FALSE(tsg.EdgeOnCycle(kG1, kB, nullptr));
+}
+
+TEST(TsgTest, TwoTxnsSharingTwoSitesFormCycle) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  tsg.InsertTxn(kG2, {kA, kB});
+  // Cycle G1 - A - G2 - B - G1: all four edges lie on it.
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG1, kA, nullptr));
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG1, kB, nullptr));
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG2, kA, nullptr));
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG2, kB, nullptr));
+}
+
+TEST(TsgTest, SharingOneSiteIsAcyclic) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  tsg.InsertTxn(kG2, {kB, kC});
+  EXPECT_FALSE(tsg.EdgeOnCycle(kG2, kB, nullptr));
+  EXPECT_FALSE(tsg.EdgeOnCycle(kG2, kC, nullptr));
+}
+
+TEST(TsgTest, TriangleThroughThreeTxns) {
+  // G1: {A,B}, G2: {B,C}, G3: {C,A} — cycle through all three.
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  tsg.InsertTxn(kG2, {kB, kC});
+  tsg.InsertTxn(kG3, {kC, kA});
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG3, kC, nullptr));
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG3, kA, nullptr));
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG1, kA, nullptr));
+}
+
+TEST(TsgTest, EdgeNotOnCycleWhenBranchOnly) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  tsg.InsertTxn(kG2, {kA, kB, kC});
+  // Edges at A and B are on the cycle; the C edge is a dead-end branch.
+  EXPECT_TRUE(tsg.EdgeOnCycle(kG2, kA, nullptr));
+  EXPECT_FALSE(tsg.EdgeOnCycle(kG2, kC, nullptr));
+}
+
+TEST(TsgTest, StepsAreCounted) {
+  TransactionSiteGraph tsg;
+  tsg.InsertTxn(kG1, {kA, kB});
+  tsg.InsertTxn(kG2, {kA, kB});
+  int64_t steps = 0;
+  tsg.EdgeOnCycle(kG1, kA, &steps);
+  EXPECT_GT(steps, 0);
+}
+
+// --------------------------------------------------------------------------
+// TSGD (Scheme 2) — dependency semantics
+// --------------------------------------------------------------------------
+
+TEST(TsgdTest, DependencyBookkeeping) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA});
+  tsgd.InsertTxn(kG2, {kA});
+  tsgd.AddDependency(kA, kG1, kG2);
+  EXPECT_TRUE(tsgd.HasDependency(kA, kG1, kG2));
+  EXPECT_FALSE(tsgd.HasDependency(kA, kG2, kG1));
+  EXPECT_TRUE(tsgd.HasDependenciesInto(kG2, kA));
+  EXPECT_FALSE(tsgd.HasDependenciesInto(kG1, kA));
+  ASSERT_EQ(tsgd.DependenciesInto(kG2, kA).size(), 1u);
+  EXPECT_EQ(tsgd.DependenciesInto(kG2, kA)[0], kG1);
+  EXPECT_EQ(tsgd.DependencyCount(), 1u);
+}
+
+TEST(TsgdTest, RemoveTxnDropsDependenciesBothDirections) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA});
+  tsgd.InsertTxn(kG2, {kA});
+  tsgd.InsertTxn(kG3, {kA});
+  tsgd.AddDependency(kA, kG1, kG2);
+  tsgd.AddDependency(kA, kG2, kG3);
+  tsgd.RemoveTxn(kG2);
+  EXPECT_EQ(tsgd.DependencyCount(), 0u);
+  EXPECT_FALSE(tsgd.HasDependenciesInto(kG3, kA));
+  EXPECT_FALSE(tsgd.HasTxn(kG2));
+}
+
+TEST(TsgdTest, NoDependenciesMeansGraphCycleIsTsgdCycle) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG2));
+}
+
+TEST(TsgdTest, OneDependencyBreaksOneOrientationOnly) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  // Committing G1 before G2 at A blocks the orientation G2 -> A -> G1 but
+  // the cycle remains realizable the other way (G1 before G2 at A, G2
+  // before G1 at B).
+  tsgd.AddDependency(kA, kG1, kG2);
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));
+}
+
+TEST(TsgdTest, ConsistentDependenciesEliminateCycle) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  // G1 before G2 at both junctions: only a consistent serialization
+  // remains; no TSGD cycle.
+  tsgd.AddDependency(kA, kG1, kG2);
+  tsgd.AddDependency(kB, kG1, kG2);
+  EXPECT_FALSE(tsgd.HasCycleInvolving(kG1));
+  EXPECT_FALSE(tsgd.HasCycleInvolving(kG2));
+}
+
+TEST(TsgdTest, InconsistentCrossSiteDependenciesRealizeCycle) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  // G1 before G2 at A and G2 before G1 at B is exactly a serialization
+  // cycle: the orientation G1 -> A -> G2 -> B -> G1 is opposed by no
+  // dependency (both *support* it). The checker must report it. Scheme 2
+  // never reaches this state — Eliminate_Cycles blocks one orientation
+  // before the other can be committed.
+  tsgd.AddDependency(kA, kG1, kG2);
+  tsgd.AddDependency(kB, kG2, kG1);
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));
+}
+
+TEST(TsgdTest, ThreeTxnTriangleCycle) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kB, kC});
+  tsgd.InsertTxn(kG3, {kC, kA});
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));
+  // Break it at one junction per orientation.
+  tsgd.AddDependency(kB, kG1, kG2);
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));  // Reverse orientation remains.
+  tsgd.AddDependency(kC, kG2, kG3);
+  tsgd.AddDependency(kA, kG3, kG1);
+  // Now the remaining orientation is G1 -> G2 -> G3 consistently; wait —
+  // those dependencies orient the triangle consistently, which is exactly
+  // a realizable serialization ordering around the cycle... but a TSGD
+  // cycle requires an orientation NOT contradicted by dependencies, and
+  // traversing G1,B,G2,C,G3,A forward is contradicted by none of them?
+  // No: a dependency (G1,B)->(B,G2) *supports* G1 before G2; the cycle
+  // definition only forbids orientations with an opposing dependency.
+  // A fully forward-supported cycle would mean ser(S) is already
+  // non-serializable — Scheme 2 prevents it by construction. The checker
+  // must still report it:
+  EXPECT_TRUE(tsgd.HasCycleInvolving(kG1));
+}
+
+// --------------------------------------------------------------------------
+// Eliminate_Cycles (Figure 4)
+// --------------------------------------------------------------------------
+
+TEST(EliminateCyclesTest, NoCycleReturnsEmptyDelta) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kB, kC});
+  EXPECT_TRUE(tsgd.EliminateCycles(kG2, nullptr).empty());
+}
+
+TEST(EliminateCyclesTest, TwoTxnCycleBroken) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  std::vector<Dependency> delta = tsgd.EliminateCycles(kG2, nullptr);
+  EXPECT_FALSE(delta.empty());
+  for (const Dependency& dep : delta) {
+    EXPECT_EQ(dep.to, kG2);  // All Δ dependencies point into the new txn.
+    tsgd.AddDependency(dep.site, dep.from, dep.to);
+  }
+  EXPECT_FALSE(tsgd.HasCycleInvolving(kG2));
+}
+
+TEST(EliminateCyclesTest, RespectsExistingDependencies) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  // Both junctions already committed G1 before G2: no cycle remains, so
+  // Δ must be empty.
+  tsgd.AddDependency(kA, kG1, kG2);
+  tsgd.AddDependency(kB, kG1, kG2);
+  EXPECT_TRUE(tsgd.EliminateCycles(kG2, nullptr).empty());
+}
+
+TEST(EliminateCyclesTest, CountsSteps) {
+  Tsgd tsgd;
+  tsgd.InsertTxn(kG1, {kA, kB});
+  tsgd.InsertTxn(kG2, {kA, kB});
+  int64_t steps = 0;
+  tsgd.EliminateCycles(kG2, &steps);
+  EXPECT_GT(steps, 0);
+}
+
+// Property test: on random TSGDs, adding Δ from Eliminate_Cycles leaves no
+// cycle involving the new transaction — the Scheme 2 safety invariant
+// (Theorem 5 rests on it).
+TEST(EliminateCyclesTest, PropertyRandomGraphsBecomeAcyclic) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    Tsgd tsgd;
+    int sites = static_cast<int>(rng.NextInRange(2, 5));
+    int txns = static_cast<int>(rng.NextInRange(1, 6));
+    // Existing transactions with random site sets and random consistent
+    // dependencies (simulate processing order at each site).
+    for (int t = 0; t < txns; ++t) {
+      GlobalTxnId txn{t};
+      std::vector<SiteId> txn_sites;
+      for (int s = 0; s < sites; ++s) {
+        if (rng.NextBernoulli(0.6)) txn_sites.push_back(SiteId(s));
+      }
+      if (txn_sites.empty()) txn_sites.push_back(SiteId(0));
+      tsgd.InsertTxn(txn, txn_sites);
+    }
+    // Random dependencies consistent with a random per-site execution
+    // prefix (as ActSer would create them): pick a random global priority
+    // and at each site add deps from a random executed prefix.
+    for (int s = 0; s < sites; ++s) {
+      std::vector<GlobalTxnId> at_site(tsgd.TxnsAt(SiteId(s)).begin(),
+                                       tsgd.TxnsAt(SiteId(s)).end());
+      rng.Shuffle(&at_site);
+      size_t executed =
+          at_site.empty() ? 0 : rng.NextBelow(at_site.size() + 1);
+      for (size_t i = 0; i < executed; ++i) {
+        for (size_t j = i + 1; j < at_site.size(); ++j) {
+          tsgd.AddDependency(SiteId(s), at_site[i], at_site[j]);
+        }
+      }
+    }
+    // New transaction arrives.
+    GlobalTxnId newcomer{1000};
+    std::vector<SiteId> newcomer_sites;
+    for (int s = 0; s < sites; ++s) {
+      if (rng.NextBernoulli(0.7)) newcomer_sites.push_back(SiteId(s));
+    }
+    if (newcomer_sites.empty()) newcomer_sites.push_back(SiteId(0));
+    tsgd.InsertTxn(newcomer, newcomer_sites);
+
+    std::vector<Dependency> delta = tsgd.EliminateCycles(newcomer, nullptr);
+    for (const Dependency& dep : delta) {
+      EXPECT_EQ(dep.to, newcomer);
+      tsgd.AddDependency(dep.site, dep.from, dep.to);
+    }
+    EXPECT_FALSE(tsgd.HasCycleInvolving(newcomer))
+        << "trial " << trial << ": cycle survived Eliminate_Cycles";
+  }
+}
+
+// Non-minimality demonstration (Theorem 7 context): Eliminate_Cycles may
+// return more dependencies than strictly necessary; minimal Δ computation
+// is NP-hard, so the paper accepts this.
+TEST(EliminateCyclesTest, DeltaNeedNotBeMinimal) {
+  Rng rng(77);
+  int64_t total_delta = 0;
+  int64_t trials_with_delta = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Tsgd tsgd;
+    for (int t = 0; t < 3; ++t) {
+      tsgd.InsertTxn(GlobalTxnId(t), {kA, kB, kC});
+    }
+    GlobalTxnId newcomer{1000};
+    tsgd.InsertTxn(newcomer, {kA, kB, kC});
+    std::vector<Dependency> delta = tsgd.EliminateCycles(newcomer, nullptr);
+    if (!delta.empty()) {
+      ++trials_with_delta;
+      total_delta += static_cast<int64_t>(delta.size());
+    }
+  }
+  EXPECT_GT(trials_with_delta, 0);
+  // Non-trivial Δ sizes occur; exact minimality is not required.
+  EXPECT_GT(total_delta, trials_with_delta);
+}
+
+}  // namespace
+}  // namespace mdbs::gtm
