@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cc" "bench-build/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdbs/CMakeFiles/mdbs_mdbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtm/CMakeFiles/mdbs_gtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/site/CMakeFiles/mdbs_site.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mdbs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcc/CMakeFiles/mdbs_lcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mdbs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mdbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

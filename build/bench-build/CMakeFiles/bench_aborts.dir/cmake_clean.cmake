@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aborts"
+  "../bench/bench_aborts.pdb"
+  "CMakeFiles/bench_aborts.dir/bench_aborts.cc.o"
+  "CMakeFiles/bench_aborts.dir/bench_aborts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_minimality"
+  "../bench/bench_minimality.pdb"
+  "CMakeFiles/bench_minimality.dir/bench_minimality.cc.o"
+  "CMakeFiles/bench_minimality.dir/bench_minimality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_naive_gtm"
+  "../bench/bench_naive_gtm.pdb"
+  "CMakeFiles/bench_naive_gtm.dir/bench_naive_gtm.cc.o"
+  "CMakeFiles/bench_naive_gtm.dir/bench_naive_gtm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_gtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_serializability"
+  "../bench/bench_serializability.pdb"
+  "CMakeFiles/bench_serializability.dir/bench_serializability.cc.o"
+  "CMakeFiles/bench_serializability.dir/bench_serializability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serializability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

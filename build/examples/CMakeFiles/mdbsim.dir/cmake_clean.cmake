@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbsim.dir/mdbsim.cpp.o"
+  "CMakeFiles/mdbsim.dir/mdbsim.cpp.o.d"
+  "mdbsim"
+  "mdbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

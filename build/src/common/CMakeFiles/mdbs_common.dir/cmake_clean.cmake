@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_common.dir/logging.cc.o"
+  "CMakeFiles/mdbs_common.dir/logging.cc.o.d"
+  "CMakeFiles/mdbs_common.dir/rng.cc.o"
+  "CMakeFiles/mdbs_common.dir/rng.cc.o.d"
+  "CMakeFiles/mdbs_common.dir/status.cc.o"
+  "CMakeFiles/mdbs_common.dir/status.cc.o.d"
+  "libmdbs_common.a"
+  "libmdbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

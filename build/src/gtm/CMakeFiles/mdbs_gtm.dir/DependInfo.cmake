@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtm/baselines.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/baselines.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/baselines.cc.o.d"
+  "/root/repo/src/gtm/gtm1.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/gtm1.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/gtm1.cc.o.d"
+  "/root/repo/src/gtm/gtm2.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/gtm2.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/gtm2.cc.o.d"
+  "/root/repo/src/gtm/queue_op.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/queue_op.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/queue_op.cc.o.d"
+  "/root/repo/src/gtm/scheme0.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme0.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme0.cc.o.d"
+  "/root/repo/src/gtm/scheme1.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme1.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme1.cc.o.d"
+  "/root/repo/src/gtm/scheme2.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme2.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme2.cc.o.d"
+  "/root/repo/src/gtm/scheme3.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme3.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme3.cc.o.d"
+  "/root/repo/src/gtm/scheme_factory.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme_factory.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/scheme_factory.cc.o.d"
+  "/root/repo/src/gtm/serialization_function.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/serialization_function.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/serialization_function.cc.o.d"
+  "/root/repo/src/gtm/synthetic.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/synthetic.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/synthetic.cc.o.d"
+  "/root/repo/src/gtm/tsg.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/tsg.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/tsg.cc.o.d"
+  "/root/repo/src/gtm/tsgd.cc" "src/gtm/CMakeFiles/mdbs_gtm.dir/tsgd.cc.o" "gcc" "src/gtm/CMakeFiles/mdbs_gtm.dir/tsgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lcc/CMakeFiles/mdbs_lcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mdbs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdbs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_gtm.dir/baselines.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/baselines.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/gtm1.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/gtm1.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/gtm2.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/gtm2.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/queue_op.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/queue_op.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/scheme0.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/scheme0.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/scheme1.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/scheme1.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/scheme2.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/scheme2.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/scheme3.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/scheme3.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/scheme_factory.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/scheme_factory.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/serialization_function.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/serialization_function.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/synthetic.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/synthetic.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/tsg.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/tsg.cc.o.d"
+  "CMakeFiles/mdbs_gtm.dir/tsgd.cc.o"
+  "CMakeFiles/mdbs_gtm.dir/tsgd.cc.o.d"
+  "libmdbs_gtm.a"
+  "libmdbs_gtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_gtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcc/lock_manager.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/lock_manager.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lcc/mvto.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/mvto.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/mvto.cc.o.d"
+  "/root/repo/src/lcc/occ.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/occ.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/occ.cc.o.d"
+  "/root/repo/src/lcc/protocol.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/protocol.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/protocol.cc.o.d"
+  "/root/repo/src/lcc/sgt.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/sgt.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/sgt.cc.o.d"
+  "/root/repo/src/lcc/timestamp_ordering.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/timestamp_ordering.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/timestamp_ordering.cc.o.d"
+  "/root/repo/src/lcc/two_phase_locking.cc" "src/lcc/CMakeFiles/mdbs_lcc.dir/two_phase_locking.cc.o" "gcc" "src/lcc/CMakeFiles/mdbs_lcc.dir/two_phase_locking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

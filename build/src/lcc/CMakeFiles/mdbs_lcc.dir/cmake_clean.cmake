@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_lcc.dir/lock_manager.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/lock_manager.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/mvto.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/mvto.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/occ.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/occ.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/protocol.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/protocol.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/sgt.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/sgt.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/timestamp_ordering.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/timestamp_ordering.cc.o.d"
+  "CMakeFiles/mdbs_lcc.dir/two_phase_locking.cc.o"
+  "CMakeFiles/mdbs_lcc.dir/two_phase_locking.cc.o.d"
+  "libmdbs_lcc.a"
+  "libmdbs_lcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_lcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_mdbs.dir/driver.cc.o"
+  "CMakeFiles/mdbs_mdbs.dir/driver.cc.o.d"
+  "CMakeFiles/mdbs_mdbs.dir/mdbs.cc.o"
+  "CMakeFiles/mdbs_mdbs.dir/mdbs.cc.o.d"
+  "CMakeFiles/mdbs_mdbs.dir/workload.cc.o"
+  "CMakeFiles/mdbs_mdbs.dir/workload.cc.o.d"
+  "libmdbs_mdbs.a"
+  "libmdbs_mdbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_mdbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/graph.cc" "src/sched/CMakeFiles/mdbs_sched.dir/graph.cc.o" "gcc" "src/sched/CMakeFiles/mdbs_sched.dir/graph.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/mdbs_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/mdbs_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/serializability.cc" "src/sched/CMakeFiles/mdbs_sched.dir/serializability.cc.o" "gcc" "src/sched/CMakeFiles/mdbs_sched.dir/serializability.cc.o.d"
+  "/root/repo/src/sched/stats.cc" "src/sched/CMakeFiles/mdbs_sched.dir/stats.cc.o" "gcc" "src/sched/CMakeFiles/mdbs_sched.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mdbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

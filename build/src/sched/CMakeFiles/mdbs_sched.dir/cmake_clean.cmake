@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_sched.dir/graph.cc.o"
+  "CMakeFiles/mdbs_sched.dir/graph.cc.o.d"
+  "CMakeFiles/mdbs_sched.dir/schedule.cc.o"
+  "CMakeFiles/mdbs_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/mdbs_sched.dir/serializability.cc.o"
+  "CMakeFiles/mdbs_sched.dir/serializability.cc.o.d"
+  "CMakeFiles/mdbs_sched.dir/stats.cc.o"
+  "CMakeFiles/mdbs_sched.dir/stats.cc.o.d"
+  "libmdbs_sched.a"
+  "libmdbs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdbs_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_sim.dir/event_loop.cc.o"
+  "CMakeFiles/mdbs_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/mdbs_sim.dir/metrics.cc.o"
+  "CMakeFiles/mdbs_sim.dir/metrics.cc.o.d"
+  "libmdbs_sim.a"
+  "libmdbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_site.dir/local_dbms.cc.o"
+  "CMakeFiles/mdbs_site.dir/local_dbms.cc.o.d"
+  "libmdbs_site.a"
+  "libmdbs_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

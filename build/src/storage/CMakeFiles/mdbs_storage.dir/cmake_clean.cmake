@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_storage.dir/kv_store.cc.o"
+  "CMakeFiles/mdbs_storage.dir/kv_store.cc.o.d"
+  "libmdbs_storage.a"
+  "libmdbs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

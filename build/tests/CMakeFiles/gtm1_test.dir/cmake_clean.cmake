@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtm1_test.dir/gtm1_test.cc.o"
+  "CMakeFiles/gtm1_test.dir/gtm1_test.cc.o.d"
+  "gtm1_test"
+  "gtm1_test.pdb"
+  "gtm1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

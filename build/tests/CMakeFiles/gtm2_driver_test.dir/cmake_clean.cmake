@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtm2_driver_test.dir/gtm2_driver_test.cc.o"
+  "CMakeFiles/gtm2_driver_test.dir/gtm2_driver_test.cc.o.d"
+  "gtm2_driver_test"
+  "gtm2_driver_test.pdb"
+  "gtm2_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtm2_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

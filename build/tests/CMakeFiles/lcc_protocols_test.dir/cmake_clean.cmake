@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcc_protocols_test.dir/lcc_protocols_test.cc.o"
+  "CMakeFiles/lcc_protocols_test.dir/lcc_protocols_test.cc.o.d"
+  "lcc_protocols_test"
+  "lcc_protocols_test.pdb"
+  "lcc_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcc_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

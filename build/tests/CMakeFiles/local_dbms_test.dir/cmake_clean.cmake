@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_dbms_test.dir/local_dbms_test.cc.o"
+  "CMakeFiles/local_dbms_test.dir/local_dbms_test.cc.o.d"
+  "local_dbms_test"
+  "local_dbms_test.pdb"
+  "local_dbms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_dbms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

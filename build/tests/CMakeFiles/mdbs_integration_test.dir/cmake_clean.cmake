@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_integration_test.dir/mdbs_integration_test.cc.o"
+  "CMakeFiles/mdbs_integration_test.dir/mdbs_integration_test.cc.o.d"
+  "mdbs_integration_test"
+  "mdbs_integration_test.pdb"
+  "mdbs_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvto_test.dir/mvto_test.cc.o"
+  "CMakeFiles/mvto_test.dir/mvto_test.cc.o.d"
+  "mvto_test"
+  "mvto_test.pdb"
+  "mvto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_test.dir/scheme_test.cc.o"
+  "CMakeFiles/scheme_test.dir/scheme_test.cc.o.d"
+  "scheme_test"
+  "scheme_test.pdb"
+  "scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsg_tsgd_test.dir/tsg_tsgd_test.cc.o"
+  "CMakeFiles/tsg_tsgd_test.dir/tsg_tsgd_test.cc.o.d"
+  "tsg_tsgd_test"
+  "tsg_tsgd_test.pdb"
+  "tsg_tsgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsg_tsgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/lcc_protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/local_dbms_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/tsg_tsgd_test[1]_include.cmake")
+include("/root/repo/build/tests/scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/gtm1_test[1]_include.cmake")
+include("/root/repo/build/tests/mdbs_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/gtm2_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/mvto_test[1]_include.cmake")
+include("/root/repo/build/tests/prevention_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_model_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
