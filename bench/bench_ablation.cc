@@ -76,6 +76,7 @@ void AblationB() {
          ProtocolKind::kSerializationGraph, ProtocolKind::kOptimistic},
         SchemeKind::kScheme3);
     config.seed = 5;
+    config.audit.enabled = false;  // Auditing is for correctness runs.
     config.gtm.attempt_timeout = 30'000;
     config.gtm.ticket_last = ticket_last;
     Mdbs system(config);

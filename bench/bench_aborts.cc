@@ -31,6 +31,7 @@ DriverReport RunOne(SchemeKind scheme, int mpl, uint64_t seed) {
        ProtocolKind::kOptimistic},
       scheme);
   config.seed = seed;
+  config.audit.enabled = false;  // Auditing is for correctness runs.
   config.gtm.attempt_timeout = 30'000;
   Mdbs system(config);
   DriverConfig driver;

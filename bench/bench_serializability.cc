@@ -34,6 +34,7 @@ Row RunScheme(SchemeKind scheme) {
          ProtocolKind::kTwoPhaseLocking},
         scheme);
     config.seed = seed;
+    config.audit.enabled = false;  // Auditing is for correctness runs.
     Mdbs system(config);
     DriverConfig driver;
     driver.global_clients = 10;

@@ -30,6 +30,7 @@ DriverReport RunOne(SchemeKind scheme, int mpl, uint64_t seed) {
        ProtocolKind::kSerializationGraph, ProtocolKind::kOptimistic},
       scheme);
   config.seed = seed;
+  config.audit.enabled = false;  // Auditing is for correctness runs.
   // Cross-site blocking (2PL locks + ticket latches) is resolved by the
   // MDBS-level timeout; keep it tight so scheduling effects, not timeout
   // penalties, dominate the reported latencies.

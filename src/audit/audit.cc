@@ -1,0 +1,48 @@
+#include "audit/audit.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mdbs::audit {
+
+std::string AuditViolation::ToString() const {
+  std::ostringstream os;
+  os << "[" << invariant << "] " << message;
+  if (!witness.empty()) {
+    os << " witness:";
+    for (int64_t node : witness) os << " " << node;
+  }
+  return os.str();
+}
+
+void Auditor::Report(AuditViolation violation) {
+  ++total_reported_;
+  MDBS_LOG(Error) << "audit violation: " << violation.ToString();
+  MDBS_CHECK(!config_.fail_fast)
+      << "audit fail-fast: " << violation.ToString();
+  if (static_cast<int64_t>(violations_.size()) <
+      config_.max_stored_violations) {
+    violations_.push_back(std::move(violation));
+  }
+}
+
+int64_t Auditor::CountFor(const std::string& invariant) const {
+  int64_t count = 0;
+  for (const AuditViolation& v : violations_) {
+    if (v.invariant == invariant) ++count;
+  }
+  return count;
+}
+
+void Auditor::Clear() {
+  violations_.clear();
+  total_reported_ = 0;
+}
+
+Auditor* Auditor::Default() {
+  static Auditor* instance = new Auditor();
+  return instance;
+}
+
+}  // namespace mdbs::audit

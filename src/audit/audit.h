@@ -1,0 +1,98 @@
+#ifndef MDBS_AUDIT_AUDIT_H_
+#define MDBS_AUDIT_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdbs::audit {
+
+/// Compile-time master switch. `-DMDBS_AUDIT=OFF` at configure time compiles
+/// every audit hook down to a constant-false branch; with the default ON the
+/// hooks exist and are toggled per component at runtime via AuditConfig.
+#ifdef MDBS_AUDIT_ENABLED
+inline constexpr bool kAuditCompiledIn = true;
+#else
+inline constexpr bool kAuditCompiledIn = false;
+#endif
+
+/// Runtime toggles of the invariant auditor. One instance travels from the
+/// top-level configuration (MdbsConfig::audit) into every hooked component.
+struct AuditConfig {
+  /// Master runtime switch; defaults to on whenever the hooks are compiled
+  /// in. Benchmarks turn it off — auditing is for correctness runs.
+  bool enabled = kAuditCompiledIn;
+  /// Abort the process on the first violation (the behavior tests want:
+  /// fail at the faulty act, with the witness in the log, not thousands of
+  /// events later). Mutation tests collect instead.
+  bool fail_fast = true;
+  /// Re-check the released-operation discipline of the scheme on every
+  /// ser release (Schemes 0-3: cond must genuinely hold at act time).
+  bool check_release_discipline = true;
+  /// Maintain the abstract ser(S) graph across released ser operations and
+  /// re-check acyclicity incrementally (Theorems 1-3).
+  bool check_ser_graph = true;
+  /// Run the scheme's structural self-check (TSG/TSGD/queue consistency)
+  /// after every act.
+  bool check_scheme_structure = true;
+  /// Lock-table consistency + waits-for acyclicity after every lock event.
+  bool check_lock_table = true;
+  /// End-of-run oracle (local CSR, serialization-key property, strictness,
+  /// global CSR) after a driver run.
+  bool run_oracle = true;
+  /// Violations stored beyond this count are counted but not retained.
+  int64_t max_stored_violations = 64;
+};
+
+/// One detected invariant violation: which invariant, a human-readable
+/// account, and (when the invariant is a graph property) the witness cycle
+/// as a sequence of node keys.
+struct AuditViolation {
+  /// Stable invariant identifier, e.g. "conservative-discipline",
+  /// "ser-graph-acyclic", "scheme-structure", "lock-table".
+  std::string invariant;
+  std::string message;
+  std::vector<int64_t> witness;
+
+  std::string ToString() const;
+};
+
+/// Collects violations, logs each through common/logging, and — in
+/// fail-fast mode — aborts the process so tests fail at the faulty event.
+class Auditor {
+ public:
+  Auditor() = default;
+  explicit Auditor(AuditConfig config) : config_(config) {}
+
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /// Records `violation`. Logs at Error level; aborts when fail_fast.
+  void Report(AuditViolation violation);
+
+  bool clean() const { return total_reported_ == 0; }
+  int64_t total_reported() const { return total_reported_; }
+  const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  /// Violations recorded for `invariant`.
+  int64_t CountFor(const std::string& invariant) const;
+
+  void Clear();
+
+  const AuditConfig& config() const { return config_; }
+  AuditConfig& mutable_config() { return config_; }
+
+  /// Process-wide fail-fast instance, used by components whose owner did
+  /// not supply an auditor of its own.
+  static Auditor* Default();
+
+ private:
+  AuditConfig config_;
+  std::vector<AuditViolation> violations_;
+  int64_t total_reported_ = 0;
+};
+
+}  // namespace mdbs::audit
+
+#endif  // MDBS_AUDIT_AUDIT_H_

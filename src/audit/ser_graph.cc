@@ -1,0 +1,82 @@
+#include "audit/ser_graph.h"
+
+#include <algorithm>
+
+namespace mdbs::audit {
+
+bool SerGraphAudit::FindPath(int64_t from, int64_t target,
+                             std::unordered_set<int64_t>* visited,
+                             std::vector<int64_t>* path) const {
+  path->push_back(from);
+  if (from == target) return true;
+  if (visited->insert(from).second) {
+    auto it = adj_.find(from);
+    if (it != adj_.end()) {
+      for (int64_t next : it->second) {
+        if (FindPath(next, target, visited, path)) return true;
+      }
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+std::optional<std::vector<int64_t>> SerGraphAudit::RecordRelease(
+    int64_t txn, int64_t site) {
+  std::optional<std::vector<int64_t>> witness;
+  std::vector<int64_t>& order = site_released_[site];
+  for (int64_t prior : order) {
+    if (prior == txn || adj_[prior].contains(txn)) continue;
+    // Adding prior -> txn closes a cycle iff txn already reaches prior.
+    if (!witness.has_value()) {
+      std::unordered_set<int64_t> visited;
+      std::vector<int64_t> path;
+      if (FindPath(txn, prior, &visited, &path)) {
+        path.push_back(txn);  // prior -> txn closes the cycle.
+        witness = std::move(path);
+      }
+    }
+    adj_[prior].insert(txn);
+    radj_[txn].insert(prior);
+    ++edge_count_;
+  }
+  if (std::find(order.begin(), order.end(), txn) == order.end()) {
+    order.push_back(txn);
+  }
+  txn_sites_[txn].insert(site);
+  return witness;
+}
+
+void SerGraphAudit::RemoveTxn(int64_t txn) {
+  auto sites_it = txn_sites_.find(txn);
+  if (sites_it == txn_sites_.end()) return;
+  for (int64_t site : sites_it->second) {
+    auto order_it = site_released_.find(site);
+    if (order_it == site_released_.end()) continue;
+    std::vector<int64_t>& order = order_it->second;
+    order.erase(std::remove(order.begin(), order.end(), txn), order.end());
+    if (order.empty()) site_released_.erase(order_it);
+  }
+  txn_sites_.erase(sites_it);
+  if (auto it = adj_.find(txn); it != adj_.end()) {
+    for (int64_t succ : it->second) {
+      radj_[succ].erase(txn);
+      --edge_count_;
+    }
+    adj_.erase(it);
+  }
+  if (auto it = radj_.find(txn); it != radj_.end()) {
+    for (int64_t pred : it->second) {
+      adj_[pred].erase(txn);
+      --edge_count_;
+    }
+    radj_.erase(it);
+  }
+}
+
+bool SerGraphAudit::HasEdge(int64_t from, int64_t to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.contains(to);
+}
+
+}  // namespace mdbs::audit

@@ -1,0 +1,59 @@
+#ifndef MDBS_AUDIT_SER_GRAPH_H_
+#define MDBS_AUDIT_SER_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mdbs::audit {
+
+/// Incremental auditor of the abstract ser(S) graph (paper §3): every pair
+/// of ser operations at a site conflicts, so the order in which the GTM
+/// releases ser operations at each site induces edges between global
+/// transactions, and the union over sites must stay acyclic for the
+/// schedule of serialization functions to be serializable (Theorems 1-2).
+///
+/// Conservative schemes (Theorems 3, 5, 8) promise this by construction;
+/// the auditor re-derives it independently from the release events alone.
+/// A transaction is removed when it finishes — new edges only ever point
+/// *into* newly released operations, so a finished transaction can no
+/// longer join a cycle and forgetting it keeps the graph bounded by the
+/// number of in-flight transactions.
+class SerGraphAudit {
+ public:
+  /// Records the release of ser(txn @ site): adds an edge prior -> txn for
+  /// every transaction previously released at `site` and still active.
+  /// Returns a witness cycle (txn keys, first == last) when an added edge
+  /// closes one, nullopt otherwise. The offending edges are still added so
+  /// auditing can continue after a report.
+  std::optional<std::vector<int64_t>> RecordRelease(int64_t txn,
+                                                    int64_t site);
+
+  /// Forgets `txn` (finished or aborted); no-op when unknown.
+  void RemoveTxn(int64_t txn);
+
+  size_t ActiveTxnCount() const { return txn_sites_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+  bool HasEdge(int64_t from, int64_t to) const;
+
+ private:
+  /// DFS from `from` towards `target`; fills `path` with the node sequence
+  /// from -> ... -> target when found.
+  bool FindPath(int64_t from, int64_t target,
+                std::unordered_set<int64_t>* visited,
+                std::vector<int64_t>* path) const;
+
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> adj_;
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> radj_;
+  /// Release order per site, restricted to active transactions.
+  std::unordered_map<int64_t, std::vector<int64_t>> site_released_;
+  /// Sites each active transaction was released at (for removal).
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> txn_sites_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace mdbs::audit
+
+#endif  // MDBS_AUDIT_SER_GRAPH_H_

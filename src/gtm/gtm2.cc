@@ -1,5 +1,9 @@
 #include "gtm/gtm2.h"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace mdbs::gtm {
@@ -7,6 +11,60 @@ namespace mdbs::gtm {
 Gtm2::Gtm2(std::unique_ptr<Scheme> scheme, Callbacks callbacks)
     : scheme_(std::move(scheme)), callbacks_(std::move(callbacks)) {
   MDBS_CHECK(scheme_ != nullptr);
+}
+
+void Gtm2::EnableAudit(const audit::AuditConfig& config,
+                       audit::Auditor* auditor) {
+  audit_config_ = config;
+  audit_enabled_ = audit::kAuditCompiledIn && config.enabled;
+  auditor_ = auditor != nullptr ? auditor : audit::Auditor::Default();
+}
+
+void Gtm2::AuditVerdict(const QueueOp& op, Verdict verdict) {
+  if (!audit_enabled_) return;
+  if (verdict == Verdict::kAbort && scheme_->IsConservative()) {
+    auditor_->Report(audit::AuditViolation{
+        "conservative-discipline",
+        std::string(scheme_->Name()) + " demanded an abort on " +
+            op.ToString() + " (Theorems 3/5/8: Schemes 0-3 never abort)",
+        {op.txn.value()}});
+  }
+}
+
+void Gtm2::AuditBeforeSerRelease(GlobalTxnId txn, SiteId site) {
+  if (!audit_enabled_ || !scheme_->IsConservative()) return;
+  if (audit_config_.check_release_discipline) {
+    Status status = scheme_->AuditSerRelease(txn, site);
+    if (!status.ok()) {
+      auditor_->Report(audit::AuditViolation{
+          "ser-release-discipline", status.message(), {txn.value()}});
+    }
+  }
+  if (audit_config_.check_ser_graph) {
+    std::optional<std::vector<int64_t>> cycle =
+        ser_graph_.RecordRelease(txn.value(), site.value());
+    if (cycle.has_value()) {
+      auditor_->Report(audit::AuditViolation{
+          "ser-graph-acyclic",
+          "releasing ser(" + ToString(txn) + "@" + ToString(site) +
+              ") closes a cycle in the abstract ser(S) graph (Theorem 1)",
+          *cycle});
+    }
+  }
+}
+
+void Gtm2::AuditAfterAct(const QueueOp& op) {
+  if (!audit_enabled_) return;
+  if (op.kind == QueueOpKind::kFin) ser_graph_.RemoveTxn(op.txn.value());
+  if (audit_config_.check_scheme_structure) {
+    Status status = scheme_->CheckStructuralInvariants();
+    if (!status.ok()) {
+      auditor_->Report(audit::AuditViolation{
+          "scheme-structure",
+          status.message() + " (after " + op.ToString() + ")",
+          {op.txn.value()}});
+    }
+  }
 }
 
 void Gtm2::Enqueue(QueueOp op) {
@@ -51,6 +109,7 @@ bool Gtm2::TryProcess(const QueueOp& op) {
       verdict = scheme_->CondFin(op.txn);
       break;
   }
+  AuditVerdict(op, verdict);
   switch (verdict) {
     case Verdict::kWait:
       return false;
@@ -72,6 +131,9 @@ void Gtm2::RunAct(const QueueOp& op) {
       scheme_->ActInit(op);
       break;
     case QueueOpKind::kSer:
+      // Audit before the act mutates DS: the release decision must be
+      // justified by the data structures as they are *now*.
+      AuditBeforeSerRelease(op.txn, op.site);
       scheme_->ActSer(op.txn, op.site);
       if (callbacks_.release_ser) callbacks_.release_ser(op.txn, op.site);
       break;
@@ -88,6 +150,7 @@ void Gtm2::RunAct(const QueueOp& op) {
       if (callbacks_.fin_done) callbacks_.fin_done(op.txn);
       break;
   }
+  AuditAfterAct(op);
 }
 
 void Gtm2::DrainWait() {
@@ -115,6 +178,7 @@ void Gtm2::DrainWait() {
 
 void Gtm2::AbortCleanup(GlobalTxnId txn) {
   dead_txns_.insert(txn);
+  if (audit_enabled_) ser_graph_.RemoveTxn(txn.value());
   if (!pumping_) {
     // Eager purge. When called from inside the pump (a scheme abort
     // surfacing mid-scan), the purge must stay lazy: Pump/DrainWait skip

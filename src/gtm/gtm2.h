@@ -7,6 +7,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "audit/audit.h"
+#include "audit/ser_graph.h"
 #include "common/ids.h"
 #include "gtm/queue_op.h"
 #include "gtm/scheme.h"
@@ -75,6 +77,22 @@ class Gtm2 {
   size_t wait_size() const { return wait_.size(); }
   size_t queue_size() const { return queue_.size(); }
 
+  /// Turns on the invariant auditor for this driver. `auditor` may be
+  /// null, selecting the process-wide fail-fast default. The audited
+  /// invariants (gated on Scheme::IsConservative where noted):
+  ///   conservative-discipline  — a conservative scheme returned kAbort;
+  ///   ser-release-discipline   — the scheme's own release rule, re-derived
+  ///                              from its DS at act(ser) time, fails;
+  ///   ser-graph-acyclic        — releasing this ser operation closed a
+  ///                              cycle in the abstract ser(S) graph;
+  ///   scheme-structure         — the scheme's structural self-check
+  ///                              failed after an act.
+  void EnableAudit(const audit::AuditConfig& config,
+                   audit::Auditor* auditor);
+
+  bool audit_enabled() const { return audit_enabled_; }
+  const audit::Auditor* auditor() const { return auditor_; }
+
  private:
   void Pump();
   /// Evaluates cond(op). kReady -> runs act + side effects and returns true.
@@ -84,6 +102,11 @@ class Gtm2 {
   void RunAct(const QueueOp& op);
   void DrainWait();
 
+  /// Audit hooks around TryProcess/RunAct; no-ops unless EnableAudit ran.
+  void AuditVerdict(const QueueOp& op, Verdict verdict);
+  void AuditBeforeSerRelease(GlobalTxnId txn, SiteId site);
+  void AuditAfterAct(const QueueOp& op);
+
   std::unique_ptr<Scheme> scheme_;
   Callbacks callbacks_;
   std::deque<QueueOp> queue_;
@@ -91,6 +114,11 @@ class Gtm2 {
   std::unordered_set<GlobalTxnId> dead_txns_;
   Gtm2Stats stats_;
   bool pumping_ = false;
+
+  bool audit_enabled_ = false;
+  audit::AuditConfig audit_config_;
+  audit::Auditor* auditor_ = nullptr;
+  audit::SerGraphAudit ser_graph_;
 };
 
 /// Constructs the scheme implementation for `kind`.

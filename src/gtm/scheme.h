@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/status.h"
 #include "gtm/queue_op.h"
 
 namespace mdbs::gtm {
@@ -70,6 +71,34 @@ class Scheme {
   /// DBMSs may abort a subtransaction (deadlock victim, validation failure)
   /// and GTM1 then retires the whole attempt.
   virtual void ActAbortCleanup(GlobalTxnId txn) = 0;
+
+  // -------------------------------------------------------------------
+  // Invariant-audit surface (src/audit). These re-derive the scheme's
+  // guarantees from its data structures, independently of Cond/Act, and
+  // must never call AddSteps — the complexity experiments meter only the
+  // scheme's own work.
+  // -------------------------------------------------------------------
+
+  /// True for the paper's conservative schemes (Theorems 3, 5, 8): the
+  /// scheme never returns kAbort and guarantees an acyclic ser(S) graph.
+  /// The audit layer enforces both only when this holds; non-conservative
+  /// baselines legitimately abort and legitimately create cycles.
+  virtual bool IsConservative() const { return false; }
+
+  /// Structural self-check of DS: internal cross-references consistent,
+  /// graphs well-formed (TSG bipartite bookkeeping, TSGD dependency
+  /// digraph acyclic, ser_bef irreflexive, ...). Run by the audited driver
+  /// after every act.
+  virtual Status CheckStructuralInvariants() const { return Status::OK(); }
+
+  /// Re-verifies, at act(ser) time, that releasing ser(txn @ site) now
+  /// respects the scheme's release discipline — i.e. cond genuinely holds
+  /// for the operation the driver is about to release.
+  virtual Status AuditSerRelease(GlobalTxnId txn, SiteId site) const {
+    (void)txn;
+    (void)site;
+    return Status::OK();
+  }
 
   /// Abstract step counter for the complexity experiments.
   int64_t steps() const { return steps_; }

@@ -48,6 +48,38 @@ void Scheme0::ActAbortCleanup(GlobalTxnId txn) {
   }
 }
 
+Status Scheme0::CheckStructuralInvariants() const {
+  for (const auto& [site, queue] : queues_) {
+    if (queue.empty()) {
+      return Status::Internal("Scheme0: empty queue retained for " +
+                              ToString(site));
+    }
+    std::unordered_map<GlobalTxnId, int> seen;
+    for (GlobalTxnId txn : queue) {
+      if (++seen[txn] > 1) {
+        return Status::Internal("Scheme0: " + ToString(txn) +
+                                " enqueued twice at " + ToString(site));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Scheme0::AuditSerRelease(GlobalTxnId txn, SiteId site) const {
+  auto it = queues_.find(site);
+  if (it == queues_.end() || it->second.empty()) {
+    return Status::Internal("Scheme0: ser(" + ToString(txn) + "@" +
+                            ToString(site) + ") released with no queue");
+  }
+  if (it->second.front() != txn) {
+    return Status::Internal("Scheme0: ser(" + ToString(txn) + "@" +
+                            ToString(site) + ") released but " +
+                            ToString(it->second.front()) +
+                            " heads the FIFO queue");
+  }
+  return Status::OK();
+}
+
 size_t Scheme0::QueueLength(SiteId site) const {
   auto it = queues_.find(site);
   return it == queues_.end() ? 0 : it->second.size();

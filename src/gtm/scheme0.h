@@ -18,6 +18,10 @@ class Scheme0 : public ConservativeSchemeBase {
  public:
   SchemeKind kind() const override { return SchemeKind::kScheme0; }
   const char* Name() const override { return "Scheme0"; }
+  bool IsConservative() const override { return true; }
+
+  Status CheckStructuralInvariants() const override;
+  Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;

@@ -104,6 +104,70 @@ void Scheme1::ActAbortCleanup(GlobalTxnId txn) {
   tsg_.RemoveTxn(txn);
 }
 
+Status Scheme1::CheckStructuralInvariants() const {
+  MDBS_RETURN_IF_ERROR(tsg_.Validate());
+  for (const auto& [site, state] : sites_) {
+    std::unordered_map<GlobalTxnId, int> seen;
+    for (const InsertEntry& entry : state.insert_queue) {
+      if (++seen[entry.txn] > 1) {
+        return Status::Internal("Scheme1: " + ToString(entry.txn) +
+                                " twice in insert queue of " +
+                                ToString(site));
+      }
+      // Queue entries are in the TSG until fin/abort removes both.
+      if (!tsg_.HasTxn(entry.txn)) {
+        return Status::Internal("Scheme1: " + ToString(entry.txn) +
+                                " queued at " + ToString(site) +
+                                " but absent from the TSG");
+      }
+    }
+    for (GlobalTxnId txn : state.delete_queue) {
+      if (!tsg_.HasTxn(txn)) {
+        return Status::Internal("Scheme1: " + ToString(txn) +
+                                " in delete queue of " + ToString(site) +
+                                " but absent from the TSG");
+      }
+    }
+    // An executing (released, unacked) ser still occupies the insert queue.
+    if (state.executing.has_value() &&
+        !seen.contains(*state.executing)) {
+      return Status::Internal("Scheme1: executing " +
+                              ToString(*state.executing) + " at " +
+                              ToString(site) +
+                              " missing from the insert queue");
+    }
+  }
+  return Status::OK();
+}
+
+Status Scheme1::AuditSerRelease(GlobalTxnId txn, SiteId site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return Status::Internal("Scheme1: ser(" + ToString(txn) + "@" +
+                            ToString(site) + ") released at unknown site");
+  }
+  const SiteState& state = it->second;
+  if (state.executing.has_value() && *state.executing != txn) {
+    return Status::Internal(
+        "Scheme1: ser(" + ToString(txn) + "@" + ToString(site) +
+        ") released while " + ToString(*state.executing) +
+        " is executing unacked there");
+  }
+  for (const InsertEntry& entry : state.insert_queue) {
+    if (entry.txn != txn) continue;
+    if (entry.marked && state.insert_queue.front().txn != txn) {
+      return Status::Internal(
+          "Scheme1: marked ser(" + ToString(txn) + "@" + ToString(site) +
+          ") released out of insert-queue order behind " +
+          ToString(state.insert_queue.front().txn));
+    }
+    return Status::OK();
+  }
+  return Status::Internal("Scheme1: ser(" + ToString(txn) + "@" +
+                          ToString(site) +
+                          ") released but not in the insert queue");
+}
+
 bool Scheme1::IsMarked(GlobalTxnId txn, SiteId site) const {
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;

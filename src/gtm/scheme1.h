@@ -31,6 +31,10 @@ class Scheme1 : public ConservativeSchemeBase {
   const char* Name() const override {
     return mark_all_ ? "Scheme1-markall" : "Scheme1-TSG";
   }
+  bool IsConservative() const override { return true; }
+
+  Status CheckStructuralInvariants() const override;
+  Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;

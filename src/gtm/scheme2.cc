@@ -1,5 +1,9 @@
 #include "gtm/scheme2.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/logging.h"
 
 namespace mdbs::gtm {
@@ -33,6 +37,49 @@ void Scheme2::ActInit(const QueueOp& op) {
     MDBS_CHECK(!tsgd_.HasCycleInvolving(op.txn))
         << "TSGD cycle involving " << op.txn << " survived Eliminate_Cycles";
   }
+}
+
+Status Scheme2::CheckStructuralInvariants() const {
+  MDBS_RETURN_IF_ERROR(tsgd_.Validate());
+  // Executed/acked markers refer to live (txn, site) edges, and an acked
+  // ser was necessarily executed first.
+  for (const auto& [marker, name] :
+       {std::pair{&executed_, "executed"}, std::pair{&acked_, "acked"}}) {
+    for (const auto& [txn_value, site_value] : *marker) {
+      GlobalTxnId txn(txn_value);
+      SiteId site(site_value);
+      const std::vector<SiteId>& sites = tsgd_.SitesOf(txn);
+      if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        return Status::Internal("Scheme2: stale " + std::string(name) +
+                                " marker (" + ToString(txn) + ", " +
+                                ToString(site) + ")");
+      }
+    }
+  }
+  for (const auto& pair : acked_) {
+    if (!executed_.contains(pair)) {
+      return Status::Internal("Scheme2: (" + ToString(GlobalTxnId(pair.first)) +
+                              ", " + ToString(SiteId(pair.second)) +
+                              ") acked but never executed");
+    }
+  }
+  return Status::OK();
+}
+
+Status Scheme2::AuditSerRelease(GlobalTxnId txn, SiteId site) const {
+  if (!tsgd_.HasTxn(txn)) {
+    return Status::Internal("Scheme2: ser(" + ToString(txn) + "@" +
+                            ToString(site) + ") released for unknown txn");
+  }
+  for (GlobalTxnId source : tsgd_.DependenciesInto(txn, site)) {
+    if (!Acked(source, site)) {
+      return Status::Internal(
+          "Scheme2: ser(" + ToString(txn) + "@" + ToString(site) +
+          ") released before its dependency source " + ToString(source) +
+          " was acked");
+    }
+  }
+  return Status::OK();
 }
 
 Verdict Scheme2::CondSer(GlobalTxnId txn, SiteId site) {

@@ -30,6 +30,10 @@ class Scheme2 : public ConservativeSchemeBase {
  public:
   SchemeKind kind() const override { return SchemeKind::kScheme2; }
   const char* Name() const override { return "Scheme2-TSGD"; }
+  bool IsConservative() const override { return true; }
+
+  Status CheckStructuralInvariants() const override;
+  Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;

@@ -1,5 +1,8 @@
 #include "gtm/scheme3.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.h"
 
 namespace mdbs::gtm {
@@ -11,14 +14,98 @@ void Scheme3::ActInit(const QueueOp& op) {
   for (SiteId site : op.sites) {
     pending_[site].insert(op.txn);
     AddSteps(1);
-    auto last_it = last_.find(site);
-    if (last_it == last_.end() || !last_it->second.valid()) continue;
-    GlobalTxnId last = last_it->second;
+    auto hist_it = released_live_.find(site);
+    if (hist_it == released_live_.end() || hist_it->second.empty()) continue;
+    GlobalTxnId last = hist_it->second.back();
     const std::set<GlobalTxnId>& last_sb = ser_bef_.at(last);
     sb.insert(last_sb.begin(), last_sb.end());
     sb.insert(last);
     AddSteps(static_cast<int64_t>(last_sb.size()) + 1);
   }
+}
+
+Status Scheme3::CheckStructuralInvariants() const {
+  if (ser_bef_.size() != sites_.size()) {
+    return Status::Internal(
+        "Scheme3: ser_bef tracks " + std::to_string(ser_bef_.size()) +
+        " txns but sites tracks " + std::to_string(sites_.size()));
+  }
+  for (const auto& [txn, sb] : ser_bef_) {
+    // Irreflexivity: nothing serializes before itself (Theorem 8's working
+    // invariant; ActSer also asserts it at the insertion point).
+    if (sb.contains(txn)) {
+      return Status::Internal("Scheme3: " + ToString(txn) +
+                              " serialized before itself");
+    }
+    if (!sites_.contains(txn)) {
+      return Status::Internal("Scheme3: ser_bef entry for " + ToString(txn) +
+                              " without a site list");
+    }
+  }
+  for (const auto& [site, pending] : pending_) {
+    for (GlobalTxnId txn : pending) {
+      auto it = sites_.find(txn);
+      if (it == sites_.end() ||
+          std::find(it->second.begin(), it->second.end(), site) ==
+              it->second.end()) {
+        return Status::Internal("Scheme3: pending " + ToString(txn) +
+                                " at " + ToString(site) +
+                                " without a matching announcement");
+      }
+    }
+  }
+  for (const auto& [site, last] : last_) {
+    if (last.valid() && !sites_.contains(last)) {
+      return Status::Internal("Scheme3: last ser at " + ToString(site) +
+                              " refers to forgotten " + ToString(last));
+    }
+  }
+  for (const auto& [site, history] : released_live_) {
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (!sites_.contains(history[i])) {
+        return Status::Internal("Scheme3: release history at " +
+                                ToString(site) + " refers to forgotten " +
+                                ToString(history[i]));
+      }
+      for (size_t j = i + 1; j < history.size(); ++j) {
+        if (history[i] == history[j]) {
+          return Status::Internal("Scheme3: " + ToString(history[i]) +
+                                  " released twice at " + ToString(site));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Scheme3::AuditSerRelease(GlobalTxnId txn, SiteId site) const {
+  auto sb_it = ser_bef_.find(txn);
+  if (sb_it == ser_bef_.end()) {
+    return Status::Internal("Scheme3: ser(" + ToString(txn) + "@" +
+                            ToString(site) + ") released for unknown txn");
+  }
+  if (pin_acks_) {
+    auto last_it = last_.find(site);
+    if (last_it != last_.end() && last_it->second.valid() &&
+        !acked_.contains({last_it->second.value(), site.value()})) {
+      return Status::Internal(
+          "Scheme3: ser(" + ToString(txn) + "@" + ToString(site) +
+          ") released before the previous ser of " +
+          ToString(last_it->second) + " was acked");
+    }
+  }
+  auto pending_it = pending_.find(site);
+  if (pending_it != pending_.end()) {
+    for (GlobalTxnId other : pending_it->second) {
+      if (other != txn && sb_it->second.contains(other)) {
+        return Status::Internal(
+            "Scheme3: ser(" + ToString(txn) + "@" + ToString(site) +
+            ") released although pending " + ToString(other) +
+            " is serialized before it");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Verdict Scheme3::CondSer(GlobalTxnId txn, SiteId site) {
@@ -52,6 +139,7 @@ void Scheme3::ActSer(GlobalTxnId txn, SiteId site) {
   // Set_1 = ser_bef(txn) ∪ {txn} flows into every transaction still pending
   // here and, for transitive closure, into every transaction that already
   // has a pending one in its ser_bef (the paper's Set_2).
+  released_live_[site].push_back(txn);
   std::set<GlobalTxnId> set1 = ser_bef_.at(txn);
   set1.insert(txn);
   for (auto& [other, sb] : ser_bef_) {
@@ -103,6 +191,8 @@ void Scheme3::RemoveEverywhere(GlobalTxnId txn) {
     if (last_it != last_.end() && last_it->second == txn) {
       last_.erase(last_it);
     }
+    auto hist_it = released_live_.find(site);
+    if (hist_it != released_live_.end()) std::erase(hist_it->second, txn);
     acked_.erase({txn.value(), site.value()});
   }
   ser_bef_.erase(txn);

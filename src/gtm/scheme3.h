@@ -47,6 +47,12 @@ class Scheme3 : public ConservativeSchemeBase {
   const char* Name() const override {
     return pin_acks_ ? "Scheme3-O" : "Scheme3-nopin";
   }
+  /// The nopin ablation deliberately loses ser(S) serializability, so it
+  /// must not claim the conservative guarantees the audit layer enforces.
+  bool IsConservative() const override { return pin_acks_; }
+
+  Status CheckStructuralInvariants() const override;
+  Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;
@@ -66,6 +72,16 @@ class Scheme3 : public ConservativeSchemeBase {
   std::unordered_map<GlobalTxnId, std::set<GlobalTxnId>> ser_bef_;
   std::unordered_map<GlobalTxnId, std::vector<SiteId>> sites_;
   std::unordered_map<SiteId, GlobalTxnId> last_;
+  /// Per site: transactions whose ser executed there, in execution order,
+  /// erased on fin/abort. A new announcement inherits ser_bef of the LAST
+  /// live entry (plus the entry itself), freshly at init time. Tracking the
+  /// history instead of only last_k preserves the ordering constraint when
+  /// the most recent transaction aborts: its predecessor — whose ser also
+  /// already executed at the site — takes over as the constraint source.
+  /// Deriving the floor from last_ alone loses exactly that, and lets two
+  /// survivors release their sers in opposite orders at two sites (an
+  /// abstract ser(S) cycle).
+  std::unordered_map<SiteId, std::vector<GlobalTxnId>> released_live_;
   std::unordered_map<SiteId, std::set<GlobalTxnId>> pending_;
   std::set<std::pair<int64_t, int64_t>> acked_;  // (txn, site)
 };

@@ -1,6 +1,8 @@
 #include "gtm/tsg.h"
 
+#include <algorithm>
 #include <deque>
+#include <string>
 
 #include "common/logging.h"
 
@@ -35,6 +37,51 @@ const std::vector<SiteId>& TransactionSiteGraph::SitesOf(
   static const std::vector<SiteId>& empty = *new std::vector<SiteId>();
   auto it = txns_.find(txn);
   return it == txns_.end() ? empty : it->second;
+}
+
+Status TransactionSiteGraph::Validate() const {
+  size_t txn_side_edges = 0;
+  for (const auto& [txn, sites] : txns_) {
+    std::unordered_set<int64_t> seen;
+    for (SiteId site : sites) {
+      if (!seen.insert(site.value()).second) {
+        return Status::Internal("TSG: duplicate edge (" + ToString(txn) +
+                                ", " + ToString(site) + ")");
+      }
+      auto site_it = sites_.find(site);
+      if (site_it == sites_.end() || !site_it->second.contains(txn)) {
+        return Status::Internal("TSG: edge (" + ToString(txn) + ", " +
+                                ToString(site) +
+                                ") missing from the site side");
+      }
+      ++txn_side_edges;
+    }
+  }
+  size_t site_side_edges = 0;
+  for (const auto& [site, txns] : sites_) {
+    if (txns.empty()) {
+      return Status::Internal("TSG: empty bucket retained for " +
+                              ToString(site));
+    }
+    for (GlobalTxnId txn : txns) {
+      auto txn_it = txns_.find(txn);
+      if (txn_it == txns_.end() ||
+          std::find(txn_it->second.begin(), txn_it->second.end(), site) ==
+              txn_it->second.end()) {
+        return Status::Internal("TSG: edge (" + ToString(txn) + ", " +
+                                ToString(site) +
+                                ") missing from the txn side");
+      }
+      ++site_side_edges;
+    }
+  }
+  if (txn_side_edges != edge_count_ || site_side_edges != edge_count_) {
+    return Status::Internal(
+        "TSG: edge count " + std::to_string(edge_count_) + " != txn-side " +
+        std::to_string(txn_side_edges) + " / site-side " +
+        std::to_string(site_side_edges));
+  }
+  return Status::OK();
 }
 
 bool TransactionSiteGraph::EdgeOnCycle(GlobalTxnId txn, SiteId site,

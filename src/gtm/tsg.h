@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/status.h"
 
 namespace mdbs::gtm {
 
@@ -34,6 +35,13 @@ class TransactionSiteGraph {
   size_t TxnCount() const { return txns_.size(); }
   size_t SiteCount() const { return sites_.size(); }
   size_t EdgeCount() const { return edge_count_; }
+
+  /// Structural self-check (audit layer): the two adjacency maps mirror
+  /// each other exactly — every (txn, site) edge appears on both sides, no
+  /// txn lists a site twice, no empty site buckets linger, and the edge
+  /// count matches. Bipartiteness is structural (txns_ maps only to sites,
+  /// sites_ only to txns); this verifies the bookkeeping around it.
+  Status Validate() const;
 
  private:
   std::unordered_map<GlobalTxnId, std::vector<SiteId>> txns_;

@@ -1,6 +1,7 @@
 #include "gtm/tsgd.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 
@@ -93,6 +94,134 @@ bool Tsgd::HasDependenciesInto(GlobalTxnId txn, SiteId site) const {
   if (site_it == deps_into_.end()) return false;
   auto to_it = site_it->second.find(txn);
   return to_it != site_it->second.end() && !to_it->second.empty();
+}
+
+namespace {
+
+/// DFS over the directed dependency relation; returns the cycle as txn ids
+/// (first == last) when one is reachable from `node`.
+bool DepCycleSearch(
+    const std::map<GlobalTxnId, std::set<GlobalTxnId>>& succ,
+    GlobalTxnId node, std::set<GlobalTxnId>* done,
+    std::set<GlobalTxnId>* on_path, std::vector<GlobalTxnId>* path) {
+  if (done->contains(node)) return false;
+  on_path->insert(node);
+  path->push_back(node);
+  auto it = succ.find(node);
+  if (it != succ.end()) {
+    for (GlobalTxnId next : it->second) {
+      if (on_path->contains(next)) {
+        path->push_back(next);
+        return true;
+      }
+      if (DepCycleSearch(succ, next, done, on_path, path)) return true;
+    }
+  }
+  on_path->erase(node);
+  path->pop_back();
+  done->insert(node);
+  return false;
+}
+
+}  // namespace
+
+Status Tsgd::Validate() const {
+  // Adjacency mirror: txns_ <-> sites_.
+  for (const auto& [txn, sites] : txns_) {
+    for (SiteId site : sites) {
+      auto site_it = sites_.find(site);
+      if (site_it == sites_.end() || !site_it->second.contains(txn)) {
+        return Status::Internal("TSGD: edge (" + ToString(txn) + ", " +
+                                ToString(site) +
+                                ") missing from the site side");
+      }
+    }
+  }
+  for (const auto& [site, txns] : sites_) {
+    if (txns.empty()) {
+      return Status::Internal("TSGD: empty bucket retained for " +
+                              ToString(site));
+    }
+    for (GlobalTxnId txn : txns) {
+      auto txn_it = txns_.find(txn);
+      if (txn_it == txns_.end() ||
+          !std::binary_search(txn_it->second.begin(), txn_it->second.end(),
+                              site)) {
+        return Status::Internal("TSGD: edge (" + ToString(txn) + ", " +
+                                ToString(site) +
+                                ") missing from the txn side");
+      }
+    }
+  }
+  // Dependencies: endpoints share the site, mirrors agree, counts match.
+  size_t into_count = 0;
+  for (const auto& [site, by_to] : deps_into_) {
+    for (const auto& [to, froms] : by_to) {
+      for (GlobalTxnId from : froms) {
+        ++into_count;
+        for (GlobalTxnId end : {from, to}) {
+          auto site_it = sites_.find(site);
+          if (site_it == sites_.end() || !site_it->second.contains(end)) {
+            return Status::Internal(
+                "TSGD: dependency (" + ToString(from) + ", " +
+                ToString(site) + ") -> (" + ToString(site) + ", " +
+                ToString(to) + ") involves " + ToString(end) +
+                " which has no edge at the site");
+          }
+        }
+        auto from_site_it = deps_from_.find(site);
+        if (from_site_it == deps_from_.end() ||
+            !from_site_it->second.contains(from) ||
+            !from_site_it->second.at(from).contains(to)) {
+          return Status::Internal("TSGD: dependency (" + ToString(from) +
+                                  " -> " + ToString(to) + " at " +
+                                  ToString(site) +
+                                  ") missing from deps_from_");
+        }
+      }
+    }
+  }
+  size_t from_count = 0;
+  for (const auto& [site, by_from] : deps_from_) {
+    (void)site;
+    for (const auto& [from, tos] : by_from) {
+      (void)from;
+      from_count += tos.size();
+    }
+  }
+  if (into_count != dep_count_ || from_count != dep_count_) {
+    return Status::Internal(
+        "TSGD: dependency count " + std::to_string(dep_count_) +
+        " != into-side " + std::to_string(into_count) + " / from-side " +
+        std::to_string(from_count));
+  }
+  // The directed dependency relation, across all sites, must be acyclic.
+  std::map<GlobalTxnId, std::set<GlobalTxnId>> succ;
+  for (const auto& [site, by_from] : deps_from_) {
+    (void)site;
+    for (const auto& [from, tos] : by_from) {
+      succ[from].insert(tos.begin(), tos.end());
+    }
+  }
+  std::set<GlobalTxnId> done;
+  for (const auto& [node, targets] : succ) {
+    (void)targets;
+    std::set<GlobalTxnId> on_path;
+    std::vector<GlobalTxnId> path;
+    if (DepCycleSearch(succ, node, &done, &on_path, &path)) {
+      // Trim the lead-in: the cycle starts at the first occurrence of the
+      // repeated node.
+      auto start = std::find(path.begin(), path.end(), path.back());
+      path.erase(path.begin(), start);
+      std::string cycle;
+      for (GlobalTxnId member : path) {
+        if (!cycle.empty()) cycle += " -> ";
+        cycle += ToString(member);
+      }
+      return Status::Internal("TSGD: dependency cycle " + cycle);
+    }
+  }
+  return Status::OK();
 }
 
 bool Tsgd::CycleSearch(GlobalTxnId origin, GlobalTxnId current,

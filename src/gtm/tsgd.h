@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/status.h"
 
 namespace mdbs::gtm {
 
@@ -59,6 +60,16 @@ class Tsgd {
 
   size_t TxnCount() const { return txns_.size(); }
   size_t DependencyCount() const { return dep_count_; }
+
+  /// Structural self-check (audit layer): adjacency maps mirror each
+  /// other, every dependency connects two transactions that both have an
+  /// edge at its site, deps_into_/deps_from_ are exact mirrors, counts
+  /// match, and the *directed* dependency relation (from -> to, across all
+  /// sites) is acyclic — a dependency cycle would deadlock cond(ser)/
+  /// cond(fin) and can only arise when Eliminate_Cycles was skipped or
+  /// applied inconsistently. On a dependency cycle the witness transaction
+  /// ids are reported in the status message.
+  Status Validate() const;
 
   /// Independent checker for the cycle definition above, restricted to
   /// cycles through `txn`. Exhaustive backtracking — exponential in the

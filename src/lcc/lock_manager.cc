@@ -70,6 +70,20 @@ bool LockManager::WaitsForReaches(TxnId from, TxnId target,
 }
 
 LockResult LockManager::Acquire(TxnId txn, DataItemId item, LockMode mode) {
+  if (auditor_ != nullptr && released_.contains(txn)) {
+    auditor_->Report(audit::AuditViolation{
+        "strict-2pl-phase",
+        ToString(txn) + " acquires " + LockModeName(mode) + " on " +
+            ToString(item) + " after its shrink phase began",
+        {txn.value()}});
+  }
+  LockResult result = AcquireImpl(txn, item, mode);
+  AuditTable("Acquire");
+  return result;
+}
+
+LockResult LockManager::AcquireImpl(TxnId txn, DataItemId item,
+                                    LockMode mode) {
   MDBS_CHECK(!waiting_on_.contains(txn))
       << txn << " already has an outstanding lock request";
   ItemLock& entry = table_[item];
@@ -145,6 +159,7 @@ void LockManager::GrantFromQueue(DataItemId item, ItemLock* entry,
 
 std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
   std::vector<TxnId> granted;
+  if (auditor_ != nullptr) released_.insert(txn);
 
   // Remove a waiting request, if any (txn aborted while blocked). Its
   // removal can unblock requests queued behind it, so re-evaluate.
@@ -188,6 +203,7 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
     held_items_.erase(held_it);
   }
   lock_point_.erase(txn);
+  AuditTable("ReleaseAll");
   return granted;
 }
 
@@ -227,6 +243,162 @@ std::optional<DataItemId> LockManager::WaitingOn(TxnId txn) const {
 void LockManager::RecordGrant(TxnId txn, DataItemId item) {
   held_items_[txn].insert(item);
   lock_point_[txn] = next_grant_seq_++;
+}
+
+Status LockManager::CheckTableInvariants() const {
+  size_t granted_total = 0;
+  for (const auto& [item, entry] : table_) {
+    if (entry.granted.empty() && entry.waiting.empty()) {
+      return Status::Internal("lock table: empty entry retained for " +
+                              ToString(item));
+    }
+    bool exclusive = false;
+    std::unordered_set<TxnId> holders;
+    for (const Request& r : entry.granted) {
+      ++granted_total;
+      if (!holders.insert(r.txn).second) {
+        return Status::Internal("lock table: " + ToString(r.txn) +
+                                " granted twice on " + ToString(item));
+      }
+      if (r.mode == LockMode::kExclusive) exclusive = true;
+      auto held_it = held_items_.find(r.txn);
+      if (held_it == held_items_.end() || !held_it->second.contains(item)) {
+        return Status::Internal("lock table: grant of " + ToString(item) +
+                                " to " + ToString(r.txn) +
+                                " missing from held_items");
+      }
+      if (!lock_point_.contains(r.txn)) {
+        return Status::Internal("lock table: holder " + ToString(r.txn) +
+                                " has no lock point");
+      }
+    }
+    if (exclusive && entry.granted.size() > 1) {
+      return Status::Internal("lock table: S/X co-grant on " +
+                              ToString(item));
+    }
+    for (size_t i = 0; i < entry.waiting.size(); ++i) {
+      const Request& r = entry.waiting[i];
+      auto wait_it = waiting_on_.find(r.txn);
+      if (wait_it == waiting_on_.end() || wait_it->second != item) {
+        return Status::Internal("lock table: queued request of " +
+                                ToString(r.txn) + " on " + ToString(item) +
+                                " not registered in waiting_on");
+      }
+      if (r.is_upgrade) {
+        if (i != 0) {
+          return Status::Internal("lock table: upgrade request of " +
+                                  ToString(r.txn) + " on " + ToString(item) +
+                                  " not at the queue front");
+        }
+        if (!holders.contains(r.txn)) {
+          return Status::Internal("lock table: upgrader " + ToString(r.txn) +
+                                  " no longer holds " + ToString(item));
+        }
+      } else if (holders.contains(r.txn)) {
+        return Status::Internal("lock table: holder " + ToString(r.txn) +
+                                " queued non-upgrade on " + ToString(item));
+      }
+    }
+  }
+  // held_items_ and lock_point_ mirror the granted lists.
+  size_t held_total = 0;
+  for (const auto& [txn, items] : held_items_) {
+    if (items.empty()) {
+      return Status::Internal("lock table: empty held set retained for " +
+                              ToString(txn));
+    }
+    held_total += items.size();
+    for (DataItemId item : items) {
+      auto table_it = table_.find(item);
+      if (table_it == table_.end() ||
+          !HeldMode(table_it->second, txn).has_value()) {
+        return Status::Internal("lock table: held_items claims " +
+                                ToString(txn) + " holds " + ToString(item) +
+                                " but the table disagrees");
+      }
+    }
+    if (!lock_point_.contains(txn)) {
+      return Status::Internal("lock table: " + ToString(txn) +
+                              " holds locks but has no lock point");
+    }
+  }
+  if (held_total != granted_total) {
+    return Status::Internal(
+        "lock table: granted count " + std::to_string(granted_total) +
+        " != held_items count " + std::to_string(held_total));
+  }
+  for (const auto& [txn, point] : lock_point_) {
+    (void)point;
+    if (!held_items_.contains(txn)) {
+      return Status::Internal("lock table: lock point retained for " +
+                              ToString(txn) + " which holds nothing");
+    }
+  }
+  // waiting_on_ side of the mirror + waits-for acyclicity.
+  for (const auto& [txn, item] : waiting_on_) {
+    auto table_it = table_.find(item);
+    bool queued = false;
+    if (table_it != table_.end()) {
+      for (const Request& r : table_it->second.waiting) {
+        if (r.txn == txn) queued = true;
+      }
+    }
+    if (!queued) {
+      return Status::Internal("lock table: waiting_on claims " +
+                              ToString(txn) + " waits on " + ToString(item) +
+                              " but no queued request exists");
+    }
+    std::unordered_set<TxnId> visited{txn};
+    if (table_it != table_.end()) {
+      const ItemLock& entry = table_it->second;
+      LockMode mode = LockMode::kShared;
+      size_t pos = entry.waiting.size();
+      for (size_t i = 0; i < entry.waiting.size(); ++i) {
+        if (entry.waiting[i].txn == txn) {
+          mode = entry.waiting[i].mode;
+          pos = i;
+          break;
+        }
+      }
+      for (const Request& r : entry.granted) {
+        if (r.txn != txn && !Compatible(r.mode, mode) &&
+            WaitsForReaches(r.txn, txn, &visited)) {
+          return Status::Internal("lock table: waits-for cycle through " +
+                                  ToString(txn) + " on " + ToString(item));
+        }
+      }
+      for (size_t i = 0; i < pos; ++i) {
+        const Request& r = entry.waiting[i];
+        if (r.txn != txn && !Compatible(r.mode, mode) &&
+            WaitsForReaches(r.txn, txn, &visited)) {
+          return Status::Internal("lock table: waits-for cycle through " +
+                                  ToString(txn) + " on " + ToString(item));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void LockManager::EnableAudit(audit::Auditor* auditor) {
+  if (!audit::kAuditCompiledIn) return;
+  auditor_ = auditor != nullptr ? auditor : audit::Auditor::Default();
+}
+
+void LockManager::TestOnlyCorruptGrant(TxnId txn, DataItemId item,
+                                       LockMode mode) {
+  table_[item].granted.push_back(Request{txn, mode, false});
+}
+
+void LockManager::AuditTable(const char* after) {
+  if (auditor_ == nullptr) return;
+  Status status = CheckTableInvariants();
+  if (!status.ok()) {
+    auditor_->Report(audit::AuditViolation{
+        "lock-table",
+        status.message() + " (after " + std::string(after) + ")",
+        {}});
+  }
 }
 
 }  // namespace mdbs::lcc

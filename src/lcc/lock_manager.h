@@ -8,7 +8,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/ids.h"
+#include "common/status.h"
 
 namespace mdbs::lcc {
 
@@ -69,6 +71,30 @@ class LockManager {
   /// Number of items with a non-empty lock entry (for tests).
   size_t ActiveItemCount() const { return table_.size(); }
 
+  /// Structural self-check of the lock table (audit layer):
+  ///   - no empty entries are retained, no transaction is granted twice on
+  ///     one item, and an exclusive grant is the sole grant (no S/X
+  ///     co-grant);
+  ///   - held_items_/lock_point_ mirror the granted lists exactly;
+  ///   - waiting_on_ mirrors the wait queues exactly (at most one
+  ///     outstanding request per transaction);
+  ///   - upgrade requests sit only at the queue front and their issuer
+  ///     still holds the shared lock;
+  ///   - the waits-for graph is acyclic (request-time deadlock detection
+  ///     means a cycle can never be committed to the table).
+  Status CheckTableInvariants() const;
+
+  /// Audits every Acquire/ReleaseAll against CheckTableInvariants and the
+  /// strict-2PL phase discipline (no acquisition after the shrink phase
+  /// began), reporting "lock-table" / "strict-2pl-phase" violations.
+  /// `auditor` may be null, selecting the process-wide default.
+  void EnableAudit(audit::Auditor* auditor);
+
+  /// Mutation-testing hook: injects a grant behind the bookkeeping's back
+  /// so tests can prove CheckTableInvariants detects the corruption. Never
+  /// called outside audit tests.
+  void TestOnlyCorruptGrant(TxnId txn, DataItemId item, LockMode mode);
+
  private:
   struct Request {
     TxnId txn;
@@ -83,6 +109,8 @@ class LockManager {
   static bool Compatible(LockMode a, LockMode b) {
     return a == LockMode::kShared && b == LockMode::kShared;
   }
+
+  LockResult AcquireImpl(TxnId txn, DataItemId item, LockMode mode);
 
   /// Mode currently held by txn on the entry, if any.
   std::optional<LockMode> HeldMode(const ItemLock& entry, TxnId txn) const;
@@ -103,11 +131,19 @@ class LockManager {
 
   void RecordGrant(TxnId txn, DataItemId item);
 
+  /// Runs CheckTableInvariants and reports when auditing is on.
+  void AuditTable(const char* after);
+
   std::unordered_map<DataItemId, ItemLock> table_;
   std::unordered_map<TxnId, std::unordered_set<DataItemId>> held_items_;
   std::unordered_map<TxnId, DataItemId> waiting_on_;
   std::unordered_map<TxnId, int64_t> lock_point_;
   int64_t next_grant_seq_ = 0;
+
+  audit::Auditor* auditor_ = nullptr;
+  /// Transactions already past their shrink phase (strict-2PL audit);
+  /// tracked only while auditing.
+  std::unordered_set<TxnId> released_;
 };
 
 }  // namespace mdbs::lcc

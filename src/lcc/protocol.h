@@ -7,6 +7,10 @@
 #include "common/ids.h"
 #include "common/types.h"
 
+namespace mdbs::audit {
+class Auditor;
+}  // namespace mdbs::audit
+
 namespace mdbs::lcc {
 
 /// The concurrency control protocols a local DBMS may run. The MDBS cannot
@@ -117,6 +121,10 @@ class ConcurrencyControl {
   /// nullopt — precisely the case where the GTM must force conflicts via
   /// tickets. Used by verification and tests, never by the GTM itself.
   virtual std::optional<int64_t> SerializationKey(TxnId txn) const = 0;
+
+  /// Turns on invariant auditing for protocols that support it (2PL audits
+  /// its lock table and the strict-2PL phase discipline). Default: no-op.
+  virtual void EnableAudit(audit::Auditor* auditor) { (void)auditor; }
 };
 
 }  // namespace mdbs::lcc

@@ -60,6 +60,10 @@ class TwoPhaseLocking : public ConcurrencyControl {
 
   std::optional<int64_t> SerializationKey(TxnId txn) const override;
 
+  void EnableAudit(audit::Auditor* auditor) override {
+    lock_manager_.EnableAudit(auditor);
+  }
+
   const LockManager& lock_manager() const { return lock_manager_; }
   DeadlockPolicy policy() const { return policy_; }
   int64_t wounds_inflicted() const { return wounds_inflicted_; }

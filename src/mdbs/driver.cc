@@ -225,6 +225,12 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
 
   mdbs->RunUntilIdle();
 
+  // End-of-run oracle: the recorded schedules must satisfy the paper's
+  // correctness criteria. Violations are reported through the auditor
+  // (fail-fast in tests); the returned status is also checked by callers
+  // that audit with fail_fast off.
+  if (mdbs->audit_enabled()) (void)mdbs->RunAuditOracle();
+
   DriverReport report;
   report.global_committed = state->global_committed;
   report.global_failed = state->global_failed;

@@ -31,7 +31,10 @@ MdbsConfig MdbsConfig::Mixed(const std::vector<lcc::ProtocolKind>& protocols,
 }
 
 Mdbs::Mdbs(const MdbsConfig& config)
-    : config_(config), net_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+    : config_(config),
+      auditor_(config.audit),
+      audit_enabled_(audit::kAuditCompiledIn && config.audit.enabled),
+      net_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   MDBS_CHECK(!config.sites.empty()) << "an MDBS needs at least one site";
   for (const site::SiteConfig& site_config : config.sites) {
     MDBS_CHECK(!sites_.contains(site_config.id))
@@ -41,6 +44,29 @@ Mdbs::Mdbs(const MdbsConfig& config)
     site_ids_.push_back(site_config.id);
   }
   gtm1_ = std::make_unique<gtm::Gtm1>(config.gtm, &loop_, this, config.seed);
+  if (audit_enabled_) {
+    gtm1_->mutable_gtm2().EnableAudit(config.audit, &auditor_);
+    if (config.audit.check_lock_table) {
+      for (SiteId id : site_ids_) sites_.at(id)->EnableAudit(&auditor_);
+    }
+  }
+}
+
+Status Mdbs::RunAuditOracle() {
+  if (!audit_enabled_ || !config_.audit.run_oracle) return Status::OK();
+  Status first = Status::OK();
+  auto report = [&](const char* invariant, const Status& status) {
+    if (status.ok()) return;
+    if (first.ok()) first = status;
+    auditor_.Report(audit::AuditViolation{invariant, status.message(), {}});
+  };
+  report("oracle-local-csr", CheckLocallySerializable());
+  report("oracle-ser-key", CheckSerializationKeyProperty());
+  report("oracle-strictness", CheckStrictness());
+  if (gtm1_->gtm2().scheme().kind() != gtm::SchemeKind::kNone) {
+    report("oracle-global-csr", CheckGloballySerializable());
+  }
+  return first;
 }
 
 StatusOr<TxnId> Mdbs::BeginLocal(SiteId site) {

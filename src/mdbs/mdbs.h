@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "gtm/gtm1.h"
@@ -28,6 +29,9 @@ struct MdbsConfig {
   /// protocol, which the paper leaves out of scope.
   double response_loss_probability = 0;
   uint64_t seed = 42;
+  /// Invariant auditor wiring (GTM2 driver, 2PL lock tables, end-of-run
+  /// oracle). Enabled by default when compiled in; benchmarks turn it off.
+  audit::AuditConfig audit;
 
   /// Convenience: `count` sites with the given protocols round-robin.
   static MdbsConfig Uniform(int count, lcc::ProtocolKind protocol,
@@ -78,6 +82,18 @@ class Mdbs : public gtm::SiteGateway {
   Status CheckStrictness() const;
   sched::SerializabilityResult GlobalSerializabilityResult() const;
 
+  /// End-of-run audit oracle: runs the serializability/strictness checkers
+  /// above against the recorded schedules and reports failures through the
+  /// auditor ("oracle-local-csr", "oracle-ser-key", "oracle-strictness",
+  /// "oracle-global-csr"). Global CSR is skipped for SchemeKind::kNone —
+  /// the no-control strawman violates it by design (paper §3). Returns the
+  /// first failure (or OK) so callers without an auditor can assert on it.
+  Status RunAuditOracle();
+
+  bool audit_enabled() const { return audit_enabled_; }
+  audit::Auditor& auditor() { return auditor_; }
+  const audit::Auditor& auditor() const { return auditor_; }
+
   /// Sites running a multiversion protocol (verified via MVSG).
   std::vector<SiteId> MultiversionSites() const;
 
@@ -99,6 +115,8 @@ class Mdbs : public gtm::SiteGateway {
   bool LoseResponse();
 
   MdbsConfig config_;
+  audit::Auditor auditor_;
+  bool audit_enabled_ = false;
   sim::EventLoop loop_;
   Rng net_rng_;
   sched::ScheduleRecorder recorder_;

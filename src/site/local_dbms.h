@@ -55,6 +55,10 @@ class LocalDbms : public lcc::ProtocolHost {
   lcc::ProtocolKind protocol_kind() const { return config_.protocol; }
   const lcc::ConcurrencyControl& protocol() const { return *protocol_; }
 
+  /// Forwards invariant auditing to the protocol (no-op for protocols
+  /// without an audit surface).
+  void EnableAudit(audit::Auditor* auditor) { protocol_->EnableAudit(auditor); }
+
   /// Starts a transaction. `global` is invalid for purely local ones.
   Status Begin(TxnId txn, GlobalTxnId global);
 

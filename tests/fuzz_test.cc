@@ -98,6 +98,11 @@ TEST_P(FuzzTest, RandomFederationStaysCorrect) {
   // Conservative schemes never abort from the GTM.
   EXPECT_EQ(report.gtm1.scheme_aborts, 0);
   EXPECT_EQ(report.gtm2.scheme_aborts, 0);
+  // The runtime invariant auditor (on by default, fail-fast) saw nothing;
+  // the assertion documents that the hooks were live during the run.
+  if (system.audit_enabled()) {
+    EXPECT_TRUE(system.auditor().clean());
+  }
 }
 
 }  // namespace
