@@ -8,7 +8,9 @@ namespace mdbs::audit {
 
 std::string AuditViolation::ToString() const {
   std::ostringstream os;
-  os << "[" << invariant << "] " << message;
+  os << "[" << invariant << "]";
+  if (offending_txn >= 0) os << " txn=" << offending_txn;
+  os << " " << message;
   if (!witness.empty()) {
     os << " witness:";
     for (int64_t node : witness) os << " " << node;
@@ -17,6 +19,7 @@ std::string AuditViolation::ToString() const {
 }
 
 void Auditor::Report(AuditViolation violation) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++total_reported_;
   MDBS_LOG(Error) << "audit violation: " << violation.ToString();
   MDBS_CHECK(!config_.fail_fast)
@@ -28,6 +31,7 @@ void Auditor::Report(AuditViolation violation) {
 }
 
 int64_t Auditor::CountFor(const std::string& invariant) const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t count = 0;
   for (const AuditViolation& v : violations_) {
     if (v.invariant == invariant) ++count;
@@ -36,6 +40,7 @@ int64_t Auditor::CountFor(const std::string& invariant) const {
 }
 
 void Auditor::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   violations_.clear();
   total_reported_ = 0;
 }

@@ -2,6 +2,7 @@
 #define MDBS_AUDIT_AUDIT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,12 +54,21 @@ struct AuditViolation {
   std::string invariant;
   std::string message;
   std::vector<int64_t> witness;
+  /// Transaction on whose behalf the violating event executed — under
+  /// threaded execution, the transaction the reporting thread was serving.
+  /// Makes concurrent stress failures attributable without decoding the
+  /// witness; -1 when no single transaction owns the event (end-of-run
+  /// oracle findings).
+  int64_t offending_txn = -1;
 
   std::string ToString() const;
 };
 
 /// Collects violations, logs each through common/logging, and — in
 /// fail-fast mode — aborts the process so tests fail at the faulty event.
+/// Report and the read accessors are serialized by an internal mutex: one
+/// auditor is shared by the GTM strand and every site strand (lock-table
+/// audits) under threaded execution.
 class Auditor {
  public:
   Auditor() = default;
@@ -70,8 +80,16 @@ class Auditor {
   /// Records `violation`. Logs at Error level; aborts when fail_fast.
   void Report(AuditViolation violation);
 
-  bool clean() const { return total_reported_ == 0; }
-  int64_t total_reported() const { return total_reported_; }
+  bool clean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_reported_ == 0;
+  }
+  int64_t total_reported() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_reported_;
+  }
+  /// Only safe once no thread is reporting (post-run) — the reference
+  /// outlives the lock.
   const std::vector<AuditViolation>& violations() const {
     return violations_;
   }
@@ -88,6 +106,7 @@ class Auditor {
   static Auditor* Default();
 
  private:
+  mutable std::mutex mu_;
   AuditConfig config_;
   std::vector<AuditViolation> violations_;
   int64_t total_reported_ = 0;

@@ -6,7 +6,7 @@
 
 namespace mdbs::gtm {
 
-Gtm1::Gtm1(const Gtm1Config& config, sim::EventLoop* loop,
+Gtm1::Gtm1(const Gtm1Config& config, sim::TaskRunner* loop,
            SiteGateway* gateway, uint64_t seed)
     : config_(config), loop_(loop), gateway_(gateway), rng_(seed) {
   Gtm2::Callbacks callbacks;
@@ -175,9 +175,27 @@ void Gtm1::PerformStep(Attempt* attempt, const Step& step,
       return;
     }
     case Step::Kind::kTicket: {
-      DataOp ticket = DataOp::Write(kTicketItem, next_ticket_value_++);
-      gateway_->Submit(step.site, attempt->sub_ids.at(step.site), ticket,
-                       std::move(done));
+      // The paper's take-a-ticket: read the ticket, write back the
+      // incremented value. The read half is load-bearing — a blind ticket
+      // write would let a backward-validating protocol (OCC checks only
+      // read sets) commit two ticket writers in either order, silently
+      // inverting the serialization order the ticket exists to pin.
+      SiteId site = step.site;
+      TxnId sub_id = attempt->sub_ids.at(site);
+      gateway_->Submit(
+          site, sub_id, DataOp::Read(kTicketItem),
+          [this, attempt_id, site, sub_id, done = std::move(done)](
+              const Status& status, int64_t value) mutable {
+            if (!status.ok()) {
+              done(status, 0);
+              return;
+            }
+            Attempt* holder = FindAttempt(attempt_id);
+            if (holder == nullptr || holder->failed) return;
+            gateway_->Submit(site, sub_id,
+                             DataOp::Write(kTicketItem, value + 1),
+                             std::move(done));
+          });
       return;
     }
     case Step::Kind::kData: {

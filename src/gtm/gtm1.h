@@ -12,7 +12,7 @@
 #include "gtm/global_txn.h"
 #include "gtm/gtm2.h"
 #include "gtm/serialization_function.h"
-#include "sim/event_loop.h"
+#include "sim/task_runner.h"
 
 namespace mdbs::gtm {
 
@@ -87,7 +87,10 @@ class Gtm1 {
  public:
   using ResultCallback = std::function<void(const GlobalTxnResult&)>;
 
-  Gtm1(const Gtm1Config& config, sim::EventLoop* loop, SiteGateway* gateway,
+  /// `loop` is the GTM's strand; every GTM1/GTM2 state transition runs on
+  /// it. In threaded mode it is the strand whose serialization acts as the
+  /// scheme-level lock: ser_k release order is established there.
+  Gtm1(const Gtm1Config& config, sim::TaskRunner* loop, SiteGateway* gateway,
        uint64_t seed);
 
   Gtm1(const Gtm1&) = delete;
@@ -150,13 +153,12 @@ class Gtm1 {
   Attempt* FindAttempt(GlobalTxnId attempt_id);
 
   Gtm1Config config_;
-  sim::EventLoop* loop_;
+  sim::TaskRunner* loop_;
   SiteGateway* gateway_;
   std::unique_ptr<Gtm2> gtm2_;
   Rng rng_;
   int64_t next_txn_id_ = 0;
   int64_t next_attempt_id_ = 0;
-  int64_t next_ticket_value_ = 1;
   int64_t in_flight_ = 0;
   std::unordered_map<GlobalTxnId, std::unique_ptr<Attempt>> attempts_;
   std::vector<std::unique_ptr<Job>> jobs_;

@@ -27,7 +27,8 @@ void Gtm2::AuditVerdict(const QueueOp& op, Verdict verdict) {
         "conservative-discipline",
         std::string(scheme_->Name()) + " demanded an abort on " +
             op.ToString() + " (Theorems 3/5/8: Schemes 0-3 never abort)",
-        {op.txn.value()}});
+        {op.txn.value()},
+        op.txn.value()});
   }
 }
 
@@ -37,7 +38,8 @@ void Gtm2::AuditBeforeSerRelease(GlobalTxnId txn, SiteId site) {
     Status status = scheme_->AuditSerRelease(txn, site);
     if (!status.ok()) {
       auditor_->Report(audit::AuditViolation{
-          "ser-release-discipline", status.message(), {txn.value()}});
+          "ser-release-discipline", status.message(), {txn.value()},
+          txn.value()});
     }
   }
   if (audit_config_.check_ser_graph) {
@@ -48,7 +50,7 @@ void Gtm2::AuditBeforeSerRelease(GlobalTxnId txn, SiteId site) {
           "ser-graph-acyclic",
           "releasing ser(" + ToString(txn) + "@" + ToString(site) +
               ") closes a cycle in the abstract ser(S) graph (Theorem 1)",
-          *cycle});
+          *cycle, txn.value()});
     }
   }
 }
@@ -62,7 +64,7 @@ void Gtm2::AuditAfterAct(const QueueOp& op) {
       auditor_->Report(audit::AuditViolation{
           "scheme-structure",
           status.message() + " (after " + op.ToString() + ")",
-          {op.txn.value()}});
+          {op.txn.value()}, op.txn.value()});
     }
   }
 }

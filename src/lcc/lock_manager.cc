@@ -75,10 +75,11 @@ LockResult LockManager::Acquire(TxnId txn, DataItemId item, LockMode mode) {
         "strict-2pl-phase",
         ToString(txn) + " acquires " + LockModeName(mode) + " on " +
             ToString(item) + " after its shrink phase began",
-        {txn.value()}});
+        {txn.value()},
+        txn.value()});
   }
   LockResult result = AcquireImpl(txn, item, mode);
-  AuditTable("Acquire");
+  AuditTable("Acquire", txn);
   return result;
 }
 
@@ -203,7 +204,7 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
     held_items_.erase(held_it);
   }
   lock_point_.erase(txn);
-  AuditTable("ReleaseAll");
+  AuditTable("ReleaseAll", txn);
   return granted;
 }
 
@@ -390,14 +391,16 @@ void LockManager::TestOnlyCorruptGrant(TxnId txn, DataItemId item,
   table_[item].granted.push_back(Request{txn, mode, false});
 }
 
-void LockManager::AuditTable(const char* after) {
+void LockManager::AuditTable(const char* after, TxnId txn) {
   if (auditor_ == nullptr) return;
   Status status = CheckTableInvariants();
   if (!status.ok()) {
     auditor_->Report(audit::AuditViolation{
         "lock-table",
-        status.message() + " (after " + std::string(after) + ")",
-        {}});
+        status.message() + " (after " + std::string(after) + " by " +
+            ToString(txn) + ")",
+        {},
+        txn.value()});
   }
 }
 

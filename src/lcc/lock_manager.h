@@ -131,8 +131,10 @@ class LockManager {
 
   void RecordGrant(TxnId txn, DataItemId item);
 
-  /// Runs CheckTableInvariants and reports when auditing is on.
-  void AuditTable(const char* after);
+  /// Runs CheckTableInvariants and reports when auditing is on; `txn` is
+  /// the transaction whose request triggered the check (attributed in the
+  /// violation report).
+  void AuditTable(const char* after, TxnId txn);
 
   std::unordered_map<DataItemId, ItemLock> table_;
   std::unordered_map<TxnId, std::unordered_set<DataItemId>> held_items_;

@@ -51,7 +51,12 @@ AccessDecision TwoPhaseLocking::OnAccess(TxnId txn, const DataOp& op) {
       }
     } else {  // Wound-wait.
       for (TxnId blocker : blockers) {
-        if (age_.at(blocker) > my_age) {
+        // A holder queued behind its own upgrade appears twice in the
+        // blocker list (once granted, once waiting); wounding it on the
+        // first occurrence erases its age, so a repeat must be skipped.
+        auto age_it = age_.find(blocker);
+        if (age_it == age_.end()) continue;
+        if (age_it->second > my_age) {
           ++wounds_inflicted_;
           host_->AbortTransaction(
               blocker, "wounded by older " + ToString(txn));

@@ -1,5 +1,10 @@
 #include "mdbs/mdbs.h"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace mdbs {
@@ -34,22 +39,102 @@ Mdbs::Mdbs(const MdbsConfig& config)
     : config_(config),
       auditor_(config.audit),
       audit_enabled_(audit::kAuditCompiledIn && config.audit.enabled),
+      threaded_(config.threaded),
       net_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
   MDBS_CHECK(!config.sites.empty()) << "an MDBS needs at least one site";
+  if (threaded_) {
+    ticker_ = std::make_unique<sim::RealTicker>();
+    for (const site::SiteConfig& site_config : config.sites) {
+      site_strands_[site_config.id] = std::make_unique<sim::RealStrand>(
+          ticker_.get(), "site-" + ToString(site_config.id));
+    }
+    gtm_strand_ = std::make_unique<sim::RealStrand>(ticker_.get(), "gtm");
+  }
   for (const site::SiteConfig& site_config : config.sites) {
     MDBS_CHECK(!sites_.contains(site_config.id))
         << "duplicate site " << site_config.id;
-    sites_[site_config.id] =
-        std::make_unique<site::LocalDbms>(site_config, &loop_, &recorder_);
+    sites_[site_config.id] = std::make_unique<site::LocalDbms>(
+        site_config, SiteRunner(site_config.id), &recorder_);
     site_ids_.push_back(site_config.id);
   }
-  gtm1_ = std::make_unique<gtm::Gtm1>(config.gtm, &loop_, this, config.seed);
+  gtm1_ =
+      std::make_unique<gtm::Gtm1>(config.gtm, GtmRunner(), this, config.seed);
   if (audit_enabled_) {
     gtm1_->mutable_gtm2().EnableAudit(config.audit, &auditor_);
     if (config.audit.check_lock_table) {
       for (SiteId id : site_ids_) sites_.at(id)->EnableAudit(&auditor_);
     }
   }
+}
+
+Mdbs::~Mdbs() { StopStrands(); }
+
+sim::TaskRunner* Mdbs::SiteRunner(SiteId site) {
+  if (!threaded_) return &loop_;
+  return site_strands_.at(site).get();
+}
+
+sim::TaskRunner* Mdbs::GtmRunner() {
+  if (!threaded_) return &loop_;
+  return gtm_strand_.get();
+}
+
+sim::Time Mdbs::NowTicks() const {
+  return threaded_ ? ticker_->NowMicros() : loop_.now();
+}
+
+void Mdbs::SubmitGlobal(gtm::GlobalTxnSpec spec, gtm::Gtm1::ResultCallback cb) {
+  if (!threaded_) {
+    gtm1_->Submit(std::move(spec), std::move(cb));
+    return;
+  }
+  GtmRunner()->Schedule(
+      0, [this, spec = std::move(spec), cb = std::move(cb)]() mutable {
+        gtm1_->Submit(std::move(spec), std::move(cb));
+      });
+}
+
+void Mdbs::InjectCrash(SiteId site, sim::Time recover_after) {
+  SiteRunner(site)->Schedule(0, [this, site, recover_after]() {
+    site::LocalDbms& dbms = *sites_.at(site);
+    if (dbms.IsDown()) return;
+    dbms.Crash();
+    SiteRunner(site)->Schedule(recover_after,
+                               [this, site]() { sites_.at(site)->Recover(); });
+  });
+}
+
+void Mdbs::FinishThreadedRun() {
+  if (!threaded_ || strands_stopped_) return;
+  // Quiescence sweep. The horizon must exceed every short-lived internal
+  // delay (network hops, service times, retry backoff, crash recovery) so
+  // in-flight chains count as busy, while the only far-future timers —
+  // attempt timeouts of already-finished transactions — don't keep the run
+  // alive for hundreds of milliseconds. Observing strand A idle
+  // happens-after any task it posted to strand B was enqueued (A's mutex,
+  // then B's mutex), so a sweep where every strand is quiescent beyond the
+  // horizon is a true fixpoint once no external thread submits work.
+  sim::Time horizon_ticks = 2 * config_.net_delay + 1000;
+  horizon_ticks = std::max<sim::Time>(horizon_ticks,
+                                      2 * config_.gtm.retry_backoff + 100);
+  for (;;) {
+    sim::Time horizon = ticker_->NowMicros() + horizon_ticks;
+    bool all_quiescent = gtm_strand_->QuiescentBeyond(horizon);
+    for (const auto& [id, strand] : site_strands_) {
+      all_quiescent = all_quiescent && strand->QuiescentBeyond(horizon);
+    }
+    if (all_quiescent) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  StopStrands();
+}
+
+void Mdbs::StopStrands() {
+  if (!threaded_ || strands_stopped_) return;
+  // Joining the workers makes everything they wrote visible to this thread.
+  gtm_strand_->Stop();
+  for (auto& [id, strand] : site_strands_) strand->Stop();
+  strands_stopped_ = true;
 }
 
 Status Mdbs::RunAuditOracle() {
@@ -71,7 +156,28 @@ Status Mdbs::RunAuditOracle() {
 
 StatusOr<TxnId> Mdbs::BeginLocal(SiteId site) {
   TxnId txn = TxnId(next_local_txn_id_++);
-  Status status = sites_.at(site)->Begin(txn, GlobalTxnId());
+  if (!threaded_) {
+    Status status = sites_.at(site)->Begin(txn, GlobalTxnId());
+    if (!status.ok()) return status;
+    return txn;
+  }
+  // The site's state belongs to its strand; run the begin there and block
+  // until it answered. The references stay valid because this frame waits.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::OK();
+  SiteRunner(site)->Schedule(0, [&]() {
+    Status begin_status = sites_.at(site)->Begin(txn, GlobalTxnId());
+    // Notify under the lock: this frame destroys cv/mu the moment it
+    // observes `done`, which the mutex orders after the signal.
+    std::lock_guard<std::mutex> lock(mu);
+    status = begin_status;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
   if (!status.ok()) return status;
   return txn;
 }
@@ -138,51 +244,60 @@ lcc::ProtocolKind Mdbs::ProtocolAt(SiteId site) const {
 }
 
 bool Mdbs::LoseResponse() {
-  return config_.response_loss_probability > 0 &&
-         net_rng_.NextBernoulli(config_.response_loss_probability);
+  if (config_.response_loss_probability <= 0) return false;
+  // Site strands evaluate this concurrently in threaded mode.
+  std::lock_guard<std::mutex> lock(net_mu_);
+  return net_rng_.NextBernoulli(config_.response_loss_probability);
 }
 
+// The gateway models the paper's servers: a request hops to the site's
+// strand after a network delay, the site answers on its own strand, and the
+// response hops back to the GTM's strand. In simulation mode both strands
+// are the event loop, reproducing the seed behavior exactly.
+
 void Mdbs::Begin(SiteId site, TxnId txn, GlobalTxnId global, TxnCallback cb) {
-  loop_.Schedule(config_.net_delay, [this, site, txn, global,
-                                     cb = std::move(cb)]() {
+  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn, global,
+                                                 cb = std::move(cb)]() {
     Status status = sites_.at(site)->Begin(txn, global);
     if (LoseResponse()) return;  // GTM1's timeout takes it from here.
-    loop_.Schedule(config_.net_delay,
-                   [status, cb = std::move(cb)]() { cb(status); });
+    GtmRunner()->Schedule(config_.net_delay,
+                          [status, cb = std::move(cb)]() { cb(status); });
   });
 }
 
 void Mdbs::Submit(SiteId site, TxnId txn, const DataOp& op, OpCallback cb) {
-  loop_.Schedule(config_.net_delay, [this, site, txn, op,
-                                     cb = std::move(cb)]() {
+  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn, op,
+                                                 cb = std::move(cb)]() {
     sites_.at(site)->Submit(
         txn, op,
         [this, cb = std::move(cb)](const Status& status, int64_t value) {
           if (LoseResponse()) return;
-          loop_.Schedule(config_.net_delay, [status, value,
-                                             cb = std::move(cb)]() {
-            cb(status, value);
-          });
+          GtmRunner()->Schedule(config_.net_delay,
+                                [status, value, cb = std::move(cb)]() {
+                                  cb(status, value);
+                                });
         });
   });
 }
 
 void Mdbs::Commit(SiteId site, TxnId txn, TxnCallback cb) {
-  loop_.Schedule(config_.net_delay, [this, site, txn, cb = std::move(cb)]() {
+  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn,
+                                                 cb = std::move(cb)]() {
     sites_.at(site)->Commit(
         txn, [this, cb = std::move(cb)](const Status& status) {
-          loop_.Schedule(config_.net_delay,
-                         [status, cb = std::move(cb)]() { cb(status); });
+          GtmRunner()->Schedule(config_.net_delay,
+                                [status, cb = std::move(cb)]() { cb(status); });
         });
   });
 }
 
 void Mdbs::Abort(SiteId site, TxnId txn, TxnCallback cb) {
-  loop_.Schedule(config_.net_delay, [this, site, txn, cb = std::move(cb)]() {
+  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn,
+                                                 cb = std::move(cb)]() {
     sites_.at(site)->Abort(
         txn, [this, cb = std::move(cb)](const Status& status) {
-          loop_.Schedule(config_.net_delay,
-                         [status, cb = std::move(cb)]() { cb(status); });
+          GtmRunner()->Schedule(config_.net_delay,
+                                [status, cb = std::move(cb)]() { cb(status); });
         });
   });
 }

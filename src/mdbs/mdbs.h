@@ -1,7 +1,9 @@
 #ifndef MDBS_MDBS_MDBS_H_
 #define MDBS_MDBS_MDBS_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "sched/schedule.h"
 #include "sched/serializability.h"
 #include "sim/event_loop.h"
+#include "sim/real_strand.h"
 #include "site/local_dbms.h"
 
 namespace mdbs {
@@ -32,6 +35,12 @@ struct MdbsConfig {
   /// Invariant auditor wiring (GTM2 driver, 2PL lock tables, end-of-run
   /// oracle). Enabled by default when compiled in; benchmarks turn it off.
   audit::AuditConfig audit;
+  /// Execution mode. false: the single-threaded discrete-event simulator
+  /// (deterministic; drive it with RunUntilIdle). true: real threads — one
+  /// RealStrand per site plus one for the GTM — with ticks interpreted as
+  /// real microseconds; drive it with RunThreadedDriver (or SubmitGlobal +
+  /// your own threads) and finish with FinishThreadedRun.
+  bool threaded = false;
 
   /// Convenience: `count` sites with the given protocols round-robin.
   static MdbsConfig Uniform(int count, lcc::ProtocolKind protocol,
@@ -52,7 +61,9 @@ struct MdbsConfig {
 class Mdbs : public gtm::SiteGateway {
  public:
   explicit Mdbs(const MdbsConfig& config);
-  ~Mdbs() override = default;
+  /// Threaded mode: stops the strands (joining their workers) before any
+  /// member is destroyed.
+  ~Mdbs() override;
 
   Mdbs(const Mdbs&) = delete;
   Mdbs& operator=(const Mdbs&) = delete;
@@ -64,14 +75,38 @@ class Mdbs : public gtm::SiteGateway {
   site::LocalDbms& site(SiteId id) { return *sites_.at(id); }
   const std::vector<SiteId>& site_ids() const { return site_ids_; }
   const MdbsConfig& config() const { return config_; }
+  bool threaded() const { return threaded_; }
 
-  /// Runs the simulation until no events remain.
+  /// Runs the simulation until no events remain (simulation mode only).
   void RunUntilIdle() { loop_.Run(); }
+
+  /// Current time: virtual ticks (simulation) or real microseconds since
+  /// construction (threaded). Safe from any thread.
+  sim::Time NowTicks() const;
+
+  /// Submits a global transaction on the GTM's strand; `cb` fires once,
+  /// on the GTM strand, with the final outcome. Safe from any thread in
+  /// threaded mode; equivalent to gtm().Submit in simulation mode.
+  void SubmitGlobal(gtm::GlobalTxnSpec spec, gtm::Gtm1::ResultCallback cb);
 
   /// Begins a purely local transaction at `site` (a pre-existing local
   /// application: invisible to the GTM). Returns the fresh transaction id,
-  /// or TransactionAborted while the site is down.
+  /// or TransactionAborted while the site is down. In threaded mode this
+  /// blocks the calling thread until the site's strand ran the begin.
   StatusOr<TxnId> BeginLocal(SiteId site);
+
+  /// Crashes `site` (if up) on its strand and schedules its recovery
+  /// `recover_after` ticks later. Safe from any thread in threaded mode.
+  void InjectCrash(SiteId site, sim::Time recover_after);
+
+  /// Threaded mode: waits until every strand is quiescent (nothing running
+  /// and nothing due within a short horizon — stale far-future timers such
+  /// as attempt timeouts for finished transactions don't count), then stops
+  /// all strands. After it returns the object is single-threaded again, so
+  /// stats, the recorder, and the oracle can be read plainly. Callers must
+  /// have stopped submitting work (all clients joined). Idempotent; no-op
+  /// in simulation mode.
+  void FinishThreadedRun();
 
   /// Verification: local CSR at every site, the serialization-key property
   /// at every site, and global CSR across sites.
@@ -112,18 +147,33 @@ class Mdbs : public gtm::SiteGateway {
   static constexpr int64_t kLocalTxnIdBase = 1'000'000'000;
 
   /// True when this response should be dropped (lossy network injection).
+  /// Thread-safe: the response paths run on site strands concurrently.
   bool LoseResponse();
+
+  /// The strand owning `site`'s state (the shared loop in simulation mode).
+  sim::TaskRunner* SiteRunner(SiteId site);
+  /// The strand owning the GTM's state.
+  sim::TaskRunner* GtmRunner();
+  /// Stops all strands without the quiescence sweep (destructor path).
+  void StopStrands();
 
   MdbsConfig config_;
   audit::Auditor auditor_;
   bool audit_enabled_ = false;
+  bool threaded_ = false;
   sim::EventLoop loop_;
+  /// Threaded-mode machinery; unused (null/empty) in simulation mode.
+  std::unique_ptr<sim::RealTicker> ticker_;
+  std::unordered_map<SiteId, std::unique_ptr<sim::RealStrand>> site_strands_;
+  std::unique_ptr<sim::RealStrand> gtm_strand_;
+  bool strands_stopped_ = false;
+  std::mutex net_mu_;
   Rng net_rng_;
   sched::ScheduleRecorder recorder_;
   std::unordered_map<SiteId, std::unique_ptr<site::LocalDbms>> sites_;
   std::vector<SiteId> site_ids_;
   std::unique_ptr<gtm::Gtm1> gtm1_;
-  int64_t next_local_txn_id_ = kLocalTxnIdBase;
+  std::atomic<int64_t> next_local_txn_id_{kLocalTxnIdBase};
 };
 
 }  // namespace mdbs

@@ -1,0 +1,270 @@
+#include "mdbs/threaded_driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mdbs {
+
+namespace {
+
+void SleepTicks(sim::Time ticks) {
+  if (ticks <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(ticks));
+}
+
+/// Shared run state; the driver mutex only guards the tallies, never any
+/// part of the execution stack.
+struct RunState {
+  Mdbs* mdbs = nullptr;
+  DriverConfig config;
+
+  std::mutex mu;
+  int64_t global_committed = 0;
+  int64_t global_failed = 0;
+  int64_t local_committed = 0;
+  int64_t local_failed = 0;
+  int64_t local_retries = 0;
+  sim::Summary response;
+  sim::Summary attempts;
+
+  std::atomic<bool> stop{false};
+
+  bool TargetReachedLocked() const {
+    return global_committed + global_failed >=
+           config.target_global_commits;
+  }
+};
+
+/// Submits one global transaction and blocks until its final outcome.
+gtm::GlobalTxnResult SubmitGlobalAndWait(Mdbs* mdbs, gtm::GlobalTxnSpec spec) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  gtm::GlobalTxnResult result;
+  mdbs->SubmitGlobal(std::move(spec),
+                     [&](const gtm::GlobalTxnResult& final_result) {
+                       // Notify under the lock: the waiter owns cv/mu on its
+                       // stack and destroys them as soon as it observes
+                       // `done`, which the mutex orders after this signal.
+                       std::lock_guard<std::mutex> lock(mu);
+                       result = final_result;
+                       done = true;
+                       cv.notify_one();
+                     });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  return result;
+}
+
+/// Submits one local data operation and blocks until the site answered
+/// (possibly after lock waits at the site).
+Status SubmitLocalAndWait(site::LocalDbms* dbms, TxnId txn, const DataOp& op) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status result = Status::OK();
+  dbms->Submit(txn, op, [&](const Status& status, int64_t) {
+    std::lock_guard<std::mutex> lock(mu);  // Notify under the lock: the
+    result = status;                       // waiter destroys cv on wake.
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  return result;
+}
+
+Status CommitLocalAndWait(site::LocalDbms* dbms, TxnId txn) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status result = Status::OK();
+  dbms->Commit(txn, [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(mu);  // Notify under the lock: the
+    result = status;                       // waiter destroys cv on wake.
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  return result;
+}
+
+/// One closed-loop global client: keeps one global transaction in flight
+/// until the commit target is reached.
+void GlobalClientMain(RunState* state, Rng rng) {
+  Mdbs* mdbs = state->mdbs;
+  while (!state->stop.load(std::memory_order_relaxed)) {
+    gtm::GlobalTxnSpec spec =
+        MakeGlobalTxn(state->config.global_workload, mdbs->site_ids(), &rng);
+    sim::Time start = mdbs->NowTicks();
+    gtm::GlobalTxnResult result = SubmitGlobalAndWait(mdbs, std::move(spec));
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (result.status.ok()) {
+        ++state->global_committed;
+        state->response.Add(
+            static_cast<double>(result.finish_time - start));
+        state->attempts.Add(result.attempts);
+      } else {
+        ++state->global_failed;
+      }
+      if (state->TargetReachedLocked()) {
+        state->stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state->stop.load(std::memory_order_relaxed)) return;
+    SleepTicks(state->config.global_think);
+  }
+}
+
+/// One closed-loop local client at `site`: the pre-existing local
+/// application the GTM never sees. Retries a transaction's operations after
+/// local aborts, like its simulated counterpart.
+void LocalClientMain(RunState* state, Rng rng, SiteId site) {
+  Mdbs* mdbs = state->mdbs;
+  site::LocalDbms* dbms = &mdbs->site(site);
+  while (!state->stop.load(std::memory_order_relaxed)) {
+    std::vector<DataOp> ops =
+        MakeLocalTxn(state->config.local_workload, &rng);
+    if (ops.empty()) ops.push_back(DataOp::Read(DataItemId(0)));
+
+    bool committed = false;
+    int attempt = 0;
+    while (!committed && attempt < state->config.local_max_attempts) {
+      StatusOr<TxnId> txn = mdbs->BeginLocal(site);
+      if (!txn.ok()) {
+        // Site down right now; try again shortly (counts as an attempt
+        // only once the transaction got going at least once).
+        if (attempt == 0) {
+          if (state->stop.load(std::memory_order_relaxed)) break;
+          SleepTicks(static_cast<sim::Time>(200 + rng.NextBelow(200)));
+          continue;
+        }
+        ++attempt;
+        continue;
+      }
+      ++attempt;
+      bool aborted = false;
+      for (const DataOp& op : ops) {
+        if (!SubmitLocalAndWait(dbms, *txn, op).ok()) {
+          aborted = true;
+          break;
+        }
+      }
+      if (!aborted && CommitLocalAndWait(dbms, *txn).ok()) {
+        committed = true;
+        break;
+      }
+      // Local abort: retry the same operations after a randomized backoff.
+      if (attempt < state->config.local_max_attempts) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          ++state->local_retries;
+        }
+        SleepTicks(static_cast<sim::Time>(50 + rng.NextBelow(100)));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (committed) {
+        ++state->local_committed;
+      } else if (attempt > 0) {  // Never-begun transactions don't count.
+        ++state->local_failed;
+      }
+    }
+    if (state->stop.load(std::memory_order_relaxed)) return;
+    SleepTicks(state->config.local_think);
+  }
+}
+
+/// Failure injection: every crash_interval microseconds, crash a random
+/// site and recover it crash_duration later.
+void CrashInjectorMain(RunState* state, Rng rng) {
+  Mdbs* mdbs = state->mdbs;
+  while (!state->stop.load(std::memory_order_relaxed)) {
+    SleepTicks(state->config.crash_interval);
+    if (state->stop.load(std::memory_order_relaxed)) return;
+    SiteId victim =
+        mdbs->site_ids()[rng.NextBelow(mdbs->site_ids().size())];
+    mdbs->InjectCrash(victim, state->config.crash_duration);
+  }
+}
+
+}  // namespace
+
+DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
+                               uint64_t seed) {
+  MDBS_CHECK(mdbs->threaded())
+      << "RunThreadedDriver needs MdbsConfig::threaded = true";
+  RunState state;
+  state.mdbs = mdbs;
+  state.config = config;
+  Rng root(seed);
+
+  sim::Time start_time = mdbs->NowTicks();
+  std::vector<std::thread> clients;
+  for (int i = 0; i < config.global_clients; ++i) {
+    clients.emplace_back(GlobalClientMain, &state, root.Fork());
+  }
+  if (config.local_clients_per_site > 0) {
+    for (SiteId site : mdbs->site_ids()) {
+      for (int i = 0; i < config.local_clients_per_site; ++i) {
+        clients.emplace_back(LocalClientMain, &state, root.Fork(), site);
+      }
+    }
+  }
+  std::thread injector;
+  if (config.crash_interval > 0) {
+    injector = std::thread(CrashInjectorMain, &state, root.Fork());
+  }
+
+  for (std::thread& client : clients) client.join();
+  state.stop.store(true, std::memory_order_relaxed);
+  if (injector.joinable()) injector.join();
+  sim::Time end_time = mdbs->NowTicks();
+
+  // Drain in-flight tails (fire-and-forget aborts, last acknowledgements)
+  // and stop the strands; from here on the stack is single-threaded.
+  mdbs->FinishThreadedRun();
+
+  // End-of-run oracle: the recorded real interleaving must satisfy the
+  // paper's correctness criteria, exactly as in the simulated driver.
+  if (mdbs->audit_enabled()) (void)mdbs->RunAuditOracle();
+
+  DriverReport report;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    report.global_committed = state.global_committed;
+    report.global_failed = state.global_failed;
+    report.local_committed = state.local_committed;
+    report.local_failed = state.local_failed;
+    report.local_abort_retries = state.local_retries;
+    report.global_response = state.response;
+    report.global_attempts = state.attempts;
+  }
+  report.duration = end_time - start_time;
+  if (report.duration > 0) {
+    // Ticks are microseconds here, so "per Mtick" is per second.
+    report.global_throughput = 1e6 *
+                               static_cast<double>(report.global_committed) /
+                               static_cast<double>(report.duration);
+  }
+  report.gtm1 = mdbs->gtm().stats();
+  report.gtm2 = mdbs->gtm().gtm2().stats();
+  for (SiteId site : mdbs->site_ids()) {
+    report.site_blocked += mdbs->site(site).blocked_count();
+    report.site_aborts += mdbs->site(site).abort_count();
+    report.crashes += mdbs->site(site).crash_count();
+  }
+  return report;
+}
+
+}  // namespace mdbs

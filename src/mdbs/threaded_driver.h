@@ -1,0 +1,33 @@
+#ifndef MDBS_MDBS_THREADED_DRIVER_H_
+#define MDBS_MDBS_THREADED_DRIVER_H_
+
+#include "mdbs/driver.h"
+#include "mdbs/mdbs.h"
+
+namespace mdbs {
+
+/// Runs the closed-loop experiment of RunDriver against a *threaded* Mdbs
+/// (MdbsConfig::threaded = true): every global client and every local client
+/// is a real std::thread issuing blocking requests against the thread-safe
+/// stack, and the crash injector is a thread of its own. The same
+/// DriverConfig is accepted — its tick-denominated knobs (think times, crash
+/// interval/duration) are interpreted as real microseconds — so a workload
+/// can be executed by both engines and compared (tests/threaded_vs_sim).
+///
+/// The run finishes like the simulated one: clients stop issuing once
+/// `target_global_commits` global transactions finished, in-flight work
+/// drains (Mdbs::FinishThreadedRun), the audit oracle replays the recorded
+/// schedule, and the report's duration/throughput are wall-clock
+/// microseconds / transactions per second.
+///
+/// `seed` shapes the workload (each client thread gets a forked Rng), but —
+/// unlike the simulator — the interleaving is the hardware's, so two runs
+/// with one seed may commit in different orders. That is the point: the
+/// paper's schemes must keep the schedule serializable under real
+/// interleavings, not only simulated ones.
+DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
+                               uint64_t seed);
+
+}  // namespace mdbs
+
+#endif  // MDBS_MDBS_THREADED_DRIVER_H_

@@ -15,6 +15,7 @@ std::string RecordedOp::ToString() const {
 
 void ScheduleRecorder::RecordBegin(SiteId site, TxnId txn,
                                    GlobalTxnId global) {
+  std::lock_guard<std::mutex> lock(mu_);
   MDBS_CHECK(!txns_.contains(txn)) << txn << " began twice in recorder";
   txns_[txn] =
       TxnRecord{txn, site, global, TxnOutcome::kActive, std::nullopt, -1};
@@ -22,12 +23,14 @@ void ScheduleRecorder::RecordBegin(SiteId site, TxnId txn,
 
 void ScheduleRecorder::RecordOp(SiteId site, TxnId txn, const DataOp& op,
                                 int64_t time, TxnId read_from) {
+  std::lock_guard<std::mutex> lock(mu_);
   ops_.push_back(RecordedOp{next_seq_++, time, site, txn, op, read_from});
 }
 
 void ScheduleRecorder::RecordFinish(
     TxnId txn, TxnOutcome outcome,
     std::optional<int64_t> serialization_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = txns_.find(txn);
   MDBS_CHECK(it != txns_.end()) << txn << " finished but never began";
   it->second.outcome = outcome;

@@ -2,6 +2,7 @@
 #define MDBS_SCHED_SCHEDULE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -48,6 +49,12 @@ struct TxnRecord {
 /// site plus transaction begin/finish outcomes. The verification layer
 /// replays it to check local, global, and ser(S) serializability. Purely
 /// observational — the recorder never influences execution.
+///
+/// The three Record* entry points are thread-safe: in threaded execution
+/// every site strand records concurrently, and the shared `seq` counter is
+/// what turns the real interleaving into the total order the checkers
+/// verify. The read accessors are not synchronized — call them only after
+/// the run settled (Mdbs::FinishThreadedRun in threaded mode).
 class ScheduleRecorder {
  public:
   ScheduleRecorder() = default;
@@ -80,6 +87,7 @@ class ScheduleRecorder {
   std::string Dump(size_t limit = 200) const;
 
  private:
+  std::mutex mu_;
   int64_t next_seq_ = 0;
   std::vector<RecordedOp> ops_;
   std::unordered_map<TxnId, TxnRecord> txns_;

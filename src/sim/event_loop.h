@@ -6,29 +6,28 @@
 #include <queue>
 #include <vector>
 
-namespace mdbs::sim {
+#include "sim/task_runner.h"
 
-/// Virtual time in abstract "ticks" (we treat one tick as one microsecond in
-/// reports, but nothing depends on the unit).
-using Time = int64_t;
+namespace mdbs::sim {
 
 /// Deterministic discrete-event simulation loop. Events scheduled for the
 /// same time fire in scheduling order (a monotone sequence number breaks
-/// ties), so a run is a pure function of its inputs and seeds.
-class EventLoop {
+/// ties), so a run is a pure function of its inputs and seeds. As the
+/// TaskRunner of every component in simulation mode, it serializes the whole
+/// multidatabase on the calling thread.
+class EventLoop : public TaskRunner {
  public:
-  using Callback = std::function<void()>;
-
   EventLoop() = default;
+  ~EventLoop() override = default;
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Current virtual time.
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `cb` to run `delay` ticks from now (delay >= 0).
-  void Schedule(Time delay, Callback cb);
+  void Schedule(Time delay, Callback cb) override;
 
   /// Schedules `cb` at absolute time `at` (>= now()).
   void ScheduleAt(Time at, Callback cb);

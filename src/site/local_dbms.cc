@@ -32,7 +32,7 @@ std::unique_ptr<lcc::ConcurrencyControl> MakeProtocol(
   return nullptr;
 }
 
-LocalDbms::LocalDbms(const SiteConfig& config, sim::EventLoop* loop,
+LocalDbms::LocalDbms(const SiteConfig& config, sim::TaskRunner* loop,
                      sched::ScheduleRecorder* recorder)
     : config_(config), loop_(loop), recorder_(recorder) {
   protocol_ = MakeProtocol(config.protocol, this);

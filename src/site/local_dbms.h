@@ -12,7 +12,7 @@
 #include "common/types.h"
 #include "lcc/protocol.h"
 #include "sched/schedule.h"
-#include "sim/event_loop.h"
+#include "sim/task_runner.h"
 #include "storage/kv_store.h"
 
 namespace mdbs::site {
@@ -44,7 +44,10 @@ class LocalDbms : public lcc::ProtocolHost {
   using OpCallback = std::function<void(const Status&, int64_t value)>;
   using TxnCallback = std::function<void(const Status&)>;
 
-  LocalDbms(const SiteConfig& config, sim::EventLoop* loop,
+  /// `loop` is this site's strand: the simulation loop, or — in threaded
+  /// mode — the site's own RealStrand. All state-touching work runs there;
+  /// Submit/Commit/Abort only post to it and are safe from any thread.
+  LocalDbms(const SiteConfig& config, sim::TaskRunner* loop,
             sched::ScheduleRecorder* recorder);
   ~LocalDbms() override = default;
 
@@ -122,7 +125,7 @@ class LocalDbms : public lcc::ProtocolHost {
   void DoAbort(TxnId txn, TxnState* state);
 
   SiteConfig config_;
-  sim::EventLoop* loop_;
+  sim::TaskRunner* loop_;
   sched::ScheduleRecorder* recorder_;
   storage::KvStore store_;
   std::unique_ptr<lcc::ConcurrencyControl> protocol_;

@@ -55,6 +55,12 @@ TEST(AuditMutationTest, ConservativeSchemeAbortIsFlagged) {
 
   EXPECT_EQ(collector.CountFor("conservative-discipline"), 1);
   EXPECT_EQ(collector.total_reported(), 1);
+  // The report names the offending transaction — under threaded execution
+  // that attribution is what makes a concurrent failure debuggable.
+  const audit::AuditViolation& violation = collector.violations().back();
+  EXPECT_EQ(violation.offending_txn, 1);
+  EXPECT_NE(violation.ToString().find("txn=1"), std::string::npos)
+      << violation.ToString();
 }
 
 // --------------------------------------------------------------------
@@ -206,9 +212,11 @@ TEST(AuditMutationTest, CorruptedGrantIsFlagged) {
                           lcc::LockMode::kExclusive);
   EXPECT_FALSE(lm.CheckTableInvariants().ok());
 
-  // The next audited lock event reports it.
+  // The next audited lock event reports it, attributed to the transaction
+  // whose request triggered the audited check.
   (void)lm.Acquire(TxnId(3), DataItemId(8), lcc::LockMode::kShared);
   EXPECT_GE(collector.CountFor("lock-table"), 1);
+  EXPECT_EQ(collector.violations().back().offending_txn, 3);
 }
 
 // --------------------------------------------------------------------
@@ -228,6 +236,7 @@ TEST(AuditMutationTest, AcquireAfterReleaseIsFlagged) {
 
   (void)lm.Acquire(TxnId(1), DataItemId(2), lcc::LockMode::kShared);
   EXPECT_EQ(collector.CountFor("strict-2pl-phase"), 1);
+  EXPECT_EQ(collector.violations().back().offending_txn, 1);
 }
 
 // --------------------------------------------------------------------

@@ -49,8 +49,14 @@ class MockGateway : public SiteGateway {
     if (swallow_ops_from_ > 0 && ops_seen_ >= swallow_ops_from_) {
       return;  // Never answer: simulates a stuck site (timeout path).
     }
-    loop_->Schedule(1, [cb = std::move(cb), op]() {
-      cb(Status::OK(), op.value);
+    // A tiny store so ticket read-increment-write chains see their
+    // predecessors; reads of untouched items return 0, writes echo the
+    // written value, matching the real sites.
+    int64_t value = op.type == OpType::kWrite
+                        ? (store_[op.item.value()] = op.value)
+                        : store_[op.item.value()];
+    loop_->Schedule(1, [cb = std::move(cb), value]() {
+      cb(Status::OK(), value);
     });
   }
 
@@ -94,6 +100,7 @@ class MockGateway : public SiteGateway {
   int swallow_ops_from_ = -1;
   std::set<int64_t> fail_commits_at_;
   int commit_failures_remaining_ = 0;
+  std::map<int64_t, int64_t> store_;
 };
 
 struct Gtm1Fixture : public ::testing::Test {
@@ -154,12 +161,16 @@ TEST_F(Gtm1Fixture, TicketInjectedForSgtSite) {
   spec.ops.push_back(GlobalOp::Read(kA, kX));
   GlobalTxnResult result = SubmitAndRun(std::move(spec));
   EXPECT_TRUE(result.status.ok());
-  ASSERT_EQ(Count(gateway, "op"), 2);  // Ticket write + the read.
-  // The ticket is the first operation after begin and targets kTicketItem.
-  const auto& ticket = gateway.log[1];
-  EXPECT_EQ(ticket.what, "op");
-  EXPECT_EQ(ticket.op.type, OpType::kWrite);
-  EXPECT_EQ(ticket.op.item, kTicketItem);
+  // Take-a-ticket is a read + an incremented write, then the data read.
+  ASSERT_EQ(Count(gateway, "op"), 3);
+  const auto& ticket_read = gateway.log[1];
+  EXPECT_EQ(ticket_read.what, "op");
+  EXPECT_EQ(ticket_read.op.type, OpType::kRead);
+  EXPECT_EQ(ticket_read.op.item, kTicketItem);
+  const auto& ticket_write = gateway.log[2];
+  EXPECT_EQ(ticket_write.what, "op");
+  EXPECT_EQ(ticket_write.op.type, OpType::kWrite);
+  EXPECT_EQ(ticket_write.op.item, kTicketItem);
 }
 
 TEST_F(Gtm1Fixture, TicketInjectedForOccSiteButNotToSite) {
@@ -178,10 +189,10 @@ TEST_F(Gtm1Fixture, TicketInjectedForOccSiteButNotToSite) {
       EXPECT_EQ(entry.site, kA);
     }
   }
-  EXPECT_EQ(tickets, 1);
+  EXPECT_EQ(tickets, 2);  // The OCC site's ticket read + write, nothing at B.
 }
 
-TEST_F(Gtm1Fixture, TicketValuesAreUniqueAndIncreasing) {
+TEST_F(Gtm1Fixture, TicketWritesIncrementWhatTheyRead) {
   gateway.SetProtocol(kA, lcc::ProtocolKind::kSerializationGraph);
   MakeGtm();
   for (int i = 0; i < 3; ++i) {
@@ -191,13 +202,15 @@ TEST_F(Gtm1Fixture, TicketValuesAreUniqueAndIncreasing) {
   }
   std::vector<int64_t> tickets;
   for (const auto& entry : gateway.log) {
-    if (entry.what == "op" && entry.op.item == kTicketItem) {
+    if (entry.what == "op" && entry.op.item == kTicketItem &&
+        entry.op.type == OpType::kWrite) {
       tickets.push_back(entry.op.value);
     }
   }
-  ASSERT_EQ(tickets.size(), 3u);
-  EXPECT_LT(tickets[0], tickets[1]);
-  EXPECT_LT(tickets[1], tickets[2]);
+  // Each transaction read the previous ticket and wrote it incremented —
+  // the read half is what makes two tickets conflict under backward
+  // validation (a blind write would let OCC commit them in either order).
+  EXPECT_EQ(tickets, (std::vector<int64_t>{1, 2, 3}));
 }
 
 TEST_F(Gtm1Fixture, OperationsAreStrictlySequential) {

@@ -25,6 +25,7 @@ using lcc::TwoPhaseLocking;
 
 const TxnId kT1{1};
 const TxnId kT2{2};
+const TxnId kT3{3};
 const DataItemId kX{10};
 const DataItemId kY{11};
 
@@ -109,6 +110,27 @@ TEST(WoundWaitTest, OlderRequesterWoundsYoungerHolder) {
   ASSERT_EQ(host.wounded.size(), 1u);
   EXPECT_EQ(host.wounded[0], kT2);
   EXPECT_EQ(tpl.wounds_inflicted(), 1);
+}
+
+TEST(WoundWaitTest, UpgradingHolderIsWoundedOnlyOnce) {
+  // A holder queued behind its own lock upgrade blocks an exclusive
+  // requester twice over — once from the granted list, once from the wait
+  // queue. Wounding it on the first occurrence erases its age; the repeat
+  // occurrence used to throw (regression caught by the threaded stress
+  // run).
+  WoundHost host;
+  TwoPhaseLocking tpl(&host, DeadlockPolicy::kWoundWait);
+  host.protocol = &tpl;
+  tpl.OnBegin(kT1);  // Oldest: will wound everyone.
+  tpl.OnBegin(kT3);
+  tpl.OnBegin(kT2);  // Youngest: waits for its upgrade behind T3.
+  ASSERT_EQ(tpl.OnAccess(kT3, DataOp::Read(kX)), AccessDecision::kProceed);
+  ASSERT_EQ(tpl.OnAccess(kT2, DataOp::Read(kX)), AccessDecision::kProceed);
+  ASSERT_EQ(tpl.OnAccess(kT2, DataOp::Write(kX, 1)), AccessDecision::kBlock);
+  EXPECT_EQ(tpl.OnAccess(kT1, DataOp::Write(kX, 2)),
+            AccessDecision::kProceed);
+  EXPECT_EQ(host.wounded, (std::vector<TxnId>{kT3, kT2}));
+  EXPECT_EQ(tpl.wounds_inflicted(), 2);
 }
 
 // --------------------------------------------------------------------------
