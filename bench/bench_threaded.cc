@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "mdbs/mdbs.h"
 #include "mdbs/threaded_driver.h"
 
@@ -54,7 +55,8 @@ DriverReport RunOne(SchemeKind scheme, int clients, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mdbs::bench::BenchReport results("threaded");
   std::printf("E9 — threaded engine: committed global txns/sec vs thread "
               "count\n");
   std::printf("4 heterogeneous sites (2PL, TO, SGT, OCC), real client "
@@ -75,8 +77,18 @@ int main() {
                   report.global_response.P95(),
                   static_cast<long long>(report.duration / 1000),
                   base > 0 ? report.global_throughput / base : 0.0);
+      results.AddRow()
+          .Set("scheme", mdbs::gtm::SchemeKindName(scheme))
+          .Set("threads", static_cast<double>(clients))
+          .Set("txns_per_sec", report.global_throughput)
+          .Set("resp_p50", report.global_response.Median())
+          .Set("resp_p95", report.global_response.P95())
+          .Set("duration_us", static_cast<double>(report.duration))
+          .Set("scale_x1",
+               base > 0 ? report.global_throughput / base : 0.0);
     }
     std::printf("\n");
   }
+  results.WriteFromArgs(argc, argv);
   return 0;
 }

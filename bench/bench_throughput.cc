@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "mdbs/driver.h"
 #include "mdbs/mdbs.h"
 
@@ -49,7 +50,8 @@ DriverReport RunOne(SchemeKind scheme, int mpl, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mdbs::bench::BenchReport results("throughput");
   std::printf("E3 — global transaction throughput and response time\n");
   std::printf("4 heterogeneous sites (2PL, TO, SGT, OCC), 150 global "
               "commits per cell, 1 local client per site\n\n");
@@ -76,8 +78,18 @@ int main() {
       std::printf("%-10s %5d %14.1f %10.0f %10.0f %10lld %9lld %9lld\n",
                   mdbs::gtm::SchemeKindName(scheme), mpl, throughput, p50,
                   p95, waits, timeouts, retries);
+      results.AddRow()
+          .Set("scheme", mdbs::gtm::SchemeKindName(scheme))
+          .Set("mpl", static_cast<double>(mpl))
+          .Set("throughput_per_mtick", throughput)
+          .Set("resp_p50", p50)
+          .Set("resp_p95", p95)
+          .Set("ser_waits", static_cast<double>(waits))
+          .Set("timeouts", static_cast<double>(timeouts))
+          .Set("retries", static_cast<double>(retries));
     }
     std::printf("\n");
   }
+  results.WriteFromArgs(argc, argv);
   return 0;
 }

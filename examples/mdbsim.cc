@@ -23,6 +23,9 @@
 
 #include "mdbs/driver.h"
 #include "mdbs/mdbs.h"
+#include "mdbs/threaded_driver.h"
+#include "obs/report.h"
+#include "obs/trace_export.h"
 #include "sched/stats.h"
 
 namespace {
@@ -48,6 +51,9 @@ struct Options {
   mdbs::sim::Time crash_interval = 0;
   mdbs::sim::Time timeout = 200'000;
   int dump_schedule = 0;
+  bool threaded = false;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool ParseProtocol(const std::string& name, ProtocolKind* out) {
@@ -133,6 +139,12 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->timeout = std::atoll(value_of("--timeout=").c_str());
     } else if (arg.rfind("--dump-schedule=", 0) == 0) {
       options->dump_schedule = std::atoi(value_of("--dump-schedule=").c_str());
+    } else if (arg.rfind("--threaded=", 0) == 0) {
+      options->threaded = std::atoi(value_of("--threaded=").c_str()) != 0;
+    } else if (arg.rfind("--trace_out=", 0) == 0) {
+      options->trace_out = value_of("--trace_out=");
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      options->metrics_out = value_of("--metrics_out=");
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -159,7 +171,11 @@ void PrintUsage() {
       "  --loss=P                      drop op responses with prob P\n"
       "  --crash-interval=T            inject a site crash every T ticks\n"
       "  --timeout=T                   per-attempt timeout (ticks)\n"
-      "  --dump-schedule=N             print the first N recorded ops\n");
+      "  --dump-schedule=N             print the first N recorded ops\n"
+      "  --threaded=0|1                engine: simulator (0) or real\n"
+      "                                threads, ticks = microseconds (1)\n"
+      "  --trace_out=PATH              write a Chrome/Perfetto trace JSON\n"
+      "  --metrics_out=PATH            write the structured JSON run report\n");
 }
 
 }  // namespace
@@ -176,6 +192,15 @@ int main(int argc, char** argv) {
   config.seed = options.seed;
   config.gtm.attempt_timeout = options.timeout;
   config.response_loss_probability = options.loss;
+  config.threaded = options.threaded;
+  bool want_trace =
+      !options.trace_out.empty() || !options.metrics_out.empty();
+  if (want_trace && !mdbs::obs::kTraceCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: tracing requested but compiled out "
+                 "(rebuild with -DMDBS_TRACE=ON)\n");
+  }
+  config.trace.enabled = want_trace;
   mdbs::Mdbs system(config);
 
   std::printf("mdbsim: %zu sites [", options.sites.size());
@@ -183,8 +208,9 @@ int main(int argc, char** argv) {
     std::printf("%s%s", i ? "," : "",
                 mdbs::lcc::ProtocolKindName(options.sites[i]));
   }
-  std::printf("], scheme %s, seed %llu\n\n",
+  std::printf("], scheme %s, engine %s, seed %llu\n\n",
               mdbs::gtm::SchemeKindName(options.scheme),
+              options.threaded ? "threaded" : "sim",
               static_cast<unsigned long long>(options.seed));
 
   mdbs::DriverConfig driver;
@@ -201,8 +227,48 @@ int main(int argc, char** argv) {
   driver.local_workload.zipf_theta = options.zipf;
   driver.crash_interval = options.crash_interval;
 
-  mdbs::DriverReport report = RunDriver(&system, driver, options.seed);
+  mdbs::DriverReport report =
+      options.threaded ? RunThreadedDriver(&system, driver, options.seed)
+                       : RunDriver(&system, driver, options.seed);
   std::printf("%s", report.ToString().c_str());
+
+  if (system.trace_sink() != nullptr) {
+    std::vector<mdbs::obs::TraceEvent> events = system.trace_sink()->Drain();
+    if (!options.trace_out.empty()) {
+      mdbs::obs::ChromeTraceOptions trace_options;
+      for (size_t i = 0; i < options.sites.size(); ++i) {
+        trace_options.site_names.emplace_back(
+            static_cast<int64_t>(i),
+            "s" + std::to_string(i) + " (" +
+                mdbs::lcc::ProtocolKindName(options.sites[i]) + ")");
+      }
+      mdbs::Status written = mdbs::obs::WriteChromeTraceFile(
+          options.trace_out, events, trace_options);
+      std::printf("trace: %zu events -> %s (%s)\n", events.size(),
+                  options.trace_out.c_str(), written.ToString().c_str());
+      if (system.trace_sink()->dropped() > 0) {
+        std::printf("trace: %lld events dropped (buffer full)\n",
+                    static_cast<long long>(system.trace_sink()->dropped()));
+      }
+    }
+    if (!options.metrics_out.empty()) {
+      mdbs::sim::MetricsRegistry registry;
+      report.AddToRegistry(&registry);
+      mdbs::obs::AggregateTrace(events, &registry);
+      mdbs::obs::ReportInfo info;
+      info.emplace_back("tool", "mdbsim");
+      info.emplace_back("scheme",
+                        mdbs::gtm::SchemeKindName(options.scheme));
+      info.emplace_back("engine", options.threaded ? "threaded" : "sim");
+      info.emplace_back("seed", std::to_string(options.seed));
+      info.emplace_back("sites", std::to_string(options.sites.size()));
+      info.emplace_back("commits", std::to_string(options.commits));
+      mdbs::Status written = mdbs::obs::WriteJsonReportFile(
+          options.metrics_out, info, registry);
+      std::printf("metrics: -> %s (%s)\n", options.metrics_out.c_str(),
+                  written.ToString().c_str());
+    }
+  }
   if (report.crashes > 0) {
     std::printf("crashes injected: %lld\n",
                 static_cast<long long>(report.crashes));

@@ -1,6 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <thread>
 
 namespace mdbs {
 
@@ -20,12 +25,52 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Microseconds since the first log statement — short, monotonic, and
+/// directly comparable to the threaded engine's NowTicks() timebase.
+int64_t MicrosSinceStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Small per-thread number (registration order), far more readable than
+/// the hashed std::thread::id.
+int64_t ThisThreadNumber() {
+  static std::atomic<int64_t> next{0};
+  thread_local int64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+void DefaultSink(LogLevel /*level*/, const std::string& line) {
+  // One locked write per line: site strands, GTM strand and client threads
+  // log concurrently, and partial-line interleaving makes traces useless.
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+LogSink& GlobalSink() {
+  static LogSink sink = DefaultSink;
+  return sink;
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(level, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  GlobalSink() = sink != nullptr ? std::move(sink) : DefaultSink;
 }
 
 namespace internal_logging {
@@ -36,12 +81,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  int64_t micros = MicrosSinceStart();
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s %lld.%06llds t%lld %s:%d] ",
+                LevelName(level_),
+                static_cast<long long>(micros / 1'000'000),
+                static_cast<long long>(micros % 1'000'000),
+                static_cast<long long>(ThisThreadNumber()), base, line);
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  GlobalSink()(level_, stream_.str());
   if (fatal_) std::abort();
 }
 

@@ -2,6 +2,7 @@
 #define MDBS_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -13,6 +14,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Receives every emitted log line (already formatted, newline-terminated).
+/// `level` allows sinks to route/filter; the line carries the standard
+/// prefix: "[LEVEL timestamp tid file:line] message".
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Replaces the process-wide sink (default: one locked write to stderr per
+/// line, so threaded-engine lines never interleave). Pass nullptr to
+/// restore the default. Not thread-safe against concurrent logging — swap
+/// sinks at startup or between runs, not mid-run.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -32,14 +32,24 @@ Gtm1::Gtm1(const Gtm1Config& config, sim::TaskRunner* loop,
   gtm2_ = std::make_unique<Gtm2>(std::move(scheme), std::move(callbacks));
 }
 
+void Gtm1::EnableTrace(obs::TraceSink* sink) {
+  trace_ = sink;
+  gtm2_->EnableTrace(sink);
+}
+
 void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   MDBS_CHECK(!spec.ops.empty()) << "empty global transaction";
   ++stats_.submitted;
   ++in_flight_;
   auto job = std::make_unique<Job>();
+  job->id = next_job_id_++;
   job->spec = std::move(spec);
   job->cb = std::move(cb);
   job->submit_time = loop_->now();
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kSubmit, job->id, -1,
+                   static_cast<int64_t>(job->spec.Sites().size()));
+  }
   Job* raw = job.get();
   jobs_.push_back(std::move(job));
   StartAttempt(raw);
@@ -86,6 +96,10 @@ void Gtm1::StartAttempt(Job* job) {
   GlobalTxnId attempt_id = attempt->id;
   std::vector<SiteId> sites = job->spec.Sites();
   attempts_[attempt_id] = std::move(attempt);
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kAttemptStart, attempt_id.value(), -1,
+                   job->id, job->attempts);
+  }
 
   if (config_.attempt_timeout > 0) {
     loop_->Schedule(config_.attempt_timeout, [this, attempt_id]() {
@@ -95,6 +109,10 @@ void Gtm1::StartAttempt(Job* job) {
         return;
       }
       ++stats_.timeouts;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kAttemptTimeout,
+                       attempt_id.value(), -1);
+      }
       FailAttempt(attempt_id,
                   Status::TransactionAborted("attempt timed out"),
                   /*scheme_demanded=*/false);
@@ -236,6 +254,10 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
     gtm2_->Enqueue(QueueOp::Fin(attempt_id));
     Job* job = attempt->job;
     ++stats_.committed;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kTxnCommit, attempt_id.value(), -1,
+                     job->id, job->attempts);
+    }
     GlobalTxnResult result;
     result.status = Status::OK();
     result.attempts = job->attempts;
@@ -268,6 +290,10 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
         // (a retry would double-apply the committed sites' effects).
         ++stats_.partial_commits;
         Job* job = committing->job;
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kTxnFail, attempt_id.value(),
+                         -1, job->id, job->attempts, "partial_commit");
+        }
         // Abort the rest.
         for (size_t i = index + 1; i < committing->begun_sites.size(); ++i) {
           SiteId rest = committing->begun_sites[i];
@@ -294,6 +320,13 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   attempt->failed = true;
   ++stats_.aborted_attempts;
   if (scheme_demanded) ++stats_.scheme_aborts;
+  if (trace_ != nullptr) {
+    const char* why = scheme_demanded ? "scheme"
+                      : reason.message() == "attempt timed out" ? "timeout"
+                                                                : "site";
+    trace_->Record(obs::TraceEventKind::kAttemptAbort, attempt_id.value(), -1,
+                   attempt->job->id, attempt->job->attempts, why);
+  }
 
   // Abort every begun subtransaction (idempotent at the sites).
   for (SiteId site : attempt->begun_sites) {
@@ -305,6 +338,10 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   attempts_.erase(attempt_id);
   if (job->attempts >= config_.max_attempts) {
     ++stats_.failed;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kTxnFail, attempt_id.value(), -1,
+                     job->id, job->attempts, "gave_up");
+    }
     GlobalTxnResult result;
     result.status = Status::TransactionAborted(
         "gave up after " + std::to_string(job->attempts) +

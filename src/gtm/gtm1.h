@@ -12,6 +12,7 @@
 #include "gtm/global_txn.h"
 #include "gtm/gtm2.h"
 #include "gtm/serialization_function.h"
+#include "obs/trace.h"
 #include "sim/task_runner.h"
 
 namespace mdbs::gtm {
@@ -106,6 +107,10 @@ class Gtm1 {
   Gtm2& mutable_gtm2() { return *gtm2_; }
   const Gtm1Stats& stats() const { return stats_; }
 
+  /// Records lifecycle events into `sink` (nullptr disables); forwarded to
+  /// GTM2 and the scheme. Call before the first Submit.
+  void EnableTrace(obs::TraceSink* sink);
+
  private:
   struct Step {
     enum class Kind { kBegin, kTicket, kData };
@@ -131,6 +136,9 @@ class Gtm1 {
   };
 
   struct Job {
+    /// Stable across attempts; kSubmit/kTxnCommit trace events carry it so
+    /// a transaction's retries can be linked back together.
+    int64_t id = 0;
     GlobalTxnSpec spec;
     ResultCallback cb;
     int attempts = 0;
@@ -157,8 +165,10 @@ class Gtm1 {
   SiteGateway* gateway_;
   std::unique_ptr<Gtm2> gtm2_;
   Rng rng_;
+  obs::TraceSink* trace_ = nullptr;
   int64_t next_txn_id_ = 0;
   int64_t next_attempt_id_ = 0;
+  int64_t next_job_id_ = 0;
   int64_t in_flight_ = 0;
   std::unordered_map<GlobalTxnId, std::unique_ptr<Attempt>> attempts_;
   std::vector<std::unique_ptr<Job>> jobs_;

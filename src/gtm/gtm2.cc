@@ -13,6 +13,11 @@ Gtm2::Gtm2(std::unique_ptr<Scheme> scheme, Callbacks callbacks)
   MDBS_CHECK(scheme_ != nullptr);
 }
 
+void Gtm2::EnableTrace(obs::TraceSink* sink) {
+  trace_ = sink;
+  scheme_->EnableTrace(sink);
+}
+
 void Gtm2::EnableAudit(const audit::AuditConfig& config,
                        audit::Auditor* auditor) {
   audit_config_ = config;
@@ -71,6 +76,11 @@ void Gtm2::AuditAfterAct(const QueueOp& op) {
 
 void Gtm2::Enqueue(QueueOp op) {
   queue_.push_back(std::move(op));
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kQueueDepth, queue_.back().txn.value(),
+                   -1, static_cast<int64_t>(queue_.size()),
+                   static_cast<int64_t>(wait_.size()));
+  }
   if (!pumping_) Pump();
 }
 
@@ -85,6 +95,12 @@ void Gtm2::Pump() {
     } else {
       ++stats_.wait_additions;
       if (op.kind == QueueOpKind::kSer) ++stats_.ser_wait_additions;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kWaitEnter, op.txn.value(),
+                       op.site.value(),
+                       static_cast<int64_t>(wait_.size()) + 1, 0,
+                       QueueOpKindName(op.kind));
+      }
       wait_.push_back(std::move(op));
     }
   }
@@ -117,6 +133,10 @@ bool Gtm2::TryProcess(const QueueOp& op) {
       return false;
     case Verdict::kAbort:
       ++stats_.scheme_aborts;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kSchemeAbort, op.txn.value(),
+                       op.site.value(), 0, 0, QueueOpKindName(op.kind));
+      }
       if (callbacks_.abort_txn) callbacks_.abort_txn(op.txn);
       return true;
     case Verdict::kReady:
@@ -131,24 +151,42 @@ void Gtm2::RunAct(const QueueOp& op) {
   switch (op.kind) {
     case QueueOpKind::kInit:
       scheme_->ActInit(op);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kInit, op.txn.value(), -1,
+                       static_cast<int64_t>(op.sites.size()));
+      }
       break;
     case QueueOpKind::kSer:
       // Audit before the act mutates DS: the release decision must be
       // justified by the data structures as they are *now*.
       AuditBeforeSerRelease(op.txn, op.site);
       scheme_->ActSer(op.txn, op.site);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kSerRelease, op.txn.value(),
+                       op.site.value());
+      }
       if (callbacks_.release_ser) callbacks_.release_ser(op.txn, op.site);
       break;
     case QueueOpKind::kAck:
       scheme_->ActAck(op.txn, op.site);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kAck, op.txn.value(),
+                       op.site.value());
+      }
       if (callbacks_.forward_ack) callbacks_.forward_ack(op.txn, op.site);
       break;
     case QueueOpKind::kValidate:
       scheme_->ActValidate(op.txn);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kValidate, op.txn.value(), -1);
+      }
       if (callbacks_.validate_passed) callbacks_.validate_passed(op.txn);
       break;
     case QueueOpKind::kFin:
       scheme_->ActFin(op.txn);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kFin, op.txn.value(), -1);
+      }
       if (callbacks_.fin_done) callbacks_.fin_done(op.txn);
       break;
   }
@@ -163,11 +201,24 @@ void Gtm2::DrainWait() {
     progress = false;
     for (auto it = wait_.begin(); it != wait_.end();) {
       if (dead_txns_.contains(it->txn)) {
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kWaitAbandon, it->txn.value(),
+                         it->site.value(), 0, 0, QueueOpKindName(it->kind));
+        }
         it = wait_.erase(it);
         continue;
       }
       int64_t steps_before = scheme_->steps();
-      if (TryProcess(*it)) {
+      // Snapshot identity before TryProcess: a scheme abort inside the call
+      // may splice other entries out of wait_, but never *it itself.
+      const QueueOp& waiting = *it;
+      if (TryProcess(waiting)) {
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kWaitExit, waiting.txn.value(),
+                         waiting.site.value(),
+                         static_cast<int64_t>(wait_.size()) - 1, 0,
+                         QueueOpKindName(waiting.kind));
+        }
         it = wait_.erase(it);
         progress = true;
       } else {
@@ -188,7 +239,15 @@ void Gtm2::AbortCleanup(GlobalTxnId txn) {
     // erasing here would invalidate the iterator of the scan that invoked
     // the abort callback.
     for (auto it = wait_.begin(); it != wait_.end();) {
-      it = (it->txn == txn) ? wait_.erase(it) : std::next(it);
+      if (it->txn == txn) {
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kWaitAbandon, it->txn.value(),
+                         it->site.value(), 0, 0, QueueOpKindName(it->kind));
+        }
+        it = wait_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   scheme_->ActAbortCleanup(txn);

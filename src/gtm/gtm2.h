@@ -12,6 +12,7 @@
 #include "common/ids.h"
 #include "gtm/queue_op.h"
 #include "gtm/scheme.h"
+#include "obs/trace.h"
 
 namespace mdbs::gtm {
 
@@ -93,6 +94,10 @@ class Gtm2 {
   bool audit_enabled() const { return audit_enabled_; }
   const audit::Auditor* auditor() const { return auditor_; }
 
+  /// Records QUEUE/WAIT dynamics and act executions into `sink` (nullptr
+  /// disables); forwarded to the scheme for its DS events.
+  void EnableTrace(obs::TraceSink* sink);
+
  private:
   void Pump();
   /// Evaluates cond(op). kReady -> runs act + side effects and returns true.
@@ -109,6 +114,7 @@ class Gtm2 {
 
   std::unique_ptr<Scheme> scheme_;
   Callbacks callbacks_;
+  obs::TraceSink* trace_ = nullptr;
   std::deque<QueueOp> queue_;
   std::list<QueueOp> wait_;
   std::unordered_set<GlobalTxnId> dead_txns_;

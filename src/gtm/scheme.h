@@ -8,6 +8,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "gtm/queue_op.h"
+#include "obs/trace.h"
 
 namespace mdbs::gtm {
 
@@ -104,8 +105,16 @@ class Scheme {
   int64_t steps() const { return steps_; }
   void ResetSteps() { steps_ = 0; }
 
+  /// Records scheme data-structure churn (marked edges, dependencies,
+  /// ser_bef seeding) into `sink`; nullptr disables. Set by the driver.
+  void EnableTrace(obs::TraceSink* sink) { trace_ = sink; }
+
  protected:
   void AddSteps(int64_t n) { steps_ += n; }
+
+  /// Trace sink for DS events, or nullptr. Never dereference without a
+  /// null check; acts must stay cheap when tracing is off.
+  obs::TraceSink* trace_ = nullptr;
 
  private:
   int64_t steps_ = 0;

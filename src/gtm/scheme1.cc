@@ -16,6 +16,10 @@ void Scheme1::ActInit(const QueueOp& op) {
       AddSteps(steps);
     }
     AddSteps(1);
+    if (marked && trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kEdgeMark, op.txn.value(),
+                     site.value());
+    }
     StateOf(site).insert_queue.push_back(InsertEntry{op.txn, marked});
   }
 }
@@ -55,6 +59,10 @@ void Scheme1::ActAck(GlobalTxnId txn, SiteId site) {
   MDBS_CHECK(it != queue.end())
       << "ack for " << txn << " not in insert queue of " << site;
   AddSteps(static_cast<int64_t>(std::distance(queue.begin(), it)) + 1);
+  if (it->marked && trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kEdgeUnmark, txn.value(),
+                   site.value());
+  }
   queue.erase(it);
   state.delete_queue.push_back(txn);
   MDBS_CHECK(state.executing == txn)
@@ -93,8 +101,14 @@ void Scheme1::ActAbortCleanup(GlobalTxnId txn) {
     SiteState& state = StateOf(site);
     auto& queue = state.insert_queue;
     queue.erase(std::remove_if(queue.begin(), queue.end(),
-                               [txn](const InsertEntry& entry) {
-                                 return entry.txn == txn;
+                               [this, txn, site](const InsertEntry& entry) {
+                                 if (entry.txn != txn) return false;
+                                 if (entry.marked && trace_ != nullptr) {
+                                   trace_->Record(
+                                       obs::TraceEventKind::kEdgeUnmark,
+                                       txn.value(), site.value());
+                                 }
+                                 return true;
                                }),
                 queue.end());
     auto& dq = state.delete_queue;

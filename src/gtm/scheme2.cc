@@ -18,6 +18,11 @@ void Scheme2::ActInit(const QueueOp& op) {
       if (other == op.txn) continue;
       if (Executed(other, site)) {
         tsgd_.AddDependency(site, other, op.txn);
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kDepAdd, op.txn.value(),
+                         site.value(), other.value(), op.txn.value(),
+                         "executed");
+        }
       }
     }
   }
@@ -31,6 +36,11 @@ void Scheme2::ActInit(const QueueOp& op) {
     if (delta.empty()) break;
     for (const Dependency& dep : delta) {
       tsgd_.AddDependency(dep.site, dep.from, dep.to);
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kDepAdd, op.txn.value(),
+                       dep.site.value(), dep.from.value(), dep.to.value(),
+                       "delta");
+      }
     }
   }
   if (validate_acyclicity_) {
@@ -98,6 +108,10 @@ void Scheme2::ActSer(GlobalTxnId txn, SiteId site) {
     AddSteps(1);
     if (other == txn || Executed(other, site)) continue;
     tsgd_.AddDependency(site, txn, other);
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kDepAdd, txn.value(), site.value(),
+                     txn.value(), other.value(), "order");
+    }
   }
 }
 
@@ -120,6 +134,7 @@ void Scheme2::ActFin(GlobalTxnId txn) {
     executed_.erase({txn.value(), site.value()});
     acked_.erase({txn.value(), site.value()});
   }
+  TraceDepDrop(txn, "fin");
   tsgd_.RemoveTxn(txn);
 }
 
@@ -128,7 +143,18 @@ void Scheme2::ActAbortCleanup(GlobalTxnId txn) {
     executed_.erase({txn.value(), site.value()});
     acked_.erase({txn.value(), site.value()});
   }
+  TraceDepDrop(txn, "abort");
   tsgd_.RemoveTxn(txn);
+}
+
+void Scheme2::TraceDepDrop(GlobalTxnId txn, const char* why) {
+  if (trace_ == nullptr) return;
+  int64_t incoming = 0;
+  for (SiteId site : tsgd_.SitesOf(txn)) {
+    incoming += static_cast<int64_t>(tsgd_.DependenciesInto(txn, site).size());
+  }
+  trace_->Record(obs::TraceEventKind::kDepDrop, txn.value(), -1, incoming, 0,
+                 why);
 }
 
 }  // namespace mdbs::gtm

@@ -51,6 +51,9 @@ class Scheme2 : public ConservativeSchemeBase {
   void set_validate_acyclicity(bool value) { validate_acyclicity_ = value; }
 
  private:
+  /// kDepDrop with the count of incoming dependencies retired with `txn`.
+  void TraceDepDrop(GlobalTxnId txn, const char* why);
+
   bool Executed(GlobalTxnId txn, SiteId site) const {
     return executed_.contains({txn.value(), site.value()});
   }

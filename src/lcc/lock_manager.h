@@ -11,6 +11,7 @@
 #include "audit/audit.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace mdbs::lcc {
 
@@ -90,6 +91,13 @@ class LockManager {
   /// `auditor` may be null, selecting the process-wide default.
   void EnableAudit(audit::Auditor* auditor);
 
+  /// Records kLockWait / kDeadlock events into `sink` (nullptr disables);
+  /// `site` labels them with the owning local DBMS.
+  void EnableTrace(obs::TraceSink* sink, SiteId site) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
   /// Mutation-testing hook: injects a grant behind the bookkeeping's back
   /// so tests can prove CheckTableInvariants detects the corruption. Never
   /// called outside audit tests.
@@ -143,6 +151,8 @@ class LockManager {
   int64_t next_grant_seq_ = 0;
 
   audit::Auditor* auditor_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  SiteId trace_site_;
   /// Transactions already past their shrink phase (strict-2PL audit);
   /// tracked only while auditing.
   std::unordered_set<TxnId> released_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace mdbs::lcc {
 
@@ -30,7 +31,13 @@ AccessDecision OptimisticConcurrencyControl::OnValidate(TxnId txn) {
   for (const CommittedEntry& entry : committed_log_) {
     if (entry.cn <= state.start_cn) continue;
     for (DataItemId item : entry.write_set) {
-      if (state.read_set.contains(item)) return AccessDecision::kAbort;
+      if (state.read_set.contains(item)) {
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kValidationFail, txn.value(),
+                         trace_site_.value(), -1, item.value(), "occ");
+        }
+        return AccessDecision::kAbort;
+      }
     }
   }
   return AccessDecision::kProceed;

@@ -40,6 +40,11 @@ class OptimisticConcurrencyControl : public ConcurrencyControl {
   /// Validation-log length (tests/GC).
   size_t LogSize() const { return committed_log_.size(); }
 
+  void EnableTrace(obs::TraceSink* sink, SiteId site) override {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
  private:
   struct ActiveTxn {
     int64_t start_cn = 0;
@@ -53,6 +58,8 @@ class OptimisticConcurrencyControl : public ConcurrencyControl {
 
   void CollectGarbage();
 
+  obs::TraceSink* trace_ = nullptr;
+  SiteId trace_site_;
   int64_t commit_counter_ = 0;
   std::unordered_map<TxnId, ActiveTxn> active_;
   std::deque<CommittedEntry> committed_log_;

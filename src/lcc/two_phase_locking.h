@@ -64,6 +64,12 @@ class TwoPhaseLocking : public ConcurrencyControl {
     lock_manager_.EnableAudit(auditor);
   }
 
+  void EnableTrace(obs::TraceSink* sink, SiteId site) override {
+    trace_ = sink;
+    trace_site_ = site;
+    lock_manager_.EnableTrace(sink, site);
+  }
+
   const LockManager& lock_manager() const { return lock_manager_; }
   DeadlockPolicy policy() const { return policy_; }
   int64_t wounds_inflicted() const { return wounds_inflicted_; }
@@ -72,6 +78,8 @@ class TwoPhaseLocking : public ConcurrencyControl {
   ProtocolHost* host_;
   DeadlockPolicy policy_;
   LockManager lock_manager_;
+  obs::TraceSink* trace_ = nullptr;
+  SiteId trace_site_;
   /// Age (begin order) for the prevention policies; smaller = older.
   std::unordered_map<TxnId, int64_t> age_;
   int64_t next_age_ = 0;

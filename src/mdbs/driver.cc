@@ -195,6 +195,34 @@ std::string DriverReport::ToString() const {
   return os.str();
 }
 
+void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
+  registry->Increment("driver.global_committed", global_committed);
+  registry->Increment("driver.global_failed", global_failed);
+  registry->Increment("driver.local_committed", local_committed);
+  registry->Increment("driver.local_failed", local_failed);
+  registry->Increment("driver.local_abort_retries", local_abort_retries);
+  registry->Increment("driver.duration_ticks", duration);
+  registry->Increment("driver.site_blocked", site_blocked);
+  registry->Increment("driver.site_aborts", site_aborts);
+  registry->Increment("driver.crashes", crashes);
+  registry->Observe("driver.global_throughput_per_mtick", global_throughput);
+  registry->Put("driver.global_response", global_response);
+  registry->Put("driver.global_attempts", global_attempts);
+  registry->Increment("gtm1.submitted", gtm1.submitted);
+  registry->Increment("gtm1.committed", gtm1.committed);
+  registry->Increment("gtm1.failed", gtm1.failed);
+  registry->Increment("gtm1.attempts", gtm1.attempts);
+  registry->Increment("gtm1.aborted_attempts", gtm1.aborted_attempts);
+  registry->Increment("gtm1.scheme_aborts", gtm1.scheme_aborts);
+  registry->Increment("gtm1.timeouts", gtm1.timeouts);
+  registry->Increment("gtm1.partial_commits", gtm1.partial_commits);
+  registry->Increment("gtm2.processed_ops", gtm2.processed_ops);
+  registry->Increment("gtm2.wait_additions", gtm2.wait_additions);
+  registry->Increment("gtm2.ser_wait_additions", gtm2.ser_wait_additions);
+  registry->Increment("gtm2.cond_evaluations", gtm2.cond_evaluations);
+  registry->Increment("gtm2.failed_rescan_steps", gtm2.failed_rescan_steps);
+}
+
 DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
                        uint64_t seed) {
   auto state = std::make_shared<RunState>();

@@ -52,6 +52,12 @@ struct DriverReport {
   int64_t crashes = 0;       // Injected site crashes.
 
   std::string ToString() const;
+
+  /// Contributes the report's counters and latency summaries to `registry`
+  /// under "driver." / "gtm1." / "gtm2." names, so the JSON run report
+  /// (src/obs/report) carries driver-level results next to the trace-derived
+  /// phase metrics.
+  void AddToRegistry(sim::MetricsRegistry* registry) const;
 };
 
 /// Runs the closed-loop experiment on `mdbs`. Deterministic given `seed`.

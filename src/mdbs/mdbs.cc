@@ -65,6 +65,12 @@ Mdbs::Mdbs(const MdbsConfig& config)
       for (SiteId id : site_ids_) sites_.at(id)->EnableAudit(&auditor_);
     }
   }
+  if (obs::kTraceCompiledIn && config.trace.enabled) {
+    trace_ = std::make_unique<obs::TraceSink>(
+        config.trace, [this]() { return NowTicks(); });
+    gtm1_->EnableTrace(trace_.get());
+    for (SiteId id : site_ids_) sites_.at(id)->EnableTrace(trace_.get());
+  }
 }
 
 Mdbs::~Mdbs() { StopStrands(); }
@@ -127,6 +133,16 @@ void Mdbs::FinishThreadedRun() {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   StopStrands();
+}
+
+void Mdbs::SampleStrandBacklogs() {
+  if (!threaded_ || trace_ == nullptr) return;
+  trace_->Record(obs::TraceEventKind::kStrandBacklog, -1, -1,
+                 gtm_strand_->PendingTasks());
+  for (const auto& [id, strand] : site_strands_) {
+    trace_->Record(obs::TraceEventKind::kStrandBacklog, -1, id.value(),
+                   strand->PendingTasks());
+  }
 }
 
 void Mdbs::StopStrands() {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "gtm/gtm1.h"
+#include "obs/trace.h"
 #include "sched/schedule.h"
 #include "sched/serializability.h"
 #include "sim/event_loop.h"
@@ -35,6 +36,10 @@ struct MdbsConfig {
   /// Invariant auditor wiring (GTM2 driver, 2PL lock tables, end-of-run
   /// oracle). Enabled by default when compiled in; benchmarks turn it off.
   audit::AuditConfig audit;
+  /// Tracing/metrics wiring (src/obs). Off by default — when enabled (and
+  /// MDBS_TRACE compiled in) every tier records lifecycle events into one
+  /// TraceSink, drained via trace_sink() after the run.
+  obs::TraceConfig trace;
   /// Execution mode. false: the single-threaded discrete-event simulator
   /// (deterministic; drive it with RunUntilIdle). true: real threads — one
   /// RealStrand per site plus one for the GTM — with ticks interpreted as
@@ -129,6 +134,15 @@ class Mdbs : public gtm::SiteGateway {
   audit::Auditor& auditor() { return auditor_; }
   const audit::Auditor& auditor() const { return auditor_; }
 
+  /// The run's trace sink, or nullptr when tracing is off (not configured
+  /// or compiled out). Drain() it only after the run is quiescent.
+  obs::TraceSink* trace_sink() { return trace_.get(); }
+
+  /// Records one kStrandBacklog sample per strand (GTM + sites). Threaded
+  /// mode with tracing on only; safe from any thread (a sampler thread
+  /// calls it periodically). No-op otherwise.
+  void SampleStrandBacklogs();
+
   /// Sites running a multiversion protocol (verified via MVSG).
   std::vector<SiteId> MultiversionSites() const;
 
@@ -159,6 +173,7 @@ class Mdbs : public gtm::SiteGateway {
 
   MdbsConfig config_;
   audit::Auditor auditor_;
+  std::unique_ptr<obs::TraceSink> trace_;
   bool audit_enabled_ = false;
   bool threaded_ = false;
   sim::EventLoop loop_;

@@ -225,10 +225,22 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
   if (config.crash_interval > 0) {
     injector = std::thread(CrashInjectorMain, &state, root.Fork());
   }
+  // With tracing on, a sampler thread gauges every strand's queue depth
+  // once a millisecond — the kStrandBacklog series in the trace/report.
+  std::thread backlog_sampler;
+  if (mdbs->trace_sink() != nullptr) {
+    backlog_sampler = std::thread([mdbs, &state]() {
+      while (!state.stop.load(std::memory_order_relaxed)) {
+        mdbs->SampleStrandBacklogs();
+        SleepTicks(1000);
+      }
+    });
+  }
 
   for (std::thread& client : clients) client.join();
   state.stop.store(true, std::memory_order_relaxed);
   if (injector.joinable()) injector.join();
+  if (backlog_sampler.joinable()) backlog_sampler.join();
   sim::Time end_time = mdbs->NowTicks();
 
   // Drain in-flight tails (fire-and-forget aborts, last acknowledgements)

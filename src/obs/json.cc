@@ -1,0 +1,125 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mdbs::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // The comma was emitted before the key.
+  }
+  if (scopes_.empty()) return;
+  Scope& scope = scopes_.back();
+  if (!scope.first) os_ << ",";
+  if (scope.one_per_line) os_ << "\n";
+  scope.first = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << "{";
+  scopes_.push_back(Scope{});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  scopes_.pop_back();
+  os_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(bool one_per_line) {
+  BeforeValue();
+  os_ << "[";
+  scopes_.push_back(Scope{true, one_per_line});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  bool one_per_line = scopes_.back().one_per_line;
+  bool empty = scopes_.back().first;
+  scopes_.pop_back();
+  if (one_per_line && !empty) os_ << "\n";
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  BeforeValue();
+  os_ << "\"" << EscapeJson(name) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << "\"" << EscapeJson(value) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    os_ << "null";  // JSON has no Inf/NaN.
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace mdbs::obs

@@ -1,0 +1,56 @@
+#ifndef MDBS_OBS_JSON_H_
+#define MDBS_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdbs::obs {
+
+/// `s` with JSON string escaping applied (no surrounding quotes).
+std::string EscapeJson(std::string_view s);
+
+/// Minimal streaming JSON writer: objects, arrays, scalars, automatic comma
+/// placement. No pretty-printing beyond optional newlines between the
+/// elements of arrays opened with BeginArray(/*one_per_line=*/true) — the
+/// shape Chrome trace viewers stream-parse happily.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray(bool one_per_line = false);
+  JsonWriter& EndArray();
+
+  /// Next value is the member named `name` of the open object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+ private:
+  struct Scope {
+    bool first = true;
+    bool one_per_line = false;
+  };
+
+  /// Comma/newline bookkeeping before a value or key is emitted.
+  void BeforeValue();
+
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  bool key_pending_ = false;
+};
+
+}  // namespace mdbs::obs
+
+#endif  // MDBS_OBS_JSON_H_

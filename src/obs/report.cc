@@ -1,0 +1,197 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace mdbs::obs {
+namespace {
+
+std::string WaitKey(const TraceEvent& e) {
+  return std::to_string(e.txn) + ":" + std::to_string(e.site) + ":" +
+         (e.detail != nullptr ? e.detail : "?");
+}
+
+/// Per-attempt lifecycle timestamps, filled in as the scan encounters them.
+struct AttemptTimes {
+  sim::Time start = -1;
+  sim::Time init = -1;
+  sim::Time last_ser = -1;
+  sim::Time last_ack = -1;
+};
+
+}  // namespace
+
+void AggregateTrace(const std::vector<TraceEvent>& events,
+                    sim::MetricsRegistry* registry) {
+  std::unordered_map<int64_t, sim::Time> submit_time;   // job id -> time
+  std::unordered_map<int64_t, int64_t> attempt_job;     // attempt -> job id
+  std::unordered_map<int64_t, AttemptTimes> attempts;   // attempt id
+  std::unordered_map<std::string, sim::Time> wait_since;
+
+  for (const TraceEvent& e : events) {
+    registry->Increment(std::string("events.") + TraceEventKindName(e.kind));
+    switch (e.kind) {
+      case TraceEventKind::kSubmit:
+        submit_time[e.txn] = e.time;
+        break;
+      case TraceEventKind::kAttemptStart:
+        attempt_job[e.txn] = e.a;
+        attempts[e.txn].start = e.time;
+        break;
+      case TraceEventKind::kInit: {
+        AttemptTimes& t = attempts[e.txn];
+        if (t.init < 0) t.init = e.time;
+        if (t.start >= 0) {
+          registry->Observe("phase.attempt_to_init",
+                            static_cast<double>(e.time - t.start));
+        }
+        break;
+      }
+      case TraceEventKind::kSerRelease: {
+        AttemptTimes& t = attempts[e.txn];
+        t.last_ser = e.time;
+        if (t.init >= 0) {
+          registry->Observe("phase.init_to_ser",
+                            static_cast<double>(e.time - t.init));
+        }
+        break;
+      }
+      case TraceEventKind::kAck: {
+        AttemptTimes& t = attempts[e.txn];
+        t.last_ack = e.time;
+        if (t.last_ser >= 0) {
+          registry->Observe("phase.ser_to_ack",
+                            static_cast<double>(e.time - t.last_ser));
+        }
+        break;
+      }
+      case TraceEventKind::kFin: {
+        AttemptTimes& t = attempts[e.txn];
+        if (t.last_ack >= 0) {
+          registry->Observe("phase.ack_to_fin",
+                            static_cast<double>(e.time - t.last_ack));
+        }
+        break;
+      }
+      case TraceEventKind::kTxnCommit: {
+        auto job = attempt_job.find(e.txn);
+        int64_t job_id = job == attempt_job.end() ? e.a : job->second;
+        auto submitted = submit_time.find(job_id);
+        if (submitted != submit_time.end()) {
+          registry->Observe("phase.submit_to_commit",
+                            static_cast<double>(e.time - submitted->second));
+        }
+        break;
+      }
+      case TraceEventKind::kWaitEnter:
+        wait_since[WaitKey(e)] = e.time;
+        break;
+      case TraceEventKind::kWaitExit:
+      case TraceEventKind::kWaitAbandon: {
+        auto it = wait_since.find(WaitKey(e));
+        if (it != wait_since.end()) {
+          const char* op = e.detail != nullptr ? e.detail : "?";
+          std::string name =
+              e.kind == TraceEventKind::kWaitExit
+                  ? std::string("wait.dwell.") + op
+                  : std::string("wait.dwell.abandoned.") + op;
+          registry->Observe(name, static_cast<double>(e.time - it->second));
+          wait_since.erase(it);
+        }
+        break;
+      }
+      case TraceEventKind::kQueueDepth:
+        registry->Observe("gtm2.queue_depth", static_cast<double>(e.a));
+        registry->Observe("gtm2.wait_depth", static_cast<double>(e.b));
+        break;
+      case TraceEventKind::kStrandBacklog:
+        registry->Observe(e.site >= 0
+                              ? "strand.backlog.s" + std::to_string(e.site)
+                              : std::string("strand.backlog.gtm"),
+                          static_cast<double>(e.a));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Power-of-two histogram over retained samples: bucket k holds values in
+/// (2^(k-1), 2^k], bucket "0" holds values <= 0 and (0, 1].
+void WriteHistogram(JsonWriter& w, const std::vector<double>& samples) {
+  std::map<int, int64_t> buckets;
+  for (double v : samples) {
+    int bucket = 0;
+    if (v > 1.0) bucket = static_cast<int>(std::ceil(std::log2(v)));
+    ++buckets[bucket];
+  }
+  w.BeginArray();
+  for (const auto& [exp, count] : buckets) {
+    w.BeginObject();
+    w.Key("le").Double(exp == 0 ? 1.0 : std::exp2(exp));
+    w.Key("count").Int(count);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+void WriteJsonReport(std::ostream& os, const ReportInfo& info,
+                     const sim::MetricsRegistry& registry) {
+  JsonWriter w(os);
+  w.BeginObject();
+
+  w.Key("info").BeginObject();
+  for (const auto& [key, value] : info) w.Key(key).String(value);
+  w.EndObject();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : registry.counters()) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+
+  w.Key("summaries").BeginObject();
+  for (const auto& [name, summary] : registry.summaries()) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(summary.count());
+    w.Key("mean").Double(summary.mean());
+    w.Key("min").Double(summary.min());
+    w.Key("max").Double(summary.max());
+    w.Key("quantiles").BeginObject();
+    w.Key("p50").Double(summary.Quantile(0.5));
+    w.Key("p90").Double(summary.Quantile(0.9));
+    w.Key("p95").Double(summary.Quantile(0.95));
+    w.Key("p99").Double(summary.Quantile(0.99));
+    w.EndObject();
+    w.Key("histogram");
+    WriteHistogram(w, summary.retained_samples());
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  os << "\n";
+}
+
+Status WriteJsonReportFile(const std::string& path, const ReportInfo& info,
+                           const sim::MetricsRegistry& registry) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open report output file: " + path);
+  }
+  WriteJsonReport(out, info, registry);
+  out.flush();
+  if (!out) return Status::Internal("short write to report file: " + path);
+  return Status::OK();
+}
+
+}  // namespace mdbs::obs

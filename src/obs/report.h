@@ -1,0 +1,50 @@
+#ifndef MDBS_OBS_REPORT_H_
+#define MDBS_OBS_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "sim/metrics.h"
+
+namespace mdbs::obs {
+
+/// Derives run-level series from a drained (time, seq)-sorted trace into
+/// `registry`:
+///   - `events.<kind>` counters, one per TraceEventKind seen;
+///   - `phase.submit_to_commit`, `phase.attempt_to_init`, `phase.init_to_ser`,
+///     `phase.ser_to_ack`, `phase.ack_to_fin` latency summaries (ticks),
+///     linking each committed attempt back through its lifecycle events;
+///   - `wait.dwell.<op-kind>` — how long operations sat in GTM2's WAIT,
+///     split by the operation kind whose cond failed (plus
+///     `wait.dwell.abandoned.<op-kind>` for waits cut short by an abort);
+///   - `gtm2.queue_depth` / `gtm2.wait_depth` sampled at every enqueue;
+///   - `strand.backlog.gtm` / `strand.backlog.s<k>` in threaded runs.
+/// Composes with counters already in the registry (e.g. driver stats).
+void AggregateTrace(const std::vector<TraceEvent>& events,
+                    sim::MetricsRegistry* registry);
+
+/// Ordered (key, value) pairs describing the run (scheme, engine, seed...).
+using ReportInfo = std::vector<std::pair<std::string, std::string>>;
+
+/// Writes the structured JSON run report:
+///   {"info": {...},
+///    "counters": {name: n, ...},
+///    "summaries": {name: {count, mean, min, max,
+///                         quantiles: {p50, p90, p95, p99},
+///                         histogram: [{le, count}, ...]}, ...}}
+/// Histograms are power-of-two-bucketed over each summary's retained
+/// samples (a uniform reservoir once past Summary::kReservoirCapacity).
+void WriteJsonReport(std::ostream& os, const ReportInfo& info,
+                     const sim::MetricsRegistry& registry);
+
+/// WriteJsonReport into `path`; fails on I/O errors.
+Status WriteJsonReportFile(const std::string& path, const ReportInfo& info,
+                           const sim::MetricsRegistry& registry);
+
+}  // namespace mdbs::obs
+
+#endif  // MDBS_OBS_REPORT_H_

@@ -1,0 +1,43 @@
+#ifndef MDBS_OBS_TRACE_EXPORT_H_
+#define MDBS_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace mdbs::obs {
+
+struct ChromeTraceOptions {
+  /// (site id, human label) pairs; sites become one track each (tid =
+  /// site id + 1), the GTM is tid 0. Sites appearing only in events get a
+  /// default "site-N" label.
+  std::vector<std::pair<int64_t, std::string>> site_names;
+};
+
+/// Serializes a drained trace as Chrome trace-event JSON — loadable in
+/// chrome://tracing and Perfetto (https://ui.perfetto.dev). Layout:
+///   - one track per site plus one for the GTM (thread_name metadata);
+///   - async spans ("b"/"e") for attempts, WAIT dwell, per-site
+///     subtransactions and blocked operations — async because many overlap
+///     on one track at once;
+///   - instant events ("i") for point happenings (marked edges,
+///     dependencies, wounds, deadlocks, validation failures, crashes);
+///   - counter events ("C") for GTM2 queue depths and strand backlog.
+/// Timestamps are NowTicks() values used as microseconds: exact wall time
+/// under the threaded engine, virtual ticks under the simulator.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                      const ChromeTraceOptions& options);
+
+/// WriteChromeTrace into `path`; fails on I/O errors.
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<TraceEvent>& events,
+                            const ChromeTraceOptions& options);
+
+}  // namespace mdbs::obs
+
+#endif  // MDBS_OBS_TRACE_EXPORT_H_

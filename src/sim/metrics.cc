@@ -6,6 +6,13 @@
 
 namespace mdbs::sim {
 
+uint64_t Summary::NextRandom() {
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
 void Summary::Add(double value) {
   if (count_ == 0) {
     min_ = max_ = value;
@@ -15,8 +22,18 @@ void Summary::Add(double value) {
   }
   ++count_;
   sum_ += value;
-  samples_.push_back(value);
-  sorted_ = false;
+  if (samples_.size() < kReservoirCapacity) {
+    samples_.push_back(value);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: the i-th observation (1-based) replaces a random slot with
+  // probability capacity/i, keeping the reservoir a uniform sample.
+  uint64_t slot = NextRandom() % static_cast<uint64_t>(count_);
+  if (slot < kReservoirCapacity) {
+    samples_[slot] = value;
+    sorted_ = false;
+  }
 }
 
 double Summary::Quantile(double q) const {

@@ -9,10 +9,18 @@
 namespace mdbs::sim {
 
 /// Streaming summary of a scalar series: count/mean/min/max plus quantiles
-/// from retained samples. Small enough for per-experiment use; not intended
-/// for unbounded production telemetry.
+/// from retained samples. Memory is bounded: beyond kReservoirCapacity
+/// observations, Algorithm-R reservoir sampling keeps a uniform subset, so a
+/// million-transaction run costs the same as a thousand-transaction one.
+/// The reservoir RNG is seeded with a fixed constant — given the same
+/// insertion order the retained set (and thus every quantile and report
+/// byte) is identical, which the determinism tests rely on.
 class Summary {
  public:
+  /// Retained-sample cap. Below it quantiles are exact; above it they are
+  /// estimates over a uniform sample (error ~1/sqrt(4096) ≈ 1.6%).
+  static constexpr size_t kReservoirCapacity = 4096;
+
   void Add(double value);
 
   int64_t count() const { return count_; }
@@ -21,19 +29,28 @@ class Summary {
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double sum() const { return sum_; }
 
-  /// q in [0, 1]. Exact over retained samples.
+  /// q in [0, 1]. Exact while count() <= kReservoirCapacity, a reservoir
+  /// estimate beyond that. min()/max()/mean() stay exact regardless.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }
 
+  /// The retained (possibly reservoir-sampled) observations, unordered.
+  /// Exporters use this for histograms; do not assume sortedness.
+  const std::vector<double>& retained_samples() const { return samples_; }
+
   std::string ToString() const;
 
  private:
+  /// xorshift64 over rng_state_; cheap and deterministically seeded.
+  uint64_t NextRandom();
+
   int64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;
   double max_ = 0;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };
@@ -47,10 +64,20 @@ class MetricsRegistry {
   void Observe(const std::string& name, double value);
   const Summary* GetSummary(const std::string& name) const;
 
+  /// Installs a fully-populated summary wholesale (overwriting any existing
+  /// one) — how run reports adopt summaries built elsewhere, e.g. the
+  /// driver's response-time series.
+  void Put(const std::string& name, const Summary& summary) {
+    summaries_[name] = summary;
+  }
+
   /// Multi-line human-readable dump, sorted by name.
   std::string Report() const;
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Summary>& summaries() const {
+    return summaries_;
+  }
 
  private:
   std::map<std::string, int64_t> counters_;

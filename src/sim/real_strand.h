@@ -72,6 +72,13 @@ class RealStrand final : public TaskRunner {
   /// Tasks executed so far (approximate while running; exact after Stop).
   int64_t executed() const;
 
+  /// Tasks currently queued (due or timed). A sampled snapshot — the
+  /// observability backlog gauge in threaded runs.
+  int64_t PendingTasks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
  private:
   struct Task {
     Time at;

@@ -48,6 +48,10 @@ Status LocalDbms::Begin(TxnId txn, GlobalTxnId global) {
   }
   txns_[txn].global = global;
   protocol_->OnBegin(txn);
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kSiteBegin, txn.value(),
+                   config_.id.value(), global.value());
+  }
   if (recorder_ != nullptr) recorder_->RecordBegin(config_.id, txn, global);
   return Status::OK();
 }
@@ -83,12 +87,22 @@ void LocalDbms::ProcessOp(TxnId txn, const DataOp& op, OpCallback cb) {
       ++blocked_count_;
       MDBS_CHECK(!state.pending_op.has_value())
           << ToString(txn) << " blocked with an operation already pending";
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kOpBlocked, txn.value(),
+                       config_.id.value(), state.global.value(),
+                       op.item.value());
+      }
       state.pending_op = op;
       state.pending_cb = std::move(cb);
       return;
     }
     case lcc::AccessDecision::kAbort: {
       ++abort_count_;
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kLocalAbort, txn.value(),
+                       config_.id.value(), state.global.value(),
+                       op.item.value());
+      }
       DoAbort(txn, &state);
       txns_.erase(txn);
       cb(Status::TransactionAborted("local protocol abort at " +
@@ -187,6 +201,10 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
     }
   }
   protocol_->OnFinish(txn, TxnOutcome::kCommitted);
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kSiteCommit, txn.value(),
+                   config_.id.value(), state.global.value());
+  }
   if (recorder_ != nullptr) {
     recorder_->RecordFinish(txn, TxnOutcome::kCommitted,
                             protocol_->SerializationKey(txn));
@@ -216,6 +234,10 @@ void LocalDbms::DoAbort(TxnId txn, TxnState* state) {
     store_.Restore(undo_it->first, undo_it->second);
   }
   protocol_->OnFinish(txn, TxnOutcome::kAborted);
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kSiteAbort, txn.value(),
+                   config_.id.value(), state->global.value());
+  }
   if (recorder_ != nullptr) {
     recorder_->RecordFinish(txn, TxnOutcome::kAborted, std::nullopt);
   }
@@ -243,6 +265,10 @@ void LocalDbms::Crash() {
   down_ = true;
   ++crash_count_;
   ++abort_count_;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kCrash, -1, config_.id.value(),
+                   static_cast<int64_t>(txns_.size()));
+  }
   // Abort every active transaction; uncommitted in-place writes roll back,
   // committed data stands (the store is our "stable storage").
   std::vector<TxnId> active;
@@ -256,7 +282,12 @@ void LocalDbms::Crash() {
   }
 }
 
-void LocalDbms::Recover() { down_ = false; }
+void LocalDbms::Recover() {
+  down_ = false;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kRecover, -1, config_.id.value());
+  }
+}
 
 void LocalDbms::ResumeTransaction(TxnId txn) {
   auto it = txns_.find(txn);
@@ -273,6 +304,11 @@ void LocalDbms::ResumeTransaction(TxnId txn) {
     DataOp op = *resume_state.pending_op;
     OpCallback cb = std::move(resume_state.pending_cb);
     resume_state.pending_op.reset();
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kOpResumed, txn.value(),
+                     config_.id.value(), resume_state.global.value(),
+                     op.item.value());
+    }
     ProcessOp(txn, op, std::move(cb));
   });
 }

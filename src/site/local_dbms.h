@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lcc/protocol.h"
+#include "obs/trace.h"
 #include "sched/schedule.h"
 #include "sim/task_runner.h"
 #include "storage/kv_store.h"
@@ -61,6 +62,14 @@ class LocalDbms : public lcc::ProtocolHost {
   /// Forwards invariant auditing to the protocol (no-op for protocols
   /// without an audit surface).
   void EnableAudit(audit::Auditor* auditor) { protocol_->EnableAudit(auditor); }
+
+  /// Records site lifecycle events (begin/commit/abort, blocked operations,
+  /// crashes) into `sink` (nullptr disables) and forwards to the protocol
+  /// for its lock-wait / wound / validation events.
+  void EnableTrace(obs::TraceSink* sink) {
+    trace_ = sink;
+    protocol_->EnableTrace(sink, config_.id);
+  }
 
   /// Starts a transaction. `global` is invalid for purely local ones.
   Status Begin(TxnId txn, GlobalTxnId global);
@@ -127,6 +136,7 @@ class LocalDbms : public lcc::ProtocolHost {
   SiteConfig config_;
   sim::TaskRunner* loop_;
   sched::ScheduleRecorder* recorder_;
+  obs::TraceSink* trace_ = nullptr;
   storage::KvStore store_;
   std::unique_ptr<lcc::ConcurrencyControl> protocol_;
   std::unordered_map<TxnId, TxnState> txns_;

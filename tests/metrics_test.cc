@@ -1,0 +1,108 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mdbs::sim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Summary
+// --------------------------------------------------------------------------
+
+TEST(SummaryTest, EmptyIsAllZero) {
+  Summary summary;
+  EXPECT_EQ(summary.count(), 0);
+  EXPECT_EQ(summary.mean(), 0.0);
+  EXPECT_EQ(summary.min(), 0.0);
+  EXPECT_EQ(summary.max(), 0.0);
+  EXPECT_EQ(summary.Quantile(0.5), 0.0);
+  EXPECT_TRUE(summary.retained_samples().empty());
+}
+
+TEST(SummaryTest, ExactQuantilesBelowReservoirCapacity) {
+  Summary summary;
+  // 1..100 in a scrambled order; quantiles must not depend on it.
+  for (int i = 0; i < 100; ++i) summary.Add(((i * 37) % 100) + 1);
+  EXPECT_EQ(summary.count(), 100);
+  EXPECT_DOUBLE_EQ(summary.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 100.0);
+  EXPECT_DOUBLE_EQ(summary.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.Quantile(1.0), 100.0);
+  // Nearest-rank style estimates within one sample of the true value.
+  EXPECT_NEAR(summary.Median(), 50.0, 1.0);
+  EXPECT_NEAR(summary.P95(), 95.0, 1.0);
+  EXPECT_NEAR(summary.P99(), 99.0, 1.0);
+}
+
+TEST(SummaryTest, ReservoirBoundsMemoryButKeepsExactMoments) {
+  Summary summary;
+  const int n = 100'000;
+  for (int i = 1; i <= n; ++i) summary.Add(i);
+  EXPECT_EQ(summary.count(), n);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), n);
+  EXPECT_DOUBLE_EQ(summary.mean(), (n + 1) / 2.0);
+  EXPECT_EQ(summary.retained_samples().size(), Summary::kReservoirCapacity);
+  // Quantiles are estimates over a uniform sample: ~1.6% expected error,
+  // so a 5% tolerance makes the test robust without losing its teeth.
+  EXPECT_NEAR(summary.Median(), n / 2.0, 0.05 * n);
+  EXPECT_NEAR(summary.Quantile(0.9), 0.9 * n, 0.05 * n);
+}
+
+TEST(SummaryTest, ReservoirIsDeterministic) {
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 50'000; ++i) {
+    a.Add(i % 9973);
+    b.Add(i % 9973);
+  }
+  EXPECT_EQ(a.retained_samples(), b.retained_samples());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), b.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), b.Quantile(0.99));
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, EmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Counter("missing"), 0);
+  EXPECT_EQ(registry.GetSummary("missing"), nullptr);
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.summaries().empty());
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.Increment("a");
+  registry.Increment("a", 4);
+  registry.Increment("b", -2);
+  EXPECT_EQ(registry.Counter("a"), 5);
+  EXPECT_EQ(registry.Counter("b"), -2);
+}
+
+TEST(MetricsRegistryTest, ObserveBuildsSummaries) {
+  MetricsRegistry registry;
+  registry.Observe("lat", 10);
+  registry.Observe("lat", 30);
+  const Summary* summary = registry.GetSummary("lat");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count(), 2);
+  EXPECT_DOUBLE_EQ(summary->mean(), 20.0);
+}
+
+TEST(MetricsRegistryTest, PutInstallsForeignSummary) {
+  Summary external;
+  for (int i = 1; i <= 10; ++i) external.Add(i);
+  MetricsRegistry registry;
+  registry.Put("driver.response", external);
+  const Summary* summary = registry.GetSummary("driver.response");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->count(), 10);
+  EXPECT_DOUBLE_EQ(summary->max(), 10.0);
+}
+
+}  // namespace
+}  // namespace mdbs::sim

@@ -1,0 +1,423 @@
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdbs/driver.h"
+#include "mdbs/mdbs.h"
+#include "mdbs/threaded_driver.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "sim/metrics.h"
+
+namespace mdbs {
+namespace {
+
+using obs::TraceConfig;
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TraceSink;
+
+// --------------------------------------------------------------------------
+// TraceSink
+// --------------------------------------------------------------------------
+
+TraceConfig EnabledConfig(size_t capacity = 1 << 12) {
+  TraceConfig config;
+  config.enabled = true;
+  config.buffer_capacity = capacity;
+  return config;
+}
+
+/// Most of this suite needs the hooks compiled in; with -DMDBS_TRACE=OFF
+/// those tests skip rather than fail.
+#define MDBS_SKIP_WITHOUT_TRACE()                                   \
+  if (!obs::kTraceCompiledIn) {                                     \
+    GTEST_SKIP() << "tracing compiled out (-DMDBS_TRACE=OFF)";      \
+  }
+
+TEST(TraceSinkTest, RecordsAndDrainsInTimeSeqOrder) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  sim::Time now = 0;
+  TraceSink sink(EnabledConfig(), [&now]() { return now; });
+  ASSERT_TRUE(sink.enabled());
+  now = 30;
+  sink.Record(TraceEventKind::kSubmit, 1, -1);
+  now = 10;
+  sink.Record(TraceEventKind::kInit, 2, -1);
+  now = 10;
+  sink.Record(TraceEventKind::kFin, 3, -1);
+  EXPECT_EQ(sink.recorded(), 3);
+
+  std::vector<TraceEvent> events = sink.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  // Time-sorted; equal times break by recording sequence.
+  EXPECT_EQ(events[0].txn, 2);
+  EXPECT_EQ(events[1].txn, 3);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(events[2].txn, 1);
+  EXPECT_EQ(events[2].time, 30);
+  // Drain clears.
+  EXPECT_TRUE(sink.Drain().empty());
+}
+
+TEST(TraceSinkTest, DisabledSinkRecordsNothing) {
+  TraceConfig config;  // enabled = false
+  TraceSink sink(config, []() { return sim::Time{0}; });
+  EXPECT_FALSE(sink.enabled());
+  sink.Record(TraceEventKind::kSubmit, 1, -1);
+  EXPECT_EQ(sink.recorded(), 0);
+  EXPECT_TRUE(sink.Drain().empty());
+}
+
+TEST(TraceSinkTest, FullBufferDropsAndCounts) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  TraceSink sink(EnabledConfig(/*capacity=*/4), []() { return sim::Time{0}; });
+  for (int i = 0; i < 10; ++i) {
+    sink.Record(TraceEventKind::kSubmit, i, -1);
+  }
+  EXPECT_EQ(sink.recorded(), 4);
+  EXPECT_EQ(sink.dropped(), 6);
+  EXPECT_EQ(sink.Drain().size(), 4u);
+}
+
+TEST(TraceSinkTest, ConcurrentRecordersKeepEveryEventWithUniqueSeq) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  TraceSink sink(EnabledConfig(1 << 14), []() { return sim::Time{7}; });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.Record(TraceEventKind::kSiteBegin, t * kPerThread + i, t);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::vector<TraceEvent> events = sink.Drain();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::unordered_set<int64_t> seqs;
+  std::unordered_set<int64_t> txns;
+  for (const TraceEvent& event : events) {
+    seqs.insert(event.seq);
+    txns.insert(event.txn);
+  }
+  EXPECT_EQ(seqs.size(), events.size());  // Process-wide unique sequence.
+  EXPECT_EQ(txns.size(), events.size());  // No event lost or duplicated.
+}
+
+// --------------------------------------------------------------------------
+// JSON well-formedness (no parser available; check balance and structure)
+// --------------------------------------------------------------------------
+
+/// True when every brace/bracket outside string literals balances and the
+/// document is one value. Catches the classic exporter bugs (trailing
+/// commas are not caught, but unbalanced nesting and unterminated strings
+/// are).
+bool JsonNestingBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(ChromeTraceExportTest, EmitsBalancedJsonWithTracks) {
+  std::vector<TraceEvent> events;
+  auto add = [&events](TraceEventKind kind, sim::Time time, int64_t txn,
+                       int64_t site, int64_t a = 0, int64_t b = 0,
+                       const char* detail = nullptr) {
+    TraceEvent event;
+    event.kind = kind;
+    event.time = time;
+    event.seq = static_cast<int64_t>(events.size());
+    event.txn = txn;
+    event.site = site;
+    event.a = a;
+    event.b = b;
+    event.detail = detail;
+    events.push_back(event);
+  };
+  add(TraceEventKind::kSubmit, 0, 1, -1, 2);
+  add(TraceEventKind::kAttemptStart, 1, 10, -1, 1, 1);
+  add(TraceEventKind::kInit, 2, 10, -1, 2);
+  add(TraceEventKind::kWaitEnter, 3, 10, 0, 1, 0, "ser");
+  add(TraceEventKind::kWaitExit, 5, 10, 0, 0, 0, "ser");
+  add(TraceEventKind::kSiteBegin, 6, 100, 0, 10);
+  add(TraceEventKind::kOpBlocked, 7, 100, 0, 10, 42);
+  add(TraceEventKind::kOpResumed, 8, 100, 0, 10, 42);
+  add(TraceEventKind::kSiteCommit, 9, 100, 0, 10);
+  add(TraceEventKind::kQueueDepth, 9, 10, -1, 3, 1);
+  add(TraceEventKind::kTxnCommit, 10, 10, -1, 1, 1);
+  // A span left open at the end must be force-closed by the exporter.
+  add(TraceEventKind::kSiteBegin, 11, 101, 1, 11);
+
+  obs::ChromeTraceOptions options;
+  options.site_names = {{0, "s0 (2PL)"}, {1, "s1 (TO)"}};
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, events, options);
+  std::string text = os.str();
+
+  EXPECT_TRUE(JsonNestingBalanced(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("thread_name"), std::string::npos);
+  EXPECT_NE(text.find("s0 (2PL)"), std::string::npos);
+  // Async span begin/end pairs balance (the trailing open span got closed).
+  size_t begins = 0;
+  size_t ends = 0;
+  for (size_t pos = 0; (pos = text.find("\"ph\":\"b\"", pos)) !=
+                       std::string::npos;
+       pos += 8) {
+    ++begins;
+  }
+  for (size_t pos = 0; (pos = text.find("\"ph\":\"e\"", pos)) !=
+                       std::string::npos;
+       pos += 8) {
+    ++ends;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(JsonReportTest, EmitsBalancedJsonWithSummaries) {
+  sim::MetricsRegistry registry;
+  registry.Increment("events.submit", 12);
+  for (int i = 1; i <= 100; ++i) {
+    registry.Observe("phase.submit_to_commit", i * 10.0);
+  }
+  obs::ReportInfo info = {{"scheme", "Scheme3"}, {"engine", "sim"}};
+  std::ostringstream os;
+  obs::WriteJsonReport(os, info, registry);
+  std::string text = os.str();
+
+  EXPECT_TRUE(JsonNestingBalanced(text)) << text;
+  EXPECT_NE(text.find("\"info\""), std::string::npos);
+  EXPECT_NE(text.find("\"Scheme3\""), std::string::npos);
+  EXPECT_NE(text.find("\"events.submit\":12"), std::string::npos);
+  EXPECT_NE(text.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(text.find("\"histogram\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Lifecycle span schema: submit < attempt < init <= ser <= ack <= fin for
+// every committed attempt, in both engines. Ordering is positional over the
+// drained (time, seq)-sorted stream.
+// --------------------------------------------------------------------------
+
+struct AttemptSpan {
+  int64_t job = -1;
+  size_t start = 0;
+  size_t init = 0;
+  size_t first_ser = SIZE_MAX;
+  size_t last_ack = 0;
+  size_t fin = 0;
+  bool has_start = false;
+  bool has_init = false;
+  bool has_ack = false;
+  bool has_fin = false;
+  bool committed = false;
+};
+
+void CheckLifecycleSchema(const std::vector<TraceEvent>& events) {
+  std::unordered_map<int64_t, size_t> submit_pos;  // job id -> position
+  std::map<int64_t, AttemptSpan> attempts;         // attempt id -> span
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    switch (event.kind) {
+      case TraceEventKind::kSubmit:
+        submit_pos[event.txn] = i;
+        break;
+      case TraceEventKind::kAttemptStart: {
+        AttemptSpan& span = attempts[event.txn];
+        span.job = event.a;
+        span.start = i;
+        span.has_start = true;
+        break;
+      }
+      case TraceEventKind::kInit: {
+        AttemptSpan& span = attempts[event.txn];
+        span.init = i;
+        span.has_init = true;
+        break;
+      }
+      case TraceEventKind::kSerRelease: {
+        AttemptSpan& span = attempts[event.txn];
+        if (span.first_ser == SIZE_MAX) span.first_ser = i;
+        break;
+      }
+      case TraceEventKind::kAck: {
+        AttemptSpan& span = attempts[event.txn];
+        span.last_ack = i;
+        span.has_ack = true;
+        break;
+      }
+      case TraceEventKind::kFin: {
+        AttemptSpan& span = attempts[event.txn];
+        span.fin = i;
+        span.has_fin = true;
+        break;
+      }
+      case TraceEventKind::kTxnCommit:
+        attempts[event.txn].committed = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  int checked = 0;
+  for (const auto& [attempt, span] : attempts) {
+    if (!span.committed) continue;
+    ++checked;
+    ASSERT_TRUE(span.has_start) << "attempt " << attempt;
+    ASSERT_TRUE(span.has_init) << "attempt " << attempt;
+    ASSERT_TRUE(span.has_fin) << "attempt " << attempt;
+    ASSERT_TRUE(submit_pos.contains(span.job)) << "attempt " << attempt;
+    EXPECT_LT(submit_pos.at(span.job), span.start) << "attempt " << attempt;
+    EXPECT_LT(span.start, span.init) << "attempt " << attempt;
+    if (span.first_ser != SIZE_MAX) {
+      EXPECT_LE(span.init, span.first_ser) << "attempt " << attempt;
+      if (span.has_ack) {
+        EXPECT_LE(span.first_ser, span.last_ack) << "attempt " << attempt;
+      }
+    }
+    if (span.has_ack) {
+      EXPECT_LT(span.last_ack, span.fin) << "attempt " << attempt;
+    }
+  }
+  EXPECT_GT(checked, 0) << "no committed attempts traced";
+}
+
+DriverConfig SmallDriver(int64_t commits) {
+  DriverConfig driver;
+  driver.global_clients = 4;
+  driver.local_clients_per_site = 1;
+  driver.target_global_commits = commits;
+  return driver;
+}
+
+TEST(LifecycleSchemaTest, SimEngineAllSchemes) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  for (gtm::SchemeKind scheme :
+       {gtm::SchemeKind::kScheme0, gtm::SchemeKind::kScheme1,
+        gtm::SchemeKind::kScheme2, gtm::SchemeKind::kScheme3}) {
+    SCOPED_TRACE(gtm::SchemeKindName(scheme));
+    MdbsConfig config = MdbsConfig::Mixed(
+        {lcc::ProtocolKind::kTwoPhaseLocking,
+         lcc::ProtocolKind::kTimestampOrdering,
+         lcc::ProtocolKind::kSerializationGraph},
+        scheme);
+    config.trace.enabled = true;
+    Mdbs mdbs(config);
+    ASSERT_NE(mdbs.trace_sink(), nullptr);
+    DriverReport report = RunDriver(&mdbs, SmallDriver(20), /*seed=*/7);
+    ASSERT_GT(report.global_committed, 0);
+
+    std::vector<TraceEvent> events = mdbs.trace_sink()->Drain();
+    ASSERT_FALSE(events.empty());
+    CheckLifecycleSchema(events);
+  }
+}
+
+TEST(LifecycleSchemaTest, ThreadedEngine) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  MdbsConfig config = MdbsConfig::Mixed(
+      {lcc::ProtocolKind::kTwoPhaseLocking,
+       lcc::ProtocolKind::kOptimistic},
+      gtm::SchemeKind::kScheme3);
+  config.threaded = true;
+  config.trace.enabled = true;
+  Mdbs mdbs(config);
+  ASSERT_NE(mdbs.trace_sink(), nullptr);
+  DriverReport report = RunThreadedDriver(&mdbs, SmallDriver(10), /*seed=*/7);
+  ASSERT_GT(report.global_committed, 0);
+
+  std::vector<TraceEvent> events = mdbs.trace_sink()->Drain();
+  ASSERT_FALSE(events.empty());
+  CheckLifecycleSchema(events);
+}
+
+// --------------------------------------------------------------------------
+// AggregateTrace
+// --------------------------------------------------------------------------
+
+TEST(AggregateTraceTest, DerivesCountersAndPhaseLatencies) {
+  MDBS_SKIP_WITHOUT_TRACE();
+  MdbsConfig config = MdbsConfig::Uniform(
+      2, lcc::ProtocolKind::kTwoPhaseLocking, gtm::SchemeKind::kScheme1);
+  config.trace.enabled = true;
+  Mdbs mdbs(config);
+  DriverReport report = RunDriver(&mdbs, SmallDriver(20), /*seed=*/3);
+  ASSERT_GT(report.global_committed, 0);
+
+  std::vector<TraceEvent> events = mdbs.trace_sink()->Drain();
+  sim::MetricsRegistry registry;
+  report.AddToRegistry(&registry);
+  obs::AggregateTrace(events, &registry);
+
+  EXPECT_GT(registry.Counter("events.submit"), 0);
+  EXPECT_GT(registry.Counter("events.txn_commit"), 0);
+  const sim::Summary* submit_to_commit =
+      registry.GetSummary("phase.submit_to_commit");
+  ASSERT_NE(submit_to_commit, nullptr);
+  EXPECT_EQ(submit_to_commit->count(), report.global_committed);
+  EXPECT_GT(submit_to_commit->min(), 0.0);
+  const sim::Summary* init_to_ser = registry.GetSummary("phase.init_to_ser");
+  ASSERT_NE(init_to_ser, nullptr);
+  EXPECT_GT(init_to_ser->count(), 0);
+  // Driver-side stats merged alongside the trace-derived series.
+  EXPECT_EQ(registry.Counter("driver.global_committed"),
+            report.global_committed);
+}
+
+TEST(MdbsTraceTest, DisabledByDefaultAndSinkIsNull) {
+  MdbsConfig config = MdbsConfig::Uniform(
+      2, lcc::ProtocolKind::kTwoPhaseLocking, gtm::SchemeKind::kScheme1);
+  Mdbs mdbs(config);
+  EXPECT_EQ(mdbs.trace_sink(), nullptr);
+  DriverReport report = RunDriver(&mdbs, SmallDriver(5), /*seed=*/1);
+  EXPECT_GT(report.global_committed, 0);
+}
+
+}  // namespace
+}  // namespace mdbs

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Schema check for mdbsim observability output (stdlib only).
+
+Usage:
+  tools/check_trace.py TRACE.json [METRICS.json]
+
+Validates the Chrome trace-event JSON written by --trace_out= (the subset
+of the spec Perfetto/chrome://tracing require to load a file) and, when
+given, the structured run report written by --metrics_out=. Exits non-zero
+with a message on the first violation, so CI can gate on it.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"b", "e", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)  # json.load itself rejects malformed JSON.
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' must be a non-empty array")
+
+    open_async = {}  # (cat, id, pid) -> begin count
+    thread_names = set()
+    counts = {ph: 0 for ph in VALID_PHASES}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail(f"{path}: event {i} has unexpected ph={ph!r}")
+        counts[ph] += 1
+        if ph != "M":
+            for key in ("ts", "pid", "tid"):
+                if not isinstance(ev.get(key), (int, float)):
+                    fail(f"{path}: event {i} ({ph}) lacks numeric '{key}'")
+            if ev["ts"] < 0:
+                fail(f"{path}: event {i} has negative timestamp")
+        if "name" not in ev:
+            fail(f"{path}: event {i} has no name")
+        if ph in ("b", "e"):
+            if "id" not in ev or "cat" not in ev:
+                fail(f"{path}: async event {i} lacks id/cat")
+            key = (ev["cat"], ev["id"], ev["pid"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    fail(f"{path}: event {i} ends never-begun span {key}")
+                open_async[key] -= 1
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict) or not ev["args"]:
+                fail(f"{path}: counter event {i} needs non-empty args")
+        elif ph == "M":
+            if ev.get("name") == "thread_name":
+                thread_names.add((ev.get("pid"), ev.get("tid")))
+
+    unclosed = {k: n for k, n in open_async.items() if n != 0}
+    if unclosed:
+        fail(f"{path}: {len(unclosed)} async spans never closed: "
+             f"{list(unclosed)[:5]}")
+    if not thread_names:
+        fail(f"{path}: no thread_name metadata (tracks would be unlabeled)")
+    print(f"check_trace: {path}: {len(events)} events OK "
+          f"(spans={counts['b']}, instants={counts['i']}, "
+          f"counters={counts['C']}, tracks={len(thread_names)})")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("info", "counters", "summaries"):
+        if not isinstance(doc.get(key), dict):
+            fail(f"{path}: missing object '{key}'")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int):
+            fail(f"{path}: counter {name} is not an integer")
+    for name, summary in doc["summaries"].items():
+        for key in ("count", "mean", "min", "max", "quantiles", "histogram"):
+            if key not in summary:
+                fail(f"{path}: summary {name} lacks '{key}'")
+        if summary["count"] < 0:
+            fail(f"{path}: summary {name} has negative count")
+        for q in ("p50", "p90", "p95", "p99"):
+            if q not in summary["quantiles"]:
+                fail(f"{path}: summary {name} lacks quantile {q}")
+        histogram = summary["histogram"]
+        if not isinstance(histogram, list):
+            fail(f"{path}: summary {name} histogram is not an array")
+        total = 0
+        for bucket in histogram:
+            if "le" not in bucket or "count" not in bucket:
+                fail(f"{path}: summary {name} has a malformed bucket")
+            total += bucket["count"]
+        retained = min(summary["count"], 4096)  # Reservoir cap.
+        if histogram and total != retained:
+            fail(f"{path}: summary {name} histogram counts {total} != "
+                 f"retained samples {retained}")
+    required = {"phase.submit_to_commit"}
+    missing = required - set(doc["summaries"])
+    if missing:
+        fail(f"{path}: expected summaries missing: {sorted(missing)}")
+    print(f"check_trace: {path}: {len(doc['counters'])} counters, "
+          f"{len(doc['summaries'])} summaries OK")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
