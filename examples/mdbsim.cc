@@ -9,6 +9,7 @@
 //          [--global-clients=8] [--local-clients=1] [--commits=200]
 //          [--items=100] [--dav=2-3] [--read-ratio=0.5] [--zipf=0.0]
 //          [--seed=42] [--crash-interval=0] [--timeout=200000]
+//          [--fault_plan=SPEC|FILE] [--retry=MAX,BACKOFF]
 //          [--dump-schedule=0]
 //
 // Example:
@@ -52,6 +53,9 @@ struct Options {
   mdbs::sim::Time timeout = 200'000;
   int dump_schedule = 0;
   bool threaded = false;
+  std::string fault_plan;
+  int retry_max = 0;
+  mdbs::sim::Time retry_backoff = 1000;
   std::string trace_out;
   std::string metrics_out;
 };
@@ -141,6 +145,20 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->dump_schedule = std::atoi(value_of("--dump-schedule=").c_str());
     } else if (arg.rfind("--threaded=", 0) == 0) {
       options->threaded = std::atoi(value_of("--threaded=").c_str()) != 0;
+    } else if (arg.rfind("--fault_plan=", 0) == 0) {
+      options->fault_plan = value_of("--fault_plan=");
+    } else if (arg.rfind("--retry=", 0) == 0) {
+      // --retry=MAX[,BASE_BACKOFF]
+      std::string spec = value_of("--retry=");
+      size_t comma = spec.find(',');
+      options->retry_max = std::atoi(spec.substr(0, comma).c_str());
+      if (comma != std::string::npos) {
+        options->retry_backoff = std::atoll(spec.substr(comma + 1).c_str());
+      }
+      if (options->retry_max < 0 || options->retry_backoff <= 0) {
+        std::fprintf(stderr, "bad --retry spec '%s'\n", spec.c_str());
+        return false;
+      }
     } else if (arg.rfind("--trace_out=", 0) == 0) {
       options->trace_out = value_of("--trace_out=");
     } else if (arg.rfind("--metrics_out=", 0) == 0) {
@@ -170,6 +188,12 @@ void PrintUsage() {
       "  --seed=S                      RNG seed (runs are deterministic)\n"
       "  --loss=P                      drop op responses with prob P\n"
       "  --crash-interval=T            inject a site crash every T ticks\n"
+      "  --fault_plan=SPEC|FILE        deterministic fault plan, e.g.\n"
+      "                                'sweep@2000:3000:1500;req_loss=0.02;\n"
+      "                                dup=0.01;spike=0.05:200' (see\n"
+      "                                src/fault/fault_plan.h)\n"
+      "  --retry=MAX[,BACKOFF]         client-level resubmissions of failed\n"
+      "                                retry-safe global txns\n"
       "  --timeout=T                   per-attempt timeout (ticks)\n"
       "  --dump-schedule=N             print the first N recorded ops\n"
       "  --threaded=0|1                engine: simulator (0) or real\n"
@@ -193,6 +217,16 @@ int main(int argc, char** argv) {
   config.gtm.attempt_timeout = options.timeout;
   config.response_loss_probability = options.loss;
   config.threaded = options.threaded;
+  if (!options.fault_plan.empty()) {
+    mdbs::StatusOr<mdbs::fault::FaultPlan> plan =
+        mdbs::fault::ParseFaultPlan(options.fault_plan);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--fault_plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+  }
   bool want_trace =
       !options.trace_out.empty() || !options.metrics_out.empty();
   if (want_trace && !mdbs::obs::kTraceCompiledIn) {
@@ -226,6 +260,8 @@ int main(int argc, char** argv) {
   driver.local_workload.read_ratio = options.read_ratio;
   driver.local_workload.zipf_theta = options.zipf;
   driver.crash_interval = options.crash_interval;
+  driver.global_retry_max = options.retry_max;
+  driver.global_retry_backoff = options.retry_backoff;
 
   mdbs::DriverReport report =
       options.threaded ? RunThreadedDriver(&system, driver, options.seed)
@@ -263,6 +299,9 @@ int main(int argc, char** argv) {
       info.emplace_back("seed", std::to_string(options.seed));
       info.emplace_back("sites", std::to_string(options.sites.size()));
       info.emplace_back("commits", std::to_string(options.commits));
+      if (!system.resolved_fault_plan().Empty()) {
+        info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
+      }
       mdbs::Status written = mdbs::obs::WriteJsonReportFile(
           options.metrics_out, info, registry);
       std::printf("metrics: -> %s (%s)\n", options.metrics_out.c_str(),

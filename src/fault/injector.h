@@ -1,0 +1,88 @@
+#ifndef MDBS_FAULT_INJECTOR_H_
+#define MDBS_FAULT_INJECTOR_H_
+
+#include <mutex>
+
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "sim/task_runner.h"
+
+namespace mdbs::fault {
+
+/// The fate the injector assigns to one message (a request on its way to a
+/// site, or a response on its way back to the GTM).
+struct MessageFate {
+  /// Message never arrives. GTM1's attempt timeout is the recovery path.
+  bool lost = false;
+  /// Message arrives twice (at-least-once delivery); the receiver's dedup
+  /// guard must suppress the second copy.
+  bool duplicated = false;
+  /// Extra network delay on top of the configured hop latency (gray
+  /// failure); applies to every delivered copy.
+  sim::Time extra_delay = 0;
+  /// Lag of the duplicate copy behind the first, when duplicated.
+  sim::Time duplicate_lag = 0;
+};
+
+/// Counters of everything the fault layer actually did during a run. The
+/// dedup counter is fed back by the receiving side (Mdbs), the rest by the
+/// injector itself.
+struct FaultStats {
+  int64_t requests_lost = 0;
+  int64_t responses_lost = 0;
+  int64_t duplicates_injected = 0;
+  int64_t duplicates_suppressed = 0;
+  int64_t delay_spikes = 0;
+  int64_t plan_crashes = 0;
+
+  std::string ToString() const;
+};
+
+/// Draws per-message fates from one seeded stream. Thread-safe: in threaded
+/// mode the GTM strand draws request fates while site strands draw response
+/// fates concurrently. In the simulator every draw happens on the single
+/// event-loop thread in event order, so a (plan, seed) pair replays
+/// byte-for-byte.
+class FaultInjector {
+ public:
+  /// `fallback_seed` is used when the plan's own seed is 0, so the stream
+  /// follows the run seed unless pinned explicitly.
+  FaultInjector(const FaultPlan& plan, uint64_t fallback_seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Fate of a begin/data request (loss applies with request_loss).
+  MessageFate RequestFate() {
+    return DrawFate(plan_.request_loss, true, true);
+  }
+  /// Fate of a begin/data response (loss applies with response_loss).
+  MessageFate ResponseFate() {
+    return DrawFate(plan_.response_loss, false, true);
+  }
+  /// Fate of a health probe leg: loss + spikes, never duplicated (probes
+  /// are idempotent, duplicating them proves nothing).
+  MessageFate ProbeFate(bool request);
+
+  /// Called by a receiver's dedup guard when it suppressed a duplicate.
+  void CountSuppressedDuplicate();
+  /// Called when a scheduled plan crash fires.
+  void CountPlanCrash();
+
+  FaultStats stats() const;
+
+ private:
+  MessageFate DrawFate(double loss_probability, bool request,
+                       bool allow_duplicate);
+
+  const FaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mdbs::fault
+
+#endif  // MDBS_FAULT_INJECTOR_H_

@@ -52,6 +52,12 @@ void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   }
   Job* raw = job.get();
   jobs_.push_back(std::move(job));
+  if (activity_hook_) activity_hook_();
+  if (TouchesQuarantine(*raw)) {
+    // A needed site is already known-down: don't burn an attempt on it.
+    ParkJob(raw);
+    return;
+  }
   StartAttempt(raw);
 }
 
@@ -307,6 +313,7 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
         result.attempts = job->attempts;
         result.submit_time = job->submit_time;
         result.finish_time = loop_->now();
+        result.retry_safe = false;
         attempts_.erase(attempt_id);
         ++stats_.failed;
         FinishJob(job, std::move(result));
@@ -321,9 +328,13 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   ++stats_.aborted_attempts;
   if (scheme_demanded) ++stats_.scheme_aborts;
   if (trace_ != nullptr) {
-    const char* why = scheme_demanded ? "scheme"
-                      : reason.message() == "attempt timed out" ? "timeout"
-                                                                : "site";
+    const std::string& msg = reason.message();
+    bool by_site_down =
+        msg.size() > 5 && msg.compare(msg.size() - 5, 5, " down") == 0;
+    const char* why = scheme_demanded          ? "scheme"
+                      : msg == "attempt timed out" ? "timeout"
+                      : by_site_down               ? "site_down"
+                                                   : "site";
     trace_->Record(obs::TraceEventKind::kAttemptAbort, attempt_id.value(), -1,
                    attempt->job->id, attempt->job->attempts, why);
   }
@@ -352,12 +363,125 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
     FinishJob(job, std::move(result));
     return;
   }
-  // Randomized backoff, then a fresh attempt.
-  sim::Time delay =
-      config_.retry_backoff +
-      static_cast<sim::Time>(
-          rng_.NextBelow(static_cast<uint64_t>(config_.retry_backoff) + 1));
-  loop_->Schedule(delay, [this, job]() { StartAttempt(job); });
+  // Randomized backoff, then a fresh attempt (or a park, if a site the job
+  // needs was quarantined in the meantime).
+  int64_t job_id = job->id;
+  loop_->Schedule(RetryDelay(*job), [this, job_id]() { RetryJob(job_id); });
+}
+
+sim::Time Gtm1::RetryDelay(const Job& job) {
+  // Doubles per failed attempt, capped; jitter keeps retries of transactions
+  // aborted together from colliding again. At one failure this reduces to
+  // backoff + U[0, backoff], the original uniform scheme.
+  sim::Time base = config_.retry_backoff;
+  for (int i = 1; i < job.attempts && base < config_.retry_backoff_cap; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, std::max(config_.retry_backoff_cap, config_.retry_backoff));
+  return base + static_cast<sim::Time>(
+                    rng_.NextBelow(static_cast<uint64_t>(base) + 1));
+}
+
+void Gtm1::RetryJob(int64_t job_id) {
+  Job* job = FindJob(job_id);
+  if (job == nullptr || job->parked) return;
+  if (TouchesQuarantine(*job)) {
+    ParkJob(job);
+    return;
+  }
+  StartAttempt(job);
+}
+
+void Gtm1::ParkJob(Job* job) {
+  job->parked = true;
+  int64_t epoch = ++job->park_epoch;
+  ++stats_.parked;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kTxnParked, job->id, -1,
+                   job->attempts);
+  }
+  if (config_.quarantine_park_timeout <= 0) return;
+  int64_t job_id = job->id;
+  loop_->Schedule(config_.quarantine_park_timeout, [this, job_id, epoch]() {
+    Job* parked = FindJob(job_id);
+    if (parked == nullptr || !parked->parked || parked->park_epoch != epoch) {
+      return;
+    }
+    ++stats_.park_timeouts;
+    ++stats_.failed;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kTxnFail, parked->current_attempt.value(),
+                     -1, parked->id, parked->attempts, "park_timeout");
+    }
+    GlobalTxnResult result;
+    result.status = Status::TransactionAborted(
+        "parked waiting for site recovery beyond the park timeout");
+    result.attempts = parked->attempts;
+    result.submit_time = parked->submit_time;
+    result.finish_time = loop_->now();
+    FinishJob(parked, std::move(result));
+  });
+}
+
+void Gtm1::OnSiteDown(SiteId site) {
+  if (!quarantined_.insert(site).second) return;
+  // Collect first: FailAttempt erases from attempts_.
+  std::vector<GlobalTxnId> doomed;
+  for (const auto& [id, attempt] : attempts_) {
+    if (attempt->failed || attempt->committing) continue;
+    const std::vector<SiteId> sites = attempt->job->spec.Sites();
+    if (std::find(sites.begin(), sites.end(), site) != sites.end()) {
+      doomed.push_back(id);
+    }
+  }
+  for (GlobalTxnId id : doomed) {
+    ++stats_.site_down_aborts;
+    FailAttempt(id,
+                Status::TransactionAborted(
+                    "site " + std::to_string(site.value()) + " down"),
+                /*scheme_demanded=*/false);
+  }
+}
+
+void Gtm1::OnSiteUp(SiteId site) {
+  if (quarantined_.erase(site) == 0) return;
+  for (const std::unique_ptr<Job>& owned : jobs_) {
+    Job* job = owned.get();
+    if (!job->parked || TouchesQuarantine(*job)) continue;
+    job->parked = false;
+    ++job->park_epoch;  // Invalidate the park timeout.
+    ++stats_.unparked;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kTxnUnparked, job->id, -1,
+                     job->attempts);
+    }
+    // Jittered resume so a herd of parked transactions doesn't stampede the
+    // recovering site; RetryJob re-checks quarantine at fire time.
+    int64_t job_id = job->id;
+    sim::Time delay = 1 + static_cast<sim::Time>(rng_.NextBelow(
+                              static_cast<uint64_t>(config_.retry_backoff) + 1));
+    loop_->Schedule(delay, [this, job_id]() { RetryJob(job_id); });
+  }
+}
+
+bool Gtm1::IsQuarantined(SiteId site) const {
+  return quarantined_.count(site) > 0;
+}
+
+int64_t Gtm1::ParkedJobs() const {
+  int64_t parked = 0;
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->parked) ++parked;
+  }
+  return parked;
+}
+
+bool Gtm1::TouchesQuarantine(const Job& job) const {
+  if (quarantined_.empty()) return false;
+  for (SiteId site : job.spec.Sites()) {
+    if (quarantined_.count(site) > 0) return true;
+  }
+  return false;
 }
 
 void Gtm1::FinishJob(Job* job, GlobalTxnResult result) {
@@ -374,6 +498,13 @@ void Gtm1::FinishJob(Job* job, GlobalTxnResult result) {
 Gtm1::Attempt* Gtm1::FindAttempt(GlobalTxnId attempt_id) {
   auto it = attempts_.find(attempt_id);
   return it == attempts_.end() ? nullptr : it->second.get();
+}
+
+Gtm1::Job* Gtm1::FindJob(int64_t job_id) {
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    if (job->id == job_id) return job.get();
+  }
+  return nullptr;
 }
 
 }  // namespace mdbs::gtm

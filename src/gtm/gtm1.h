@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -46,14 +47,22 @@ struct Gtm1Config {
   /// ticket latch window at SGT sites at the cost of a later
   /// serialization point.
   bool ticket_last = false;
-  /// Backoff before retrying an aborted attempt (uniform jitter up to 2x).
+  /// Base backoff before retrying an aborted attempt. The delay doubles per
+  /// failed attempt up to `retry_backoff_cap`, with uniform jitter up to 2x
+  /// (attempt 1 retries exactly as the pre-exponential code did).
   sim::Time retry_backoff = 500;
+  /// Ceiling of the exponential backoff (before jitter).
+  sim::Time retry_backoff_cap = 8000;
   /// Maximum attempts per global transaction before giving up.
   int max_attempts = 50;
   /// Abort an attempt whose next acknowledgement takes longer than this —
   /// the MDBS-level answer to cross-site blocking the paper leaves out of
   /// scope (it only treats serializability). 0 disables.
   sim::Time attempt_timeout = 200'000;
+  /// How long a transaction may sit parked on a quarantined site before it
+  /// is failed back to the caller instead of retried. 0 parks forever
+  /// (until recovery or max_attempts elsewhere).
+  sim::Time quarantine_park_timeout = 120'000;
 };
 
 /// Final outcome of one global transaction (across all its attempts).
@@ -64,6 +73,10 @@ struct GlobalTxnResult {
   sim::Time finish_time = 0;
   /// Values read by the successful attempt, keyed by (site, item).
   ReadContext reads;
+  /// False when some subtransactions committed before the failure (partial
+  /// commit): resubmitting such a transaction would double-apply the
+  /// committed sites' effects, so the driver's retry layer must not.
+  bool retry_safe = true;
 };
 
 struct Gtm1Stats {
@@ -75,6 +88,10 @@ struct Gtm1Stats {
   int64_t scheme_aborts = 0;    // Subset demanded by the (non-conservative) scheme.
   int64_t timeouts = 0;
   int64_t partial_commits = 0;  // OCC validation failed after some commits.
+  int64_t site_down_aborts = 0; // Attempts aborted by a site-down declaration.
+  int64_t parked = 0;           // Jobs parked on a quarantined site.
+  int64_t unparked = 0;         // Jobs resumed after the site recovered.
+  int64_t park_timeouts = 0;    // Jobs failed back while still parked.
 };
 
 /// GTM1 (paper §2.3 / Figure 1): drives global transactions. For every
@@ -102,6 +119,30 @@ class Gtm1 {
 
   /// Number of transactions submitted but not yet finished.
   int64_t InFlight() const { return in_flight_; }
+
+  /// Health-monitor downcall: `site` was declared down. Quarantines the
+  /// site, aborts every live non-committing attempt that touches it (which
+  /// retracts its GTM2 scheme state and drains its WAIT entries), and parks
+  /// the affected jobs until the site is back. Attempts already in their
+  /// commit phase are left alone — their outcome is decided site by site,
+  /// exactly as on an attempt timeout.
+  void OnSiteDown(SiteId site);
+
+  /// Health-monitor downcall: `site` answers probes again. Lifts the
+  /// quarantine and resumes parked jobs whose sites are all available.
+  void OnSiteUp(SiteId site);
+
+  bool IsQuarantined(SiteId site) const;
+
+  /// Number of jobs currently parked on quarantined sites.
+  int64_t ParkedJobs() const;
+
+  /// Hook invoked on every Submit; the MDBS health monitor uses it to start
+  /// probing lazily (so idle runs stay quiescent). Call before the first
+  /// Submit.
+  void SetActivityHook(std::function<void()> hook) {
+    activity_hook_ = std::move(hook);
+  }
 
   const Gtm2& gtm2() const { return *gtm2_; }
   Gtm2& mutable_gtm2() { return *gtm2_; }
@@ -144,6 +185,11 @@ class Gtm1 {
     int attempts = 0;
     sim::Time submit_time = 0;
     GlobalTxnId current_attempt;
+    /// Waiting for a quarantined site to recover; no live attempt exists.
+    bool parked = false;
+    /// Bumped on every park/unpark so a stale park-timeout timer can tell
+    /// it lost the race.
+    int64_t park_epoch = 0;
   };
 
   void StartAttempt(Job* job);
@@ -159,6 +205,16 @@ class Gtm1 {
                    bool scheme_demanded);
   void FinishJob(Job* job, GlobalTxnResult result);
   Attempt* FindAttempt(GlobalTxnId attempt_id);
+  Job* FindJob(int64_t job_id);
+  /// True when any of the job's sites is quarantined.
+  bool TouchesQuarantine(const Job& job) const;
+  /// Retries a job after its backoff: parks it if a site it needs is
+  /// quarantined, otherwise starts a fresh attempt.
+  void RetryJob(int64_t job_id);
+  void ParkJob(Job* job);
+  /// Capped exponential backoff with uniform jitter for the job's next
+  /// retry.
+  sim::Time RetryDelay(const Job& job);
 
   Gtm1Config config_;
   sim::TaskRunner* loop_;
@@ -172,6 +228,8 @@ class Gtm1 {
   int64_t in_flight_ = 0;
   std::unordered_map<GlobalTxnId, std::unique_ptr<Attempt>> attempts_;
   std::vector<std::unique_ptr<Job>> jobs_;
+  std::unordered_set<SiteId> quarantined_;
+  std::function<void()> activity_hook_;
   Gtm1Stats stats_;
 };
 

@@ -17,6 +17,8 @@ struct RunState {
   int64_t local_committed = 0;
   int64_t local_failed = 0;
   int64_t local_retries = 0;
+  int64_t global_resubmissions = 0;
+  int64_t global_retry_unsafe = 0;
   sim::Summary response;
   sim::Summary attempts;
   bool stop_issuing = false;
@@ -27,33 +29,76 @@ struct RunState {
   }
 };
 
+void GlobalClientIssue(const std::shared_ptr<RunState>& state,
+                       const std::shared_ptr<Rng>& rng);
+
+/// One logical global transaction across client-level resubmissions. The
+/// spec is kept so a failed-but-retry-safe outcome can be resubmitted as a
+/// fresh GTM job; attempts aggregate across resubmissions.
+struct GlobalTxnTry {
+  std::shared_ptr<RunState> state;
+  std::shared_ptr<Rng> rng;
+  gtm::GlobalTxnSpec spec;
+  sim::Time start = 0;
+  int resubmissions = 0;
+  int attempts_total = 0;
+};
+
+void SubmitGlobalTry(const std::shared_ptr<GlobalTxnTry>& txn) {
+  gtm::GlobalTxnSpec spec = txn->spec;
+  txn->state->mdbs->gtm().Submit(
+      std::move(spec), [txn](const gtm::GlobalTxnResult& result) {
+        RunState& state = *txn->state;
+        txn->attempts_total += result.attempts;
+        if (result.status.ok()) {
+          ++state.global_committed;
+          state.response.Add(
+              static_cast<double>(result.finish_time - txn->start));
+          state.attempts.Add(txn->attempts_total);
+        } else if (result.retry_safe && !state.stop_issuing &&
+                   txn->resubmissions < state.config.global_retry_max) {
+          ++txn->resubmissions;
+          ++state.global_resubmissions;
+          if (obs::TraceSink* sink = state.mdbs->trace_sink()) {
+            sink->Record(obs::TraceEventKind::kTxnResubmit, -1, -1,
+                         txn->resubmissions, txn->attempts_total);
+          }
+          // Doubling backoff (capped at 8x) with jitter before the fresh
+          // submission.
+          sim::Time base = state.config.global_retry_backoff;
+          for (int i = 1; i < txn->resubmissions && i < 4; ++i) base *= 2;
+          state.mdbs->loop().Schedule(
+              base + static_cast<sim::Time>(txn->rng->NextBelow(
+                         static_cast<uint64_t>(base) + 1)),
+              [txn]() { SubmitGlobalTry(txn); });
+          return;
+        } else {
+          if (!result.retry_safe) ++state.global_retry_unsafe;
+          ++state.global_failed;
+        }
+        if (state.TargetReached()) {
+          state.stop_issuing = true;
+          return;
+        }
+        state.mdbs->loop().Schedule(
+            state.config.global_think,
+            [state_ptr = txn->state, rng = txn->rng]() {
+              GlobalClientIssue(state_ptr, rng);
+            });
+      });
+}
+
 /// One closed-loop global client.
 void GlobalClientIssue(const std::shared_ptr<RunState>& state,
                        const std::shared_ptr<Rng>& rng) {
   if (state->stop_issuing) return;
-  gtm::GlobalTxnSpec spec = MakeGlobalTxn(
-      state->config.global_workload, state->mdbs->site_ids(), rng.get());
-  sim::Time start = state->mdbs->loop().now();
-  state->mdbs->gtm().Submit(
-      std::move(spec),
-      [state, rng, start](const gtm::GlobalTxnResult& result) {
-        if (result.status.ok()) {
-          ++state->global_committed;
-          state->response.Add(
-              static_cast<double>(result.finish_time - start));
-          state->attempts.Add(result.attempts);
-        } else {
-          ++state->global_failed;
-        }
-        if (state->TargetReached()) {
-          state->stop_issuing = true;
-          return;
-        }
-        state->mdbs->loop().Schedule(state->config.global_think,
-                                     [state, rng]() {
-                                       GlobalClientIssue(state, rng);
-                                     });
-      });
+  auto txn = std::make_shared<GlobalTxnTry>();
+  txn->state = state;
+  txn->rng = rng;
+  txn->spec = MakeGlobalTxn(state->config.global_workload,
+                            state->mdbs->site_ids(), rng.get());
+  txn->start = state->mdbs->loop().now();
+  SubmitGlobalTry(txn);
 }
 
 /// One closed-loop local client at `site`. Submits operations one at a
@@ -179,18 +224,23 @@ std::string DriverReport::ToString() const {
      << " throughput=" << global_throughput << "/Mtick\n"
      << "  response: " << global_response.ToString() << "\n"
      << "  attempts: " << global_attempts.ToString() << "\n"
+     << "  resubmissions=" << global_resubmissions
+     << " retry_unsafe=" << global_retry_unsafe << "\n"
      << "local: committed=" << local_committed << " failed=" << local_failed
      << " retries=" << local_abort_retries << "\n"
      << "gtm1: attempts=" << gtm1.attempts
      << " aborted=" << gtm1.aborted_attempts
      << " scheme_aborts=" << gtm1.scheme_aborts
      << " timeouts=" << gtm1.timeouts
-     << " partial_commits=" << gtm1.partial_commits << "\n"
+     << " partial_commits=" << gtm1.partial_commits
+     << " site_down_aborts=" << gtm1.site_down_aborts
+     << " parked=" << gtm1.parked << "\n"
      << "gtm2: processed=" << gtm2.processed_ops
      << " waits=" << gtm2.wait_additions
      << " ser_waits=" << gtm2.ser_wait_additions << "\n"
      << "sites: blocked=" << site_blocked << " local_aborts=" << site_aborts
-     << "\n"
+     << " crashes=" << crashes << "\n"
+     << "faults: " << faults.ToString() << "\n"
      << "duration=" << duration << " ticks\n";
   return os.str();
 }
@@ -205,6 +255,15 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("driver.site_blocked", site_blocked);
   registry->Increment("driver.site_aborts", site_aborts);
   registry->Increment("driver.crashes", crashes);
+  registry->Increment("driver.global_resubmissions", global_resubmissions);
+  registry->Increment("driver.global_retry_unsafe", global_retry_unsafe);
+  registry->Increment("fault.requests_lost", faults.requests_lost);
+  registry->Increment("fault.responses_lost", faults.responses_lost);
+  registry->Increment("fault.duplicates_injected", faults.duplicates_injected);
+  registry->Increment("fault.duplicates_suppressed",
+                      faults.duplicates_suppressed);
+  registry->Increment("fault.delay_spikes", faults.delay_spikes);
+  registry->Increment("fault.plan_crashes", faults.plan_crashes);
   registry->Observe("driver.global_throughput_per_mtick", global_throughput);
   registry->Put("driver.global_response", global_response);
   registry->Put("driver.global_attempts", global_attempts);
@@ -216,6 +275,10 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("gtm1.scheme_aborts", gtm1.scheme_aborts);
   registry->Increment("gtm1.timeouts", gtm1.timeouts);
   registry->Increment("gtm1.partial_commits", gtm1.partial_commits);
+  registry->Increment("gtm1.site_down_aborts", gtm1.site_down_aborts);
+  registry->Increment("gtm1.parked", gtm1.parked);
+  registry->Increment("gtm1.unparked", gtm1.unparked);
+  registry->Increment("gtm1.park_timeouts", gtm1.park_timeouts);
   registry->Increment("gtm2.processed_ops", gtm2.processed_ops);
   registry->Increment("gtm2.wait_additions", gtm2.wait_additions);
   registry->Increment("gtm2.ser_wait_additions", gtm2.ser_wait_additions);
@@ -265,6 +328,9 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
   report.local_committed = state->local_committed;
   report.local_failed = state->local_failed;
   report.local_abort_retries = state->local_retries;
+  report.global_resubmissions = state->global_resubmissions;
+  report.global_retry_unsafe = state->global_retry_unsafe;
+  report.faults = mdbs->fault_stats();
   report.duration = mdbs->loop().now() - start_time;
   if (report.duration > 0) {
     report.global_throughput = 1e6 *

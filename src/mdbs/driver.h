@@ -26,9 +26,17 @@ struct DriverConfig {
   int local_max_attempts = 50;
   /// Failure injection: every `crash_interval` ticks a random site crashes
   /// for `crash_duration` ticks (all its active transactions abort; the
-  /// GTM retries). 0 disables.
+  /// GTM retries). 0 disables. Scripted alternative: MdbsConfig::fault_plan.
   sim::Time crash_interval = 0;
   sim::Time crash_duration = 2000;
+  /// Client-level retry layer on top of the GTM's own attempts: a failed
+  /// global transaction is resubmitted (as a fresh GTM job, same spec) up
+  /// to this many times, with doubling backoff from `global_retry_backoff`.
+  /// Resubmission is guarded by GlobalTxnResult::retry_safe — a partial
+  /// commit is never resubmitted, since that would double-apply the
+  /// committed sites' effects. 0 disables.
+  int global_retry_max = 0;
+  sim::Time global_retry_backoff = 1000;
   GlobalWorkloadConfig global_workload;
   LocalWorkloadConfig local_workload;
 };
@@ -50,6 +58,14 @@ struct DriverReport {
   int64_t site_blocked = 0;  // Blocked operations across sites.
   int64_t site_aborts = 0;   // Local protocol aborts across sites.
   int64_t crashes = 0;       // Injected site crashes.
+  /// Client-level resubmissions of failed-but-retry-safe transactions.
+  int64_t global_resubmissions = 0;
+  /// Failures not resubmitted because retry_safe was false (partial
+  /// commits).
+  int64_t global_retry_unsafe = 0;
+  /// What the fault layer injected/suppressed (losses, dups, spikes,
+  /// plan crashes).
+  fault::FaultStats faults;
 
   std::string ToString() const;
 

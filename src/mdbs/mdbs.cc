@@ -39,8 +39,7 @@ Mdbs::Mdbs(const MdbsConfig& config)
     : config_(config),
       auditor_(config.audit),
       audit_enabled_(audit::kAuditCompiledIn && config.audit.enabled),
-      threaded_(config.threaded),
-      net_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {
+      threaded_(config.threaded) {
   MDBS_CHECK(!config.sites.empty()) << "an MDBS needs at least one site";
   if (threaded_) {
     ticker_ = std::make_unique<sim::RealTicker>();
@@ -70,6 +69,46 @@ Mdbs::Mdbs(const MdbsConfig& config)
         config.trace, [this]() { return NowTicks(); });
     gtm1_->EnableTrace(trace_.get());
     for (SiteId id : site_ids_) sites_.at(id)->EnableTrace(trace_.get());
+  }
+
+  // Fault layer: resolve sweeps against the real site count, fold the
+  // legacy response-loss knob in, then arm the crash windows now so a
+  // (plan, seed) pair replays identically.
+  fault::FaultPlan plan = fault::ResolveSweeps(
+      config.fault_plan, static_cast<int>(site_ids_.size()));
+  if (config.response_loss_probability > 0 && plan.response_loss <= 0) {
+    plan.response_loss = config.response_loss_probability;
+  }
+  injector_ = std::make_unique<fault::FaultInjector>(plan, config.seed);
+  ArmPlanCrashes();
+
+  HealthMonitor::Callbacks health_callbacks;
+  health_callbacks.probe = [this](SiteId site, std::function<void()> ack) {
+    ProbeSite(site, std::move(ack));
+  };
+  health_callbacks.site_down = [this](SiteId site) {
+    gtm1_->OnSiteDown(site);
+  };
+  health_callbacks.site_up = [this](SiteId site) { gtm1_->OnSiteUp(site); };
+  health_callbacks.keep_probing = [this]() { return gtm1_->InFlight() > 0; };
+  health_ = std::make_unique<HealthMonitor>(
+      config.health, GtmRunner(), site_ids_, std::move(health_callbacks));
+  if (trace_ != nullptr) health_->EnableTrace(trace_.get());
+  gtm1_->SetActivityHook([this]() { health_->Activity(); });
+}
+
+void Mdbs::ArmPlanCrashes() {
+  for (const fault::CrashEvent& crash : injector_->plan().crashes) {
+    if (!sites_.contains(crash.site)) continue;  // Plan outlived the config.
+    SiteRunner(crash.site)->Schedule(crash.at, [this, crash]() {
+      site::LocalDbms& dbms = *sites_.at(crash.site);
+      if (dbms.IsDown()) return;  // Overlapping windows merge.
+      injector_->CountPlanCrash();
+      dbms.Crash();
+      SiteRunner(crash.site)->Schedule(crash.duration, [this, crash]() {
+        sites_.at(crash.site)->Recover();
+      });
+    });
   }
 }
 
@@ -123,6 +162,10 @@ void Mdbs::FinishThreadedRun() {
   sim::Time horizon_ticks = 2 * config_.net_delay + 1000;
   horizon_ticks = std::max<sim::Time>(horizon_ticks,
                                       2 * config_.gtm.retry_backoff + 100);
+  // An active health monitor's next probe tick must count as busy so it can
+  // run, observe nothing in flight, and stop itself.
+  horizon_ticks = std::max<sim::Time>(
+      horizon_ticks, 2 * config_.health.probe_interval + 100);
   for (;;) {
     sim::Time horizon = ticker_->NowMicros() + horizon_ticks;
     bool all_quiescent = gtm_strand_->QuiescentBeyond(horizon);
@@ -259,41 +302,94 @@ lcc::ProtocolKind Mdbs::ProtocolAt(SiteId site) const {
   return sites_.at(site)->protocol_kind();
 }
 
-bool Mdbs::LoseResponse() {
-  if (config_.response_loss_probability <= 0) return false;
-  // Site strands evaluate this concurrently in threaded mode.
-  std::lock_guard<std::mutex> lock(net_mu_);
-  return net_rng_.NextBernoulli(config_.response_loss_probability);
-}
-
 // The gateway models the paper's servers: a request hops to the site's
 // strand after a network delay, the site answers on its own strand, and the
 // response hops back to the GTM's strand. In simulation mode both strands
-// are the event loop, reproducing the seed behavior exactly.
+// are the event loop, reproducing the seed behavior exactly. The fault
+// injector sits on both legs of the begin/data paths: a lost leg leaves the
+// operation possibly executed (GTM1's timeout recovers), a duplicated leg
+// is suppressed by the receiver-side guard, a spiked leg just arrives late.
+
+void Mdbs::SendFaulty(sim::TaskRunner* runner, bool request, SiteId site,
+                      int64_t txn, std::function<void()> deliver) {
+  fault::MessageFate fate =
+      request ? injector_->RequestFate() : injector_->ResponseFate();
+  if (fate.lost) {
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kNetFault, txn, site.value(), 0, 0,
+                     request ? "req_lost" : "resp_lost");
+    }
+    return;  // GTM1's timeout takes it from here.
+  }
+  if (fate.extra_delay > 0 && trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kNetFault, txn, site.value(),
+                   fate.extra_delay, 0, "spike");
+  }
+  sim::Time delay = config_.net_delay + fate.extra_delay;
+  if (!fate.duplicated) {
+    runner->Schedule(delay, std::move(deliver));
+    return;
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kNetFault, txn, site.value(), 0, 0,
+                   "dup");
+  }
+  // Both copies land on the same strand, so the guard needs no lock.
+  auto guard = std::make_shared<bool>(false);
+  auto shared = std::make_shared<std::function<void()>>(std::move(deliver));
+  auto once = [this, guard, shared, txn, site]() {
+    if (*guard) {
+      injector_->CountSuppressedDuplicate();
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kNetFault, txn, site.value(), 0,
+                       0, "dup_suppressed");
+      }
+      return;
+    }
+    *guard = true;
+    (*shared)();
+  };
+  runner->Schedule(delay, once);
+  runner->Schedule(delay + fate.duplicate_lag, once);
+}
+
+void Mdbs::ProbeSite(SiteId site, std::function<void()> ack) {
+  fault::MessageFate out = injector_->ProbeFate(/*request=*/true);
+  if (out.lost) return;
+  SiteRunner(site)->Schedule(
+      config_.net_delay + out.extra_delay,
+      [this, site, ack = std::move(ack)]() {
+        if (sites_.at(site)->IsDown()) return;  // A down site never acks.
+        fault::MessageFate back = injector_->ProbeFate(/*request=*/false);
+        if (back.lost) return;
+        GtmRunner()->Schedule(config_.net_delay + back.extra_delay,
+                              std::move(ack));
+      });
+}
 
 void Mdbs::Begin(SiteId site, TxnId txn, GlobalTxnId global, TxnCallback cb) {
-  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn, global,
-                                                 cb = std::move(cb)]() {
-    Status status = sites_.at(site)->Begin(txn, global);
-    if (LoseResponse()) return;  // GTM1's timeout takes it from here.
-    GtmRunner()->Schedule(config_.net_delay,
+  SendFaulty(SiteRunner(site), /*request=*/true, site, txn.value(),
+             [this, site, txn, global, cb = std::move(cb)]() {
+               Status status = sites_.at(site)->Begin(txn, global);
+               SendFaulty(GtmRunner(), /*request=*/false, site, txn.value(),
                           [status, cb = std::move(cb)]() { cb(status); });
-  });
+             });
 }
 
 void Mdbs::Submit(SiteId site, TxnId txn, const DataOp& op, OpCallback cb) {
-  SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn, op,
-                                                 cb = std::move(cb)]() {
-    sites_.at(site)->Submit(
-        txn, op,
-        [this, cb = std::move(cb)](const Status& status, int64_t value) {
-          if (LoseResponse()) return;
-          GtmRunner()->Schedule(config_.net_delay,
-                                [status, value, cb = std::move(cb)]() {
-                                  cb(status, value);
-                                });
-        });
-  });
+  SendFaulty(
+      SiteRunner(site), /*request=*/true, site, txn.value(),
+      [this, site, txn, op, cb = std::move(cb)]() {
+        sites_.at(site)->Submit(
+            txn, op,
+            [this, site, txn, cb = std::move(cb)](const Status& status,
+                                                  int64_t value) {
+              SendFaulty(GtmRunner(), /*request=*/false, site, txn.value(),
+                         [status, value, cb = std::move(cb)]() {
+                           cb(status, value);
+                         });
+            });
+      });
 }
 
 void Mdbs::Commit(SiteId site, TxnId txn, TxnCallback cb) {

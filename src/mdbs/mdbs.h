@@ -10,7 +10,10 @@
 #include "audit/audit.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "gtm/gtm1.h"
+#include "mdbs/health.h"
 #include "obs/trace.h"
 #include "sched/schedule.h"
 #include "sched/serializability.h"
@@ -26,12 +29,20 @@ struct MdbsConfig {
   gtm::Gtm1Config gtm;
   /// One-way GTM <-> site network delay.
   sim::Time net_delay = 5;
-  /// Probability that a site's response to a begin/data operation is lost
-  /// in transit (the operation may still have executed!); GTM1's timeout
-  /// aborts and retries the attempt. Commit/abort acknowledgements are
-  /// assumed reliable — losing them would need an atomic commitment
-  /// protocol, which the paper leaves out of scope.
+  /// Legacy knob, equivalent to fault_plan.response_loss (used when the
+  /// plan itself sets no response loss). Prefer the fault plan.
   double response_loss_probability = 0;
+  /// Deterministic fault-injection plan: scheduled site crashes plus
+  /// request/response loss, duplicate delivery and delay spikes on the
+  /// begin/data paths. Losing a request or response leaves the operation
+  /// possibly executed at the site; GTM1's timeout aborts and retries the
+  /// attempt, and receiver-side dedup guards keep duplicated deliveries
+  /// from double-applying. Commit/abort messages stay reliable — losing
+  /// them would need an atomic commitment protocol, which the paper leaves
+  /// out of scope. Sweeps are resolved against the actual site count here.
+  fault::FaultPlan fault_plan;
+  /// Heartbeat-based site failure detector feeding Gtm1::OnSiteDown/Up.
+  HealthConfig health;
   uint64_t seed = 42;
   /// Invariant auditor wiring (GTM2 driver, 2PL lock tables, end-of-run
   /// oracle). Enabled by default when compiled in; benchmarks turn it off.
@@ -102,7 +113,20 @@ class Mdbs : public gtm::SiteGateway {
 
   /// Crashes `site` (if up) on its strand and schedules its recovery
   /// `recover_after` ticks later. Safe from any thread in threaded mode.
+  /// Scripted alternative: MdbsConfig::fault_plan crashes, armed at
+  /// construction.
   void InjectCrash(SiteId site, sim::Time recover_after);
+
+  /// The site health monitor (always constructed; probing is lazy and
+  /// gated on HealthConfig::enabled).
+  HealthMonitor& health_monitor() { return *health_; }
+
+  /// What the fault layer actually injected/suppressed this run.
+  fault::FaultStats fault_stats() const { return injector_->stats(); }
+  /// The plan after sweep resolution and legacy-knob folding.
+  const fault::FaultPlan& resolved_fault_plan() const {
+    return injector_->plan();
+  }
 
   /// Threaded mode: waits until every strand is quiescent (nothing running
   /// and nothing due within a short horizon — stale far-future timers such
@@ -160,9 +184,22 @@ class Mdbs : public gtm::SiteGateway {
   /// ids are small sequential integers, so the ranges never collide.
   static constexpr int64_t kLocalTxnIdBase = 1'000'000'000;
 
-  /// True when this response should be dropped (lossy network injection).
-  /// Thread-safe: the response paths run on site strands concurrently.
-  bool LoseResponse();
+  /// Applies one drawn message fate and delivers `deliver` on `runner`
+  /// after net_delay (+ any spike). A duplicated message is scheduled
+  /// twice; the shared guard runs `deliver` exactly once — both copies land
+  /// on the same strand, so the guard needs no lock. A lost message is
+  /// simply never scheduled. `txn` labels kNetFault trace events.
+  void SendFaulty(sim::TaskRunner* runner, bool request, SiteId site,
+                  int64_t txn, std::function<void()> deliver);
+
+  /// Health-probe transport: `ack` fires on the GTM strand iff the site is
+  /// up and neither probe leg was lost. Probe legs share the injector's
+  /// loss/spike rates but are never duplicated.
+  void ProbeSite(SiteId site, std::function<void()> ack);
+
+  /// Schedules the resolved plan's crash/recovery windows on the site
+  /// strands (construction time, so replays align).
+  void ArmPlanCrashes();
 
   /// The strand owning `site`'s state (the shared loop in simulation mode).
   sim::TaskRunner* SiteRunner(SiteId site);
@@ -182,8 +219,8 @@ class Mdbs : public gtm::SiteGateway {
   std::unordered_map<SiteId, std::unique_ptr<sim::RealStrand>> site_strands_;
   std::unique_ptr<sim::RealStrand> gtm_strand_;
   bool strands_stopped_ = false;
-  std::mutex net_mu_;
-  Rng net_rng_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<HealthMonitor> health_;
   sched::ScheduleRecorder recorder_;
   std::unordered_map<SiteId, std::unique_ptr<site::LocalDbms>> sites_;
   std::vector<SiteId> site_ids_;

@@ -31,6 +31,8 @@ struct RunState {
   int64_t local_committed = 0;
   int64_t local_failed = 0;
   int64_t local_retries = 0;
+  int64_t global_resubmissions = 0;
+  int64_t global_retry_unsafe = 0;
   sim::Summary response;
   sim::Summary attempts;
 
@@ -98,22 +100,50 @@ Status CommitLocalAndWait(site::LocalDbms* dbms, TxnId txn) {
 }
 
 /// One closed-loop global client: keeps one global transaction in flight
-/// until the commit target is reached.
+/// until the commit target is reached. A failed-but-retry-safe outcome is
+/// resubmitted as a fresh GTM job (same spec), with doubling backoff,
+/// mirroring the simulated driver's retry layer.
 void GlobalClientMain(RunState* state, Rng rng) {
   Mdbs* mdbs = state->mdbs;
   while (!state->stop.load(std::memory_order_relaxed)) {
     gtm::GlobalTxnSpec spec =
         MakeGlobalTxn(state->config.global_workload, mdbs->site_ids(), &rng);
     sim::Time start = mdbs->NowTicks();
-    gtm::GlobalTxnResult result = SubmitGlobalAndWait(mdbs, std::move(spec));
+    int resubmissions = 0;
+    int attempts_total = 0;
+    gtm::GlobalTxnResult result;
+    for (;;) {
+      gtm::GlobalTxnSpec submit_spec = spec;
+      result = SubmitGlobalAndWait(mdbs, std::move(submit_spec));
+      attempts_total += result.attempts;
+      if (result.status.ok() || !result.retry_safe ||
+          resubmissions >= state->config.global_retry_max ||
+          state->stop.load(std::memory_order_relaxed)) {
+        break;
+      }
+      ++resubmissions;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->global_resubmissions;
+      }
+      if (obs::TraceSink* sink = mdbs->trace_sink()) {
+        sink->Record(obs::TraceEventKind::kTxnResubmit, -1, -1,
+                     resubmissions, attempts_total);
+      }
+      sim::Time base = state->config.global_retry_backoff;
+      for (int i = 1; i < resubmissions && i < 4; ++i) base *= 2;
+      SleepTicks(base + static_cast<sim::Time>(rng.NextBelow(
+                            static_cast<uint64_t>(base) + 1)));
+    }
     {
       std::lock_guard<std::mutex> lock(state->mu);
       if (result.status.ok()) {
         ++state->global_committed;
         state->response.Add(
             static_cast<double>(result.finish_time - start));
-        state->attempts.Add(result.attempts);
+        state->attempts.Add(attempts_total);
       } else {
+        if (!result.retry_safe) ++state->global_retry_unsafe;
         ++state->global_failed;
       }
       if (state->TargetReachedLocked()) {
@@ -259,9 +289,12 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
     report.local_committed = state.local_committed;
     report.local_failed = state.local_failed;
     report.local_abort_retries = state.local_retries;
+    report.global_resubmissions = state.global_resubmissions;
+    report.global_retry_unsafe = state.global_retry_unsafe;
     report.global_response = state.response;
     report.global_attempts = state.attempts;
   }
+  report.faults = mdbs->fault_stats();
   report.duration = end_time - start_time;
   if (report.duration > 0) {
     // Ticks are microseconds here, so "per Mtick" is per second.

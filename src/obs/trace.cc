@@ -72,6 +72,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "crash";
     case TraceEventKind::kRecover:
       return "recover";
+    case TraceEventKind::kSiteSuspect:
+      return "site_suspect";
+    case TraceEventKind::kSiteDown:
+      return "site_down";
+    case TraceEventKind::kSiteUp:
+      return "site_up";
+    case TraceEventKind::kTxnParked:
+      return "txn_parked";
+    case TraceEventKind::kTxnUnparked:
+      return "txn_unparked";
+    case TraceEventKind::kTxnResubmit:
+      return "txn_resubmit";
+    case TraceEventKind::kNetFault:
+      return "net_fault";
     case TraceEventKind::kStrandBacklog:
       return "strand_backlog";
   }

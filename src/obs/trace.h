@@ -70,6 +70,17 @@ enum class TraceEventKind : uint8_t {
   kCrash,            // site crashed (a = active txns aborted)
   kRecover,          // site recovered
 
+  // Failure handling — health monitor, quarantine, retry layer.
+  kSiteSuspect,   // probe overdue; a = ticks since last ack
+  kSiteDown,      // monitor declared the site down; a = ticks since last ack
+  kSiteUp,        // monitor saw the site answer again
+  kTxnParked,     // txn = job id; a = attempts so far (waiting on quarantine)
+  kTxnUnparked,   // txn = job id; a = attempts so far (site back up)
+  kTxnResubmit,   // driver retry layer resubmitted; txn = driver txn id,
+                  //   a = resubmission number, b = attempts used so far
+  kNetFault,      // injected message fault; detail = "req_lost" |
+                  //   "resp_lost" | "dup" | "dup_suppressed" | "spike"
+
   // Engine. site = strand owner (-1 = GTM strand).
   kStrandBacklog,  // threaded mode: a = tasks queued on the strand
 };

@@ -128,6 +128,8 @@ std::string BlockKey(int64_t site, int64_t txn) {
   return "blk" + std::to_string(site) + ":" + std::to_string(txn);
 }
 
+std::string CrashKey(int64_t site) { return "crash" + std::to_string(site); }
+
 }  // namespace
 
 void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
@@ -198,6 +200,17 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
         break;
       case TraceEventKind::kOpResumed:
         spans.Close(BlockKey(e.site, e.txn), e.time);
+        break;
+
+      case TraceEventKind::kCrash:
+        // The outage window renders as a span on the crashed site's own
+        // track, so the lock waits and aborts it causes line up under it.
+        spans.Open(CrashKey(e.site), "DOWN", "crash", TidFor(e), e.time);
+        EmitInstant(w, e);
+        break;
+      case TraceEventKind::kRecover:
+        spans.Close(CrashKey(e.site), e.time);
+        EmitInstant(w, e);
         break;
 
       case TraceEventKind::kQueueDepth:

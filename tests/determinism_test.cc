@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_plan.h"
 #include "mdbs/driver.h"
 #include "mdbs/mdbs.h"
 
@@ -61,6 +62,34 @@ TEST(DeterminismTest, CrashInjectionStaysDeterministic) {
   auto run = [&workload]() {
     Mdbs system(SystemConfig(21));
     return RunDriver(&system, workload, 34).ToString();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The whole fault pipeline — plan crashes, request/response loss,
+// duplication, delay spikes, quarantine parking and the driver's retry
+// layer — must replay byte-for-byte from the same plan and seeds.
+TEST(DeterminismTest, FaultPlanReplaysByteForByte) {
+  auto run = []() {
+    MdbsConfig config = SystemConfig(9);
+    fault::FaultPlan plan = fault::FaultPlan::CrashSweep(
+        /*num_sites=*/4, /*first_at=*/2000, /*gap=*/3000,
+        /*duration=*/1500);
+    plan.request_loss = 0.03;
+    plan.response_loss = 0.03;
+    plan.duplicate = 0.03;
+    plan.delay_spike = 0.05;
+    plan.spike_ticks = 150;
+    plan.seed = 123;
+    config.fault_plan = plan;
+    config.gtm.attempt_timeout = 10'000;
+    config.health.probe_interval = 300;
+    config.health.suspect_after = 600;
+    config.health.down_after = 1200;
+    DriverConfig workload = Workload();
+    workload.global_retry_max = 2;
+    Mdbs system(config);
+    return RunDriver(&system, workload, 17).ToString();
   };
   EXPECT_EQ(run(), run());
 }

@@ -1,0 +1,206 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+
+namespace mdbs::fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryDirective) {
+  StatusOr<FaultPlan> plan = ParseFaultPlan(
+      "crash@1000:s2:500;sweep@2000:3000:1500;req_loss=0.02;resp_loss=0.03;"
+      "dup=0.01;spike=0.05:200;seed=99");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->crashes.size(), 1u);
+  EXPECT_EQ(plan->crashes[0].site, SiteId(2));
+  EXPECT_EQ(plan->crashes[0].at, 1000);
+  EXPECT_EQ(plan->crashes[0].duration, 500);
+  ASSERT_EQ(plan->sweeps.size(), 1u);
+  EXPECT_EQ(plan->sweeps[0].first_at, 2000);
+  EXPECT_EQ(plan->sweeps[0].gap, 3000);
+  EXPECT_EQ(plan->sweeps[0].duration, 1500);
+  EXPECT_DOUBLE_EQ(plan->request_loss, 0.02);
+  EXPECT_DOUBLE_EQ(plan->response_loss, 0.03);
+  EXPECT_DOUBLE_EQ(plan->duplicate, 0.01);
+  EXPECT_DOUBLE_EQ(plan->delay_spike, 0.05);
+  EXPECT_EQ(plan->spike_ticks, 200);
+  EXPECT_EQ(plan->seed, 99u);
+  EXPECT_FALSE(plan->Empty());
+  EXPECT_TRUE(plan->HasMessageFaults());
+}
+
+TEST(FaultPlanTest, SpecRoundTrips) {
+  const std::string spec =
+      "crash@1000:s2:500;sweep@2000:3000:1500;req_loss=0.02;resp_loss=0.03;"
+      "dup=0.01;spike=0.05:200;seed=99";
+  StatusOr<FaultPlan> plan = ParseFaultPlan(spec);
+  ASSERT_TRUE(plan.ok());
+  StatusOr<FaultPlan> again = ParseFaultPlan(plan->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(plan->ToSpec(), again->ToSpec());
+}
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  StatusOr<FaultPlan> plan = ParseFaultPlan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Empty());
+  EXPECT_EQ(plan->ToSpec(), "");
+}
+
+TEST(FaultPlanTest, RejectsMalformedDirectives) {
+  for (const char* bad :
+       {"crash@1000:500", "crash@1000:x2:500", "crash@1000:s2:0",
+        "sweep@10:20", "req_loss=1.5", "resp_loss=-0.1", "dup=x",
+        "spike=0.1", "spike=0.1:0", "seed=", "nonsense", "foo=1"}) {
+    StatusOr<FaultPlan> plan = ParseFaultPlan(bad);
+    EXPECT_FALSE(plan.ok()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(FaultPlanTest, ReadsPlanFromFileWithCommentsAndNewlines) {
+  std::string path = ::testing::TempDir() + "/fault_plan_test.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# a crash sweep with some message chaos\n"
+        << "sweep@2000:3000:1500\n"
+        << "req_loss=0.02\n"
+        << "\n"
+        << "dup=0.01  \n";
+  }
+  StatusOr<FaultPlan> plan = ParseFaultPlan(path);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->sweeps.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->request_loss, 0.02);
+  EXPECT_DOUBLE_EQ(plan->duplicate, 0.01);
+  std::remove(path.c_str());
+}
+
+TEST(FaultPlanTest, ResolveSweepsExpandsAndSortsDeterministically) {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashEvent{SiteId(1), 7000, 100});
+  plan.sweeps.push_back(SweepEvent{2000, 3000, 1500});
+  FaultPlan resolved = ResolveSweeps(plan, 3);
+  EXPECT_TRUE(resolved.sweeps.empty());
+  ASSERT_EQ(resolved.crashes.size(), 4u);
+  // Sorted by (at, site): sweep hits 2000/5000/8000, explicit crash at 7000.
+  EXPECT_EQ(resolved.crashes[0].at, 2000);
+  EXPECT_EQ(resolved.crashes[0].site, SiteId(0));
+  EXPECT_EQ(resolved.crashes[1].at, 5000);
+  EXPECT_EQ(resolved.crashes[2].at, 7000);
+  EXPECT_EQ(resolved.crashes[2].site, SiteId(1));
+  EXPECT_EQ(resolved.crashes[3].at, 8000);
+  EXPECT_EQ(resolved.crashes[3].site, SiteId(2));
+}
+
+TEST(FaultPlanTest, CrashSweepCoversEverySiteOnce) {
+  FaultPlan plan = FaultPlan::CrashSweep(4, 1000, 2000, 500);
+  ASSERT_EQ(plan.crashes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan.crashes[i].site, SiteId(i));
+    EXPECT_EQ(plan.crashes[i].at, 1000 + i * 2000);
+    EXPECT_EQ(plan.crashes[i].duration, 500);
+  }
+}
+
+std::vector<MessageFate> DrawSequence(const FaultPlan& plan, uint64_t seed,
+                                      int n) {
+  FaultInjector injector(plan, seed);
+  std::vector<MessageFate> fates;
+  for (int i = 0; i < n; ++i) {
+    fates.push_back(i % 2 == 0 ? injector.RequestFate()
+                               : injector.ResponseFate());
+  }
+  return fates;
+}
+
+TEST(FaultInjectorTest, SameSeedDrawsIdenticalFates) {
+  FaultPlan plan;
+  plan.request_loss = 0.1;
+  plan.response_loss = 0.1;
+  plan.duplicate = 0.1;
+  plan.delay_spike = 0.2;
+  plan.spike_ticks = 50;
+  std::vector<MessageFate> first = DrawSequence(plan, 17, 500);
+  std::vector<MessageFate> second = DrawSequence(plan, 17, 500);
+  ASSERT_EQ(first.size(), second.size());
+  bool anything_happened = false;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].lost, second[i].lost) << "at " << i;
+    EXPECT_EQ(first[i].duplicated, second[i].duplicated) << "at " << i;
+    EXPECT_EQ(first[i].extra_delay, second[i].extra_delay) << "at " << i;
+    EXPECT_EQ(first[i].duplicate_lag, second[i].duplicate_lag) << "at " << i;
+    anything_happened = anything_happened || first[i].lost ||
+                        first[i].duplicated || first[i].extra_delay > 0;
+  }
+  EXPECT_TRUE(anything_happened) << "rates set but nothing was injected";
+}
+
+TEST(FaultInjectorTest, PlanSeedOverridesFallbackSeed) {
+  FaultPlan plan;
+  plan.request_loss = 0.5;
+  plan.seed = 1234;
+  std::vector<MessageFate> a = DrawSequence(plan, 1, 100);
+  std::vector<MessageFate> b = DrawSequence(plan, 2, 100);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lost, b[i].lost) << "fallback seed leaked in at " << i;
+  }
+}
+
+TEST(FaultInjectorTest, CountsWhatItInjects) {
+  FaultPlan plan;
+  plan.request_loss = 0.3;
+  plan.response_loss = 0.3;
+  plan.duplicate = 0.3;
+  plan.delay_spike = 0.3;
+  plan.spike_ticks = 10;
+  FaultInjector injector(plan, 5);
+  for (int i = 0; i < 200; ++i) {
+    injector.RequestFate();
+    injector.ResponseFate();
+  }
+  FaultStats stats = injector.stats();
+  EXPECT_GT(stats.requests_lost, 0);
+  EXPECT_GT(stats.responses_lost, 0);
+  EXPECT_GT(stats.duplicates_injected, 0);
+  EXPECT_GT(stats.delay_spikes, 0);
+  EXPECT_EQ(stats.duplicates_suppressed, 0);
+  injector.CountSuppressedDuplicate();
+  injector.CountPlanCrash();
+  EXPECT_EQ(injector.stats().duplicates_suppressed, 1);
+  EXPECT_EQ(injector.stats().plan_crashes, 1);
+}
+
+TEST(FaultInjectorTest, ProbesAreNeverDuplicated) {
+  FaultPlan plan;
+  plan.duplicate = 1.0;
+  plan.request_loss = 0.2;
+  FaultInjector injector(plan, 7);
+  for (int i = 0; i < 200; ++i) {
+    MessageFate fate = injector.ProbeFate(i % 2 == 0);
+    EXPECT_FALSE(fate.duplicated);
+    EXPECT_EQ(fate.duplicate_lag, 0);
+  }
+  EXPECT_EQ(injector.stats().duplicates_injected, 0);
+}
+
+TEST(FaultInjectorTest, ZeroRatesInjectNothing) {
+  FaultInjector injector(FaultPlan{}, 42);
+  for (int i = 0; i < 100; ++i) {
+    MessageFate fate = injector.RequestFate();
+    EXPECT_FALSE(fate.lost);
+    EXPECT_FALSE(fate.duplicated);
+    EXPECT_EQ(fate.extra_delay, 0);
+  }
+  FaultStats stats = injector.stats();
+  EXPECT_EQ(stats.requests_lost + stats.responses_lost +
+                stats.duplicates_injected + stats.delay_spikes,
+            0);
+}
+
+}  // namespace
+}  // namespace mdbs::fault

@@ -6,14 +6,28 @@ Usage:
 
 Validates the Chrome trace-event JSON written by --trace_out= (the subset
 of the spec Perfetto/chrome://tracing require to load a file) and, when
-given, the structured run report written by --metrics_out=. Exits non-zero
-with a message on the first violation, so CI can gate on it.
+given, the structured run report written by --metrics_out=. Also checks the
+fault/retry sub-schema: crash "DOWN" spans must live on a site track (never
+the GTM's), attempt numbers must be monotonically increasing per global
+transaction, and net_fault/site_* instants must be well-formed. Exits
+non-zero with a message on the first violation, so CI can gate on it.
 """
 
 import json
+import re
 import sys
 
 VALID_PHASES = {"b", "e", "i", "C", "M"}
+
+# GTM renders as tid 1; site k renders as tid k + 2 (trace_export.cc).
+GTM_TID = 1
+FIRST_SITE_TID = 2
+
+NET_FAULT_DETAILS = {"req_lost", "resp_lost", "dup", "dup_suppressed",
+                     "spike"}
+SITE_HEALTH_EVENTS = {"site_suspect", "site_down", "site_up"}
+
+ATTEMPT_NAME = re.compile(r"^G(\d+) attempt (\d+)$")
 
 
 def fail(msg):
@@ -33,6 +47,8 @@ def check_trace(path):
     open_async = {}  # (cat, id, pid) -> begin count
     thread_names = set()
     counts = {ph: 0 for ph in VALID_PHASES}
+    last_attempt = {}  # global txn id -> last attempt number seen
+    fault_counts = {"crash_spans": 0, "net_faults": 0, "resubmits": 0}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -54,10 +70,52 @@ def check_trace(path):
             key = (ev["cat"], ev["id"], ev["pid"])
             if ph == "b":
                 open_async[key] = open_async.get(key, 0) + 1
+                if ev["cat"] == "crash":
+                    # Outage windows belong to the crashed site's own track,
+                    # never the GTM's.
+                    if ev["tid"] < FIRST_SITE_TID:
+                        fail(f"{path}: event {i} crash span on tid "
+                             f"{ev['tid']} (not a site track)")
+                    if ev["name"] != "DOWN":
+                        fail(f"{path}: event {i} crash span named "
+                             f"{ev['name']!r}, expected 'DOWN'")
+                    fault_counts["crash_spans"] += 1
+                elif ev["cat"] == "attempt":
+                    m = ATTEMPT_NAME.match(ev["name"])
+                    if not m:
+                        fail(f"{path}: event {i} attempt span named "
+                             f"{ev['name']!r}, expected 'G<id> attempt <n>'")
+                    if ev["tid"] != GTM_TID:
+                        fail(f"{path}: event {i} attempt span on tid "
+                             f"{ev['tid']}, expected the GTM track")
+                    gid, attempt = int(m.group(1)), int(m.group(2))
+                    if attempt <= last_attempt.get(gid, 0):
+                        fail(f"{path}: event {i} G{gid} attempt {attempt} "
+                             f"not after attempt {last_attempt[gid]}")
+                    last_attempt[gid] = attempt
             else:
                 if open_async.get(key, 0) <= 0:
                     fail(f"{path}: event {i} ends never-begun span {key}")
                 open_async[key] -= 1
+        elif ph == "i":
+            name, args = ev["name"], ev.get("args", {})
+            if name == "net_fault":
+                if args.get("detail") not in NET_FAULT_DETAILS:
+                    fail(f"{path}: event {i} net_fault with detail "
+                         f"{args.get('detail')!r}")
+                fault_counts["net_faults"] += 1
+            elif name in SITE_HEALTH_EVENTS:
+                site = args.get("site")
+                if not isinstance(site, int) or site < 0:
+                    fail(f"{path}: event {i} {name} without a site")
+                if ev["tid"] != site + FIRST_SITE_TID:
+                    fail(f"{path}: event {i} {name} for site {site} on tid "
+                         f"{ev['tid']}, expected {site + FIRST_SITE_TID}")
+            elif name == "txn_resubmit":
+                if not isinstance(args.get("a"), int) or args["a"] < 1:
+                    fail(f"{path}: event {i} txn_resubmit with bad "
+                         f"resubmission number {args.get('a')!r}")
+                fault_counts["resubmits"] += 1
         elif ph == "C":
             if not isinstance(ev.get("args"), dict) or not ev["args"]:
                 fail(f"{path}: counter event {i} needs non-empty args")
@@ -73,7 +131,10 @@ def check_trace(path):
         fail(f"{path}: no thread_name metadata (tracks would be unlabeled)")
     print(f"check_trace: {path}: {len(events)} events OK "
           f"(spans={counts['b']}, instants={counts['i']}, "
-          f"counters={counts['C']}, tracks={len(thread_names)})")
+          f"counters={counts['C']}, tracks={len(thread_names)}, "
+          f"crashes={fault_counts['crash_spans']}, "
+          f"net_faults={fault_counts['net_faults']}, "
+          f"resubmits={fault_counts['resubmits']})")
 
 
 def check_metrics(path):
