@@ -13,9 +13,21 @@
 // whose one-global-transaction-at-a-time discipline turns extra clients
 // into queueing.
 
-#include <cstdio>
+// A second sweep measures the certified fast path (src/analysis): a
+// statically robust template mix runs once under stock Scheme 3 (ser-op
+// delays, ticket injection at the SGT site) and once downgraded to the
+// delay-free fast path the analyzer certified. The gap is the price of
+// ser-op control on a workload that never needed it.
 
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/capability.h"
+#include "analysis/robustness.h"
+#include "analysis/template.h"
 #include "bench_json.h"
+#include "gtm/robust_fast_path.h"
 #include "mdbs/mdbs.h"
 #include "mdbs/threaded_driver.h"
 
@@ -50,6 +62,44 @@ DriverReport RunOne(SchemeKind scheme, int clients, uint64_t seed) {
   driver.global_workload.dav_min = 2;
   driver.global_workload.dav_max = 3;
   driver.local_workload.items_per_site = 200;
+  return RunThreadedDriver(&system, driver, seed);
+}
+
+// The robust mix for the fast-path comparison: every write conflict is
+// confined to the TO site s0, reads roam to s1/s2. The SGT site makes the
+// stock run pay for tickets the mix never needed.
+constexpr char kRobustMix[] =
+    "mix keys_per_class=8 local_txns=0\n"
+    "template hot_update weight=3 : r0@s0 w0@s0 r1@s1\n"
+    "template hot_audit weight=2 : r0@s0 w0@s0 r2@s2\n"
+    "template far_report weight=1 : r3@s1 r4@s2\n";
+
+const ProtocolKind kFastPathSites[] = {ProtocolKind::kTimestampOrdering,
+                                       ProtocolKind::kSerializationGraph,
+                                       ProtocolKind::kTimestampOrdering};
+
+DriverReport RunMix(const mdbs::analysis::TemplateMix& mix, bool fast_path,
+                    int clients, uint64_t seed) {
+  MdbsConfig config = MdbsConfig::Mixed(
+      {kFastPathSites[0], kFastPathSites[1], kFastPathSites[2]},
+      SchemeKind::kScheme3);
+  config.seed = seed;
+  config.audit.enabled = false;  // Auditing is for correctness runs.
+  config.threaded = true;
+  config.gtm.attempt_timeout = 30'000;
+  if (fast_path) {
+    config.gtm.certified_fast_path = true;
+    config.gtm.scheme_factory = []() {
+      return mdbs::gtm::MakeRobustFastPath(SchemeKind::kScheme3);
+    };
+  }
+  Mdbs system(config);
+  DriverConfig driver;
+  driver.global_clients = clients;
+  driver.local_clients_per_site = 0;  // The certificate's local_txns=0.
+  driver.target_global_commits = 200;
+  driver.global_think = 200;
+  driver.templates = mix;
   return RunThreadedDriver(&system, driver, seed);
 }
 
@@ -89,6 +139,61 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  // Fast-path comparison on the certified robust mix.
+  mdbs::StatusOr<mdbs::analysis::TemplateMix> mix =
+      mdbs::analysis::ParseTemplateMix(kRobustMix);
+  if (!mix.ok()) {
+    std::fprintf(stderr, "robust mix did not parse: %s\n",
+                 mix.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  std::vector<mdbs::site::SiteConfig> sites;
+  for (size_t i = 0; i < 3; ++i) {
+    mdbs::site::SiteConfig site;
+    site.id = mdbs::SiteId(static_cast<int64_t>(i));
+    site.protocol = kFastPathSites[i];
+    sites.push_back(site);
+  }
+  mdbs::analysis::AnalysisReport verdict = mdbs::analysis::Analyze(
+      *mix, mdbs::analysis::BuildCapabilityMatrix(sites));
+  if (!verdict.fast_path_robust) {
+    std::fprintf(stderr, "robust mix no longer certifies — fix the bench\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("certified fast path vs stock Scheme3 on a robust mix\n");
+  std::printf("3 sites (TO, SGT, TO), certificate: %s\n\n",
+              verdict.certificate.c_str());
+  std::printf("%-10s %8s %12s %10s %10s %10s\n", "mode", "threads",
+              "txns/sec", "resp_p50", "resp_p95", "ser_waits");
+  for (int clients : {2, 4, 8}) {
+    double stock_tput = 0;
+    for (bool fast_path : {false, true}) {
+      DriverReport report = RunMix(*mix, fast_path, clients,
+                                   static_cast<uint64_t>(clients * 13 + 7));
+      if (!fast_path) stock_tput = report.global_throughput;
+      std::printf("%-10s %8d %12.1f %10.0f %10.0f %10lld\n",
+                  fast_path ? "fast_path" : "stock", clients,
+                  report.global_throughput, report.global_response.Median(),
+                  report.global_response.P95(),
+                  static_cast<long long>(report.gtm2.ser_wait_additions));
+      results.AddRow()
+          .Set("mode", fast_path ? "fast_path" : "stock")
+          .Set("threads", static_cast<double>(clients))
+          .Set("txns_per_sec", report.global_throughput)
+          .Set("resp_p50", report.global_response.Median())
+          .Set("resp_p95", report.global_response.P95())
+          .Set("ser_waits",
+               static_cast<double>(report.gtm2.ser_wait_additions))
+          .Set("fast_path_attempts",
+               static_cast<double>(report.gtm1.fast_path_attempts))
+          .Set("speedup_vs_stock",
+               fast_path && stock_tput > 0
+                   ? report.global_throughput / stock_tput
+                   : 1.0);
+    }
+  }
+
   results.WriteFromArgs(argc, argv);
   return 0;
 }

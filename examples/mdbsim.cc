@@ -19,9 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/capability.h"
+#include "analysis/robustness.h"
+#include "analysis/template.h"
+#include "gtm/robust_fast_path.h"
 #include "mdbs/driver.h"
 #include "mdbs/mdbs.h"
 #include "mdbs/threaded_driver.h"
@@ -58,6 +63,9 @@ struct Options {
   mdbs::sim::Time retry_backoff = 1000;
   std::string trace_out;
   std::string metrics_out;
+  std::string templates_file;
+  bool analyze = false;
+  bool auto_downgrade = false;
 };
 
 bool ParseProtocol(const std::string& name, ProtocolKind* out) {
@@ -163,6 +171,12 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->trace_out = value_of("--trace_out=");
     } else if (arg.rfind("--metrics_out=", 0) == 0) {
       options->metrics_out = value_of("--metrics_out=");
+    } else if (arg.rfind("--templates=", 0) == 0) {
+      options->templates_file = value_of("--templates=");
+    } else if (arg == "--analyze") {
+      options->analyze = true;
+    } else if (arg == "--auto_downgrade") {
+      options->auto_downgrade = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -199,7 +213,17 @@ void PrintUsage() {
       "  --threaded=0|1                engine: simulator (0) or real\n"
       "                                threads, ticks = microseconds (1)\n"
       "  --trace_out=PATH              write a Chrome/Perfetto trace JSON\n"
-      "  --metrics_out=PATH            write the structured JSON run report\n");
+      "  --metrics_out=PATH            write the structured JSON run report\n"
+      "  --templates=FILE              drive global clients from declared\n"
+      "                                transaction templates (src/analysis\n"
+      "                                mix language)\n"
+      "  --analyze                     run the static conflict-robustness\n"
+      "                                analyzer on the mix and print the\n"
+      "                                verdict (certificate or witness)\n"
+      "  --auto_downgrade              when the analyzer certifies the mix,\n"
+      "                                run the GTM's certified fast path:\n"
+      "                                no ser delays, no tickets (the audit\n"
+      "                                oracle stays on as cross-check)\n");
 }
 
 }  // namespace
@@ -235,6 +259,65 @@ int main(int argc, char** argv) {
                  "(rebuild with -DMDBS_TRACE=ON)\n");
   }
   config.trace.enabled = want_trace;
+
+  // Template mix + static robustness analysis (src/analysis). The analyzer
+  // must run before the system is assembled: a certified downgrade changes
+  // the GTM configuration.
+  std::optional<mdbs::analysis::TemplateMix> mix;
+  std::optional<mdbs::analysis::AnalysisReport> analysis;
+  bool downgraded = false;
+  if ((options.analyze || options.auto_downgrade) &&
+      options.templates_file.empty()) {
+    std::fprintf(stderr,
+                 "--analyze/--auto_downgrade require --templates=FILE\n");
+    return 2;
+  }
+  if (!options.templates_file.empty()) {
+    mdbs::StatusOr<mdbs::analysis::TemplateMix> loaded =
+        mdbs::analysis::LoadTemplateMixFile(options.templates_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "--templates: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    mix = std::move(loaded).value();
+    // The verdict certifies the declared mix; undeclared local clients
+    // would void it, so their presence is folded into the declaration.
+    if (options.local_clients > 0) mix->local_txns = true;
+    for (const auto& tmpl : mix->templates) {
+      for (const mdbs::analysis::TemplateOp& op : tmpl.ops) {
+        if (op.site.value() >= static_cast<int64_t>(options.sites.size())) {
+          std::fprintf(stderr, "--templates: %s refers to undeclared site\n",
+                       op.ToString().c_str());
+          return 2;
+        }
+      }
+    }
+  }
+  if (options.analyze || options.auto_downgrade) {
+    analysis = mdbs::analysis::Analyze(
+        *mix, mdbs::analysis::BuildCapabilityMatrix(config.sites));
+    if (options.analyze) {
+      std::printf("-- static robustness analysis --\n%s%s\n",
+                  mix->ToString().c_str(),
+                  analysis->ToString(*mix).c_str());
+    }
+    if (options.auto_downgrade && analysis->fast_path_robust) {
+      downgraded = true;
+      config.gtm.certified_fast_path = true;
+      config.gtm.scheme_factory = [scheme = options.scheme]() {
+        return mdbs::gtm::MakeRobustFastPath(scheme);
+      };
+      std::printf(
+          "auto_downgrade: mix certified robust; running the GTM fast path "
+          "(no ser delays, no tickets)\n");
+    } else if (options.auto_downgrade) {
+      std::printf(
+          "auto_downgrade: mix NOT robust; keeping scheme %s\n",
+          mdbs::gtm::SchemeKindName(options.scheme));
+    }
+  }
+
   mdbs::Mdbs system(config);
 
   std::printf("mdbsim: %zu sites [", options.sites.size());
@@ -262,6 +345,7 @@ int main(int argc, char** argv) {
   driver.crash_interval = options.crash_interval;
   driver.global_retry_max = options.retry_max;
   driver.global_retry_backoff = options.retry_backoff;
+  driver.templates = mix;
 
   mdbs::DriverReport report =
       options.threaded ? RunThreadedDriver(&system, driver, options.seed)
@@ -301,6 +385,18 @@ int main(int argc, char** argv) {
       info.emplace_back("commits", std::to_string(options.commits));
       if (!system.resolved_fault_plan().Empty()) {
         info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
+      }
+      if (analysis.has_value()) {
+        info.emplace_back("analysis.verdict", analysis->fast_path_robust
+                                                  ? "robust"
+                                                  : "not_robust");
+        if (analysis->fast_path_robust) {
+          info.emplace_back("analysis.certificate", analysis->certificate);
+        } else if (analysis->witness.has_value()) {
+          info.emplace_back("analysis.witness",
+                            analysis->witness->ToString(*mix));
+        }
+        info.emplace_back("analysis.downgraded", downgraded ? "1" : "0");
       }
       mdbs::Status written = mdbs::obs::WriteJsonReportFile(
           options.metrics_out, info, registry);

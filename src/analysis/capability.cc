@@ -1,0 +1,36 @@
+#include "analysis/capability.h"
+
+namespace mdbs::analysis {
+
+std::string SiteCapability::ToString() const {
+  std::string s = mdbs::ToString(site);
+  s += ": ";
+  s += lcc::ProtocolKindName(protocol);
+  s += " ser_point=";
+  s += gtm::SerPointKindName(ser_point);
+  if (multiversion) s += " multiversion";
+  if (needs_ticket) s += " ticket";
+  return s;
+}
+
+SiteCapability CapabilityFor(SiteId site, lcc::ProtocolKind protocol) {
+  SiteCapability cap;
+  cap.site = site;
+  cap.protocol = protocol;
+  cap.ser_point = gtm::SerPointKindFor(protocol);
+  cap.needs_ticket = cap.ser_point == gtm::SerPointKind::kTicket;
+  cap.multiversion = protocol == lcc::ProtocolKind::kMultiversionTO;
+  return cap;
+}
+
+std::vector<SiteCapability> BuildCapabilityMatrix(
+    const std::vector<site::SiteConfig>& sites) {
+  std::vector<SiteCapability> matrix;
+  matrix.reserve(sites.size());
+  for (const site::SiteConfig& site : sites) {
+    matrix.push_back(CapabilityFor(site.id, site.protocol));
+  }
+  return matrix;
+}
+
+}  // namespace mdbs::analysis

@@ -1,0 +1,49 @@
+#ifndef MDBS_ANALYSIS_CAPABILITY_H_
+#define MDBS_ANALYSIS_CAPABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "gtm/serialization_function.h"
+#include "lcc/protocol.h"
+#include "site/local_dbms.h"
+
+namespace mdbs::analysis {
+
+/// What one site's local protocol certifies, as far as the static analyzer
+/// is concerned. Derived purely from the protocol kind — every protocol in
+/// src/lcc guarantees local CSR and strictness; the distinctions that
+/// matter to robustness are which serialization point GTM1 would use, and
+/// whether histories are multiversion (MVSG instead of CSR as the local
+/// oracle).
+struct SiteCapability {
+  SiteId site;
+  lcc::ProtocolKind protocol = lcc::ProtocolKind::kTwoPhaseLocking;
+  /// Serialization point GTM1 uses at this site (begin / last op / ticket).
+  gtm::SerPointKind ser_point = gtm::SerPointKind::kLastOp;
+  /// Local histories are guaranteed conflict-serializable (all protocols).
+  bool certifies_csr = true;
+  /// Strict/rigorous: no dirty reads or dirty overwrites (all protocols).
+  bool certifies_strict = true;
+  /// Multiversion reads: commit order and version order may diverge from
+  /// any single-version conflict order; the local oracle is MVSG.
+  bool multiversion = false;
+  /// GTM1 must inject ticket writes here (no usable serialization
+  /// function, SGT/OCC) — relevant because tickets force write-write
+  /// conflicts between every pair of globals touching the site.
+  bool needs_ticket = false;
+
+  std::string ToString() const;
+};
+
+/// The per-site capability row for `protocol`.
+SiteCapability CapabilityFor(SiteId site, lcc::ProtocolKind protocol);
+
+/// Capability rows for a whole MDBS configuration, in site order.
+std::vector<SiteCapability> BuildCapabilityMatrix(
+    const std::vector<site::SiteConfig>& sites);
+
+}  // namespace mdbs::analysis
+
+#endif  // MDBS_ANALYSIS_CAPABILITY_H_

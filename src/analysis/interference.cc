@@ -1,0 +1,130 @@
+#include "analysis/interference.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdbs::analysis {
+
+const char* InterferenceCauseName(InterferenceCause cause) {
+  switch (cause) {
+    case InterferenceCause::kDirect:
+      return "direct";
+    case InterferenceCause::kIndirect:
+      return "indirect";
+    case InterferenceCause::kTicket:
+      return "ticket";
+  }
+  return "?";
+}
+
+std::string InterferenceEdge::ToString(const TemplateMix& mix) const {
+  std::string s = a < mix.templates.size() ? mix.templates[a].name
+                                           : std::to_string(a);
+  s += " -- ";
+  s += b < mix.templates.size() ? mix.templates[b].name : std::to_string(b);
+  s += " @" + mdbs::ToString(site);
+  s += " (";
+  s += InterferenceCauseName(cause);
+  s += ")";
+  return s;
+}
+
+std::string InterferenceGraph::ToString(const TemplateMix& mix) const {
+  std::string s;
+  for (const InterferenceEdge& edge : edges) {
+    s += edge.ToString(mix) + "\n";
+  }
+  return s;
+}
+
+LiftedGraph InterferenceGraph::Lift(size_t template_count,
+                                    bool include_ticket_edges) const {
+  LiftedGraph lifted;
+  for (size_t i = 0; i < template_count; ++i) {
+    lifted.graph.AddNode(static_cast<int64_t>(2 * i));
+    lifted.graph.AddNode(static_cast<int64_t>(2 * i + 1));
+  }
+  for (size_t index = 0; index < edges.size(); ++index) {
+    const InterferenceEdge& edge = edges[index];
+    if (!include_ticket_edges && edge.cause == InterferenceCause::kTicket) {
+      continue;
+    }
+    auto add = [&](size_t u, size_t v) {
+      lifted.graph.AddEdge(static_cast<int64_t>(u), static_cast<int64_t>(v),
+                           edge.site.value());
+      lifted.edge_origin.push_back(index);
+    };
+    if (edge.a == edge.b) {
+      // Self-interference: the two concurrent copies conflict.
+      add(2 * edge.a, 2 * edge.a + 1);
+    } else {
+      // Every distinct copy pair can realize the conflict.
+      add(2 * edge.a, 2 * edge.b);
+      add(2 * edge.a, 2 * edge.b + 1);
+      add(2 * edge.a + 1, 2 * edge.b);
+      add(2 * edge.a + 1, 2 * edge.b + 1);
+    }
+  }
+  return lifted;
+}
+
+namespace {
+
+// Does the template write any key class at `site`? Then two concurrent
+// instances can conflict there (at minimum on the written class).
+bool WritesAt(const TxnTemplate& tmpl, SiteId site) {
+  for (const TemplateOp& op : tmpl.ops) {
+    if (op.site == site && op.type == OpType::kWrite) return true;
+  }
+  return false;
+}
+
+// Can instances of `a` and `b` conflict directly at `site`: a shared key
+// class there with at least one side writing it.
+bool DirectConflictAt(const TxnTemplate& a, const TxnTemplate& b,
+                      SiteId site) {
+  for (const TemplateOp& op_a : a.ops) {
+    if (op_a.site != site) continue;
+    for (const TemplateOp& op_b : b.ops) {
+      if (op_b.site != site || op_b.key_class != op_a.key_class) continue;
+      if (op_a.type == OpType::kWrite || op_b.type == OpType::kWrite) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+InterferenceGraph BuildInterferenceGraph(
+    const TemplateMix& mix, const std::vector<SiteCapability>& matrix) {
+  InterferenceGraph graph;
+  for (const SiteCapability& cap : matrix) {
+    for (size_t i = 0; i < mix.templates.size(); ++i) {
+      const TxnTemplate& a = mix.templates[i];
+      for (size_t j = i; j < mix.templates.size(); ++j) {
+        const TxnTemplate& b = mix.templates[j];
+        bool direct = i == j ? WritesAt(a, cap.site)
+                             : DirectConflictAt(a, b, cap.site);
+        if (direct) {
+          graph.edges.push_back(
+              InterferenceEdge{i, j, cap.site, InterferenceCause::kDirect});
+        }
+        bool both_touch = a.TouchesSite(cap.site) && b.TouchesSite(cap.site);
+        if (both_touch && mix.local_txns) {
+          graph.edges.push_back(
+              InterferenceEdge{i, j, cap.site, InterferenceCause::kIndirect});
+        }
+        if (both_touch && cap.needs_ticket) {
+          graph.edges.push_back(
+              InterferenceEdge{i, j, cap.site, InterferenceCause::kTicket});
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace mdbs::analysis

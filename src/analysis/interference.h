@@ -1,0 +1,79 @@
+#ifndef MDBS_ANALYSIS_INTERFERENCE_H_
+#define MDBS_ANALYSIS_INTERFERENCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/capability.h"
+#include "analysis/template.h"
+#include "sched/graph.h"
+
+namespace mdbs::analysis {
+
+/// Why two template instances may become ordered at a site in some
+/// execution.
+enum class InterferenceCause {
+  /// They access a common key class at the site and at least one writes:
+  /// instances can conflict directly.
+  kDirect,
+  /// Both touch the site and GTM-invisible local transactions run there:
+  /// a local transaction can conflict with each and bridge them (the
+  /// paper's §3 indirect-conflict scenario).
+  kIndirect,
+  /// Both touch a ticket site: GTM1 injects a ticket write into each
+  /// subtransaction, forcing a write-write conflict regardless of their
+  /// declared accesses.
+  kTicket,
+};
+
+const char* InterferenceCauseName(InterferenceCause cause);
+
+/// One undirected interference edge between two templates (indices into
+/// the mix), attributable to one site. `a == b` declares self-interference:
+/// two concurrent instances of the same template can become ordered at the
+/// site. Deduplicated on (a, b, site, cause); the site labels are what the
+/// robustness verdict reasons about.
+struct InterferenceEdge {
+  size_t a = 0;
+  size_t b = 0;
+  SiteId site;
+  InterferenceCause cause = InterferenceCause::kDirect;
+
+  std::string ToString(const TemplateMix& mix) const;
+};
+
+/// The 2-copy instance lift of an interference graph: node 2i and 2i + 1
+/// are two concurrent instances of template i, every template edge lifts
+/// to all distinct instance pairs, labels are site ids. Two copies suffice:
+/// any realizable interference cycle among unboundedly many instances can
+/// be folded into one visiting each template at most twice, so the lift's
+/// simple cycles are exactly the candidate global ser(S) cycles.
+struct LiftedGraph {
+  sched::UndirectedMultigraph graph;
+  /// Maps each lifted edge (by index into graph.edges()) back to the
+  /// interference edge (by index into InterferenceGraph::edges) it lifts.
+  std::vector<size_t> edge_origin;
+};
+
+/// The static cross-site interference graph of a mix: nodes are templates,
+/// edges the possible pairwise instance orderings with their site of
+/// origin.
+struct InterferenceGraph {
+  std::vector<InterferenceEdge> edges;
+
+  /// Builds the 2-copy lift, optionally without the ticket-induced edges —
+  /// the certified fast path skips ticket injection, so its verdict must
+  /// hold on the graph without them.
+  LiftedGraph Lift(size_t template_count, bool include_ticket_edges) const;
+
+  std::string ToString(const TemplateMix& mix) const;
+};
+
+/// Builds the interference graph of `mix` over the sites in `matrix`.
+InterferenceGraph BuildInterferenceGraph(
+    const TemplateMix& mix, const std::vector<SiteCapability>& matrix);
+
+}  // namespace mdbs::analysis
+
+#endif  // MDBS_ANALYSIS_INTERFERENCE_H_

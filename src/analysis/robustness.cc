@@ -1,0 +1,245 @@
+#include "analysis/robustness.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdbs::analysis {
+
+std::vector<SiteId> Witness::Sites() const {
+  std::vector<SiteId> sites;
+  for (const WitnessHop& hop : hops) {
+    if (std::find(sites.begin(), sites.end(), hop.site) == sites.end()) {
+      sites.push_back(hop.site);
+    }
+  }
+  return sites;
+}
+
+std::string Witness::ToString(const TemplateMix& mix) const {
+  std::string s;
+  for (const WitnessHop& hop : hops) {
+    const std::string& name = hop.template_index < mix.templates.size()
+                                  ? mix.templates[hop.template_index].name
+                                  : std::to_string(hop.template_index);
+    s += name + "#" + std::to_string(hop.copy) + " -[" +
+         mdbs::ToString(hop.site) + "," + InterferenceCauseName(hop.cause) +
+         "]-> ";
+  }
+  if (!hops.empty()) {
+    const std::string& name = hops[0].template_index < mix.templates.size()
+                                  ? mix.templates[hops[0].template_index].name
+                                  : std::to_string(hops[0].template_index);
+    s += name + "#" + std::to_string(hops[0].copy);
+  }
+  return s;
+}
+
+bool CheckWitness(const Witness& witness, const InterferenceGraph& graph) {
+  size_t n = witness.hops.size();
+  if (n < 2) return false;
+  // Vertex-simple: no instance appears twice.
+  std::set<std::pair<size_t, int>> instances;
+  for (const WitnessHop& hop : witness.hops) {
+    if (hop.copy != 0 && hop.copy != 1) return false;
+    if (!instances.emplace(hop.template_index, hop.copy).second) return false;
+  }
+  // Every hop must be backed by an interference edge.
+  for (size_t i = 0; i < n; ++i) {
+    const WitnessHop& from = witness.hops[i];
+    const WitnessHop& to = witness.hops[(i + 1) % n];
+    if (from.template_index == to.template_index && from.copy == to.copy) {
+      return false;
+    }
+    bool backed = false;
+    for (const InterferenceEdge& edge : graph.edges) {
+      if (edge.site != from.site || edge.cause != from.cause) continue;
+      bool matches =
+          (edge.a == from.template_index && edge.b == to.template_index) ||
+          (edge.a == to.template_index && edge.b == from.template_index);
+      if (matches) {
+        backed = true;
+        break;
+      }
+    }
+    if (!backed) return false;
+  }
+  return witness.Sites().size() >= 2;
+}
+
+namespace {
+
+/// Verdict over one lifted graph.
+struct LiftScan {
+  bool robust = true;
+  std::optional<Witness> witness;
+  std::string certificate;
+};
+
+// Union-find over the lifted nodes (contiguous 0..2n-1).
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Turns an edge-index cycle from FindCycleThrough into witness hops:
+// recover the vertex sequence, then label each hop with its edge's origin.
+Witness WitnessFromCycle(const std::vector<size_t>& cycle,
+                         const LiftedGraph& lifted,
+                         const InterferenceGraph& graph) {
+  const auto& edges = lifted.graph.edges();
+  auto shares = [&](size_t e, int64_t v) {
+    return edges[e].u == v || edges[e].v == v;
+  };
+  // First vertex: the endpoint of cycle[0] also incident to the closing
+  // edge (for 2-cycles both are; either works).
+  int64_t v0 = shares(cycle.back(), edges[cycle[0]].u) ? edges[cycle[0]].u
+                                                       : edges[cycle[0]].v;
+  Witness witness;
+  int64_t v = v0;
+  for (size_t e : cycle) {
+    const InterferenceEdge& origin = graph.edges[lifted.edge_origin[e]];
+    witness.hops.push_back(WitnessHop{static_cast<size_t>(v / 2),
+                                      static_cast<int>(v % 2), origin.site,
+                                      origin.cause});
+    v = edges[e].u == v ? edges[e].v : edges[e].u;
+  }
+  return witness;
+}
+
+LiftScan ScanLift(const InterferenceGraph& graph, const LiftedGraph& lifted,
+                  const TemplateMix& mix) {
+  LiftScan scan;
+  const auto& edges = lifted.graph.edges();
+  Dsu dsu(2 * mix.templates.size());
+  for (const sched::LabeledEdge& edge : edges) {
+    dsu.Union(static_cast<size_t>(edge.u), static_cast<size_t>(edge.v));
+  }
+  // Component root -> indices of its lifted edges.
+  std::unordered_map<size_t, std::vector<size_t>> component_edges;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    component_edges[dsu.Find(static_cast<size_t>(edges[e].u))].push_back(e);
+  }
+  for (auto& [root, members] : component_edges) {
+    // Two differently labeled edges in one component break robustness.
+    size_t first = members[0];
+    for (size_t e : members) {
+      if (edges[e].label == edges[first].label) continue;
+      scan.robust = false;
+      // Both endpoints are in one connected 2-copy component, so a
+      // vertex-simple cycle through both edges exists; the step budget is
+      // ample for the analyzer's small graphs.
+      std::optional<std::vector<size_t>> cycle =
+          lifted.graph.FindCycleThrough(first, e);
+      if (cycle.has_value()) {
+        scan.witness = WitnessFromCycle(*cycle, lifted, graph);
+        return scan;
+      }
+    }
+  }
+  // Robust: name the single site of every interfering component.
+  if (component_edges.empty()) {
+    scan.certificate = "no interference between template instances";
+    return scan;
+  }
+  // Deterministic order: by smallest template index in the component.
+  std::vector<std::pair<size_t, size_t>> ordered;  // (min node, root)
+  for (const auto& [root, members] : component_edges) {
+    int64_t min_node = edges[members[0]].u;
+    for (size_t e : members) {
+      min_node = std::min({min_node, edges[e].u, edges[e].v});
+    }
+    ordered.emplace_back(static_cast<size_t>(min_node), root);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [min_node, root] : ordered) {
+    const std::vector<size_t>& members = component_edges[root];
+    std::set<size_t> templates;
+    for (size_t e : members) {
+      templates.insert(static_cast<size_t>(edges[e].u / 2));
+      templates.insert(static_cast<size_t>(edges[e].v / 2));
+    }
+    if (!scan.certificate.empty()) scan.certificate += "; ";
+    scan.certificate += "{";
+    bool first_name = true;
+    for (size_t t : templates) {
+      if (!first_name) scan.certificate += ",";
+      first_name = false;
+      scan.certificate += t < mix.templates.size() ? mix.templates[t].name
+                                                   : std::to_string(t);
+    }
+    scan.certificate += "} only at " + mdbs::ToString(SiteId(
+                            edges[members[0]].label));
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::string AnalysisReport::ToString(const TemplateMix& mix) const {
+  std::string s = "capabilities:\n";
+  for (const SiteCapability& cap : capabilities) {
+    s += "  " + cap.ToString() + "\n";
+  }
+  s += "interference (" + std::to_string(graph.edges.size()) + " edges):\n";
+  for (const InterferenceEdge& edge : graph.edges) {
+    s += "  " + edge.ToString(mix) + "\n";
+  }
+  s += std::string("fast-path verdict: ") +
+       (fast_path_robust ? "robust" : "not robust") + "\n";
+  if (fast_path_robust) {
+    s += "  certificate: " + certificate + "\n";
+  } else if (witness.has_value()) {
+    s += "  witness: " + witness->ToString(mix) + "\n";
+  }
+  for (const SchemeVerdict& verdict : per_scheme) {
+    s += std::string("  ") + gtm::SchemeKindName(verdict.scheme) + ": " +
+         (verdict.robust ? "robust" : "not robust") + "\n";
+  }
+  return s;
+}
+
+AnalysisReport Analyze(const TemplateMix& mix,
+                       const std::vector<SiteCapability>& matrix) {
+  AnalysisReport report;
+  report.capabilities = matrix;
+  report.graph = BuildInterferenceGraph(mix, matrix);
+
+  // The certified fast path drops ser delays AND ticket injection, so its
+  // verdict reads the graph without ticket edges.
+  LiftedGraph no_tickets = report.graph.Lift(mix.templates.size(), false);
+  LiftScan fast = ScanLift(report.graph, no_tickets, mix);
+  report.fast_path_robust = fast.robust;
+  report.certificate = fast.certificate;
+  report.witness = fast.witness;
+
+  for (gtm::SchemeKind scheme :
+       {gtm::SchemeKind::kScheme0, gtm::SchemeKind::kScheme1,
+        gtm::SchemeKind::kScheme2, gtm::SchemeKind::kScheme3}) {
+    report.per_scheme.push_back(
+        SchemeVerdict{scheme, fast.robust, fast.witness});
+  }
+  // kNone still injects tickets at SGT/OCC sites, so its verdict keeps the
+  // ticket-induced edges.
+  LiftedGraph with_tickets = report.graph.Lift(mix.templates.size(), true);
+  LiftScan none = ScanLift(report.graph, with_tickets, mix);
+  report.per_scheme.push_back(
+      SchemeVerdict{gtm::SchemeKind::kNone, none.robust, none.witness});
+  return report;
+}
+
+}  // namespace mdbs::analysis

@@ -1,0 +1,96 @@
+#ifndef MDBS_ANALYSIS_ROBUSTNESS_H_
+#define MDBS_ANALYSIS_ROBUSTNESS_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/capability.h"
+#include "analysis/interference.h"
+#include "analysis/template.h"
+#include "gtm/scheme.h"
+
+namespace mdbs::analysis {
+
+/// One hop of a witness cycle: a template instance (template index plus
+/// copy 0/1) and the interference edge ordering it before the next hop's
+/// instance. The hops form a closed cycle (the last conflicts with the
+/// first).
+struct WitnessHop {
+  size_t template_index = 0;
+  int copy = 0;
+  SiteId site;
+  InterferenceCause cause = InterferenceCause::kDirect;
+};
+
+/// A concrete counter-example shape: a vertex-simple cycle of template
+/// instances whose consecutive pairs interfere, spanning at least two
+/// sites — the static image of a global ser(S) cycle the GTM would not
+/// see without ser-op control. Checkable: every hop's edge must exist in
+/// the interference graph and the site labels must not all match.
+struct Witness {
+  std::vector<WitnessHop> hops;
+
+  /// Distinct sites among the hops.
+  std::vector<SiteId> Sites() const;
+  std::string ToString(const TemplateMix& mix) const;
+};
+
+/// Robustness verdict for one GTM scheme: whether the declared mix stays
+/// globally serializable when this scheme's ser-op control is removed.
+struct SchemeVerdict {
+  gtm::SchemeKind scheme = gtm::SchemeKind::kScheme3;
+  bool robust = false;
+  /// Present exactly when !robust.
+  std::optional<Witness> witness;
+};
+
+/// The full analyzer output for one mix over one site configuration.
+struct AnalysisReport {
+  std::vector<SiteCapability> capabilities;
+  /// Interference edges including ticket-induced ones.
+  InterferenceGraph graph;
+
+  /// The downgrade decision: running with NO ser-op delays and NO ticket
+  /// injection keeps every possible execution of the declared mix globally
+  /// serializable. When true, `certificate` names the per-component single
+  /// sites; when false, `witness` is the counter-example cycle.
+  bool fast_path_robust = false;
+  std::string certificate;
+  std::optional<Witness> witness;
+
+  /// Per-scheme verdicts. Schemes 0-3 share the fast-path verdict (their
+  /// control removed means no ser delays and no tickets); kNone keeps
+  /// ticket edges, describing the existing no-control strawman.
+  std::vector<SchemeVerdict> per_scheme;
+
+  std::string ToString(const TemplateMix& mix) const;
+};
+
+/// Validates that `witness` is checkable against `graph`: a closed
+/// instance cycle (no instance repeated, length >= 2) whose every hop is
+/// an edge of the graph and whose site labels span >= 2 sites. Used by the
+/// fuzz battery and check_trace validation.
+bool CheckWitness(const Witness& witness, const InterferenceGraph& graph);
+
+/// Runs the static analysis: capability matrix -> interference graph ->
+/// per-scheme robustness verdicts with certificate or witness.
+///
+/// Decision procedure: on the 2-copy instance lift of the interference
+/// graph, the mix is robust iff every connected component's edges carry a
+/// single site label. Soundness: a global ser(S) cycle among instances
+/// maps onto a closed walk in one lifted component, and a monochromatic
+/// component confines the whole cycle to one site, where local CSR (which
+/// every site certifies) forbids it. Conversely any component carrying two
+/// labels yields a vertex-simple mixed cycle through two differently
+/// labeled edges — the emitted witness. The verdict is deliberately
+/// conservative: it never reasons about lock-based temporal blocking, so
+/// some all-2PL mixes are declared non-robust that rigorous locking would
+/// in fact serialize.
+AnalysisReport Analyze(const TemplateMix& mix,
+                       const std::vector<SiteCapability>& matrix);
+
+}  // namespace mdbs::analysis
+
+#endif  // MDBS_ANALYSIS_ROBUSTNESS_H_

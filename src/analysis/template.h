@@ -1,0 +1,86 @@
+#ifndef MDBS_ANALYSIS_TEMPLATE_H_
+#define MDBS_ANALYSIS_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "gtm/global_txn.h"
+
+namespace mdbs::analysis {
+
+/// One access of a transaction template: a read or write of a symbolic key
+/// class at a site. Key classes are disjoint item ranges — two accesses can
+/// conflict only when site and key class both match (and one writes).
+struct TemplateOp {
+  SiteId site;
+  int64_t key_class = 0;
+  OpType type = OpType::kRead;
+
+  std::string ToString() const;
+};
+
+/// A declared global-transaction shape: an ordered list of key-class
+/// accesses over sites, as submitted by the application mix. The runtime
+/// instantiates it by drawing concrete items from each key class.
+struct TxnTemplate {
+  std::string name;
+  std::vector<TemplateOp> ops;
+  /// Relative sampling weight when the driver draws from the mix.
+  double weight = 1.0;
+
+  /// Distinct sites in first-touch order.
+  std::vector<SiteId> Sites() const;
+  bool TouchesSite(SiteId site) const;
+  /// True when every access at `site` is a read.
+  bool ReadOnlyAt(SiteId site) const;
+
+  std::string ToString() const;
+};
+
+/// A declared transaction mix: the templates plus the workload facts the
+/// analyzer's verdict is conditioned on. The verdict certifies THIS mix —
+/// running other transactions (or undeclared local ones) voids it.
+struct TemplateMix {
+  std::vector<TxnTemplate> templates;
+  /// Items per key class; key class c maps to items
+  /// [c * keys_per_class, (c + 1) * keys_per_class).
+  int64_t keys_per_class = 16;
+  /// Declared: GTM-invisible local transactions run at the sites. When
+  /// true, any two globals sharing a site can become indirectly ordered
+  /// through local conflicts the GTM never sees (paper §3).
+  bool local_txns = false;
+
+  std::string ToString() const;
+};
+
+/// Parses the template-mix language (one declaration per line, '#'
+/// comments):
+///
+///   mix keys_per_class=16 local_txns=0
+///   template transfer weight=2 : r0@s0 w0@s0 r1@s1 w1@s1
+///   template audit : r0@s0 r1@s1 r2@s2
+///
+/// Each access token is r<class>@s<site> or w<class>@s<site>; operations
+/// keep their declared order. The `mix` line is optional and may appear at
+/// most once.
+StatusOr<TemplateMix> ParseTemplateMix(const std::string& text);
+
+/// ParseTemplateMix over the contents of `path`.
+StatusOr<TemplateMix> LoadTemplateMixFile(const std::string& path);
+
+/// Draws one template index from the mix by weight.
+size_t SampleTemplate(const TemplateMix& mix, Rng* rng);
+
+/// Instantiates a template into a concrete global transaction: each access
+/// draws a uniform item from its key class's range; writes carry a random
+/// payload.
+gtm::GlobalTxnSpec Instantiate(const TxnTemplate& tmpl,
+                               const TemplateMix& mix, Rng* rng);
+
+}  // namespace mdbs::analysis
+
+#endif  // MDBS_ANALYSIS_TEMPLATE_H_

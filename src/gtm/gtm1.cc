@@ -69,6 +69,20 @@ std::vector<Gtm1::Step> Gtm1::BuildSteps(const GlobalTxnSpec& spec) const {
   for (size_t i = 0; i < spec.ops.size(); ++i) {
     last_data_index[spec.ops[i].site] = i;
   }
+  // Certified fast path: the ser-op machinery exists to order what the
+  // analyzer proved cannot become cyclic, so no step is a ser operation
+  // (none routes through GTM2) and no ticket is injected.
+  if (config_.certified_fast_path) {
+    for (size_t i = 0; i < spec.ops.size(); ++i) {
+      SiteId site = spec.ops[i].site;
+      if (std::find(seen.begin(), seen.end(), site) == seen.end()) {
+        seen.push_back(site);
+        steps.push_back(Step{Step::Kind::kBegin, site, 0, false});
+      }
+      steps.push_back(Step{Step::Kind::kData, site, i, false});
+    }
+    return steps;
+  }
   for (size_t i = 0; i < spec.ops.size(); ++i) {
     SiteId site = spec.ops[i].site;
     SerPointKind ser_point = SerPointKindFor(gateway_->ProtocolAt(site));
@@ -105,6 +119,13 @@ void Gtm1::StartAttempt(Job* job) {
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kAttemptStart, attempt_id.value(), -1,
                    job->id, job->attempts);
+  }
+  if (config_.certified_fast_path) {
+    ++stats_.fast_path_attempts;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kDowngrade, attempt_id.value(), -1,
+                     job->id);
+    }
   }
 
   if (config_.attempt_timeout > 0) {

@@ -47,6 +47,14 @@ struct Gtm1Config {
   /// ticket latch window at SGT sites at the cost of a later
   /// serialization point.
   bool ticket_last = false;
+  /// Certified fast path: the static analyzer (src/analysis) proved the
+  /// declared transaction mix conflict-robust, so every operation runs
+  /// without GTM2 ser-op control and no ticket writes are injected. Pair
+  /// it with scheme_factory = MakeRobustFastPath(scheme) so reports and
+  /// the audit oracle keep the replaced scheme's kind. Each fast-path
+  /// attempt records a kDowngrade trace event; the end-of-run oracle
+  /// remains the runtime cross-check of the certificate.
+  bool certified_fast_path = false;
   /// Base backoff before retrying an aborted attempt. The delay doubles per
   /// failed attempt up to `retry_backoff_cap`, with uniform jitter up to 2x
   /// (attempt 1 retries exactly as the pre-exponential code did).
@@ -92,6 +100,8 @@ struct Gtm1Stats {
   int64_t parked = 0;           // Jobs parked on a quarantined site.
   int64_t unparked = 0;         // Jobs resumed after the site recovered.
   int64_t park_timeouts = 0;    // Jobs failed back while still parked.
+  int64_t fast_path_attempts = 0;  // Attempts run under the certified fast
+                                   // path (no ser delays, no tickets).
 };
 
 /// GTM1 (paper §2.3 / Figure 1): drives global transactions. For every

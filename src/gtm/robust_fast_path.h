@@ -1,0 +1,50 @@
+#ifndef MDBS_GTM_ROBUST_FAST_PATH_H_
+#define MDBS_GTM_ROBUST_FAST_PATH_H_
+
+#include <memory>
+
+#include "gtm/scheme.h"
+
+namespace mdbs::gtm {
+
+/// The certified fast path (src/analysis): installed when the static
+/// analyzer proved the declared transaction mix conflict-robust, i.e.
+/// globally serializable with no GTM control at all. GTM1 then bypasses
+/// GTM2 for ser operations and skips ticket injection entirely
+/// (Gtm1Config::certified_fast_path), so this scheme sees only
+/// init/validate/fin and maintains no data structures — zero steps, zero
+/// waiting.
+///
+/// It reports the scheme kind it replaced (`certified_as`) rather than
+/// kNone on purpose: Mdbs::RunAuditOracle skips the global-CSR check for
+/// kNone, and the whole point of the downgrade contract is that the oracle
+/// stays on as the runtime cross-check of the analyzer's certificate.
+class RobustFastPath : public ConservativeSchemeBase {
+ public:
+  explicit RobustFastPath(SchemeKind certified_as)
+      : certified_as_(certified_as) {}
+
+  SchemeKind kind() const override { return certified_as_; }
+  const char* Name() const override { return "RobustFastPath"; }
+
+  void ActInit(const QueueOp&) override {}
+  Verdict CondSer(GlobalTxnId, SiteId) override { return Verdict::kReady; }
+  void ActSer(GlobalTxnId, SiteId) override {}
+  void ActAck(GlobalTxnId, SiteId) override {}
+  Verdict CondFin(GlobalTxnId) override { return Verdict::kReady; }
+  void ActFin(GlobalTxnId) override {}
+  void ActAbortCleanup(GlobalTxnId) override {}
+
+  /// Never aborts; the certificate (not a DS) guarantees acyclic ser(S).
+  bool IsConservative() const override { return true; }
+
+ private:
+  SchemeKind certified_as_;
+};
+
+/// Factory for Gtm1Config::scheme_factory.
+std::unique_ptr<Scheme> MakeRobustFastPath(SchemeKind certified_as);
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_ROBUST_FAST_PATH_H_

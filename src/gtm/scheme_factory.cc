@@ -1,6 +1,7 @@
 #include "common/logging.h"
 #include "gtm/baselines.h"
 #include "gtm/gtm2.h"
+#include "gtm/robust_fast_path.h"
 #include "gtm/scheme0.h"
 #include "gtm/scheme1.h"
 #include "gtm/scheme2.h"
@@ -43,6 +44,10 @@ std::unique_ptr<Scheme> MakeScheme(SchemeKind kind) {
   }
   MDBS_CHECK(false) << "unknown scheme kind";
   return nullptr;
+}
+
+std::unique_ptr<Scheme> MakeRobustFastPath(SchemeKind certified_as) {
+  return std::make_unique<RobustFastPath>(certified_as);
 }
 
 }  // namespace mdbs::gtm

@@ -95,8 +95,15 @@ void GlobalClientIssue(const std::shared_ptr<RunState>& state,
   auto txn = std::make_shared<GlobalTxnTry>();
   txn->state = state;
   txn->rng = rng;
-  txn->spec = MakeGlobalTxn(state->config.global_workload,
-                            state->mdbs->site_ids(), rng.get());
+  if (state->config.templates.has_value()) {
+    const analysis::TemplateMix& mix = *state->config.templates;
+    txn->spec = analysis::Instantiate(
+        mix.templates[analysis::SampleTemplate(mix, rng.get())], mix,
+        rng.get());
+  } else {
+    txn->spec = MakeGlobalTxn(state->config.global_workload,
+                              state->mdbs->site_ids(), rng.get());
+  }
   txn->start = state->mdbs->loop().now();
   SubmitGlobalTry(txn);
 }
@@ -279,6 +286,7 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("gtm1.parked", gtm1.parked);
   registry->Increment("gtm1.unparked", gtm1.unparked);
   registry->Increment("gtm1.park_timeouts", gtm1.park_timeouts);
+  registry->Increment("gtm1.fast_path_attempts", gtm1.fast_path_attempts);
   registry->Increment("gtm2.processed_ops", gtm2.processed_ops);
   registry->Increment("gtm2.wait_additions", gtm2.wait_additions);
   registry->Increment("gtm2.ser_wait_additions", gtm2.ser_wait_additions);

@@ -1,8 +1,10 @@
 #ifndef MDBS_MDBS_DRIVER_H_
 #define MDBS_MDBS_DRIVER_H_
 
+#include <optional>
 #include <string>
 
+#include "analysis/template.h"
 #include "mdbs/mdbs.h"
 #include "mdbs/workload.h"
 #include "sim/metrics.h"
@@ -39,6 +41,12 @@ struct DriverConfig {
   sim::Time global_retry_backoff = 1000;
   GlobalWorkloadConfig global_workload;
   LocalWorkloadConfig local_workload;
+  /// When set, global clients instantiate these declared templates
+  /// (weighted draw) instead of the random `global_workload` — the subject
+  /// of the static robustness analyzer (src/analysis). A certified
+  /// fast-path run is only sound while every submitted transaction comes
+  /// from the certified mix, which this guarantees. Both engines honor it.
+  std::optional<analysis::TemplateMix> templates;
 };
 
 /// Results of one driver run.

@@ -106,8 +106,15 @@ Status CommitLocalAndWait(site::LocalDbms* dbms, TxnId txn) {
 void GlobalClientMain(RunState* state, Rng rng) {
   Mdbs* mdbs = state->mdbs;
   while (!state->stop.load(std::memory_order_relaxed)) {
-    gtm::GlobalTxnSpec spec =
-        MakeGlobalTxn(state->config.global_workload, mdbs->site_ids(), &rng);
+    gtm::GlobalTxnSpec spec;
+    if (state->config.templates.has_value()) {
+      const analysis::TemplateMix& mix = *state->config.templates;
+      spec = analysis::Instantiate(
+          mix.templates[analysis::SampleTemplate(mix, &rng)], mix, &rng);
+    } else {
+      spec = MakeGlobalTxn(state->config.global_workload, mdbs->site_ids(),
+                           &rng);
+    }
     sim::Time start = mdbs->NowTicks();
     int resubmissions = 0;
     int attempts_total = 0;

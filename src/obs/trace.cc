@@ -88,6 +88,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "net_fault";
     case TraceEventKind::kStrandBacklog:
       return "strand_backlog";
+    case TraceEventKind::kDowngrade:
+      return "downgrade";
   }
   return "?";
 }

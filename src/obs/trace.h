@@ -83,6 +83,10 @@ enum class TraceEventKind : uint8_t {
 
   // Engine. site = strand owner (-1 = GTM strand).
   kStrandBacklog,  // threaded mode: a = tasks queued on the strand
+
+  // Static analysis / certified fast path (src/analysis).
+  kDowngrade,  // attempt ran the certified fast path: no ser delays, no
+               //   tickets; txn = attempt id, a = job id
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

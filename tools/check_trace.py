@@ -11,6 +11,14 @@ fault/retry sub-schema: crash "DOWN" spans must live on a site track (never
 the GTM's), attempt numbers must be monotonically increasing per global
 transaction, and net_fault/site_* instants must be well-formed. Exits
 non-zero with a message on the first violation, so CI can gate on it.
+
+The static-analysis/downgrade sub-schema (mdbsim --analyze
+--auto_downgrade) is checked too: "downgrade" instants live on the GTM
+track; downgrade events may only appear in a run whose report carries a
+robust verdict with its certificate (and such a run must not emit a single
+ser operation); a non-robust verdict must instead carry a witness cycle
+and no downgrade events. When both files are given, the trace's downgrade
+count must match the report's events.downgrade counter.
 """
 
 import json
@@ -49,6 +57,7 @@ def check_trace(path):
     counts = {ph: 0 for ph in VALID_PHASES}
     last_attempt = {}  # global txn id -> last attempt number seen
     fault_counts = {"crash_spans": 0, "net_faults": 0, "resubmits": 0}
+    downgrades = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -116,6 +125,16 @@ def check_trace(path):
                     fail(f"{path}: event {i} txn_resubmit with bad "
                          f"resubmission number {args.get('a')!r}")
                 fault_counts["resubmits"] += 1
+            elif name == "downgrade":
+                # A fast-path attempt is a GTM decision; it renders on the
+                # GTM track and names the job it belongs to.
+                if ev["tid"] != GTM_TID:
+                    fail(f"{path}: event {i} downgrade on tid {ev['tid']}, "
+                         f"expected the GTM track")
+                if not isinstance(args.get("a"), int) or args["a"] < 0:
+                    fail(f"{path}: event {i} downgrade with bad job id "
+                         f"{args.get('a')!r}")
+                downgrades += 1
         elif ph == "C":
             if not isinstance(ev.get("args"), dict) or not ev["args"]:
                 fail(f"{path}: counter event {i} needs non-empty args")
@@ -134,10 +153,51 @@ def check_trace(path):
           f"counters={counts['C']}, tracks={len(thread_names)}, "
           f"crashes={fault_counts['crash_spans']}, "
           f"net_faults={fault_counts['net_faults']}, "
-          f"resubmits={fault_counts['resubmits']})")
+          f"resubmits={fault_counts['resubmits']}, "
+          f"downgrades={downgrades})")
+    return downgrades
 
 
-def check_metrics(path):
+def check_analysis(path, doc, trace_downgrades):
+    """The robustness-analyzer sub-schema over the run report."""
+    info, counters = doc["info"], doc["counters"]
+    downgrades = counters.get("events.downgrade", 0)
+    verdict = info.get("analysis.verdict")
+    if trace_downgrades is not None and downgrades != trace_downgrades:
+        fail(f"{path}: events.downgrade={downgrades} but the trace has "
+             f"{trace_downgrades} downgrade instants")
+    if downgrades > 0:
+        # Fast-path attempts are only legal under a certified robust
+        # verdict, and a certified run must never route a ser operation.
+        if verdict != "robust":
+            fail(f"{path}: {downgrades} downgrade events but "
+                 f"analysis.verdict={verdict!r} (expected 'robust')")
+        if not info.get("analysis.certificate"):
+            fail(f"{path}: downgrade events without analysis.certificate")
+        if info.get("analysis.downgraded") != "1":
+            fail(f"{path}: downgrade events but analysis.downgraded="
+                 f"{info.get('analysis.downgraded')!r}")
+        for counter in ("events.ser_release", "events.ser_bef_seed"):
+            if counters.get(counter, 0):
+                fail(f"{path}: certified fast-path run emitted "
+                     f"{counters[counter]} {counter} events")
+        if counters.get("gtm2.ser_wait_additions", 0):
+            fail(f"{path}: certified fast-path run delayed ser operations")
+    if verdict == "not_robust":
+        # Every non-robust verdict must be explainable, and must not have
+        # triggered the fast path.
+        if not info.get("analysis.witness"):
+            fail(f"{path}: analysis.verdict=not_robust without a witness")
+        if downgrades:
+            fail(f"{path}: non-robust run has {downgrades} downgrade events")
+        if info.get("analysis.downgraded") == "1":
+            fail(f"{path}: non-robust run claims analysis.downgraded=1")
+    if verdict is not None:
+        print(f"check_trace: {path}: analysis verdict '{verdict}' "
+              f"consistent (downgrades={downgrades})")
+
+
+def check_metrics(path, trace_downgrades=None):
     with open(path) as f:
         doc = json.load(f)
     for key in ("info", "counters", "summaries"):
@@ -171,6 +231,7 @@ def check_metrics(path):
     missing = required - set(doc["summaries"])
     if missing:
         fail(f"{path}: expected summaries missing: {sorted(missing)}")
+    check_analysis(path, doc, trace_downgrades)
     print(f"check_trace: {path}: {len(doc['counters'])} counters, "
           f"{len(doc['summaries'])} summaries OK")
 
@@ -179,9 +240,9 @@ def main():
     if len(sys.argv) < 2 or len(sys.argv) > 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_trace(sys.argv[1])
+    downgrades = check_trace(sys.argv[1])
     if len(sys.argv) == 3:
-        check_metrics(sys.argv[2])
+        check_metrics(sys.argv[2], trace_downgrades=downgrades)
 
 
 if __name__ == "__main__":
