@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "obs/report.h"
 #include "obs/trace_export.h"
 #include "sched/stats.h"
+#include "storage/log_device.h"
 
 namespace {
 
@@ -66,6 +68,10 @@ struct Options {
   std::string templates_file;
   bool analyze = false;
   bool auto_downgrade = false;
+  bool durable = false;
+  int64_t checkpoint_interval = 256;
+  mdbs::sim::Time recovery_cost = 0;
+  std::string wal_dir;
 };
 
 bool ParseProtocol(const std::string& name, ProtocolKind* out) {
@@ -177,6 +183,18 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->analyze = true;
     } else if (arg == "--auto_downgrade") {
       options->auto_downgrade = true;
+    } else if (arg == "--durable") {
+      options->durable = true;
+    } else if (arg.rfind("--checkpoint_interval=", 0) == 0) {
+      options->checkpoint_interval =
+          std::atoll(value_of("--checkpoint_interval=").c_str());
+      options->durable = true;
+    } else if (arg.rfind("--recovery_cost=", 0) == 0) {
+      options->recovery_cost = std::atoll(value_of("--recovery_cost=").c_str());
+      options->durable = true;
+    } else if (arg.rfind("--wal_dir=", 0) == 0) {
+      options->wal_dir = value_of("--wal_dir=");
+      options->durable = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -217,6 +235,18 @@ void PrintUsage() {
       "  --templates=FILE              drive global clients from declared\n"
       "                                transaction templates (src/analysis\n"
       "                                mix language)\n"
+      "  --durable                     sites keep a per-site WAL + fuzzy\n"
+      "                                checkpoints; crashes wipe volatile\n"
+      "                                state and recovery replays the log\n"
+      "  --checkpoint_interval=N       log records between fuzzy\n"
+      "                                checkpoints (0 = never; implies\n"
+      "                                --durable)\n"
+      "  --recovery_cost=T             modeled replay ticks per scanned log\n"
+      "                                record during recovery (implies\n"
+      "                                --durable; see EXPERIMENTS E13)\n"
+      "  --wal_dir=PATH                back each site's WAL with a file\n"
+      "                                PATH/s<k>.wal that survives process\n"
+      "                                restarts (implies --durable)\n"
       "  --analyze                     run the static conflict-robustness\n"
       "                                analyzer on the mix and print the\n"
       "                                verdict (certificate or witness)\n"
@@ -250,6 +280,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     config.fault_plan = *plan;
+  }
+  if (options.durable) {
+    for (size_t i = 0; i < config.sites.size(); ++i) {
+      mdbs::site::SiteConfig& site = config.sites[i];
+      site.durable = true;
+      site.checkpoint_interval = options.checkpoint_interval;
+      site.recovery_time_per_record = options.recovery_cost;
+      if (!options.wal_dir.empty()) {
+        site.wal_device = std::make_shared<mdbs::storage::FileLogDevice>(
+            options.wal_dir + "/s" + std::to_string(i) + ".wal");
+      }
+    }
   }
   bool want_trace =
       !options.trace_out.empty() || !options.metrics_out.empty();
@@ -383,6 +425,7 @@ int main(int argc, char** argv) {
       info.emplace_back("seed", std::to_string(options.seed));
       info.emplace_back("sites", std::to_string(options.sites.size()));
       info.emplace_back("commits", std::to_string(options.commits));
+      if (options.durable) info.emplace_back("durable", "1");
       if (!system.resolved_fault_plan().Empty()) {
         info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
       }

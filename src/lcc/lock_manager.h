@@ -1,6 +1,7 @@
 #ifndef MDBS_LCC_LOCK_MANAGER_H_
 #define MDBS_LCC_LOCK_MANAGER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -71,6 +72,13 @@ class LockManager {
 
   /// Number of items with a non-empty lock entry (for tests).
   size_t ActiveItemCount() const { return table_.size(); }
+
+  /// The next grant sequence number — the 2PL durable clock component that
+  /// keeps post-recovery lock points after every pre-crash one.
+  int64_t NextGrantSeq() const { return next_grant_seq_; }
+  void RecoverGrantSeq(int64_t seq) {
+    next_grant_seq_ = std::max(next_grant_seq_, seq);
+  }
 
   /// Structural self-check of the lock table (audit layer):
   ///   - no empty entries are retained, no transaction is granted twice on

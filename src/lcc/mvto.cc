@@ -168,6 +168,24 @@ std::optional<int64_t> MultiversionTimestampOrdering::SerializationKey(
   return it->second;
 }
 
+void MultiversionTimestampOrdering::RecoverCommittedVersion(DataItemId item,
+                                                            int64_t value,
+                                                            TxnId writer) {
+  MDBS_CHECK(next_ts_ > 0) << "recovered a version before RecoverClock";
+  ItemState& state = items_[item];
+  MDBS_CHECK(state.versions.empty())
+      << "item " << item << " recovered twice";
+  Version version;
+  // wts = next_ts_ - 1: below every post-recovery timestamp (so all new
+  // readers see it) and unique per item (the only pre-recovery version).
+  version.wts = next_ts_ - 1;
+  version.writer = writer;
+  version.value = value;
+  version.committed = true;
+  version.max_rts = -1;
+  state.versions.push_back(version);
+}
+
 size_t MultiversionTimestampOrdering::VersionCount() const {
   size_t count = 0;
   for (const auto& [item, state] : items_) count += state.versions.size();

@@ -1,6 +1,7 @@
 #ifndef MDBS_LCC_MVTO_H_
 #define MDBS_LCC_MVTO_H_
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,18 @@ class MultiversionTimestampOrdering : public ConcurrencyControl {
                                           DataItemId item) override;
 
   std::optional<int64_t> SerializationKey(TxnId txn) const override;
+
+  int64_t DurableClock() const override { return next_ts_; }
+  void RecoverClock(int64_t clock) override {
+    next_ts_ = std::max(next_ts_, clock);
+  }
+  /// Reinstates the latest committed version of `item` as of the crash,
+  /// tagged wts = next_ts_ - 1 so every post-recovery reader (ts >=
+  /// next_ts_) observes it — and records the right reads-from writer for
+  /// the multiversion serialization graph. Called once per item, before
+  /// any post-recovery transaction begins.
+  void RecoverCommittedVersion(DataItemId item, int64_t value,
+                               TxnId writer) override;
 
   /// Total retained versions across items (tests/GC).
   size_t VersionCount() const;

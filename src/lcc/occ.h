@@ -1,6 +1,7 @@
 #ifndef MDBS_LCC_OCC_H_
 #define MDBS_LCC_OCC_H_
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +37,15 @@ class OptimisticConcurrencyControl : public ConcurrencyControl {
   bool WritesInPlace() const override { return false; }
 
   std::optional<int64_t> SerializationKey(TxnId txn) const override;
+
+  /// Commit numbers are the serialization keys; recovered transactions must
+  /// start (and commit) past every pre-crash number. The committed log
+  /// restarting empty is safe: no pre-crash committed write set can overlap
+  /// a post-recovery read set's lifetime.
+  int64_t DurableClock() const override { return commit_counter_; }
+  void RecoverClock(int64_t clock) override {
+    commit_counter_ = std::max(commit_counter_, clock);
+  }
 
   /// Validation-log length (tests/GC).
   size_t LogSize() const { return committed_log_.size(); }

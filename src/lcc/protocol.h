@@ -126,6 +126,31 @@ class ConcurrencyControl {
   /// tickets. Used by verification and tests, never by the GTM itself.
   virtual std::optional<int64_t> SerializationKey(TxnId txn) const = 0;
 
+  /// The protocol's monotone logical clock — the source its serialization
+  /// keys are drawn from (TO/MVTO: next timestamp; 2PL: next age/grant
+  /// sequence; OCC: next commit number). Durable sites persist it in log
+  /// records so a recovered protocol instance never reissues a value a
+  /// pre-crash committed transaction already serialized under. Protocols
+  /// without one (SGT) return 0.
+  virtual int64_t DurableClock() const { return 0; }
+
+  /// Restart recovery: fast-forwards every internal counter to at least
+  /// `clock` (a DurableClock value persisted before the crash). Default:
+  /// no-op.
+  virtual void RecoverClock(int64_t clock) { (void)clock; }
+
+  /// Restart recovery for multiversion protocols: reinstates the latest
+  /// committed version of `item` so post-crash readers observe the correct
+  /// writer (the multiversion serialization graph is built from reads-from
+  /// edges). Called after RecoverClock, once per recovered item. Default:
+  /// no-op (single-version protocols read the recovered store directly).
+  virtual void RecoverCommittedVersion(DataItemId item, int64_t value,
+                                       TxnId writer) {
+    (void)item;
+    (void)value;
+    (void)writer;
+  }
+
   /// Turns on invariant auditing for protocols that support it (2PL audits
   /// its lock table and the strict-2PL phase discipline). Default: no-op.
   virtual void EnableAudit(audit::Auditor* auditor) { (void)auditor; }

@@ -1,6 +1,7 @@
 #ifndef MDBS_LCC_TIMESTAMP_ORDERING_H_
 #define MDBS_LCC_TIMESTAMP_ORDERING_H_
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,13 @@ class TimestampOrdering : public ConcurrencyControl {
   void OnFinish(TxnId txn, TxnOutcome outcome) override;
 
   std::optional<int64_t> SerializationKey(TxnId txn) const override;
+
+  /// Recovered timestamps dominate every pre-crash read_ts/write_ts, so the
+  /// (volatile, lost) item table restarting empty is safe.
+  int64_t DurableClock() const override { return next_ts_; }
+  void RecoverClock(int64_t clock) override {
+    next_ts_ = std::max(next_ts_, clock);
+  }
 
   /// Timestamp assigned to `txn` at begin; asserts it began.
   int64_t TimestampOf(TxnId txn) const;

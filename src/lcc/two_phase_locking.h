@@ -1,6 +1,7 @@
 #ifndef MDBS_LCC_TWO_PHASE_LOCKING_H_
 #define MDBS_LCC_TWO_PHASE_LOCKING_H_
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "lcc/lock_manager.h"
@@ -59,6 +60,16 @@ class TwoPhaseLocking : public ConcurrencyControl {
   void OnFinish(TxnId txn, TxnOutcome outcome) override;
 
   std::optional<int64_t> SerializationKey(TxnId txn) const override;
+
+  /// Keys come from the lock manager's grant sequence; ages drive the
+  /// prevention policies. Both must stay monotone across a restart.
+  int64_t DurableClock() const override {
+    return std::max(next_age_, lock_manager_.NextGrantSeq());
+  }
+  void RecoverClock(int64_t clock) override {
+    next_age_ = std::max(next_age_, clock);
+    lock_manager_.RecoverGrantSeq(clock);
+  }
 
   void EnableAudit(audit::Auditor* auditor) override {
     lock_manager_.EnableAudit(auditor);

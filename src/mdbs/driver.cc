@@ -247,8 +247,18 @@ std::string DriverReport::ToString() const {
      << " ser_waits=" << gtm2.ser_wait_additions << "\n"
      << "sites: blocked=" << site_blocked << " local_aborts=" << site_aborts
      << " crashes=" << crashes << "\n"
-     << "faults: " << faults.ToString() << "\n"
-     << "duration=" << duration << " ticks\n";
+     << "faults: " << faults.ToString() << "\n";
+  if (durability.wal_records > 0 || durability.recoveries > 0) {
+    os << "wal: records=" << durability.wal_records
+       << " bytes=" << durability.wal_bytes
+       << " checkpoints=" << durability.checkpoints
+       << " recoveries=" << durability.recoveries
+       << " replayed=" << durability.replay_records
+       << " redone=" << durability.redo_writes
+       << " undone=" << durability.undone_writes
+       << " recovery_ticks=" << durability.recovery_ticks << "\n";
+  }
+  os << "duration=" << duration << " ticks\n";
   return os.str();
 }
 
@@ -271,6 +281,15 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
                       faults.duplicates_suppressed);
   registry->Increment("fault.delay_spikes", faults.delay_spikes);
   registry->Increment("fault.plan_crashes", faults.plan_crashes);
+  registry->Increment("site.wal_records", durability.wal_records);
+  registry->Increment("site.wal_bytes", durability.wal_bytes);
+  registry->Increment("site.wal_checkpoints", durability.checkpoints);
+  registry->Increment("site.recoveries", durability.recoveries);
+  registry->Increment("site.wal_replay_records", durability.replay_records);
+  registry->Increment("site.wal_replay_bytes", durability.replay_bytes);
+  registry->Increment("site.wal_redo_writes", durability.redo_writes);
+  registry->Increment("site.wal_undone_writes", durability.undone_writes);
+  registry->Increment("site.recovery_ticks", durability.recovery_ticks);
   registry->Observe("driver.global_throughput_per_mtick", global_throughput);
   registry->Put("driver.global_response", global_response);
   registry->Put("driver.global_attempts", global_attempts);
@@ -353,6 +372,16 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();
     report.crashes += mdbs->site(site).crash_count();
+    site::SiteDurabilityStats wal = mdbs->site(site).durability_stats();
+    report.durability.wal_records += wal.wal_records;
+    report.durability.wal_bytes += wal.wal_bytes;
+    report.durability.checkpoints += wal.checkpoints;
+    report.durability.recoveries += wal.recoveries;
+    report.durability.replay_records += wal.replay_records;
+    report.durability.replay_bytes += wal.replay_bytes;
+    report.durability.redo_writes += wal.redo_writes;
+    report.durability.undone_writes += wal.undone_writes;
+    report.durability.recovery_ticks += wal.recovery_ticks;
   }
   return report;
 }

@@ -74,6 +74,8 @@ struct DriverReport {
   /// What the fault layer injected/suppressed (losses, dups, spikes,
   /// plan crashes).
   fault::FaultStats faults;
+  /// WAL/recovery activity summed across durable sites (zeros otherwise).
+  site::SiteDurabilityStats durability;
 
   std::string ToString() const;
 

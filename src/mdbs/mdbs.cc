@@ -166,6 +166,14 @@ void Mdbs::FinishThreadedRun() {
   // run, observe nothing in flight, and stop itself.
   horizon_ticks = std::max<sim::Time>(
       horizon_ticks, 2 * config_.health.probe_interval + 100);
+  // A durable site's modeled replay delay must count as busy, or the sweep
+  // could declare quiescence with a recovery timer still pending.
+  for (const site::SiteConfig& site : config_.sites) {
+    if (site.durable) {
+      horizon_ticks = std::max<sim::Time>(
+          horizon_ticks, 2 * site.recovery_base_time + 100);
+    }
+  }
   for (;;) {
     sim::Time horizon = ticker_->NowMicros() + horizon_ticks;
     bool all_quiescent = gtm_strand_->QuiescentBeyond(horizon);

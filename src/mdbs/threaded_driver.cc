@@ -315,6 +315,16 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();
     report.crashes += mdbs->site(site).crash_count();
+    site::SiteDurabilityStats wal = mdbs->site(site).durability_stats();
+    report.durability.wal_records += wal.wal_records;
+    report.durability.wal_bytes += wal.wal_bytes;
+    report.durability.checkpoints += wal.checkpoints;
+    report.durability.recoveries += wal.recoveries;
+    report.durability.replay_records += wal.replay_records;
+    report.durability.replay_bytes += wal.replay_bytes;
+    report.durability.redo_writes += wal.redo_writes;
+    report.durability.undone_writes += wal.undone_writes;
+    report.durability.recovery_ticks += wal.recovery_ticks;
   }
   return report;
 }

@@ -32,6 +32,7 @@ void AggregateTrace(const std::vector<TraceEvent>& events,
   std::unordered_map<int64_t, int64_t> attempt_job;     // attempt -> job id
   std::unordered_map<int64_t, AttemptTimes> attempts;   // attempt id
   std::unordered_map<std::string, sim::Time> wait_since;
+  std::unordered_map<int64_t, sim::Time> recovery_since;  // site -> time
 
   for (const TraceEvent& e : events) {
     registry->Increment(std::string("events.") + TraceEventKindName(e.kind));
@@ -102,6 +103,24 @@ void AggregateTrace(const std::vector<TraceEvent>& events,
                   : std::string("wait.dwell.abandoned.") + op;
           registry->Observe(name, static_cast<double>(e.time - it->second));
           wait_since.erase(it);
+        }
+        break;
+      }
+      case TraceEventKind::kRecoveryBegin:
+        recovery_since[e.site] = e.time;
+        break;
+      case TraceEventKind::kRecover: {
+        // Durable recovery: RECOVERY-span duration (the modeled replay
+        // time) plus the replayed volume carried on the recover instant.
+        auto it = recovery_since.find(e.site);
+        if (it != recovery_since.end()) {
+          registry->Observe("recovery.time",
+                            static_cast<double>(e.time - it->second));
+          registry->Observe("recovery.replay_records",
+                            static_cast<double>(e.a));
+          registry->Observe("recovery.replay_bytes",
+                            static_cast<double>(e.b));
+          recovery_since.erase(it);
         }
         break;
       }

@@ -70,6 +70,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "wound";
     case TraceEventKind::kCrash:
       return "crash";
+    case TraceEventKind::kRecoveryBegin:
+      return "recovery_begin";
     case TraceEventKind::kRecover:
       return "recover";
     case TraceEventKind::kSiteSuspect:

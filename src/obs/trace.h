@@ -68,7 +68,9 @@ enum class TraceEventKind : uint8_t {
   kDeadlock,         // waits-for cycle; requester is the victim; b = item id
   kWound,            // wound-wait preemption; txn = victim, b = aggressor
   kCrash,            // site crashed (a = active txns aborted)
-  kRecover,          // site recovered
+  kRecoveryBegin,    // durable site started WAL replay (still down)
+  kRecover,          // site recovered; durable: a = replayed records,
+                     //   b = replayed log bytes
 
   // Failure handling — health monitor, quarantine, retry layer.
   kSiteSuspect,   // probe overdue; a = ticks since last ack

@@ -130,6 +130,8 @@ std::string BlockKey(int64_t site, int64_t txn) {
 
 std::string CrashKey(int64_t site) { return "crash" + std::to_string(site); }
 
+std::string RecoveryKey(int64_t site) { return "rcv" + std::to_string(site); }
+
 }  // namespace
 
 void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
@@ -208,7 +210,15 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
         spans.Open(CrashKey(e.site), "DOWN", "crash", TidFor(e), e.time);
         EmitInstant(w, e);
         break;
+      case TraceEventKind::kRecoveryBegin:
+        // WAL replay renders as a RECOVERY span nested inside the DOWN
+        // window on the same site track.
+        spans.Open(RecoveryKey(e.site), "RECOVERY", "recovery", TidFor(e),
+                   e.time);
+        EmitInstant(w, e);
+        break;
       case TraceEventKind::kRecover:
+        spans.Close(RecoveryKey(e.site), e.time);
         spans.Close(CrashKey(e.site), e.time);
         EmitInstant(w, e);
         break;

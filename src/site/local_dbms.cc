@@ -37,6 +37,17 @@ LocalDbms::LocalDbms(const SiteConfig& config, sim::TaskRunner* loop,
     : config_(config), loop_(loop), recorder_(recorder) {
   protocol_ = MakeProtocol(config.protocol, this);
   MDBS_CHECK(protocol_ != nullptr);
+  if (config_.durable) {
+    wal_device_ = config_.wal_device != nullptr
+                      ? config_.wal_device
+                      : std::make_shared<storage::MemLogDevice>();
+    wal_ = std::make_unique<storage::WalWriter>(wal_device_.get());
+    if (wal_device_->Size() > 0) {
+      // A pre-existing log (process restart over --wal_dir, or a test
+      // seeding a crash image): recover before serving anything.
+      ReplayAndInstall();
+    }
+  }
 }
 
 Status LocalDbms::Begin(TxnId txn, GlobalTxnId global) {
@@ -48,6 +59,15 @@ Status LocalDbms::Begin(TxnId txn, GlobalTxnId global) {
   }
   txns_[txn].global = global;
   protocol_->OnBegin(txn);
+  if (wal_ != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kBegin;
+    rec.txn = txn.value();
+    rec.global = global.value();
+    rec.clock = protocol_->DurableClock();
+    wal_->Append(rec);
+    MaybeCheckpoint();
+  }
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kSiteBegin, txn.value(),
                    config_.id.value(), global.value());
@@ -146,6 +166,16 @@ int64_t LocalDbms::ApplyOp(TxnId txn, TxnState* state, const DataOp& op) {
   if (protocol_->WritesInPlace()) {
     int64_t before = store_.Put(op.item, op.value);
     state->undo_log.emplace_back(op.item, before);
+    if (wal_ != nullptr) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecordType::kWrite;
+      rec.txn = txn.value();
+      rec.item = op.item.value();
+      rec.before = before;
+      rec.value = op.value;
+      wal_->Append(rec);
+      MaybeCheckpoint();
+    }
     if (recorder_ != nullptr) {
       recorder_->RecordOp(config_.id, txn, op, loop_->now());
     }
@@ -188,11 +218,32 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
     return;
   }
   // Install deferred writes in submission order; they become visible (and
-  // conflict-ordered) here.
+  // conflict-ordered) here. Multiversion installs carry the writer's
+  // timestamp: version order can trail commit order, and both the WAL and
+  // the mv-latest table must know which version is newest for readers.
+  int64_t writer_ts = 0;
+  if (protocol_->IsMultiversion()) {
+    writer_ts = protocol_->SerializationKey(txn).value_or(0);
+  }
   for (DataItemId item : state.write_order) {
     int64_t before = store_.Put(item, state.write_buffer.at(item));
     if (protocol_->IsMultiversion()) {
       mv_initial_images_.try_emplace(item, before);
+      MvLatest candidate{writer_ts, txn, state.write_buffer.at(item)};
+      auto [latest, inserted] = mv_latest_.try_emplace(item, candidate);
+      if (!inserted && writer_ts >= latest->second.wts) {
+        latest->second = candidate;
+      }
+    }
+    if (wal_ != nullptr) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecordType::kWrite;
+      rec.txn = txn.value();
+      rec.item = item.value();
+      rec.before = before;
+      rec.value = state.write_buffer.at(item);
+      rec.clock = writer_ts;
+      wal_->Append(rec);
     }
     if (recorder_ != nullptr) {
       recorder_->RecordOp(config_.id, txn,
@@ -201,6 +252,19 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
     }
   }
   protocol_->OnFinish(txn, TxnOutcome::kCommitted);
+  if (wal_ != nullptr) {
+    // The commit record hits the log before the ack callback fires — a
+    // crash can only lose unacknowledged commits.
+    for (const auto& [item, before] : state.undo_log) {
+      last_writer_[item] = txn;
+    }
+    for (DataItemId item : state.write_order) last_writer_[item] = txn;
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kCommit;
+    rec.txn = txn.value();
+    rec.clock = protocol_->DurableClock();
+    wal_->Append(rec);
+  }
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kSiteCommit, txn.value(),
                    config_.id.value(), state.global.value());
@@ -210,6 +274,11 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
                             protocol_->SerializationKey(txn));
   }
   txns_.erase(txn);
+  // Checkpoint only after the committed transaction is fully retired: a
+  // snapshot taken earlier would list it as active (with undo entries)
+  // behind a commit record already in the log, and recovery would roll
+  // back a committed write.
+  MaybeCheckpoint();
   cb(Status::OK());
 }
 
@@ -228,10 +297,28 @@ void LocalDbms::Abort(TxnId txn, TxnCallback cb) {
 }
 
 void LocalDbms::DoAbort(TxnId txn, TxnState* state) {
-  // Undo in-place writes in reverse order.
+  // Undo in-place writes in reverse order, logging each restore as a
+  // compensation record so replay repeats the rollback.
   for (auto undo_it = state->undo_log.rbegin();
        undo_it != state->undo_log.rend(); ++undo_it) {
     store_.Restore(undo_it->first, undo_it->second);
+    if (wal_ != nullptr) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecordType::kClr;
+      rec.txn = txn.value();
+      rec.item = undo_it->first.value();
+      rec.value = undo_it->second;
+      wal_->Append(rec);
+    }
+  }
+  if (wal_ != nullptr) {
+    // No checkpoint here: the aborting transaction is still in txns_, and
+    // a snapshot listing it as active would be stale. The counter still
+    // advances; the next begin/write/commit triggers the checkpoint.
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kAbort;
+    rec.txn = txn.value();
+    wal_->Append(rec);
   }
   protocol_->OnFinish(txn, TxnOutcome::kAborted);
   if (trace_ != nullptr) {
@@ -269,24 +356,208 @@ void LocalDbms::Crash() {
     trace_->Record(obs::TraceEventKind::kCrash, -1, config_.id.value(),
                    static_cast<int64_t>(txns_.size()));
   }
-  // Abort every active transaction; uncommitted in-place writes roll back,
-  // committed data stands (the store is our "stable storage").
   std::vector<TxnId> active;
   active.reserve(txns_.size());
   for (const auto& [txn, state] : txns_) active.push_back(txn);
+  if (!config_.durable) {
+    // Legacy model: abort every active transaction — uncommitted in-place
+    // writes roll back, committed data stands (the store is our "stable
+    // storage").
+    for (TxnId txn : active) {
+      auto it = txns_.find(txn);
+      if (it == txns_.end()) continue;
+      DoAbort(txn, &it->second);
+      txns_.erase(it);
+    }
+    return;
+  }
+  // Durable model: ALL volatile state vanishes — store, protocol state,
+  // transaction table. Nothing is logged (the crash is the log ending
+  // abruptly); active transactions are losers for the replay to undo.
+  // Their outcome is still recorded and their blocked callers still fail,
+  // exactly as a rollback-abort would report them.
   for (TxnId txn : active) {
     auto it = txns_.find(txn);
     if (it == txns_.end()) continue;
-    DoAbort(txn, &it->second);
+    TxnState& state = it->second;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kSiteAbort, txn.value(),
+                     config_.id.value(), state.global.value());
+    }
+    if (recorder_ != nullptr) {
+      recorder_->RecordFinish(txn, TxnOutcome::kAborted, std::nullopt);
+    }
+    if (state.pending_op.has_value()) {
+      OpCallback cb = std::move(state.pending_cb);
+      state.pending_op.reset();
+      loop_->Schedule(0, [cb = std::move(cb), txn]() {
+        cb(Status::TransactionAborted(ToString(txn) +
+                                      " aborted while blocked"),
+           0);
+      });
+    }
     txns_.erase(it);
   }
+  store_.Clear();
+  mv_initial_images_.clear();
+  last_writer_.clear();
+  mv_latest_.clear();
+  // The stale protocol instance stays (nothing touches it while down_);
+  // Recover() builds the replacement.
 }
 
 void LocalDbms::Recover() {
-  down_ = false;
-  if (trace_ != nullptr) {
-    trace_->Record(obs::TraceEventKind::kRecover, -1, config_.id.value());
+  if (!config_.durable) {
+    down_ = false;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kRecover, -1, config_.id.value());
+    }
+    return;
   }
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kRecoveryBegin, -1,
+                   config_.id.value());
+  }
+  storage::RecoveredState recovered = ReplayAndInstall();
+  // The site stays down for the modeled replay time; with the default of
+  // zero it resumes at the tick Recover() ran, exactly like a non-durable
+  // site (which is what makes crash-free-reference differentials exact).
+  sim::Time replay_time =
+      config_.recovery_base_time +
+      config_.recovery_time_per_record * recovered.scanned_records;
+  durability_stats_.recovery_ticks += replay_time;
+  auto finish = [this, records = recovered.scanned_records,
+                 bytes = recovered.scanned_bytes]() {
+    down_ = false;
+    if (trace_ != nullptr) {
+      trace_->Record(obs::TraceEventKind::kRecover, -1, config_.id.value(),
+                     records, bytes);
+    }
+  };
+  if (replay_time == 0) {
+    finish();
+  } else {
+    loop_->Schedule(replay_time, std::move(finish));
+  }
+}
+
+storage::RecoveredState LocalDbms::ReplayAndInstall() {
+  // A fresh protocol instance: the old one's volatile state died with the
+  // site. Rebuild before replay so its multiversion-ness drives it.
+  protocol_ = MakeProtocol(config_.protocol, this);
+  MDBS_CHECK(protocol_ != nullptr);
+  if (auditor_ != nullptr) protocol_->EnableAudit(auditor_);
+  if (trace_ != nullptr) protocol_->EnableTrace(trace_, config_.id);
+
+  storage::RecoveredState recovered;
+  Status replayed = storage::RecoverWal(
+      *wal_device_, protocol_->IsMultiversion(), &recovered);
+  MDBS_CHECK(replayed.ok()) << ToString(config_.id)
+                            << " WAL replay failed: " << replayed.message();
+  if (recovered.torn_tail) {
+    // Drop the torn frame so future appends start at a record boundary.
+    wal_device_->Truncate(recovered.scanned_bytes);
+  }
+
+  store_.Clear();
+  mv_initial_images_.clear();
+  last_writer_.clear();
+  mv_latest_.clear();
+  for (const auto& [item, value] : recovered.store) {
+    store_.Put(DataItemId(item), value);
+  }
+  for (const auto& [item, value] : recovered.mv_initial) {
+    mv_initial_images_[DataItemId(item)] = value;
+  }
+  for (const auto& [item, writer] : recovered.last_writer) {
+    last_writer_[DataItemId(item)] = TxnId(writer);
+  }
+  for (const auto& [item, v] : recovered.mv_latest) {
+    mv_latest_[DataItemId(item)] = MvLatest{v.wts, TxnId(v.writer), v.value};
+  }
+
+  protocol_->RecoverClock(recovered.clock);
+  if (protocol_->IsMultiversion()) {
+    // Reseed the latest committed version per item, in sorted order for
+    // reproducibility. The mv-latest table (timestamp order) decides which
+    // value readers observe — the commit-order store value can belong to a
+    // lower-timestamped writer that committed later, and serving it would
+    // break serializability. Items the table does not cover (test pokes)
+    // seed an anonymous version readers treat like the initial version.
+    std::vector<std::pair<int64_t, int64_t>> items(recovered.store.begin(),
+                                                   recovered.store.end());
+    std::sort(items.begin(), items.end());
+    for (const auto& [item, value] : items) {
+      auto latest = recovered.mv_latest.find(item);
+      if (latest != recovered.mv_latest.end()) {
+        protocol_->RecoverCommittedVersion(DataItemId(item),
+                                           latest->second.value,
+                                           TxnId(latest->second.writer));
+        continue;
+      }
+      auto writer = recovered.last_writer.find(item);
+      protocol_->RecoverCommittedVersion(
+          DataItemId(item), value,
+          writer != recovered.last_writer.end() ? TxnId(writer->second)
+                                                : TxnId());
+    }
+  }
+
+  ++durability_stats_.recoveries;
+  durability_stats_.replay_records += recovered.scanned_records;
+  durability_stats_.replay_bytes += recovered.scanned_bytes;
+  durability_stats_.redo_writes += recovered.redo_writes;
+  durability_stats_.undone_writes += recovered.undone_writes;
+  return recovered;
+}
+
+void LocalDbms::MaybeCheckpoint() {
+  if (wal_ == nullptr || config_.checkpoint_interval <= 0 ||
+      wal_->records_since_checkpoint() < config_.checkpoint_interval) {
+    return;
+  }
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kCheckpoint;
+  storage::CheckpointImage& image = rec.checkpoint;
+  image.clock = protocol_->DurableClock();
+  for (const auto& [item, value] : store_.items()) {
+    storage::CheckpointImage::Item entry;
+    entry.item = item.value();
+    entry.value = value;
+    auto writer = last_writer_.find(item);
+    entry.last_committed_writer =
+        writer != last_writer_.end() ? writer->second.value() : -1;
+    image.items.push_back(entry);
+  }
+  std::sort(image.items.begin(), image.items.end(),
+            [](const auto& a, const auto& b) { return a.item < b.item; });
+  for (const auto& [item, value] : mv_initial_images_) {
+    image.mv_initial.emplace_back(item.value(), value);
+  }
+  std::sort(image.mv_initial.begin(), image.mv_initial.end());
+  for (const auto& [item, latest] : mv_latest_) {
+    storage::CheckpointImage::MvVersion v;
+    v.item = item.value();
+    v.wts = latest.wts;
+    v.writer = latest.writer.value();
+    v.value = latest.value;
+    image.mv_latest.push_back(v);
+  }
+  std::sort(image.mv_latest.begin(), image.mv_latest.end(),
+            [](const auto& a, const auto& b) { return a.item < b.item; });
+  for (const auto& [txn, state] : txns_) {
+    storage::CheckpointImage::ActiveTxn active;
+    active.txn = txn.value();
+    active.global = state.global.value();
+    for (const auto& [item, before] : state.undo_log) {
+      active.undo.emplace_back(item.value(), before);
+    }
+    image.active.push_back(std::move(active));
+  }
+  std::sort(image.active.begin(), image.active.end(),
+            [](const auto& a, const auto& b) { return a.txn < b.txn; });
+  wal_->Append(rec);
+  ++durability_stats_.checkpoints;
 }
 
 void LocalDbms::ResumeTransaction(TxnId txn) {

@@ -15,6 +15,9 @@
 #include "sched/schedule.h"
 #include "sim/task_runner.h"
 #include "storage/kv_store.h"
+#include "storage/log_device.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace mdbs::site {
 
@@ -26,6 +29,40 @@ struct SiteConfig {
   sim::Time op_service_time = 10;
   /// Virtual service time charged per commit/abort.
   sim::Time commit_service_time = 20;
+  /// Durability. With `durable` set the site keeps a write-ahead log (every
+  /// commit is logged before its ack leaves the site) plus periodic fuzzy
+  /// checkpoints; Crash() then honestly wipes the volatile store and
+  /// Recover() replays the log. Without it, crashes keep the legacy model:
+  /// the in-memory store doubles as stable storage.
+  bool durable = false;
+  /// Non-checkpoint log records between fuzzy checkpoints (0 = never).
+  /// Count-based so both engines checkpoint at identical log positions.
+  int64_t checkpoint_interval = 256;
+  /// Modeled replay latency: recovery holds the site down for
+  /// `recovery_base_time + recovery_time_per_record * replayed records`.
+  /// Zero (the default) makes a durable run byte-identical to a
+  /// non-durable run of the same seed — the chaos tests' differential
+  /// oracle — while non-zero values make recovery time vs checkpoint
+  /// interval measurable (EXPERIMENTS E13).
+  sim::Time recovery_base_time = 0;
+  sim::Time recovery_time_per_record = 0;
+  /// The log's backing device; defaults to a fresh in-memory device. A
+  /// FileLogDevice persists across process restarts (mdbsim --wal_dir=).
+  std::shared_ptr<storage::LogDevice> wal_device;
+};
+
+/// Per-site durability counters, summed into the driver report.
+struct SiteDurabilityStats {
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  int64_t checkpoints = 0;
+  int64_t recoveries = 0;
+  int64_t replay_records = 0;
+  int64_t replay_bytes = 0;
+  int64_t redo_writes = 0;
+  int64_t undone_writes = 0;
+  /// Modeled ticks spent replaying, summed over recoveries.
+  int64_t recovery_ticks = 0;
 };
 
 /// A pre-existing, autonomous local DBMS: storage plus one concurrency
@@ -60,8 +97,12 @@ class LocalDbms : public lcc::ProtocolHost {
   const lcc::ConcurrencyControl& protocol() const { return *protocol_; }
 
   /// Forwards invariant auditing to the protocol (no-op for protocols
-  /// without an audit surface).
-  void EnableAudit(audit::Auditor* auditor) { protocol_->EnableAudit(auditor); }
+  /// without an audit surface). Remembered so a protocol instance rebuilt
+  /// by durable recovery is re-audited.
+  void EnableAudit(audit::Auditor* auditor) {
+    auditor_ = auditor;
+    protocol_->EnableAudit(auditor);
+  }
 
   /// Records site lifecycle events (begin/commit/abort, blocked operations,
   /// crashes) into `sink` (nullptr disables) and forwards to the protocol
@@ -84,14 +125,33 @@ class LocalDbms : public lcc::ProtocolHost {
   /// Client-initiated abort; always succeeds.
   void Abort(TxnId txn, TxnCallback cb);
 
-  /// Crashes the site: every active transaction aborts (in-place writes are
-  /// rolled back — committed state survives, as from stable storage), and
-  /// until Recover() all requests are refused with TransactionAborted.
+  /// Crashes the site: every active transaction aborts, and until Recover()
+  /// all requests are refused with TransactionAborted. Non-durable sites
+  /// roll back in-place writes and keep committed state (the in-memory
+  /// store doubles as stable storage); durable sites lose ALL volatile
+  /// state — store, protocol, transaction table — keeping only the log.
   /// Models the failure mode the paper defers to future work.
   void Crash();
+  /// Brings the site back. Durable sites replay the log first (ARIES-style
+  /// analysis/redo/undo, see storage::RecoverWal), stay down for the
+  /// modeled replay time, and resume with committed data intact and the
+  /// protocol clock fast-forwarded past every pre-crash serialization key.
   void Recover();
   bool IsDown() const { return down_; }
   int64_t crash_count() const { return crash_count_; }
+
+  bool durable() const { return config_.durable; }
+  SiteDurabilityStats durability_stats() const {
+    SiteDurabilityStats stats = durability_stats_;
+    if (wal_ != nullptr) {
+      stats.wal_records = wal_->records_written();
+      stats.wal_bytes = wal_->bytes_written();
+    }
+    return stats;
+  }
+  /// The log's backing device (null when not durable); tests snapshot,
+  /// truncate and corrupt it.
+  storage::LogDevice* wal_device() { return wal_device_.get(); }
 
   /// True while `txn` is active (begun, not finished).
   bool IsActive(TxnId txn) const { return txns_.contains(txn); }
@@ -133,10 +193,22 @@ class LocalDbms : public lcc::ProtocolHost {
   /// Rolls back and finishes the transaction as aborted.
   void DoAbort(TxnId txn, TxnState* state);
 
+  /// Appends a fuzzy checkpoint when `checkpoint_interval` non-checkpoint
+  /// records accumulated since the last one. No-op when not durable.
+  void MaybeCheckpoint();
+
+  /// Durable restart: replays the log, reinstalls the store / writer map /
+  /// mv images, rebuilds the protocol with its clock fast-forwarded, and
+  /// reseeds multiversion versions. Returns the replay result for the
+  /// caller's trace/delay handling. Crashes the process on log corruption —
+  /// a durable site cannot silently diverge.
+  storage::RecoveredState ReplayAndInstall();
+
   SiteConfig config_;
   sim::TaskRunner* loop_;
   sched::ScheduleRecorder* recorder_;
   obs::TraceSink* trace_ = nullptr;
+  audit::Auditor* auditor_ = nullptr;
   storage::KvStore store_;
   std::unique_ptr<lcc::ConcurrencyControl> protocol_;
   std::unordered_map<TxnId, TxnState> txns_;
@@ -144,6 +216,24 @@ class LocalDbms : public lcc::ProtocolHost {
   /// write — the "initial version" readers with very old timestamps must
   /// observe after the store has moved on.
   std::unordered_map<DataItemId, int64_t> mv_initial_images_;
+  /// Durable mode: last committed writer per item, persisted in checkpoints
+  /// and rebuilt by replay (reseeds multiversion protocols on recovery).
+  std::unordered_map<DataItemId, TxnId> last_writer_;
+  struct MvLatest {
+    int64_t wts = 0;
+    TxnId writer;
+    int64_t value = 0;
+  };
+  /// Durable multiversion sites: latest committed version per item in
+  /// TIMESTAMP order, which commit order (`store_`, `last_writer_`) can
+  /// disagree with when a lower-timestamped writer commits later. The
+  /// protocol's readers are reseeded from this table on recovery; seeding
+  /// the commit-order value would serve a version the pre-crash site never
+  /// did and break serializability.
+  std::unordered_map<DataItemId, MvLatest> mv_latest_;
+  std::shared_ptr<storage::LogDevice> wal_device_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  SiteDurabilityStats durability_stats_;
   bool down_ = false;
   int64_t crash_count_ = 0;
   int64_t blocked_count_ = 0;

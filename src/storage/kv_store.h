@@ -36,6 +36,16 @@ class KvStore {
   /// Number of items that have been materialized by writes.
   size_t MaterializedCount() const { return data_.size(); }
 
+  /// Wipes every materialized item — a durable site losing its volatile
+  /// store at crash (recovery reloads it from the log).
+  void Clear() { data_.clear(); }
+
+  /// The materialized items, for checkpoint snapshots and state-equality
+  /// checks. Unordered — sort before anything determinism-sensitive.
+  const std::unordered_map<DataItemId, int64_t>& items() const {
+    return data_;
+  }
+
  private:
   std::unordered_map<DataItemId, int64_t> data_;
 };

@@ -1,0 +1,121 @@
+#include "storage/recovery.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace mdbs::storage {
+
+Status RecoverWal(const LogDevice& device, bool multiversion,
+                  RecoveredState* out) {
+  *out = RecoveredState{};
+  WalScan scan;
+  Status read = ReadWal(device, &scan);
+  if (!read.ok()) return read;
+  out->scanned_records = static_cast<int64_t>(scan.records.size());
+  out->scanned_bytes = static_cast<int64_t>(scan.valid_bytes);
+  out->torn_tail = scan.torn_tail;
+
+  // The last complete checkpoint bounds the replay window.
+  size_t start = 0;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    if (scan.records[i].type == WalRecordType::kCheckpoint) start = i + 1;
+  }
+  /// Per-active-txn undo entries (item, before) in apply order: seeded from
+  /// the checkpoint, extended by post-checkpoint writes of unresolved txns.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>> active;
+  if (start > 0) {
+    const CheckpointImage& image = scan.records[start - 1].checkpoint;
+    out->used_checkpoint = true;
+    out->clock = image.clock;
+    for (const CheckpointImage::Item& item : image.items) {
+      out->store[item.item] = item.value;
+      if (item.last_committed_writer >= 0) {
+        out->last_writer[item.item] = item.last_committed_writer;
+      }
+    }
+    for (const auto& [item, value] : image.mv_initial) {
+      out->mv_initial[item] = value;
+    }
+    for (const CheckpointImage::MvVersion& v : image.mv_latest) {
+      out->mv_latest[v.item] =
+          RecoveredState::MvVersion{v.wts, v.writer, v.value};
+    }
+    for (const CheckpointImage::ActiveTxn& txn : image.active) {
+      active[txn.txn] = txn.undo;
+    }
+  }
+
+  // Analysis: who committed, who finished aborting, within the window.
+  std::unordered_set<int64_t> committed, aborted;
+  for (size_t i = start; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    switch (rec.type) {
+      case WalRecordType::kBegin:
+        active.try_emplace(rec.txn);
+        out->clock = std::max(out->clock, rec.clock);
+        break;
+      case WalRecordType::kCommit:
+        committed.insert(rec.txn);
+        out->clock = std::max(out->clock, rec.clock);
+        break;
+      case WalRecordType::kAbort:
+        aborted.insert(rec.txn);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Redo: committed writes and every compensation record, in log order.
+  // Loser/aborted writes are skipped — sound under strictness (no other
+  // transaction ever overwrote them), and their CLRs (or the undo pass)
+  // restore whatever the checkpoint snapshot may carry of them.
+  for (size_t i = start; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    switch (rec.type) {
+      case WalRecordType::kWrite:
+        if (committed.contains(rec.txn)) {
+          out->store[rec.item] = rec.value;
+          out->last_writer[rec.item] = rec.txn;
+          if (multiversion) {
+            out->mv_initial.try_emplace(rec.item, rec.before);
+            // Keep the timestamp-order latest, not the log-order latest:
+            // a lower-timestamped writer committing later must not shadow
+            // the version pre-crash readers were already being served.
+            RecoveredState::MvVersion v{rec.clock, rec.txn, rec.value};
+            auto [it, inserted] = out->mv_latest.try_emplace(rec.item, v);
+            if (!inserted && rec.clock >= it->second.wts) it->second = v;
+          }
+          ++out->redo_writes;
+        } else {
+          active.try_emplace(rec.txn);
+          active[rec.txn].emplace_back(rec.item, rec.before);
+        }
+        break;
+      case WalRecordType::kClr:
+        out->store[rec.item] = rec.value;
+        ++out->clr_replays;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Undo: transactions neither committed nor fully aborted lost their race
+  // with the crash. Roll each back through its before-images in reverse
+  // apply order — post-checkpoint entries are no-ops (their writes were
+  // never redone), checkpoint-carried entries scrub the fuzzy snapshot.
+  out->committed_txns = static_cast<int64_t>(committed.size());
+  for (const auto& [txn, undo] : active) {
+    if (committed.contains(txn) || aborted.contains(txn)) continue;
+    ++out->loser_txns;
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      out->store[it->first] = it->second;
+      ++out->undone_writes;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mdbs::storage

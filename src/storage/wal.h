@@ -1,0 +1,130 @@
+#ifndef MDBS_STORAGE_WAL_H_
+#define MDBS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "storage/log_device.h"
+
+namespace mdbs::storage {
+
+/// CRC-32 (IEEE 802.3, reflected) over `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Write-ahead log record types. The log is logical-physical: redo carries
+/// after-images, undo carries before-images, and compensation records (CLR)
+/// make abort rollbacks repeatable on replay.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,       // txn began; carries the global id and the protocol clock
+  kWrite = 2,       // one write: item, before-image, after-image
+  kClr = 3,         // rollback restored `item` to `value` (compensation)
+  kCommit = 4,      // txn committed; carries the protocol clock
+  kAbort = 5,       // txn abort completed (all its CLRs precede this)
+  kCheckpoint = 6,  // fuzzy checkpoint image (store + active-txn undo)
+};
+
+const char* WalRecordTypeName(WalRecordType type);
+
+/// A fuzzy checkpoint: the store as of the checkpoint (which may contain
+/// uncommitted in-place writes), the undo entries needed to roll those back,
+/// and everything recovery needs to avoid reading the log's prefix again.
+/// All vectors are sorted so the encoded image is deterministic.
+struct CheckpointImage {
+  struct Item {
+    int64_t item = 0;
+    int64_t value = 0;
+    int64_t last_committed_writer = -1;
+  };
+  struct ActiveTxn {
+    int64_t txn = -1;
+    int64_t global = -1;
+    /// (item, before-image) in apply order — the txn's undo log so far.
+    std::vector<std::pair<int64_t, int64_t>> undo;
+  };
+  struct MvVersion {
+    int64_t item = 0;
+    int64_t wts = 0;
+    int64_t writer = -1;
+    int64_t value = 0;
+  };
+
+  int64_t clock = 0;  // Protocol clock at checkpoint time.
+  std::vector<Item> items;
+  /// Multiversion sites: pre-first-committed-write images (item, value).
+  std::vector<std::pair<int64_t, int64_t>> mv_initial;
+  /// Multiversion sites: latest committed version per item in TIMESTAMP
+  /// order, which can trail commit order (`items` is the commit-order
+  /// mirror). Restarted readers must be reseeded from this table — serving
+  /// the commit-order value would expose a version the pre-crash protocol
+  /// never served and break serializability.
+  std::vector<MvVersion> mv_latest;
+  std::vector<ActiveTxn> active;
+};
+
+/// One decoded log record. Fields are meaningful per `type`; unused ones
+/// keep their defaults.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  int64_t txn = -1;
+  int64_t global = -1;
+  /// kBegin / kCommit: protocol clock. kWrite on multiversion sites: the
+  /// writer's timestamp — version order, which can differ from log order.
+  int64_t clock = 0;
+  int64_t item = 0;    // kWrite / kClr
+  int64_t before = 0;  // kWrite
+  int64_t value = 0;   // kWrite after-image; kClr restored value
+  CheckpointImage checkpoint;  // kCheckpoint only
+};
+
+/// Encodes one record as a CRC-framed byte string:
+///   [u32 payload_len][u32 crc32(payload)][payload]
+/// payload = [u8 type][little-endian fixed-width fields...]
+std::vector<uint8_t> EncodeWalRecord(const WalRecord& record);
+
+/// Result of scanning a device image front to back.
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// Byte offset just past record i — the admissible truncation points.
+  std::vector<size_t> boundaries;
+  /// Bytes covered by complete, CRC-valid frames.
+  size_t valid_bytes = 0;
+  /// True when trailing bytes form an incomplete frame — the torn tail a
+  /// crash mid-append legitimately leaves. The tail is ignored.
+  bool torn_tail = false;
+};
+
+/// Decodes every complete frame. A complete frame whose CRC or structure is
+/// invalid is corruption — returns a non-OK status (recovery must fail
+/// loudly, never silently diverge). An incomplete trailing frame is a torn
+/// tail: admitted, flagged, ignored.
+Status ReadWal(const LogDevice& device, WalScan* out);
+
+/// Append-side of the log: encodes and appends records, counting bytes and
+/// records for the checkpoint trigger and the run report.
+class WalWriter {
+ public:
+  explicit WalWriter(LogDevice* device) : device_(device) {}
+
+  /// Appends `record`; crashes the process on device errors (the in-memory
+  /// device cannot fail; the file device failing is non-recoverable here).
+  void Append(const WalRecord& record);
+
+  int64_t records_written() const { return records_written_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  /// Records appended since the last checkpoint record.
+  int64_t records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+
+ private:
+  LogDevice* device_;
+  int64_t records_written_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t records_since_checkpoint_ = 0;
+};
+
+}  // namespace mdbs::storage
+
+#endif  // MDBS_STORAGE_WAL_H_

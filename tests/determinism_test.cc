@@ -3,6 +3,8 @@
 // so the simulator is the only place a schedule can be replayed exactly —
 // any nondeterminism creeping in (iteration-order dependence, shared
 // mutable state, wall-clock reads) breaks differential debugging.
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,10 @@
 #include "fault/fault_plan.h"
 #include "mdbs/driver.h"
 #include "mdbs/mdbs.h"
+#include "obs/report.h"
+#include "sim/metrics.h"
+#include "storage/log_device.h"
+#include "storage/recovery.h"
 
 namespace mdbs {
 namespace {
@@ -92,6 +98,86 @@ TEST(DeterminismTest, FaultPlanReplaysByteForByte) {
     return RunDriver(&system, workload, 17).ToString();
   };
   EXPECT_EQ(run(), run());
+}
+
+// Durability must not cost determinism: the same seeded run with durable
+// sites, a crash plan, and tracing enabled must reproduce the full JSON
+// report — counters, latency summaries, and the recovery events the crash
+// plan generates — byte for byte.
+TEST(DeterminismTest, DurableRecoveryReplaysTheJsonReportByteForByte) {
+  if (!obs::kTraceCompiledIn) {
+    GTEST_SKIP() << "tracing not compiled in (MDBS_TRACE off)";
+  }
+  auto run = []() {
+    MdbsConfig config = SystemConfig(11);
+    config.fault_plan = fault::FaultPlan::CrashSweep(
+        /*num_sites=*/4, /*first_at=*/2000, /*gap=*/3000,
+        /*duration=*/1500);
+    config.gtm.attempt_timeout = 10'000;
+    config.health.probe_interval = 300;
+    config.health.suspect_after = 600;
+    config.health.down_after = 1200;
+    config.trace.enabled = true;
+    for (site::SiteConfig& site : config.sites) {
+      site.durable = true;
+      site.checkpoint_interval = 48;
+      site.recovery_time_per_record = 1;
+    }
+    DriverConfig workload = Workload();
+    workload.global_retry_max = 2;
+    Mdbs system(config);
+    DriverReport report = RunDriver(&system, workload, 23);
+    EXPECT_GT(report.durability.recoveries, 0)
+        << "the crash plan never exercised recovery";
+
+    sim::MetricsRegistry registry;
+    report.AddToRegistry(&registry);
+    obs::AggregateTrace(system.trace_sink()->Drain(), &registry);
+    std::ostringstream json;
+    obs::WriteJsonReport(json, {{"test", "durable-determinism"}}, registry);
+    std::string text = json.str();
+    EXPECT_NE(text.find("recover"), std::string::npos)
+        << "no recovery events made it into the report";
+    return text;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Replay itself must be a pure function of the log image: recovering the
+// same device twice yields identical stores, tables, and statistics.
+TEST(DeterminismTest, RecoveryFromTheSameLogIsIdentical) {
+  auto device = std::make_shared<storage::MemLogDevice>();
+  MdbsConfig config = SystemConfig(31);
+  config.fault_plan = fault::FaultPlan::CrashSweep(
+      /*num_sites=*/4, /*first_at=*/2000, /*gap=*/3000, /*duration=*/1500);
+  config.gtm.attempt_timeout = 10'000;
+  config.health.probe_interval = 300;
+  config.health.suspect_after = 600;
+  config.health.down_after = 1200;
+  for (site::SiteConfig& site : config.sites) {
+    site.durable = true;
+    site.checkpoint_interval = 32;
+  }
+  config.sites[3].wal_device = device;  // s3 is multiversion-adjacent OCC.
+  DriverConfig workload = Workload();
+  workload.global_retry_max = 2;
+  Mdbs system(config);
+  RunDriver(&system, workload, 29);
+  ASSERT_GT(device->bytes().size(), 0u);
+
+  storage::RecoveredState first, second;
+  ASSERT_TRUE(storage::RecoverWal(*device, false, &first).ok());
+  ASSERT_TRUE(storage::RecoverWal(*device, false, &second).ok());
+  EXPECT_EQ(first.store, second.store);
+  EXPECT_EQ(first.last_writer, second.last_writer);
+  EXPECT_EQ(first.clock, second.clock);
+  EXPECT_EQ(first.scanned_records, second.scanned_records);
+  EXPECT_EQ(first.scanned_bytes, second.scanned_bytes);
+  EXPECT_EQ(first.redo_writes, second.redo_writes);
+  EXPECT_EQ(first.undone_writes, second.undone_writes);
+  EXPECT_EQ(first.committed_txns, second.committed_txns);
+  EXPECT_EQ(first.loser_txns, second.loser_txns);
+  EXPECT_GT(first.scanned_records, 0);
 }
 
 }  // namespace

@@ -96,6 +96,87 @@ TEST_P(FailureRecoveryTest, CrashDuringWaitParksAndRecovers) {
       << system.GlobalSerializabilityResult().ToString();
 }
 
+// The durable variant of the park-and-recover path: a committed write must
+// survive the crash (volatile state demonstrably dies with the site — the
+// store reads 0 mid-crash), and the first post-recovery readers — both a
+// global transaction routed through the GTM and a direct peek — must
+// observe it again. The parked-global bookkeeping must be untouched by
+// replay.
+TEST_P(FailureRecoveryTest, DurableCrashRestoresCommittedWritesForReaders) {
+  const DataItemId kZ{9};  // Never touched by the global specs below.
+  MdbsConfig config =
+      MdbsConfig::Uniform(2, ProtocolKind::kTwoPhaseLocking, GetParam());
+  config.gtm.attempt_timeout = 0;
+  config.gtm.retry_backoff = 100;
+  config.health.probe_interval = 100;
+  config.health.suspect_after = 200;
+  config.health.down_after = 400;
+  config.fault_plan.crashes.push_back(fault::CrashEvent{kS0, 300, 2500});
+  for (site::SiteConfig& site : config.sites) {
+    site.durable = true;
+    site.checkpoint_interval = 4;
+  }
+  Mdbs system(config);
+
+  // Committed before the crash: must be durable.
+  StatusOr<TxnId> writer = system.BeginLocal(kS0);
+  ASSERT_TRUE(writer.ok());
+  system.site(kS0).Submit(*writer, DataOp::Write(kZ, 99),
+                          [](const Status&, int64_t) {});
+  Status committed = Status::Internal("pending");
+  system.site(kS0).Commit(*writer, [&](const Status& s) { committed = s; });
+
+  // Uncommitted at the crash: the lock holder must be rolled back.
+  StatusOr<TxnId> lock_holder = system.BeginLocal(kS0);
+  ASSERT_TRUE(lock_holder.ok());
+  system.site(kS0).Submit(*lock_holder, DataOp::Write(kX, 7),
+                          [](const Status&, int64_t) {});
+
+  gtm::GlobalTxnResult g1;
+  gtm::GlobalTxnSpec spec;
+  spec.ops.push_back(gtm::GlobalOp::Write(kS0, kX, 1));
+  spec.ops.push_back(gtm::GlobalOp::Write(kS1, kY, 2));
+  system.gtm().Submit(std::move(spec),
+                      [&](const gtm::GlobalTxnResult& r) { g1 = r; });
+
+  // Mid-crash probe: the volatile store is gone until replay rebuilds it.
+  bool probed_down = false;
+  system.loop().Schedule(1000, [&] {
+    probed_down = system.site(kS0).IsDown();
+    EXPECT_TRUE(probed_down) << "probe landed outside the crash window";
+    EXPECT_EQ(system.site(kS0).UnsafePeek(kZ), 0)
+        << "the crash left volatile state behind";
+  });
+  system.RunUntilIdle();
+
+  ASSERT_TRUE(committed.ok()) << committed;
+  ASSERT_TRUE(probed_down);
+  EXPECT_TRUE(g1.status.ok()) << g1.status;
+  const site::SiteDurabilityStats stats =
+      system.site(kS0).durability_stats();
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_GT(stats.replay_records, 0);
+  EXPECT_EQ(system.site(kS0).UnsafePeek(kZ), 99)
+      << "recovery lost a pre-crash committed write";
+  EXPECT_EQ(system.site(kS0).UnsafePeek(kX), 1)
+      << "the parked global's write should land after recovery";
+  EXPECT_FALSE(system.site(kS0).IsActive(*lock_holder));
+
+  // A fresh global read — the first post-recovery transaction a client
+  // would actually run — must observe the pre-crash committed value.
+  gtm::GlobalTxnSpec read_spec;
+  read_spec.ops.push_back(gtm::GlobalOp::Read(kS0, kZ));
+  gtm::GlobalTxnResult reader;
+  system.gtm().Submit(std::move(read_spec),
+                      [&](const gtm::GlobalTxnResult& r) { reader = r; });
+  system.RunUntilIdle();
+  ASSERT_TRUE(reader.status.ok()) << reader.status;
+  EXPECT_EQ(reader.reads.at({kS0, kZ}), 99);
+  EXPECT_TRUE(system.RunAuditOracle().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+}
+
 // A site that stays down past quarantine_park_timeout must fail the parked
 // job back to the client (retry-safe, so a driver may resubmit) instead of
 // holding it forever.

@@ -1,0 +1,551 @@
+// Durability battery for the per-site write-ahead log (src/storage):
+// frame/record round trips, torn-tail vs corruption discrimination, and the
+// crash-point fuzz — truncate a seeded run's log at every record boundary
+// (and inside frames, and under byte corruption) and check recovery restores
+// exactly the committed prefix or fails loudly. The reference is an
+// independent committed-prefix projection, deliberately a different
+// algorithm from storage::RecoverWal (no checkpoints, no CLRs, no undo).
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mdbs/driver.h"
+#include "mdbs/mdbs.h"
+#include "sim/event_loop.h"
+#include "site/local_dbms.h"
+#include "storage/log_device.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace mdbs {
+namespace {
+
+using gtm::SchemeKind;
+using lcc::ProtocolKind;
+using storage::CheckpointImage;
+using storage::MemLogDevice;
+using storage::RecoveredState;
+using storage::WalRecord;
+using storage::WalRecordType;
+using storage::WalScan;
+
+// ----------------------------------------------------------------------
+// Frame / record encoding
+// ----------------------------------------------------------------------
+
+TEST(WalEncodingTest, Crc32MatchesTheKnownTestVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(storage::Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(WalEncodingTest, AllRecordTypesRoundTrip) {
+  MemLogDevice device;
+  storage::WalWriter writer(&device);
+
+  WalRecord begin;
+  begin.type = WalRecordType::kBegin;
+  begin.txn = 7;
+  begin.global = 3;
+  begin.clock = 41;
+  writer.Append(begin);
+
+  WalRecord write;
+  write.type = WalRecordType::kWrite;
+  write.txn = 7;
+  write.item = 11;
+  write.before = -2;
+  write.value = 55;
+  writer.Append(write);
+
+  WalRecord clr;
+  clr.type = WalRecordType::kClr;
+  clr.txn = 7;
+  clr.item = 11;
+  clr.value = -2;
+  writer.Append(clr);
+
+  WalRecord commit;
+  commit.type = WalRecordType::kCommit;
+  commit.txn = 7;
+  commit.clock = 42;
+  writer.Append(commit);
+
+  WalRecord abort;
+  abort.type = WalRecordType::kAbort;
+  abort.txn = 9;
+  writer.Append(abort);
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(device, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 5u);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, static_cast<size_t>(device.Size()));
+  EXPECT_EQ(scan.boundaries.size(), 5u);
+  EXPECT_EQ(writer.records_written(), 5);
+  EXPECT_EQ(writer.bytes_written(), device.Size());
+
+  EXPECT_EQ(scan.records[0].type, WalRecordType::kBegin);
+  EXPECT_EQ(scan.records[0].txn, 7);
+  EXPECT_EQ(scan.records[0].global, 3);
+  EXPECT_EQ(scan.records[0].clock, 41);
+  EXPECT_EQ(scan.records[1].type, WalRecordType::kWrite);
+  EXPECT_EQ(scan.records[1].item, 11);
+  EXPECT_EQ(scan.records[1].before, -2);
+  EXPECT_EQ(scan.records[1].value, 55);
+  EXPECT_EQ(scan.records[2].type, WalRecordType::kClr);
+  EXPECT_EQ(scan.records[2].value, -2);
+  EXPECT_EQ(scan.records[3].type, WalRecordType::kCommit);
+  EXPECT_EQ(scan.records[3].clock, 42);
+  EXPECT_EQ(scan.records[4].type, WalRecordType::kAbort);
+  EXPECT_EQ(scan.records[4].txn, 9);
+}
+
+TEST(WalEncodingTest, CheckpointImageRoundTrips) {
+  MemLogDevice device;
+  storage::WalWriter writer(&device);
+
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.checkpoint.clock = 99;
+  rec.checkpoint.items.push_back({1, 10, 7});
+  rec.checkpoint.items.push_back({2, 20, -1});
+  rec.checkpoint.mv_initial.emplace_back(1, 0);
+  CheckpointImage::ActiveTxn active;
+  active.txn = 5;
+  active.global = 2;
+  active.undo.emplace_back(2, 15);
+  active.undo.emplace_back(2, 18);
+  rec.checkpoint.active.push_back(active);
+  writer.Append(rec);
+  EXPECT_EQ(writer.records_since_checkpoint(), 0)
+      << "a checkpoint must reset the interval counter";
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(device, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  const CheckpointImage& image = scan.records[0].checkpoint;
+  EXPECT_EQ(image.clock, 99);
+  ASSERT_EQ(image.items.size(), 2u);
+  EXPECT_EQ(image.items[0].item, 1);
+  EXPECT_EQ(image.items[0].value, 10);
+  EXPECT_EQ(image.items[0].last_committed_writer, 7);
+  EXPECT_EQ(image.items[1].last_committed_writer, -1);
+  ASSERT_EQ(image.mv_initial.size(), 1u);
+  ASSERT_EQ(image.active.size(), 1u);
+  EXPECT_EQ(image.active[0].txn, 5);
+  ASSERT_EQ(image.active[0].undo.size(), 2u);
+  EXPECT_EQ(image.active[0].undo[1].second, 18);
+}
+
+TEST(WalEncodingTest, TornTailIsFlaggedAndIgnored) {
+  MemLogDevice device;
+  storage::WalWriter writer(&device);
+  WalRecord rec;
+  rec.type = WalRecordType::kBegin;
+  rec.txn = 1;
+  writer.Append(rec);
+  int64_t boundary = device.Size();
+
+  // A crash mid-append: only half of the next frame reached the device.
+  std::vector<uint8_t> next = EncodeWalRecord(rec);
+  ASSERT_TRUE(device.Append(next.data(), next.size() / 2).ok());
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(device, &scan).ok());
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, static_cast<size_t>(boundary));
+}
+
+TEST(WalEncodingTest, CorruptedCompleteFrameFailsLoudly) {
+  MemLogDevice device;
+  storage::WalWriter writer(&device);
+  WalRecord rec;
+  rec.type = WalRecordType::kWrite;
+  rec.txn = 1;
+  rec.item = 4;
+  rec.value = 9;
+  writer.Append(rec);
+  writer.Append(rec);
+
+  // Flip one payload byte of the first frame: its CRC no longer matches,
+  // and since the frame is complete this is corruption, not a torn tail.
+  device.CorruptByte(10, 0x01);
+  WalScan scan;
+  EXPECT_FALSE(ReadWal(device, &scan).ok());
+
+  // Same for the CRC field itself.
+  MemLogDevice crc_hit(device.bytes());
+  RecoveredState state;
+  EXPECT_FALSE(RecoverWal(crc_hit, false, &state).ok());
+}
+
+TEST(WalRecoveryTest, EmptyLogRecoversEmptyState) {
+  MemLogDevice device;
+  RecoveredState state;
+  ASSERT_TRUE(RecoverWal(device, false, &state).ok());
+  EXPECT_TRUE(state.store.empty());
+  EXPECT_EQ(state.scanned_records, 0);
+  EXPECT_EQ(state.clock, 0);
+}
+
+// ----------------------------------------------------------------------
+// The committed-prefix projection oracle
+// ----------------------------------------------------------------------
+
+/// Independent reference recovery: a transaction's writes count iff its
+/// commit record is inside the prefix; apply them in log order. No
+/// checkpoint is consulted and no undo is performed, so agreement with
+/// RecoverWal exercises the checkpoint/undo machinery end to end.
+std::unordered_map<int64_t, int64_t> CommittedProjection(
+    const std::vector<WalRecord>& prefix) {
+  std::unordered_set<int64_t> committed;
+  for (const WalRecord& rec : prefix) {
+    if (rec.type == WalRecordType::kCommit) committed.insert(rec.txn);
+  }
+  std::unordered_map<int64_t, int64_t> store;
+  for (const WalRecord& rec : prefix) {
+    if (rec.type == WalRecordType::kWrite && committed.contains(rec.txn)) {
+      store[rec.item] = rec.value;
+    }
+  }
+  return store;
+}
+
+/// Every item mentioned anywhere in the log — the universe over which
+/// recovered stores are compared by value (absent items read as 0; recovery
+/// may materialize explicit zeros a crash-free store would not).
+std::vector<int64_t> ItemUniverse(const std::vector<WalRecord>& records) {
+  std::unordered_set<int64_t> items;
+  for (const WalRecord& rec : records) {
+    if (rec.type == WalRecordType::kWrite ||
+        rec.type == WalRecordType::kClr) {
+      items.insert(rec.item);
+    }
+    for (const CheckpointImage::Item& item : rec.checkpoint.items) {
+      items.insert(item.item);
+    }
+  }
+  return {items.begin(), items.end()};
+}
+
+int64_t ValueOf(const std::unordered_map<int64_t, int64_t>& store,
+                int64_t item) {
+  auto it = store.find(item);
+  return it == store.end() ? 0 : it->second;
+}
+
+/// One finished seeded durable run (sim engine) plus site 0's log image.
+struct DurableRun {
+  std::shared_ptr<MemLogDevice> device;  // Site 0's WAL.
+  std::unique_ptr<Mdbs> system;          // Quiesced; live stores readable.
+};
+
+/// Runs a small hot durable federation; site 0 runs `protocol`.
+DurableRun RunDurableWorkload(ProtocolKind protocol, uint64_t seed,
+                              int64_t checkpoint_interval) {
+  DurableRun run;
+  run.device = std::make_shared<MemLogDevice>();
+  MdbsConfig config = MdbsConfig::Mixed(
+      {protocol, ProtocolKind::kTwoPhaseLocking}, SchemeKind::kScheme3);
+  config.seed = seed;
+  for (site::SiteConfig& site : config.sites) {
+    site.durable = true;
+    site.checkpoint_interval = checkpoint_interval;
+  }
+  config.sites[0].wal_device = run.device;
+  run.system = std::make_unique<Mdbs>(config);
+  DriverConfig driver;
+  driver.global_clients = 4;
+  driver.local_clients_per_site = 2;
+  driver.target_global_commits = 60;
+  driver.global_workload.items_per_site = 12;  // Hot: plenty of aborts.
+  driver.local_workload.items_per_site = 12;
+  RunDriver(run.system.get(), driver, seed);
+  EXPECT_TRUE(run.system->RunAuditOracle().ok());
+  return run;
+}
+
+class WalFuzzTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, WalFuzzTest,
+                         ::testing::Values(ProtocolKind::kTwoPhaseLocking,
+                                           ProtocolKind::kMultiversionTO,
+                                           ProtocolKind::kOptimistic),
+                         [](const auto& info) {
+                           return std::string(
+                               lcc::ProtocolKindName(info.param));
+                         });
+
+// A quiesced site's log must replay to exactly the live store.
+TEST_P(WalFuzzTest, QuiescedReplayMatchesLiveStore) {
+  DurableRun run = RunDurableWorkload(GetParam(), 17, 64);
+  bool multiversion = GetParam() == ProtocolKind::kMultiversionTO;
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(*run.device, &scan).ok());
+  ASSERT_GT(scan.records.size(), 100u) << "workload too small to fuzz";
+
+  RecoveredState state;
+  ASSERT_TRUE(RecoverWal(*run.device, multiversion, &state).ok());
+  EXPECT_EQ(state.scanned_records,
+            static_cast<int64_t>(scan.records.size()));
+  for (int64_t item : ItemUniverse(scan.records)) {
+    EXPECT_EQ(ValueOf(state.store, item),
+              run.system->site(SiteId{0}).UnsafePeek(DataItemId{item}))
+        << "item " << item << " diverged from the live store";
+  }
+}
+
+// The heart of the battery: cut the log at EVERY record boundary and check
+// recovery restores exactly the committed prefix — with checkpoints in the
+// stream, so most cuts land between a fuzzy snapshot and its undo horizon.
+TEST_P(WalFuzzTest, TruncationAtEveryBoundaryRestoresCommittedPrefix) {
+  std::shared_ptr<MemLogDevice> device = RunDurableWorkload(
+      GetParam(), 29, 48).device;
+  bool multiversion = GetParam() == ProtocolKind::kMultiversionTO;
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(*device, &scan).ok());
+  ASSERT_GE(scan.boundaries.size(), 100u)
+      << "the battery must cover >= 100 truncation points";
+  std::vector<int64_t> universe = ItemUniverse(scan.records);
+
+  // Short logs get every boundary; long ones (abort-heavy protocols can
+  // write tens of thousands of records) are strided to keep the battery
+  // O(cuts * prefix) instead of O(records^2), never below 100 cuts.
+  size_t stride = std::max<size_t>(1, scan.boundaries.size() / 150);
+  std::vector<size_t> cut_indices;
+  for (size_t i = 0; i <= scan.boundaries.size(); i += stride) {
+    cut_indices.push_back(i);
+  }
+  if (cut_indices.back() != scan.boundaries.size()) {
+    cut_indices.push_back(scan.boundaries.size());
+  }
+  ASSERT_GE(cut_indices.size(), 100u);
+
+  size_t checkpointed_cuts = 0;
+  for (size_t i : cut_indices) {
+    size_t cut = i == 0 ? 0 : scan.boundaries[i - 1];
+    MemLogDevice prefix(std::vector<uint8_t>(
+        device->bytes().begin(), device->bytes().begin() + cut));
+    RecoveredState state;
+    ASSERT_TRUE(RecoverWal(prefix, multiversion, &state).ok())
+        << "boundary " << i << " (byte " << cut << ") failed to recover";
+    EXPECT_FALSE(state.torn_tail);
+    EXPECT_EQ(state.scanned_records, static_cast<int64_t>(i));
+    if (state.used_checkpoint) ++checkpointed_cuts;
+
+    std::unordered_map<int64_t, int64_t> expected = CommittedProjection(
+        {scan.records.begin(), scan.records.begin() + i});
+    for (int64_t item : universe) {
+      ASSERT_EQ(ValueOf(state.store, item), ValueOf(expected, item))
+          << "boundary " << i << ": item " << item
+          << " diverged from the committed prefix";
+    }
+  }
+  EXPECT_GT(checkpointed_cuts, 0u)
+      << "no cut exercised checkpoint-based recovery";
+}
+
+// Cuts inside a frame are the torn tail a crash mid-append leaves: recovery
+// must land on the previous boundary's state and flag the tail.
+TEST_P(WalFuzzTest, MidFrameCutsBehaveAsTornTail) {
+  std::shared_ptr<MemLogDevice> device = RunDurableWorkload(
+      GetParam(), 43, 64).device;
+  bool multiversion = GetParam() == ProtocolKind::kMultiversionTO;
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(*device, &scan).ok());
+  std::vector<int64_t> universe = ItemUniverse(scan.records);
+
+  size_t torn_cuts = 0;
+  size_t frame_stride = std::max<size_t>(7, scan.boundaries.size() / 60);
+  for (size_t i = 0; i + 1 < scan.boundaries.size(); i += frame_stride) {
+    size_t lo = scan.boundaries[i];
+    size_t hi = scan.boundaries[i + 1];
+    // One cut in the frame header, one mid-payload.
+    for (size_t cut : {lo + 3, lo + (hi - lo) / 2}) {
+      if (cut <= lo || cut >= hi) continue;
+      MemLogDevice torn(std::vector<uint8_t>(
+          device->bytes().begin(), device->bytes().begin() + cut));
+      RecoveredState state;
+      ASSERT_TRUE(RecoverWal(torn, multiversion, &state).ok())
+          << "torn cut at byte " << cut << " was treated as corruption";
+      EXPECT_TRUE(state.torn_tail);
+      EXPECT_EQ(state.scanned_records, static_cast<int64_t>(i + 1));
+      std::unordered_map<int64_t, int64_t> expected = CommittedProjection(
+          {scan.records.begin(), scan.records.begin() + i + 1});
+      for (int64_t item : universe) {
+        ASSERT_EQ(ValueOf(state.store, item), ValueOf(expected, item))
+            << "torn cut at byte " << cut << ": item " << item;
+      }
+      ++torn_cuts;
+    }
+  }
+  EXPECT_GE(torn_cuts, 20u);
+}
+
+// Byte corruption anywhere in the image must either fail loudly or behave
+// as a torn tail at the corrupted frame (possible when the length field is
+// hit): recovery then equals the boundary before that frame. Silent
+// acceptance of a corrupted committed value is the one forbidden outcome.
+TEST_P(WalFuzzTest, CorruptionFailsLoudlyOrRecoversACommittedPrefix) {
+  std::shared_ptr<MemLogDevice> device = RunDurableWorkload(
+      GetParam(), 57, 64).device;
+  bool multiversion = GetParam() == ProtocolKind::kMultiversionTO;
+
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(*device, &scan).ok());
+  std::vector<int64_t> universe = ItemUniverse(scan.records);
+  size_t image_size = device->bytes().size();
+  ASSERT_GT(image_size, 120u);
+
+  size_t loud = 0, torn = 0;
+  size_t stride = image_size / 120;  // >= 120 corruption points.
+  for (size_t offset = 0; offset < image_size; offset += stride + 1) {
+    MemLogDevice corrupt(device->bytes());
+    corrupt.CorruptByte(offset, 0x40);
+    RecoveredState state;
+    Status status = RecoverWal(corrupt, multiversion, &state);
+    if (!status.ok()) {
+      ++loud;
+      continue;
+    }
+    // Find the frame holding the corrupted byte; recovery may only have
+    // admitted the records strictly before it.
+    size_t frame = 0;
+    while (frame < scan.boundaries.size() &&
+           scan.boundaries[frame] <= offset) {
+      ++frame;
+    }
+    EXPECT_TRUE(state.torn_tail)
+        << "corruption at byte " << offset
+        << " was silently accepted as a complete log";
+    EXPECT_LE(state.scanned_records, static_cast<int64_t>(frame));
+    std::unordered_map<int64_t, int64_t> expected = CommittedProjection(
+        {scan.records.begin(),
+         scan.records.begin() + state.scanned_records});
+    for (int64_t item : universe) {
+      ASSERT_EQ(ValueOf(state.store, item), ValueOf(expected, item))
+          << "corruption at byte " << offset << ": item " << item
+          << " silently diverged";
+    }
+    ++torn;
+  }
+  EXPECT_GT(loud, 0u) << "no corruption was ever detected by CRC";
+}
+
+// ----------------------------------------------------------------------
+// Site-level restart from a truncated image
+// ----------------------------------------------------------------------
+
+// A LocalDbms constructed over a non-empty device (a process restart, or a
+// crash image a test built) must come up with exactly the committed prefix
+// and answer reads from it.
+TEST(WalRecoveryTest, SiteRestartFromTruncatedImageServesCommittedPrefix) {
+  std::shared_ptr<MemLogDevice> device = RunDurableWorkload(
+      ProtocolKind::kTwoPhaseLocking, 71, 32).device;
+  WalScan scan;
+  ASSERT_TRUE(ReadWal(*device, &scan).ok());
+  std::vector<int64_t> universe = ItemUniverse(scan.records);
+  ASSERT_GE(scan.boundaries.size(), 50u);
+
+  for (size_t i = 0; i < scan.boundaries.size(); i += 11) {
+    size_t cut = scan.boundaries[i];
+    site::SiteConfig config;
+    config.id = SiteId{0};
+    config.protocol = ProtocolKind::kTwoPhaseLocking;
+    config.durable = true;
+    config.wal_device = std::make_shared<MemLogDevice>(std::vector<uint8_t>(
+        device->bytes().begin(), device->bytes().begin() + cut));
+    sim::EventLoop loop;
+    sched::ScheduleRecorder recorder;
+    site::LocalDbms dbms(config, &loop, &recorder);
+
+    std::unordered_map<int64_t, int64_t> expected = CommittedProjection(
+        {scan.records.begin(), scan.records.begin() + i + 1});
+    for (int64_t item : universe) {
+      ASSERT_EQ(dbms.UnsafePeek(DataItemId{item}), ValueOf(expected, item))
+          << "restart at boundary " << i << ": item " << item;
+    }
+    EXPECT_EQ(dbms.durability_stats().recoveries, 1);
+
+    // The restarted site is live: a fresh transaction reads the recovered
+    // value and can commit a new one on top.
+    TxnId txn{1'000'000};
+    ASSERT_TRUE(dbms.Begin(txn, GlobalTxnId()).ok());
+    Status status = Status::Internal("pending");
+    int64_t seen = -1;
+    dbms.Submit(txn, DataOp::Read(DataItemId{universe[0]}),
+                [&](const Status& s, int64_t v) {
+                  status = s;
+                  seen = v;
+                });
+    loop.Run();
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(seen, ValueOf(expected, universe[0]));
+    dbms.Commit(txn, [](const Status&) {});
+    loop.Run();
+  }
+}
+
+// Crash/recover at the site level: a durable crash wipes the volatile
+// store (reads while down are refused, the store really is empty), and
+// recovery replays committed data while undoing the in-flight loser.
+TEST(WalRecoveryTest, DurableCrashLosesOnlyVolatileState) {
+  site::SiteConfig config;
+  config.id = SiteId{0};
+  config.protocol = ProtocolKind::kTwoPhaseLocking;
+  config.durable = true;
+  sim::EventLoop loop;
+  sched::ScheduleRecorder recorder;
+  site::LocalDbms dbms(config, &loop, &recorder);
+
+  auto run_op = [&](TxnId txn, const DataOp& op) {
+    Status status = Status::Internal("pending");
+    dbms.Submit(txn, op, [&](const Status& s, int64_t) { status = s; });
+    loop.Run();
+    return status;
+  };
+  TxnId committed{1};
+  ASSERT_TRUE(dbms.Begin(committed, GlobalTxnId()).ok());
+  ASSERT_TRUE(run_op(committed, DataOp::Write(DataItemId{1}, 7)).ok());
+  Status commit_status = Status::Internal("pending");
+  dbms.Commit(committed, [&](const Status& s) { commit_status = s; });
+  loop.Run();
+  ASSERT_TRUE(commit_status.ok());
+
+  TxnId loser{2};
+  ASSERT_TRUE(dbms.Begin(loser, GlobalTxnId()).ok());
+  ASSERT_TRUE(run_op(loser, DataOp::Write(DataItemId{2}, 9)).ok());
+  ASSERT_EQ(dbms.UnsafePeek(DataItemId{2}), 9) << "in-place write expected";
+
+  dbms.Crash();
+  loop.Run();  // Drain the loser's failure callback.
+  EXPECT_EQ(dbms.UnsafePeek(DataItemId{1}), 0)
+      << "a durable crash must wipe the volatile store";
+  EXPECT_EQ(dbms.UnsafePeek(DataItemId{2}), 0);
+  EXPECT_FALSE(dbms.IsActive(loser));
+
+  dbms.Recover();
+  loop.Run();
+  EXPECT_FALSE(dbms.IsDown());
+  EXPECT_EQ(dbms.UnsafePeek(DataItemId{1}), 7)
+      << "the committed write did not survive the crash";
+  EXPECT_EQ(dbms.UnsafePeek(DataItemId{2}), 0)
+      << "the loser's write leaked through recovery";
+  site::SiteDurabilityStats stats = dbms.durability_stats();
+  EXPECT_EQ(stats.recoveries, 1);
+  EXPECT_GT(stats.replay_records, 0);
+  EXPECT_EQ(stats.redo_writes, 1);
+  EXPECT_EQ(stats.undone_writes, 1);
+}
+
+}  // namespace
+}  // namespace mdbs

@@ -19,6 +19,14 @@ robust verdict with its certificate (and such a run must not emit a single
 ser operation); a non-robust verdict must instead carry a witness cycle
 and no downgrade events. When both files are given, the trace's downgrade
 count must match the report's events.downgrade counter.
+
+The durability sub-schema (mdbsim --durable): "RECOVERY" spans live on
+site tracks only and strictly inside that site's crash DOWN window (WAL
+replay happens while the site is still down, and finishes before it comes
+back up); recover instants carry non-negative replay counters. When both
+files are given and the report has durable counters, the trace's RECOVERY
+span count must equal site.recoveries and the summed replayed records of
+its recover instants must equal site.wal_replay_records.
 """
 
 import json
@@ -58,6 +66,10 @@ def check_trace(path):
     last_attempt = {}  # global txn id -> last attempt number seen
     fault_counts = {"crash_spans": 0, "net_faults": 0, "resubmits": 0}
     downgrades = 0
+    open_crash = {}  # tid -> open DOWN spans (for RECOVERY nesting)
+    open_recovery = {}  # tid -> open RECOVERY spans
+    recovery_spans = 0
+    replayed_records = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -89,6 +101,23 @@ def check_trace(path):
                         fail(f"{path}: event {i} crash span named "
                              f"{ev['name']!r}, expected 'DOWN'")
                     fault_counts["crash_spans"] += 1
+                    open_crash[ev["tid"]] = open_crash.get(ev["tid"], 0) + 1
+                elif ev["cat"] == "recovery":
+                    # WAL replay runs on the crashed site while it is still
+                    # down: a RECOVERY span may only open on a site track
+                    # inside that site's own DOWN window.
+                    if ev["tid"] < FIRST_SITE_TID:
+                        fail(f"{path}: event {i} RECOVERY span on tid "
+                             f"{ev['tid']} (not a site track)")
+                    if ev["name"] != "RECOVERY":
+                        fail(f"{path}: event {i} recovery span named "
+                             f"{ev['name']!r}, expected 'RECOVERY'")
+                    if open_crash.get(ev["tid"], 0) <= 0:
+                        fail(f"{path}: event {i} RECOVERY span on tid "
+                             f"{ev['tid']} outside a DOWN window")
+                    open_recovery[ev["tid"]] = \
+                        open_recovery.get(ev["tid"], 0) + 1
+                    recovery_spans += 1
                 elif ev["cat"] == "attempt":
                     m = ATTEMPT_NAME.match(ev["name"])
                     if not m:
@@ -106,6 +135,16 @@ def check_trace(path):
                 if open_async.get(key, 0) <= 0:
                     fail(f"{path}: event {i} ends never-begun span {key}")
                 open_async[key] -= 1
+                if ev["cat"] == "recovery":
+                    open_recovery[ev["tid"]] = \
+                        open_recovery.get(ev["tid"], 0) - 1
+                elif ev["cat"] == "crash":
+                    # Replay finishes before the site comes back up: the
+                    # RECOVERY span must close before its DOWN span does.
+                    if open_recovery.get(ev["tid"], 0) > 0:
+                        fail(f"{path}: event {i} DOWN span on tid "
+                             f"{ev['tid']} closed with RECOVERY still open")
+                    open_crash[ev["tid"]] = open_crash.get(ev["tid"], 0) - 1
         elif ph == "i":
             name, args = ev["name"], ev.get("args", {})
             if name == "net_fault":
@@ -120,6 +159,21 @@ def check_trace(path):
                 if ev["tid"] != site + FIRST_SITE_TID:
                     fail(f"{path}: event {i} {name} for site {site} on tid "
                          f"{ev['tid']}, expected {site + FIRST_SITE_TID}")
+            elif name in ("recover", "recovery_begin"):
+                site = args.get("site")
+                if not isinstance(site, int) or site < 0:
+                    fail(f"{path}: event {i} {name} without a site")
+                if ev["tid"] != site + FIRST_SITE_TID:
+                    fail(f"{path}: event {i} {name} for site {site} on tid "
+                         f"{ev['tid']}, expected {site + FIRST_SITE_TID}")
+                if name == "recover":
+                    for counter in ("a", "b"):
+                        if not isinstance(args.get(counter), int) or \
+                                args[counter] < 0:
+                            fail(f"{path}: event {i} recover with bad "
+                                 f"replay counter {counter}="
+                                 f"{args.get(counter)!r}")
+                    replayed_records += args["a"]
             elif name == "txn_resubmit":
                 if not isinstance(args.get("a"), int) or args["a"] < 1:
                     fail(f"{path}: event {i} txn_resubmit with bad "
@@ -154,8 +208,9 @@ def check_trace(path):
           f"crashes={fault_counts['crash_spans']}, "
           f"net_faults={fault_counts['net_faults']}, "
           f"resubmits={fault_counts['resubmits']}, "
-          f"downgrades={downgrades})")
-    return downgrades
+          f"downgrades={downgrades}, recoveries={recovery_spans})")
+    return {"downgrades": downgrades, "recovery_spans": recovery_spans,
+            "replayed_records": replayed_records}
 
 
 def check_analysis(path, doc, trace_downgrades):
@@ -197,7 +252,33 @@ def check_analysis(path, doc, trace_downgrades):
               f"consistent (downgrades={downgrades})")
 
 
-def check_metrics(path, trace_downgrades=None):
+def check_recovery(path, doc, trace_stats):
+    """The durability sub-schema over the run report."""
+    info, counters = doc["info"], doc["counters"]
+    recoveries = counters.get("site.recoveries", 0)
+    replayed = counters.get("site.wal_replay_records", 0)
+    if recoveries and not counters.get("site.wal_records", 0):
+        fail(f"{path}: {recoveries} recoveries but no WAL records written")
+    if trace_stats is not None:
+        if trace_stats["recovery_spans"] != recoveries:
+            fail(f"{path}: site.recoveries={recoveries} but the trace has "
+                 f"{trace_stats['recovery_spans']} RECOVERY spans")
+        if trace_stats["replayed_records"] != replayed:
+            fail(f"{path}: site.wal_replay_records={replayed} but the "
+                 f"trace's recover instants replayed "
+                 f"{trace_stats['replayed_records']} records")
+    if recoveries:
+        summary = doc["summaries"].get("recovery.time")
+        if not summary or summary["count"] != recoveries:
+            fail(f"{path}: {recoveries} recoveries but recovery.time "
+                 f"summary has count="
+                 f"{summary['count'] if summary else 'missing'}")
+    if info.get("durable") == "1" or recoveries:
+        print(f"check_trace: {path}: durability counters consistent "
+              f"(recoveries={recoveries}, replayed={replayed})")
+
+
+def check_metrics(path, trace_stats=None):
     with open(path) as f:
         doc = json.load(f)
     for key in ("info", "counters", "summaries"):
@@ -231,7 +312,9 @@ def check_metrics(path, trace_downgrades=None):
     missing = required - set(doc["summaries"])
     if missing:
         fail(f"{path}: expected summaries missing: {sorted(missing)}")
-    check_analysis(path, doc, trace_downgrades)
+    check_analysis(path, doc,
+                   trace_stats["downgrades"] if trace_stats else None)
+    check_recovery(path, doc, trace_stats)
     print(f"check_trace: {path}: {len(doc['counters'])} counters, "
           f"{len(doc['summaries'])} summaries OK")
 
@@ -240,9 +323,9 @@ def main():
     if len(sys.argv) < 2 or len(sys.argv) > 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    downgrades = check_trace(sys.argv[1])
+    trace_stats = check_trace(sys.argv[1])
     if len(sys.argv) == 3:
-        check_metrics(sys.argv[2], trace_downgrades=downgrades)
+        check_metrics(sys.argv[2], trace_stats=trace_stats)
 
 
 if __name__ == "__main__":
