@@ -18,9 +18,14 @@
 // delays, ticket injection at the SGT site) and once downgraded to the
 // delay-free fast path the analyzer certified. The gap is the price of
 // ser-op control on a workload that never needed it.
+//
+// A third sweep (E14) A/Bs the always-on metrics engine: the same cell with
+// config.metrics.enabled on vs off. The engine's budget is <2% throughput;
+// the measured overhead lands in BENCH_threaded.json as mode=metrics_*.
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 #include "analysis/capability.h"
@@ -30,6 +35,7 @@
 #include "gtm/robust_fast_path.h"
 #include "mdbs/mdbs.h"
 #include "mdbs/threaded_driver.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -40,8 +46,18 @@ using mdbs::MdbsConfig;
 using mdbs::RunThreadedDriver;
 using mdbs::gtm::SchemeKind;
 using mdbs::lcc::ProtocolKind;
+using mdbs::obs::MetricsSnapshot;
+using mdbs::obs::TxnPhase;
+using mdbs::obs::TxnPhaseName;
 
-DriverReport RunOne(SchemeKind scheme, int clients, uint64_t seed) {
+struct RunResult {
+  DriverReport report;
+  /// Engaged when the metrics engine ran (metrics_enabled).
+  std::optional<MetricsSnapshot> snapshot;
+};
+
+RunResult RunOne(SchemeKind scheme, int clients, uint64_t seed,
+                 bool metrics_enabled = true) {
   MdbsConfig config = MdbsConfig::Mixed(
       {ProtocolKind::kTwoPhaseLocking, ProtocolKind::kTimestampOrdering,
        ProtocolKind::kSerializationGraph, ProtocolKind::kOptimistic},
@@ -49,6 +65,7 @@ DriverReport RunOne(SchemeKind scheme, int clients, uint64_t seed) {
   config.seed = seed;
   config.audit.enabled = false;  // Auditing is for correctness runs.
   config.threaded = true;
+  config.metrics.enabled = metrics_enabled;
   // Cross-site blocking is resolved by the MDBS-level timeout; 30ms of
   // real time here, matching E3's 30k ticks.
   config.gtm.attempt_timeout = 30'000;
@@ -62,7 +79,36 @@ DriverReport RunOne(SchemeKind scheme, int clients, uint64_t seed) {
   driver.global_workload.dav_min = 2;
   driver.global_workload.dav_max = 3;
   driver.local_workload.items_per_site = 200;
-  return RunThreadedDriver(&system, driver, seed);
+  RunResult result;
+  result.report = RunThreadedDriver(&system, driver, seed);
+  if (system.metrics() != nullptr) {
+    result.snapshot = system.metrics()->Snapshot();
+  }
+  return result;
+}
+
+/// Adds the snapshot's phase decomposition to a bench row: exact per-phase
+/// tick totals and shares, lifetime tail quantiles, and the bottleneck
+/// verdict — the data E14 uses to explain E9's scaling collapse.
+void AddPhaseBreakdown(mdbs::bench::BenchReport::Row& row,
+                       const MetricsSnapshot& snapshot) {
+  int64_t total = 0;
+  for (int64_t t : snapshot.phase_ticks) total += t;
+  for (int i = 0; i < mdbs::obs::kTxnPhaseCount; ++i) {
+    const std::string name = TxnPhaseName(static_cast<TxnPhase>(i));
+    int64_t ticks = snapshot.phase_ticks[static_cast<size_t>(i)];
+    row.Set("phase." + name + ".ticks", static_cast<double>(ticks));
+    row.Set("phase." + name + ".share",
+            total == 0 ? 0.0
+                       : static_cast<double>(ticks) /
+                             static_cast<double>(total));
+  }
+  row.Set("lifetime_p99", snapshot.lifetime.P99());
+  row.Set("lifetime_p999", snapshot.lifetime.P999());
+  row.Set("bottleneck", std::string(TxnPhaseName(snapshot.bottleneck)));
+  row.Set("bottleneck_share", snapshot.bottleneck_share);
+  row.Set("balance_violations",
+          static_cast<double>(snapshot.balance_violations));
 }
 
 // The robust mix for the fast-path comparison: every write conflict is
@@ -111,31 +157,38 @@ int main(int argc, char** argv) {
               "count\n");
   std::printf("4 heterogeneous sites (2PL, TO, SGT, OCC), real client "
               "threads, 200 global commits per cell\n\n");
-  std::printf("%-10s %8s %12s %10s %10s %10s %9s\n", "scheme", "threads",
-              "txns/sec", "resp_p50", "resp_p95", "duration", "scale_x1");
+  std::printf("%-10s %8s %12s %10s %10s %10s %9s  %s\n", "scheme", "threads",
+              "txns/sec", "resp_p50", "resp_p95", "duration", "scale_x1",
+              "bottleneck");
   for (SchemeKind scheme :
        {SchemeKind::kScheme0, SchemeKind::kScheme1, SchemeKind::kScheme2,
         SchemeKind::kScheme3}) {
     double base = 0;
     for (int clients : {1, 2, 4, 8}) {
-      DriverReport report =
+      RunResult run =
           RunOne(scheme, clients, static_cast<uint64_t>(clients * 11 + 3));
+      const DriverReport& report = run.report;
       if (clients == 1) base = report.global_throughput;
-      std::printf("%-10s %8d %12.1f %10.0f %10.0f %9lldms %8.2fx\n",
-                  mdbs::gtm::SchemeKindName(scheme), clients,
-                  report.global_throughput, report.global_response.Median(),
-                  report.global_response.P95(),
-                  static_cast<long long>(report.duration / 1000),
-                  base > 0 ? report.global_throughput / base : 0.0);
-      results.AddRow()
-          .Set("scheme", mdbs::gtm::SchemeKindName(scheme))
-          .Set("threads", static_cast<double>(clients))
-          .Set("txns_per_sec", report.global_throughput)
-          .Set("resp_p50", report.global_response.Median())
-          .Set("resp_p95", report.global_response.P95())
-          .Set("duration_us", static_cast<double>(report.duration))
-          .Set("scale_x1",
-               base > 0 ? report.global_throughput / base : 0.0);
+      std::printf(
+          "%-10s %8d %12.1f %10.0f %10.0f %9lldms %8.2fx  %s (%.0f%%)\n",
+          mdbs::gtm::SchemeKindName(scheme), clients,
+          report.global_throughput, report.global_response.Median(),
+          report.global_response.P95(),
+          static_cast<long long>(report.duration / 1000),
+          base > 0 ? report.global_throughput / base : 0.0,
+          run.snapshot ? TxnPhaseName(run.snapshot->bottleneck) : "?",
+          run.snapshot ? run.snapshot->bottleneck_share * 100 : 0.0);
+      mdbs::bench::BenchReport::Row& row =
+          results.AddRow()
+              .Set("scheme", mdbs::gtm::SchemeKindName(scheme))
+              .Set("threads", static_cast<double>(clients))
+              .Set("txns_per_sec", report.global_throughput)
+              .Set("resp_p50", report.global_response.Median())
+              .Set("resp_p95", report.global_response.P95())
+              .Set("duration_us", static_cast<double>(report.duration))
+              .Set("scale_x1",
+                   base > 0 ? report.global_throughput / base : 0.0);
+      if (run.snapshot) AddPhaseBreakdown(row, *run.snapshot);
     }
     std::printf("\n");
   }
@@ -191,6 +244,38 @@ int main(int argc, char** argv) {
                fast_path && stock_tput > 0
                    ? report.global_throughput / stock_tput
                    : 1.0);
+    }
+  }
+
+  // E14 — always-on metrics overhead A/B: the same Scheme 3 cells with the
+  // metrics engine on vs off. Budget: <2% throughput loss with it on.
+  std::printf("\nE14 — metrics engine overhead (Scheme3, on vs off)\n");
+  std::printf("%-12s %8s %12s %10s\n", "mode", "threads", "txns/sec",
+              "overhead");
+  for (int clients : {2, 4, 8}) {
+    double tput_off = 0;
+    for (bool metrics_on : {false, true}) {
+      RunResult run = RunOne(SchemeKind::kScheme3, clients,
+                             static_cast<uint64_t>(clients * 17 + 1),
+                             metrics_on);
+      const DriverReport& report = run.report;
+      if (!metrics_on) tput_off = report.global_throughput;
+      double overhead =
+          metrics_on && tput_off > 0
+              ? 1.0 - report.global_throughput / tput_off
+              : 0.0;
+      std::printf("%-12s %8d %12.1f %9.1f%%\n",
+                  metrics_on ? "metrics_on" : "metrics_off", clients,
+                  report.global_throughput, overhead * 100);
+      mdbs::bench::BenchReport::Row& row =
+          results.AddRow()
+              .Set("mode", metrics_on ? "metrics_on" : "metrics_off")
+              .Set("threads", static_cast<double>(clients))
+              .Set("txns_per_sec", report.global_throughput)
+              .Set("resp_p50", report.global_response.Median())
+              .Set("resp_p95", report.global_response.P95())
+              .Set("metrics_overhead", overhead);
+      if (run.snapshot) AddPhaseBreakdown(row, *run.snapshot);
     }
   }
 

@@ -65,6 +65,10 @@ struct Options {
   mdbs::sim::Time retry_backoff = 1000;
   std::string trace_out;
   std::string metrics_out;
+  bool metrics = true;
+  mdbs::sim::Time metrics_window = 5000;
+  bool phase_breakdown = false;
+  int64_t trace_buffer = 0;
   std::string templates_file;
   bool analyze = false;
   bool auto_downgrade = false;
@@ -177,6 +181,23 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->trace_out = value_of("--trace_out=");
     } else if (arg.rfind("--metrics_out=", 0) == 0) {
       options->metrics_out = value_of("--metrics_out=");
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      options->metrics = std::atoi(value_of("--metrics=").c_str()) != 0;
+    } else if (arg.rfind("--metrics_window=", 0) == 0) {
+      options->metrics_window =
+          std::atoll(value_of("--metrics_window=").c_str());
+      if (options->metrics_window <= 0) {
+        std::fprintf(stderr, "--metrics_window must be positive\n");
+        return false;
+      }
+    } else if (arg == "--phase_breakdown") {
+      options->phase_breakdown = true;
+    } else if (arg.rfind("--trace_buffer=", 0) == 0) {
+      options->trace_buffer = std::atoll(value_of("--trace_buffer=").c_str());
+      if (options->trace_buffer <= 0) {
+        std::fprintf(stderr, "--trace_buffer must be positive\n");
+        return false;
+      }
     } else if (arg.rfind("--templates=", 0) == 0) {
       options->templates_file = value_of("--templates=");
     } else if (arg == "--analyze") {
@@ -231,7 +252,17 @@ void PrintUsage() {
       "  --threaded=0|1                engine: simulator (0) or real\n"
       "                                threads, ticks = microseconds (1)\n"
       "  --trace_out=PATH              write a Chrome/Perfetto trace JSON\n"
+      "  --trace_buffer=N              per-thread trace buffer capacity\n"
+      "                                (events beyond it are dropped and\n"
+      "                                counted, never silently)\n"
       "  --metrics_out=PATH            write the structured JSON run report\n"
+      "  --metrics=0|1                 always-on metrics engine (default 1;\n"
+      "                                0 for overhead A/B runs, see\n"
+      "                                EXPERIMENTS E14)\n"
+      "  --metrics_window=T            timeline window width in ticks\n"
+      "                                (default 5000)\n"
+      "  --phase_breakdown             print the per-phase latency\n"
+      "                                decomposition table after the run\n"
       "  --templates=FILE              drive global clients from declared\n"
       "                                transaction templates (src/analysis\n"
       "                                mix language)\n"
@@ -301,6 +332,11 @@ int main(int argc, char** argv) {
                  "(rebuild with -DMDBS_TRACE=ON)\n");
   }
   config.trace.enabled = want_trace;
+  if (options.trace_buffer > 0) {
+    config.trace.buffer_capacity = static_cast<size_t>(options.trace_buffer);
+  }
+  config.metrics.enabled = options.metrics;
+  config.metrics.timeline_window = options.metrics_window;
 
   // Template mix + static robustness analysis (src/analysis). The analyzer
   // must run before the system is assembled: a certified downgrade changes
@@ -394,8 +430,18 @@ int main(int argc, char** argv) {
                        : RunDriver(&system, driver, options.seed);
   std::printf("%s", report.ToString().c_str());
 
+  std::vector<mdbs::obs::TraceEvent> events;
   if (system.trace_sink() != nullptr) {
-    std::vector<mdbs::obs::TraceEvent> events = system.trace_sink()->Drain();
+    events = system.trace_sink()->Drain();
+    if (system.trace_sink()->dropped() > 0) {
+      std::fprintf(
+          stderr,
+          "WARNING: trace buffer overflow — %lld events DROPPED "
+          "(%lld recorded); trace-derived series are incomplete, raise "
+          "--trace_buffer\n",
+          static_cast<long long>(system.trace_sink()->dropped()),
+          static_cast<long long>(system.trace_sink()->recorded()));
+    }
     if (!options.trace_out.empty()) {
       mdbs::obs::ChromeTraceOptions trace_options;
       for (size_t i = 0; i < options.sites.size(); ++i) {
@@ -408,44 +454,66 @@ int main(int argc, char** argv) {
           options.trace_out, events, trace_options);
       std::printf("trace: %zu events -> %s (%s)\n", events.size(),
                   options.trace_out.c_str(), written.ToString().c_str());
-      if (system.trace_sink()->dropped() > 0) {
-        std::printf("trace: %lld events dropped (buffer full)\n",
-                    static_cast<long long>(system.trace_sink()->dropped()));
-      }
     }
-    if (!options.metrics_out.empty()) {
-      mdbs::sim::MetricsRegistry registry;
-      report.AddToRegistry(&registry);
-      mdbs::obs::AggregateTrace(events, &registry);
-      mdbs::obs::ReportInfo info;
-      info.emplace_back("tool", "mdbsim");
-      info.emplace_back("scheme",
-                        mdbs::gtm::SchemeKindName(options.scheme));
-      info.emplace_back("engine", options.threaded ? "threaded" : "sim");
-      info.emplace_back("seed", std::to_string(options.seed));
-      info.emplace_back("sites", std::to_string(options.sites.size()));
-      info.emplace_back("commits", std::to_string(options.commits));
-      if (options.durable) info.emplace_back("durable", "1");
-      if (!system.resolved_fault_plan().Empty()) {
-        info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
-      }
-      if (analysis.has_value()) {
-        info.emplace_back("analysis.verdict", analysis->fast_path_robust
-                                                  ? "robust"
-                                                  : "not_robust");
-        if (analysis->fast_path_robust) {
-          info.emplace_back("analysis.certificate", analysis->certificate);
-        } else if (analysis->witness.has_value()) {
-          info.emplace_back("analysis.witness",
-                            analysis->witness->ToString(*mix));
-        }
-        info.emplace_back("analysis.downgraded", downgraded ? "1" : "0");
-      }
-      mdbs::Status written = mdbs::obs::WriteJsonReportFile(
-          options.metrics_out, info, registry);
-      std::printf("metrics: -> %s (%s)\n", options.metrics_out.c_str(),
-                  written.ToString().c_str());
+  }
+
+  // The metrics engine is independent of the trace sink: the snapshot,
+  // breakdown table and JSON "metrics" section exist even when tracing is
+  // compiled out or disabled.
+  std::optional<mdbs::obs::MetricsSnapshot> snapshot;
+  if (system.metrics() != nullptr) snapshot = system.metrics()->Snapshot();
+  if (options.phase_breakdown) {
+    if (snapshot.has_value()) {
+      std::printf("\n-- phase breakdown --\n%s",
+                  snapshot->BreakdownTable().c_str());
+    } else {
+      std::printf("\n--phase_breakdown requested but metrics are disabled "
+                  "(--metrics=0)\n");
     }
+  }
+  if (!options.metrics_out.empty()) {
+    mdbs::sim::MetricsRegistry registry;
+    report.AddToRegistry(&registry);
+    if (!events.empty()) mdbs::obs::AggregateTrace(events, &registry);
+    if (snapshot.has_value()) {
+      mdbs::obs::AddSnapshotToRegistry(*snapshot, &registry);
+    }
+    mdbs::obs::ReportInfo info;
+    info.emplace_back("tool", "mdbsim");
+    info.emplace_back("scheme",
+                      mdbs::gtm::SchemeKindName(options.scheme));
+    info.emplace_back("engine", options.threaded ? "threaded" : "sim");
+    info.emplace_back("seed", std::to_string(options.seed));
+    info.emplace_back("sites", std::to_string(options.sites.size()));
+    info.emplace_back("commits", std::to_string(options.commits));
+    info.emplace_back("metrics_window",
+                      std::to_string(options.metrics_window));
+    if (options.durable) info.emplace_back("durable", "1");
+    if (!system.resolved_fault_plan().Empty()) {
+      info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
+    }
+    if (analysis.has_value()) {
+      info.emplace_back("analysis.verdict", analysis->fast_path_robust
+                                                ? "robust"
+                                                : "not_robust");
+      if (analysis->fast_path_robust) {
+        info.emplace_back("analysis.certificate", analysis->certificate);
+      } else if (analysis->witness.has_value()) {
+        info.emplace_back("analysis.witness",
+                          analysis->witness->ToString(*mix));
+      }
+      info.emplace_back("analysis.downgraded", downgraded ? "1" : "0");
+    }
+    mdbs::obs::ReportExtras extras;
+    if (snapshot.has_value()) extras.metrics = &*snapshot;
+    if (system.trace_sink() != nullptr) {
+      extras.trace_recorded = system.trace_sink()->recorded();
+      extras.trace_dropped = system.trace_sink()->dropped();
+    }
+    mdbs::Status written = mdbs::obs::WriteJsonReportFile(
+        options.metrics_out, info, registry, extras);
+    std::printf("metrics: -> %s (%s)\n", options.metrics_out.c_str(),
+                written.ToString().c_str());
   }
   if (report.crashes > 0) {
     std::printf("crashes injected: %lld\n",

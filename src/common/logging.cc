@@ -57,8 +57,12 @@ void DefaultSink(LogLevel /*level*/, const std::string& line) {
   std::fflush(stderr);
 }
 
-LogSink& GlobalSink() {
-  static LogSink sink = DefaultSink;
+/// Current sink, nullptr meaning DefaultSink. An atomic pointer rather
+/// than a mutable std::function: ~LogMessage runs on every worker strand,
+/// and assigning a std::function while another thread invokes it is a data
+/// race (torn reads of the function's storage).
+std::atomic<const LogSink*>& GlobalSinkPtr() {
+  static std::atomic<const LogSink*> sink{nullptr};
   return sink;
 }
 }  // namespace
@@ -70,7 +74,12 @@ void SetLogLevel(LogLevel level) {
 }
 
 void SetLogSink(LogSink sink) {
-  GlobalSink() = sink != nullptr ? std::move(sink) : DefaultSink;
+  const LogSink* next =
+      sink != nullptr ? new LogSink(std::move(sink)) : nullptr;
+  // The previous sink is intentionally never freed: a concurrent logger may
+  // hold it past this store. Sinks are installed a handful of times per
+  // process, so the leak is bounded.
+  GlobalSinkPtr().store(next, std::memory_order_release);
 }
 
 namespace internal_logging {
@@ -93,7 +102,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  GlobalSink()(level_, stream_.str());
+  const LogSink* sink = GlobalSinkPtr().load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    (*sink)(level_, stream_.str());
+  } else {
+    DefaultSink(level_, stream_.str());
+  }
   if (fatal_) std::abort();
 }
 

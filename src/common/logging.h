@@ -22,8 +22,12 @@ using LogSink = std::function<void(LogLevel level, const std::string& line)>;
 
 /// Replaces the process-wide sink (default: one locked write to stderr per
 /// line, so threaded-engine lines never interleave). Pass nullptr to
-/// restore the default. Not thread-safe against concurrent logging — swap
-/// sinks at startup or between runs, not mid-run.
+/// restore the default. Thread-safe against concurrent logging: the sink
+/// pointer is swapped atomically (acquire/release), so worker strands
+/// logging mid-swap see either the old or the new sink, never a torn one.
+/// Each installed sink is intentionally kept alive for the process
+/// lifetime (sinks are swapped a handful of times per run, so the leak is
+/// bounded) — freeing the old sink would race a logger still invoking it.
 void SetLogSink(LogSink sink);
 
 namespace internal_logging {

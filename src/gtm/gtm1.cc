@@ -37,6 +37,22 @@ void Gtm1::EnableTrace(obs::TraceSink* sink) {
   gtm2_->EnableTrace(sink);
 }
 
+void Gtm1::EnableMetrics(obs::MetricsEngine* engine) {
+  metrics_ = engine;
+  gtm2_->EnableMetrics(engine);
+}
+
+SiteGateway::OpCallback Gtm1::WrapRoundTrip(GlobalTxnId attempt_id, TxnId sub,
+                                            SiteGateway::OpCallback done) {
+  if (metrics_ == nullptr) return done;
+  return [this, attempt_id, sub, done = std::move(done)](const Status& status,
+                                                         int64_t value) {
+    Attempt* attempt = FindAttempt(attempt_id);
+    if (attempt != nullptr) metrics_->EndRoundTrip(attempt->job->id, sub);
+    done(status, value);
+  };
+}
+
 void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   MDBS_CHECK(!spec.ops.empty()) << "empty global transaction";
   ++stats_.submitted;
@@ -52,6 +68,7 @@ void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   }
   Job* raw = job.get();
   jobs_.push_back(std::move(job));
+  if (metrics_ != nullptr) metrics_->TxnSubmitted(raw->id, raw->spec.Sites());
   if (activity_hook_) activity_hook_();
   if (TouchesQuarantine(*raw)) {
     // A needed site is already known-down: don't burn an attempt on it.
@@ -116,6 +133,10 @@ void Gtm1::StartAttempt(Job* job) {
   GlobalTxnId attempt_id = attempt->id;
   std::vector<SiteId> sites = job->spec.Sites();
   attempts_[attempt_id] = std::move(attempt);
+  if (metrics_ != nullptr) {
+    metrics_->AttemptStarted(attempt_id, job->id);
+    metrics_->Transition(job->id, obs::TxnPhase::kScheme);
+  }
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kAttemptStart, attempt_id.value(), -1,
                    job->id, job->attempts);
@@ -155,12 +176,18 @@ void Gtm1::AdvanceStep(GlobalTxnId attempt_id) {
   if (attempt == nullptr || attempt->failed) return;
   if (attempt->next_step == attempt->steps.size()) {
     // All operations acknowledged: pre-commit validation point.
+    if (metrics_ != nullptr) {
+      metrics_->Transition(attempt->job->id, obs::TxnPhase::kScheme);
+    }
     gtm2_->Enqueue(QueueOp::Validate(attempt_id));
     return;
   }
   const Step& step = attempt->steps[attempt->next_step];
   if (step.is_ser) {
     // Route through GTM2; PerformStep happens when the scheme releases it.
+    if (metrics_ != nullptr) {
+      metrics_->Transition(attempt->job->id, obs::TxnPhase::kScheme);
+    }
     gtm2_->Enqueue(QueueOp::Ser(attempt_id, step.site));
     return;
   }
@@ -210,6 +237,18 @@ void Gtm1::OnAckForwarded(GlobalTxnId attempt_id, SiteId) {
 void Gtm1::PerformStep(Attempt* attempt, const Step& step,
                        SiteGateway::OpCallback done) {
   GlobalTxnId attempt_id = attempt->id;
+  if (metrics_ != nullptr) {
+    // The interval from here to the response is a site round trip; Begin is
+    // synchronous at the site, so its whole round trip is network time,
+    // while data/ticket round trips are split at EndRoundTrip using the
+    // site-measured busy slice.
+    obs::TxnPhase phase = step.kind == Step::Kind::kTicket
+                              ? obs::TxnPhase::kTicket
+                          : step.kind == Step::Kind::kBegin
+                              ? obs::TxnPhase::kNetwork
+                              : obs::TxnPhase::kSiteExec;
+    metrics_->Transition(attempt->job->id, phase);
+  }
   switch (step.kind) {
     case Step::Kind::kBegin: {
       TxnId sub_id = TxnId(next_txn_id_++);
@@ -229,18 +268,21 @@ void Gtm1::PerformStep(Attempt* attempt, const Step& step,
       TxnId sub_id = attempt->sub_ids.at(site);
       gateway_->Submit(
           site, sub_id, DataOp::Read(kTicketItem),
-          [this, attempt_id, site, sub_id, done = std::move(done)](
-              const Status& status, int64_t value) mutable {
-            if (!status.ok()) {
-              done(status, 0);
-              return;
-            }
-            Attempt* holder = FindAttempt(attempt_id);
-            if (holder == nullptr || holder->failed) return;
-            gateway_->Submit(site, sub_id,
-                             DataOp::Write(kTicketItem, value + 1),
-                             std::move(done));
-          });
+          WrapRoundTrip(
+              attempt_id, sub_id,
+              [this, attempt_id, site, sub_id, done = std::move(done)](
+                  const Status& status, int64_t value) mutable {
+                if (!status.ok()) {
+                  done(status, 0);
+                  return;
+                }
+                Attempt* holder = FindAttempt(attempt_id);
+                if (holder == nullptr || holder->failed) return;
+                gateway_->Submit(site, sub_id,
+                                 DataOp::Write(kTicketItem, value + 1),
+                                 WrapRoundTrip(attempt_id, sub_id,
+                                               std::move(done)));
+              }));
       return;
     }
     case Step::Kind::kData: {
@@ -250,17 +292,19 @@ void Gtm1::PerformStep(Attempt* attempt, const Step& step,
         op.value = global_op.value_fn(attempt->reads);
       }
       SiteId site = step.site;
+      TxnId sub_id = attempt->sub_ids.at(site);
       gateway_->Submit(
-          site, attempt->sub_ids.at(site), op,
-          [this, attempt_id, site, op, done = std::move(done)](
-              const Status& status, int64_t value) {
-            Attempt* reader = FindAttempt(attempt_id);
-            if (reader != nullptr && status.ok() &&
-                op.type == OpType::kRead) {
-              reader->reads[{site, op.item}] = value;
-            }
-            done(status, value);
-          });
+          site, sub_id, op,
+          WrapRoundTrip(attempt_id, sub_id,
+                        [this, attempt_id, site, op, done = std::move(done)](
+                            const Status& status, int64_t value) {
+                          Attempt* reader = FindAttempt(attempt_id);
+                          if (reader != nullptr && status.ok() &&
+                              op.type == OpType::kRead) {
+                            reader->reads[{site, op.item}] = value;
+                          }
+                          done(status, value);
+                        }));
       return;
     }
   }
@@ -281,6 +325,10 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
     gtm2_->Enqueue(QueueOp::Fin(attempt_id));
     Job* job = attempt->job;
     ++stats_.committed;
+    if (metrics_ != nullptr) {
+      metrics_->AttemptEnded(attempt_id);
+      metrics_->TxnFinished(job->id, /*committed=*/true);
+    }
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEventKind::kTxnCommit, attempt_id.value(), -1,
                      job->id, job->attempts);
@@ -297,10 +345,16 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
   }
   SiteId site = attempt->begun_sites[index];
   TxnId sub_id = attempt->sub_ids.at(site);
+  if (metrics_ != nullptr) {
+    metrics_->Transition(attempt->job->id, obs::TxnPhase::kSiteExec);
+  }
   gateway_->Commit(
-      site, sub_id, [this, attempt_id, index](const Status& status) {
+      site, sub_id, [this, attempt_id, index, sub_id](const Status& status) {
         Attempt* committing = FindAttempt(attempt_id);
         if (committing == nullptr || committing->failed) return;
+        if (metrics_ != nullptr) {
+          metrics_->EndRoundTrip(committing->job->id, sub_id);
+        }
         if (status.ok()) {
           CommitNextSite(attempt_id, index + 1);
           return;
@@ -328,6 +382,10 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
                           [](const Status&) {});
         }
         gtm2_->AbortCleanup(attempt_id);
+        if (metrics_ != nullptr) {
+          metrics_->AttemptEnded(attempt_id);
+          metrics_->TxnFinished(job->id, /*committed=*/false);
+        }
         GlobalTxnResult result;
         result.status =
             Status::TransactionAborted("partial commit: " + status.message());
@@ -368,12 +426,17 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
 
   Job* job = attempt->job;
   attempts_.erase(attempt_id);
+  if (metrics_ != nullptr) {
+    metrics_->AttemptAborted(job->id);
+    metrics_->AttemptEnded(attempt_id);
+  }
   if (job->attempts >= config_.max_attempts) {
     ++stats_.failed;
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEventKind::kTxnFail, attempt_id.value(), -1,
                      job->id, job->attempts, "gave_up");
     }
+    if (metrics_ != nullptr) metrics_->TxnFinished(job->id, false);
     GlobalTxnResult result;
     result.status = Status::TransactionAborted(
         "gave up after " + std::to_string(job->attempts) +
@@ -387,6 +450,9 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   // Randomized backoff, then a fresh attempt (or a park, if a site the job
   // needs was quarantined in the meantime).
   int64_t job_id = job->id;
+  if (metrics_ != nullptr) {
+    metrics_->Transition(job_id, obs::TxnPhase::kBackoff);
+  }
   loop_->Schedule(RetryDelay(*job), [this, job_id]() { RetryJob(job_id); });
 }
 
@@ -417,6 +483,9 @@ void Gtm1::ParkJob(Job* job) {
   job->parked = true;
   int64_t epoch = ++job->park_epoch;
   ++stats_.parked;
+  if (metrics_ != nullptr) {
+    metrics_->Transition(job->id, obs::TxnPhase::kParked);
+  }
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kTxnParked, job->id, -1,
                    job->attempts);
@@ -434,6 +503,7 @@ void Gtm1::ParkJob(Job* job) {
       trace_->Record(obs::TraceEventKind::kTxnFail, parked->current_attempt.value(),
                      -1, parked->id, parked->attempts, "park_timeout");
     }
+    if (metrics_ != nullptr) metrics_->TxnFinished(parked->id, false);
     GlobalTxnResult result;
     result.status = Status::TransactionAborted(
         "parked waiting for site recovery beyond the park timeout");
@@ -446,6 +516,7 @@ void Gtm1::ParkJob(Job* job) {
 
 void Gtm1::OnSiteDown(SiteId site) {
   if (!quarantined_.insert(site).second) return;
+  if (metrics_ != nullptr) metrics_->SiteDownEvent();
   // Collect first: FailAttempt erases from attempts_.
   std::vector<GlobalTxnId> doomed;
   for (const auto& [id, attempt] : attempts_) {

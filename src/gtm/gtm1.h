@@ -13,6 +13,7 @@
 #include "gtm/global_txn.h"
 #include "gtm/gtm2.h"
 #include "gtm/serialization_function.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/task_runner.h"
 
@@ -162,6 +163,11 @@ class Gtm1 {
   /// GTM2 and the scheme. Call before the first Submit.
   void EnableTrace(obs::TraceSink* sink);
 
+  /// Feeds the always-on metrics engine (nullptr disables): per-transaction
+  /// phase decomposition at every lifecycle transition, forwarded to GTM2
+  /// for WAIT dwell and queue depth. Call before the first Submit.
+  void EnableMetrics(obs::MetricsEngine* engine);
+
  private:
   struct Step {
     enum class Kind { kBegin, kTicket, kData };
@@ -226,12 +232,19 @@ class Gtm1 {
   /// retry.
   sim::Time RetryDelay(const Job& job);
 
+  /// Wraps a site-operation callback so the metrics engine closes the round
+  /// trip (splitting site-busy vs network time) before the response is
+  /// processed. Identity when metrics are off.
+  SiteGateway::OpCallback WrapRoundTrip(GlobalTxnId attempt_id, TxnId sub,
+                                        SiteGateway::OpCallback done);
+
   Gtm1Config config_;
   sim::TaskRunner* loop_;
   SiteGateway* gateway_;
   std::unique_ptr<Gtm2> gtm2_;
   Rng rng_;
   obs::TraceSink* trace_ = nullptr;
+  obs::MetricsEngine* metrics_ = nullptr;
   int64_t next_txn_id_ = 0;
   int64_t next_attempt_id_ = 0;
   int64_t next_job_id_ = 0;

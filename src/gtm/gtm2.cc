@@ -81,6 +81,10 @@ void Gtm2::Enqueue(QueueOp op) {
                    -1, static_cast<int64_t>(queue_.size()),
                    static_cast<int64_t>(wait_.size()));
   }
+  if (metrics_ != nullptr) {
+    metrics_->SampleGtm2Depth(static_cast<int64_t>(queue_.size()),
+                              static_cast<int64_t>(wait_.size()));
+  }
   if (!pumping_) Pump();
 }
 
@@ -100,6 +104,10 @@ void Gtm2::Pump() {
                        op.site.value(),
                        static_cast<int64_t>(wait_.size()) + 1, 0,
                        QueueOpKindName(op.kind));
+      }
+      if (metrics_ != nullptr && (op.kind == QueueOpKind::kSer ||
+                                  op.kind == QueueOpKind::kValidate)) {
+        metrics_->WaitEnter(op.txn);
       }
       wait_.push_back(std::move(op));
     }
@@ -218,6 +226,10 @@ void Gtm2::DrainWait() {
                          waiting.site.value(),
                          static_cast<int64_t>(wait_.size()) - 1, 0,
                          QueueOpKindName(waiting.kind));
+        }
+        if (metrics_ != nullptr && (waiting.kind == QueueOpKind::kSer ||
+                                    waiting.kind == QueueOpKind::kValidate)) {
+          metrics_->WaitExit(waiting.txn);
         }
         it = wait_.erase(it);
         progress = true;

@@ -12,6 +12,7 @@
 #include "common/ids.h"
 #include "gtm/queue_op.h"
 #include "gtm/scheme.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mdbs::gtm {
@@ -98,6 +99,10 @@ class Gtm2 {
   /// disables); forwarded to the scheme for its DS events.
   void EnableTrace(obs::TraceSink* sink);
 
+  /// Reports queue depth and critical-path WAIT dwell (ser/validate
+  /// operations) to the always-on metrics engine (nullptr disables).
+  void EnableMetrics(obs::MetricsEngine* engine) { metrics_ = engine; }
+
  private:
   void Pump();
   /// Evaluates cond(op). kReady -> runs act + side effects and returns true.
@@ -115,6 +120,7 @@ class Gtm2 {
   std::unique_ptr<Scheme> scheme_;
   Callbacks callbacks_;
   obs::TraceSink* trace_ = nullptr;
+  obs::MetricsEngine* metrics_ = nullptr;
   std::deque<QueueOp> queue_;
   std::list<QueueOp> wait_;
   std::unordered_set<GlobalTxnId> dead_txns_;

@@ -70,6 +70,12 @@ Mdbs::Mdbs(const MdbsConfig& config)
     gtm1_->EnableTrace(trace_.get());
     for (SiteId id : site_ids_) sites_.at(id)->EnableTrace(trace_.get());
   }
+  if (config.metrics.enabled) {
+    metrics_ = std::make_unique<obs::MetricsEngine>(
+        config.metrics, [this]() { return NowTicks(); }, site_ids_);
+    gtm1_->EnableMetrics(metrics_.get());
+    for (SiteId id : site_ids_) sites_.at(id)->EnableMetrics(metrics_.get());
+  }
 
   // Fault layer: resolve sweeps against the real site count, fold the
   // legacy response-loss knob in, then arm the crash windows now so a
@@ -133,8 +139,12 @@ void Mdbs::SubmitGlobal(gtm::GlobalTxnSpec spec, gtm::Gtm1::ResultCallback cb) {
     gtm1_->Submit(std::move(spec), std::move(cb));
     return;
   }
+  // Stamp the client-side enqueue time so the metrics engine can charge the
+  // GTM-strand queueing delay to the admission phase.
   GtmRunner()->Schedule(
-      0, [this, spec = std::move(spec), cb = std::move(cb)]() mutable {
+      0, [this, enqueued = NowTicks(), spec = std::move(spec),
+          cb = std::move(cb)]() mutable {
+        if (metrics_ != nullptr) metrics_->StageAdmission(enqueued);
         gtm1_->Submit(std::move(spec), std::move(cb));
       });
 }
@@ -388,12 +398,23 @@ void Mdbs::Submit(SiteId site, TxnId txn, const DataOp& op, OpCallback cb) {
   SendFaulty(
       SiteRunner(site), /*request=*/true, site, txn.value(),
       [this, site, txn, op, cb = std::move(cb)]() {
+        // Site-side busy time (service + local lock/validation blocking) is
+        // measured on the site's strand; the response leg stages it right
+        // before the GTM-side callback so the round trip can be split into
+        // site-execution and network time.
+        sim::Time delivered = NowTicks();
         sites_.at(site)->Submit(
             txn, op,
-            [this, site, txn, cb = std::move(cb)](const Status& status,
-                                                  int64_t value) {
+            [this, site, txn, delivered, cb = std::move(cb)](
+                const Status& status, int64_t value) {
+              sim::Time busy = NowTicks() - delivered;
+              if (metrics_ != nullptr) metrics_->RecordSiteExec(site, busy);
               SendFaulty(GtmRunner(), /*request=*/false, site, txn.value(),
-                         [status, value, cb = std::move(cb)]() {
+                         [this, txn, busy, status, value,
+                          cb = std::move(cb)]() {
+                           if (metrics_ != nullptr) {
+                             metrics_->StageSiteWork(txn, busy);
+                           }
                            cb(status, value);
                          });
             });
@@ -403,10 +424,18 @@ void Mdbs::Submit(SiteId site, TxnId txn, const DataOp& op, OpCallback cb) {
 void Mdbs::Commit(SiteId site, TxnId txn, TxnCallback cb) {
   SiteRunner(site)->Schedule(config_.net_delay, [this, site, txn,
                                                  cb = std::move(cb)]() {
+    sim::Time delivered = NowTicks();
     sites_.at(site)->Commit(
-        txn, [this, cb = std::move(cb)](const Status& status) {
-          GtmRunner()->Schedule(config_.net_delay,
-                                [status, cb = std::move(cb)]() { cb(status); });
+        txn, [this, site, txn, delivered,
+              cb = std::move(cb)](const Status& status) {
+          sim::Time busy = NowTicks() - delivered;
+          if (metrics_ != nullptr) metrics_->RecordSiteExec(site, busy);
+          GtmRunner()->Schedule(
+              config_.net_delay, [this, txn, busy, status,
+                                  cb = std::move(cb)]() {
+                if (metrics_ != nullptr) metrics_->StageSiteWork(txn, busy);
+                cb(status);
+              });
         });
   });
 }

@@ -14,6 +14,7 @@
 #include "fault/injector.h"
 #include "gtm/gtm1.h"
 #include "mdbs/health.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/schedule.h"
 #include "sched/serializability.h"
@@ -51,6 +52,11 @@ struct MdbsConfig {
   /// MDBS_TRACE compiled in) every tier records lifecycle events into one
   /// TraceSink, drained via trace_sink() after the run.
   obs::TraceConfig trace;
+  /// Always-on metrics engine (src/obs/metrics): per-transaction phase
+  /// decomposition, windowed timeline, per-site execution histograms. On by
+  /// default and independent of the trace sink — it has no compile gate and
+  /// its overhead budget is <2% (EXPERIMENTS E14).
+  obs::MetricsConfig metrics;
   /// Execution mode. false: the single-threaded discrete-event simulator
   /// (deterministic; drive it with RunUntilIdle). true: real threads — one
   /// RealStrand per site plus one for the GTM — with ticks interpreted as
@@ -162,6 +168,11 @@ class Mdbs : public gtm::SiteGateway {
   /// or compiled out). Drain() it only after the run is quiescent.
   obs::TraceSink* trace_sink() { return trace_.get(); }
 
+  /// The always-on metrics engine, or nullptr when disabled via
+  /// config.metrics.enabled = false. Snapshot() it only after the run is
+  /// quiescent (RunUntilIdle returned / FinishThreadedRun completed).
+  obs::MetricsEngine* metrics() { return metrics_.get(); }
+
   /// Records one kStrandBacklog sample per strand (GTM + sites). Threaded
   /// mode with tracing on only; safe from any thread (a sampler thread
   /// calls it periodically). No-op otherwise.
@@ -211,6 +222,7 @@ class Mdbs : public gtm::SiteGateway {
   MdbsConfig config_;
   audit::Auditor auditor_;
   std::unique_ptr<obs::TraceSink> trace_;
+  std::unique_ptr<obs::MetricsEngine> metrics_;
   bool audit_enabled_ = false;
   bool threaded_ = false;
   sim::EventLoop loop_;

@@ -1,0 +1,408 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mdbs::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_sharded_id{1};
+
+/// p-th quantile of an unsorted sample vector (sorted-vector interpolation,
+/// matching sim::Summary semantics). Consumes `values`.
+double QuantileOf(std::vector<int64_t>* values, double q) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  double pos = q * static_cast<double>(values->size() - 1);
+  auto lo = static_cast<size_t>(std::floor(pos));
+  auto hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return static_cast<double>((*values)[lo]) * (1 - frac) +
+         static_cast<double>((*values)[hi]) * frac;
+}
+
+}  // namespace
+
+const char* TxnPhaseName(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kAdmission:
+      return "admission";
+    case TxnPhase::kScheme:
+      return "scheme";
+    case TxnPhase::kSerWait:
+      return "ser_wait";
+    case TxnPhase::kTicket:
+      return "ticket";
+    case TxnPhase::kNetwork:
+      return "network";
+    case TxnPhase::kSiteExec:
+      return "site_exec";
+    case TxnPhase::kBackoff:
+      return "backoff";
+    case TxnPhase::kParked:
+      return "parked";
+    case TxnPhase::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
+std::string MetricsSnapshot::BreakdownTable() const {
+  std::ostringstream os;
+  int64_t total = 0;
+  for (int64_t ticks : phase_ticks) total += ticks;
+  os << std::left << std::setw(11) << "phase" << std::right << std::setw(9)
+     << "count" << std::setw(14) << "total_ticks" << std::setw(8) << "share"
+     << std::setw(10) << "p50" << std::setw(10) << "p95" << std::setw(10)
+     << "p99" << std::setw(10) << "p999" << "\n";
+  for (int i = 0; i < kTxnPhaseCount; ++i) {
+    const sim::Summary& s = phases[i];
+    double share =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(phase_ticks[i]) /
+                         static_cast<double>(total);
+    os << std::left << std::setw(11) << TxnPhaseName(static_cast<TxnPhase>(i))
+       << std::right << std::setw(9) << s.count() << std::setw(14)
+       << phase_ticks[i] << std::setw(7) << std::fixed << std::setprecision(1)
+       << share << "%" << std::setw(10) << std::setprecision(0) << s.Median()
+       << std::setw(10) << s.P95() << std::setw(10) << s.P99() << std::setw(10)
+       << s.P999() << "\n";
+  }
+  os << std::left << std::setw(11) << "lifetime" << std::right << std::setw(9)
+     << lifetime.count() << std::setw(14) << lifetime_ticks << std::setw(8)
+     << " " << std::setw(10) << std::setprecision(0) << lifetime.Median()
+     << std::setw(10) << lifetime.P95() << std::setw(10) << lifetime.P99()
+     << std::setw(10) << lifetime.P999() << "\n";
+  os << "bottleneck: " << TxnPhaseName(bottleneck) << " ("
+     << std::setprecision(1) << 100.0 * bottleneck_share
+     << "% of attributed ticks), balance violations: " << balance_violations
+     << "\n";
+  return os.str();
+}
+
+ShardedSummary::ShardedSummary() : id_(g_next_sharded_id.fetch_add(1)) {}
+
+ShardedSummary::Shard* ShardedSummary::LocalShard() {
+  thread_local std::unordered_map<uint64_t, Shard*> cache;
+  auto it = cache.find(id_);
+  if (it != cache.end()) return it->second;
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache[id_] = shard;
+  return shard;
+}
+
+void ShardedSummary::Record(double value) { LocalShard()->summary.Add(value); }
+
+sim::Summary ShardedSummary::Drain() const {
+  sim::Summary merged;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& shard : shards_) merged.Merge(shard->summary);
+  return merged;
+}
+
+MetricsEngine::MetricsEngine(const MetricsConfig& config, Clock clock,
+                             std::vector<SiteId> sites)
+    : config_(config), clock_(std::move(clock)), site_ids_(std::move(sites)) {
+  if (config_.timeline_window <= 0) config_.timeline_window = 5000;
+  site_exec_.reserve(site_ids_.size());
+  for (size_t i = 0; i < site_ids_.size(); ++i) {
+    site_index_[site_ids_[i]] = i;
+    site_exec_.push_back(std::make_unique<ShardedSummary>());
+  }
+}
+
+MetricsEngine::TxnState* MetricsEngine::Find(int64_t job) {
+  auto it = txns_.find(job);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+MetricsEngine::WindowAcc& MetricsEngine::Window(sim::Time at) {
+  int64_t index = at < 0 ? 0 : at / config_.timeline_window;
+  WindowAcc& acc = timeline_[index];
+  acc.point.window = index;
+  return acc;
+}
+
+void MetricsEngine::ClosePhase(TxnState* state, sim::Time now) {
+  sim::Time duration = now - state->phase_start;
+  if (duration > 0) {
+    if (state->phase == TxnPhase::kParked) {
+      sim::Time recovered =
+          RecoveryOverlap(state->sites, state->phase_start, now);
+      state->acc[static_cast<int>(TxnPhase::kRecovery)] += recovered;
+      state->acc[static_cast<int>(TxnPhase::kParked)] += duration - recovered;
+    } else {
+      state->acc[static_cast<int>(state->phase)] += duration;
+    }
+  }
+  state->phase_start = now;
+}
+
+sim::Time MetricsEngine::RecoveryOverlap(const std::vector<SiteId>& sites,
+                                         sim::Time begin,
+                                         sim::Time end) const {
+  std::vector<std::pair<sim::Time, sim::Time>> clipped;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    for (SiteId site : sites) {
+      auto it = recovery_windows_.find(site);
+      if (it == recovery_windows_.end()) continue;
+      for (const auto& [wb, we] : it->second) {
+        sim::Time lo = std::max(begin, wb);
+        sim::Time hi = std::min(end, we);
+        if (lo < hi) clipped.emplace_back(lo, hi);
+      }
+    }
+  }
+  if (clipped.empty()) return 0;
+  std::sort(clipped.begin(), clipped.end());
+  sim::Time covered = 0;
+  sim::Time cur_begin = clipped[0].first;
+  sim::Time cur_end = clipped[0].second;
+  for (size_t i = 1; i < clipped.size(); ++i) {
+    if (clipped[i].first > cur_end) {
+      covered += cur_end - cur_begin;
+      cur_begin = clipped[i].first;
+      cur_end = clipped[i].second;
+    } else {
+      cur_end = std::max(cur_end, clipped[i].second);
+    }
+  }
+  covered += cur_end - cur_begin;
+  return covered;
+}
+
+void MetricsEngine::StageAdmission(sim::Time enqueue_time) {
+  if (!config_.enabled) return;
+  staged_admission_ = enqueue_time;
+}
+
+void MetricsEngine::TxnSubmitted(int64_t job, std::vector<SiteId> sites) {
+  if (!config_.enabled) return;
+  sim::Time now = Now();
+  TxnState state;
+  // A staged admission stamp (threaded client) starts the lifetime at the
+  // client-side enqueue; min() guards against cross-thread clock skew.
+  state.submit =
+      staged_admission_ ? std::min(*staged_admission_, now) : now;
+  staged_admission_.reset();
+  state.phase = TxnPhase::kAdmission;
+  state.phase_start = state.submit;
+  state.sites = std::move(sites);
+  txns_[job] = std::move(state);
+  ++Window(now).point.submitted;
+}
+
+void MetricsEngine::AttemptStarted(GlobalTxnId attempt, int64_t job) {
+  if (!config_.enabled) return;
+  attempt_job_[attempt] = job;
+}
+
+void MetricsEngine::AttemptEnded(GlobalTxnId attempt) {
+  if (!config_.enabled) return;
+  attempt_job_.erase(attempt);
+}
+
+void MetricsEngine::AttemptAborted(int64_t job) {
+  if (!config_.enabled) return;
+  (void)job;
+  ++Window(Now()).point.attempt_aborts;
+}
+
+void MetricsEngine::Transition(int64_t job, TxnPhase next) {
+  if (!config_.enabled) return;
+  TxnState* state = Find(job);
+  if (state == nullptr) return;
+  sim::Time now = Now();
+  if (state->phase != TxnPhase::kParked && next == TxnPhase::kParked) {
+    ++parked_now_;
+    WindowAcc& window = Window(now);
+    window.point.max_parked = std::max(window.point.max_parked, parked_now_);
+  } else if (state->phase == TxnPhase::kParked && next != TxnPhase::kParked) {
+    --parked_now_;
+  }
+  ClosePhase(state, now);
+  state->phase = next;
+}
+
+void MetricsEngine::WaitEnter(GlobalTxnId attempt) {
+  if (!config_.enabled) return;
+  auto it = attempt_job_.find(attempt);
+  if (it == attempt_job_.end()) return;
+  TxnState* state = Find(it->second);
+  // Only the critical path is tracked: an init op can sit in WAIT while a
+  // site round trip is in flight — the round trip keeps the phase.
+  if (state == nullptr || state->phase != TxnPhase::kScheme) return;
+  ClosePhase(state, Now());
+  state->phase = TxnPhase::kSerWait;
+}
+
+void MetricsEngine::WaitExit(GlobalTxnId attempt) {
+  if (!config_.enabled) return;
+  auto it = attempt_job_.find(attempt);
+  if (it == attempt_job_.end()) return;
+  TxnState* state = Find(it->second);
+  if (state == nullptr || state->phase != TxnPhase::kSerWait) return;
+  ClosePhase(state, Now());
+  state->phase = TxnPhase::kScheme;
+}
+
+void MetricsEngine::StageSiteWork(TxnId sub, sim::Time busy) {
+  if (!config_.enabled) return;
+  staged_sub_ = sub;
+  staged_busy_ = busy;
+}
+
+void MetricsEngine::EndRoundTrip(int64_t job, TxnId sub) {
+  if (!config_.enabled) return;
+  TxnState* state = Find(job);
+  sim::Time busy = 0;
+  if (staged_sub_.valid() && staged_sub_ == sub) busy = staged_busy_;
+  staged_sub_ = TxnId();
+  staged_busy_ = 0;
+  if (state == nullptr) return;
+  sim::Time now = Now();
+  sim::Time interval = now - state->phase_start;
+  if (interval < 0) interval = 0;
+  busy = std::min(busy, interval);
+  // The site-measured busy slice belongs to the current phase (site_exec or
+  // ticket); the rest of the round trip is network transit.
+  state->acc[static_cast<int>(state->phase)] += busy;
+  state->acc[static_cast<int>(TxnPhase::kNetwork)] += interval - busy;
+  state->phase_start = now;
+}
+
+void MetricsEngine::TxnFinished(int64_t job, bool committed) {
+  if (!config_.enabled) return;
+  TxnState* state = Find(job);
+  if (state == nullptr) return;
+  sim::Time now = Now();
+  if (state->phase == TxnPhase::kParked) --parked_now_;
+  ClosePhase(state, now);
+  sim::Time lifetime = now - state->submit;
+  sim::Time attributed = 0;
+  for (sim::Time ticks : state->acc) attributed += ticks;
+  if (attributed != lifetime) {
+    ++balance_violations_;
+    max_balance_error_ =
+        std::max(max_balance_error_, std::abs(attributed - lifetime));
+  }
+  lifetime_.Add(static_cast<double>(lifetime));
+  lifetime_ticks_ += lifetime;
+  for (int i = 0; i < kTxnPhaseCount; ++i) {
+    phase_summaries_[i].Add(static_cast<double>(state->acc[i]));
+    phase_ticks_[i] += state->acc[i];
+  }
+  ++finished_;
+  WindowAcc& window = Window(now);
+  if (committed) {
+    ++committed_;
+    ++window.point.committed;
+    window.latencies.push_back(lifetime);
+  } else {
+    ++window.point.failed;
+  }
+  txns_.erase(job);
+}
+
+void MetricsEngine::SampleGtm2Depth(int64_t queue_depth, int64_t wait_depth) {
+  if (!config_.enabled) return;
+  WindowAcc& window = Window(Now());
+  window.point.max_queue_depth =
+      std::max(window.point.max_queue_depth, queue_depth);
+  window.point.max_wait_depth =
+      std::max(window.point.max_wait_depth, wait_depth);
+}
+
+void MetricsEngine::SiteDownEvent() {
+  if (!config_.enabled) return;
+  ++Window(Now()).point.site_down_events;
+}
+
+void MetricsEngine::RecordSiteExec(SiteId site, sim::Time busy) {
+  if (!config_.enabled) return;
+  auto it = site_index_.find(site);
+  if (it == site_index_.end()) return;
+  site_exec_[it->second]->Record(static_cast<double>(busy));
+}
+
+void MetricsEngine::AddRecoveryWindow(SiteId site, sim::Time begin,
+                                      sim::Time end) {
+  if (!config_.enabled || end <= begin) return;
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  recovery_windows_[site].emplace_back(begin, end);
+}
+
+MetricsSnapshot MetricsEngine::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.enabled = config_.enabled;
+  snapshot.window_size = config_.timeline_window;
+  if (!config_.enabled) return snapshot;
+  snapshot.lifetime = lifetime_;
+  snapshot.phases = phase_summaries_;
+  snapshot.phase_ticks = phase_ticks_;
+  snapshot.lifetime_ticks = lifetime_ticks_;
+  snapshot.finished = finished_;
+  snapshot.committed = committed_;
+  snapshot.balance_violations = balance_violations_;
+  snapshot.max_balance_error = max_balance_error_;
+  for (size_t i = 0; i < site_ids_.size(); ++i) {
+    snapshot.site_exec.emplace_back(site_ids_[i], site_exec_[i]->Drain());
+  }
+  snapshot.timeline.reserve(timeline_.size());
+  for (const auto& [index, acc] : timeline_) {
+    TimelinePoint point = acc.point;
+    std::vector<int64_t> latencies = acc.latencies;
+    point.p99_latency = QuantileOf(&latencies, 0.99);
+    snapshot.timeline.push_back(point);
+  }
+  int64_t total = 0;
+  for (int64_t ticks : phase_ticks_) total += ticks;
+  int best = static_cast<int>(TxnPhase::kSiteExec);
+  if (total > 0) {
+    best = 0;
+    for (int i = 1; i < kTxnPhaseCount; ++i) {
+      if (phase_ticks_[i] > phase_ticks_[best]) best = i;
+    }
+    snapshot.bottleneck_share =
+        static_cast<double>(phase_ticks_[best]) / static_cast<double>(total);
+  }
+  snapshot.bottleneck = static_cast<TxnPhase>(best);
+  return snapshot;
+}
+
+void AddSnapshotToRegistry(const MetricsSnapshot& snapshot,
+                           sim::MetricsRegistry* registry) {
+  if (!snapshot.enabled) return;
+  registry->Put("txn.lifetime", snapshot.lifetime);
+  for (int i = 0; i < kTxnPhaseCount; ++i) {
+    registry->Put(
+        std::string("txn.phase.") + TxnPhaseName(static_cast<TxnPhase>(i)),
+        snapshot.phases[i]);
+    registry->Increment(
+        std::string("metrics.phase_ticks.") +
+            TxnPhaseName(static_cast<TxnPhase>(i)),
+        snapshot.phase_ticks[i]);
+  }
+  for (const auto& [site, summary] : snapshot.site_exec) {
+    if (summary.count() > 0) {
+      registry->Put("site.exec." + ToString(site), summary);
+    }
+  }
+  registry->Increment("metrics.finished", snapshot.finished);
+  registry->Increment("metrics.committed", snapshot.committed);
+  registry->Increment("metrics.lifetime_ticks", snapshot.lifetime_ticks);
+  registry->Increment("metrics.balance_violations",
+                      snapshot.balance_violations);
+}
+
+}  // namespace mdbs::obs

@@ -6,11 +6,85 @@
 
 namespace mdbs::sim {
 
-uint64_t Summary::NextRandom() {
-  rng_state_ ^= rng_state_ << 13;
-  rng_state_ ^= rng_state_ >> 7;
-  rng_state_ ^= rng_state_ << 17;
-  return rng_state_;
+namespace {
+
+int MostSignificantBit(uint64_t value) {
+  int msb = 0;
+  while (value >>= 1) ++msb;
+  return msb;
+}
+
+}  // namespace
+
+size_t LogLinearHistogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBucketCount) return static_cast<size_t>(value);
+  int msb = MostSignificantBit(static_cast<uint64_t>(value));
+  // Octave [2^msb, 2^(msb+1)) split into kSubBucketCount equal sub-buckets
+  // of width 2^(msb - kSubBucketBits).
+  int64_t sub =
+      (value >> (msb - kSubBucketBits)) - kSubBucketCount;  // in [0, 64)
+  return static_cast<size_t>(kSubBucketCount +
+                             int64_t{msb - kSubBucketBits} * kSubBucketCount +
+                             sub);
+}
+
+int64_t LogLinearHistogram::BucketLower(size_t index) {
+  if (index < static_cast<size_t>(kSubBucketCount)) {
+    return static_cast<int64_t>(index);
+  }
+  size_t slot = index - static_cast<size_t>(kSubBucketCount);
+  int octave = static_cast<int>(slot >> kSubBucketBits);  // msb - kSubBucketBits
+  int64_t sub = static_cast<int64_t>(slot & (kSubBucketCount - 1));
+  return (int64_t{1} << (kSubBucketBits + octave)) + (sub << octave);
+}
+
+int64_t LogLinearHistogram::BucketUpper(size_t index) {
+  if (index < static_cast<size_t>(kSubBucketCount)) {
+    return static_cast<int64_t>(index) + 1;
+  }
+  size_t slot = index - static_cast<size_t>(kSubBucketCount);
+  int octave = static_cast<int>(slot >> kSubBucketBits);
+  return BucketLower(index) + (int64_t{1} << octave);
+}
+
+void LogLinearHistogram::Record(int64_t value) {
+  if (buckets_.empty()) buckets_.resize(kBucketCount, 0);
+  ++buckets_[BucketIndex(value)];
+  ++total_;
+}
+
+void LogLinearHistogram::Merge(const LogLinearHistogram& other) {
+  if (other.total_ == 0) return;
+  if (buckets_.empty()) buckets_.resize(kBucketCount, 0);
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogLinearHistogram::ValueAtRank(double pos) const {
+  if (total_ == 0) return 0.0;
+  if (pos < 0) pos = 0;
+  if (pos > static_cast<double>(total_ - 1)) {
+    pos = static_cast<double>(total_ - 1);
+  }
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(cumulative + buckets_[i]) > pos) {
+      // Rank `pos` lands inside this bucket; spread the bucket's samples
+      // evenly over [lower, upper) and interpolate. For width-1 buckets
+      // (the exact region) this reproduces sorted-vector interpolation.
+      double frac = (pos - static_cast<double>(cumulative)) /
+                    static_cast<double>(buckets_[i]);
+      int64_t lower = BucketLower(i);
+      int64_t width = BucketUpper(i) - lower;
+      return static_cast<double>(lower) + frac * static_cast<double>(width);
+    }
+    cumulative += buckets_[i];
+  }
+  return static_cast<double>(BucketUpper(buckets_.size() - 1));
 }
 
 void Summary::Add(double value) {
@@ -22,31 +96,32 @@ void Summary::Add(double value) {
   }
   ++count_;
   sum_ += value;
-  if (samples_.size() < kReservoirCapacity) {
-    samples_.push_back(value);
-    sorted_ = false;
-    return;
+  hist_.Record(static_cast<int64_t>(std::floor(value)));
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
-  // Algorithm R: the i-th observation (1-based) replaces a random slot with
-  // probability capacity/i, keeping the reservoir a uniform sample.
-  uint64_t slot = NextRandom() % static_cast<uint64_t>(count_);
-  if (slot < kReservoirCapacity) {
-    samples_[slot] = value;
-    sorted_ = false;
-  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  hist_.Merge(other.hist_);
 }
 
 double Summary::Quantile(double q) const {
-  if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  double pos = q * static_cast<double>(samples_.size() - 1);
-  auto lo = static_cast<size_t>(std::floor(pos));
-  auto hi = static_cast<size_t>(std::ceil(pos));
-  double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  double pos = q * static_cast<double>(count_ - 1);
+  double value = hist_.ValueAtRank(pos);
+  // The histogram floors fractional observations, so pin the result back
+  // into the observed range; this also keeps extreme quantiles exact.
+  return std::clamp(value, min_, max_);
 }
 
 std::string Summary::ToString() const {

@@ -426,6 +426,10 @@ void LocalDbms::Recover() {
       config_.recovery_base_time +
       config_.recovery_time_per_record * recovered.scanned_records;
   durability_stats_.recovery_ticks += replay_time;
+  if (metrics_ != nullptr && replay_time > 0) {
+    sim::Time now = loop_->now();
+    metrics_->AddRecoveryWindow(config_.id, now, now + replay_time);
+  }
   auto finish = [this, records = recovered.scanned_records,
                  bytes = recovered.scanned_bytes]() {
     down_ = false;

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lcc/protocol.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/schedule.h"
 #include "sim/task_runner.h"
@@ -112,6 +113,11 @@ class LocalDbms : public lcc::ProtocolHost {
     protocol_->EnableTrace(sink, config_.id);
   }
 
+  /// Reports durable-recovery replay windows to the always-on metrics
+  /// engine (nullptr disables), so parked global transactions overlapping a
+  /// replay are attributed to the recovery phase instead of plain parking.
+  void EnableMetrics(obs::MetricsEngine* engine) { metrics_ = engine; }
+
   /// Starts a transaction. `global` is invalid for purely local ones.
   Status Begin(TxnId txn, GlobalTxnId global);
 
@@ -208,6 +214,7 @@ class LocalDbms : public lcc::ProtocolHost {
   sim::TaskRunner* loop_;
   sched::ScheduleRecorder* recorder_;
   obs::TraceSink* trace_ = nullptr;
+  obs::MetricsEngine* metrics_ = nullptr;
   audit::Auditor* auditor_ = nullptr;
   storage::KvStore store_;
   std::unique_ptr<lcc::ConcurrencyControl> protocol_;

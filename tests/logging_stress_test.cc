@@ -1,0 +1,54 @@
+// Regression for the MDBS_LOG sink race: SetLogSink used to assign a plain
+// std::function that every logging thread read without synchronization, so
+// swapping the sink while worker strands logged was a data race (torn
+// function reads). The sink pointer is now swapped atomically; under TSan
+// (the stress preset) the old code fails this test.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace mdbs {
+namespace {
+
+TEST(LoggingStressTest, ConcurrentLoggingSurvivesSinkSwaps) {
+  std::atomic<int64_t> delivered{0};
+  auto counting_sink = [&delivered](LogLevel, const std::string& line) {
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), '\n');
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Installed before the loggers start so no line hits stderr.
+  SetLogSink(counting_sink);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < 4; ++t) {
+    loggers.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        MDBS_LOG(Warning) << "stress line from logger " << t;
+      }
+    });
+  }
+  // Swap sinks continuously while the loggers run — the race window the
+  // atomic pointer closes.
+  for (int i = 0; i < 200; ++i) {
+    SetLogSink(counting_sink);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& logger : loggers) logger.join();
+
+  // Restore the default sink BEFORE `delivered` leaves scope — installed
+  // sinks live for the process lifetime.
+  SetLogSink(nullptr);
+  EXPECT_GT(delivered.load(), 0);
+}
+
+}  // namespace
+}  // namespace mdbs

@@ -2,8 +2,82 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 namespace mdbs::sim {
 namespace {
+
+/// Sorted-vector oracle for quantiles: the linear-interpolation definition
+/// (pos = q * (n - 1)) the histogram reproduces exactly inside the exact
+/// region and approximates within bucket resolution beyond.
+double OracleQuantile(std::vector<int64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  if (values.empty()) return 0.0;
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(values[lo]) +
+         frac * static_cast<double>(values[hi] - values[lo]);
+}
+
+// --------------------------------------------------------------------------
+// LogLinearHistogram
+// --------------------------------------------------------------------------
+
+TEST(LogLinearHistogramTest, BucketGeometryRoundTrips) {
+  for (int64_t v : {0, 1, 5, 63, 64, 65, 127, 128, 1000, 123456789}) {
+    size_t index = LogLinearHistogram::BucketIndex(v);
+    EXPECT_GE(v, LogLinearHistogram::BucketLower(index)) << v;
+    EXPECT_LT(v, LogLinearHistogram::BucketUpper(index)) << v;
+  }
+  // Values below the sub-bucket count get width-1 buckets (exact region).
+  for (int64_t v = 0; v < LogLinearHistogram::kSubBucketCount; ++v) {
+    size_t index = LogLinearHistogram::BucketIndex(v);
+    EXPECT_EQ(LogLinearHistogram::BucketUpper(index) -
+                  LogLinearHistogram::BucketLower(index),
+              1);
+  }
+  // Relative bucket width beyond the exact region is at most 1/64.
+  for (int64_t v : {int64_t{1} << 10, int64_t{1} << 30, int64_t{1} << 50}) {
+    size_t index = LogLinearHistogram::BucketIndex(v);
+    int64_t width = LogLinearHistogram::BucketUpper(index) -
+                    LogLinearHistogram::BucketLower(index);
+    EXPECT_LE(width * LogLinearHistogram::kSubBucketCount,
+              LogLinearHistogram::BucketLower(index));
+  }
+}
+
+TEST(LogLinearHistogramTest, MergeEqualsBulkRecordAgainstOracle) {
+  // Two disjoint streams recorded separately then merged must match one
+  // histogram fed both streams, and both must track the sorted oracle.
+  LogLinearHistogram a;
+  LogLinearHistogram b;
+  LogLinearHistogram all;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20'000; ++i) {
+    // Deterministic long-tailed series spanning the exact and log regions.
+    int64_t v = (i % 97) + ((i * i) % 1009) * ((i % 13 == 0) ? 517 : 1);
+    values.push_back(v);
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.total(), static_cast<int64_t>(values.size()));
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    double pos = q * static_cast<double>(values.size() - 1);
+    EXPECT_DOUBLE_EQ(a.ValueAtRank(pos), all.ValueAtRank(pos)) << q;
+    double oracle = OracleQuantile(values, q);
+    // Resolution bound: one bucket of relative error (1/64), plus one more
+    // for cross-bucket interpolation at rank boundaries.
+    EXPECT_NEAR(a.ValueAtRank(pos), oracle,
+                2.0 * oracle / LogLinearHistogram::kSubBucketCount + 1.0)
+        << q;
+  }
+}
 
 // --------------------------------------------------------------------------
 // Summary
@@ -16,50 +90,82 @@ TEST(SummaryTest, EmptyIsAllZero) {
   EXPECT_EQ(summary.min(), 0.0);
   EXPECT_EQ(summary.max(), 0.0);
   EXPECT_EQ(summary.Quantile(0.5), 0.0);
-  EXPECT_TRUE(summary.retained_samples().empty());
+  EXPECT_TRUE(summary.histogram().empty());
 }
 
-TEST(SummaryTest, ExactQuantilesBelowReservoirCapacity) {
+TEST(SummaryTest, ExactQuantilesInExactRegion) {
   Summary summary;
-  // 1..100 in a scrambled order; quantiles must not depend on it.
-  for (int i = 0; i < 100; ++i) summary.Add(((i * 37) % 100) + 1);
-  EXPECT_EQ(summary.count(), 100);
-  EXPECT_DOUBLE_EQ(summary.mean(), 50.5);
-  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
-  EXPECT_DOUBLE_EQ(summary.max(), 100.0);
-  EXPECT_DOUBLE_EQ(summary.Quantile(0.0), 1.0);
-  EXPECT_DOUBLE_EQ(summary.Quantile(1.0), 100.0);
-  // Nearest-rank style estimates within one sample of the true value.
-  EXPECT_NEAR(summary.Median(), 50.0, 1.0);
-  EXPECT_NEAR(summary.P95(), 95.0, 1.0);
-  EXPECT_NEAR(summary.P99(), 99.0, 1.0);
-}
-
-TEST(SummaryTest, ReservoirBoundsMemoryButKeepsExactMoments) {
-  Summary summary;
-  const int n = 100'000;
-  for (int i = 1; i <= n; ++i) summary.Add(i);
-  EXPECT_EQ(summary.count(), n);
-  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
-  EXPECT_DOUBLE_EQ(summary.max(), n);
-  EXPECT_DOUBLE_EQ(summary.mean(), (n + 1) / 2.0);
-  EXPECT_EQ(summary.retained_samples().size(), Summary::kReservoirCapacity);
-  // Quantiles are estimates over a uniform sample: ~1.6% expected error,
-  // so a 5% tolerance makes the test robust without losing its teeth.
-  EXPECT_NEAR(summary.Median(), n / 2.0, 0.05 * n);
-  EXPECT_NEAR(summary.Quantile(0.9), 0.9 * n, 0.05 * n);
-}
-
-TEST(SummaryTest, ReservoirIsDeterministic) {
-  Summary a;
-  Summary b;
-  for (int i = 0; i < 50'000; ++i) {
-    a.Add(i % 9973);
-    b.Add(i % 9973);
+  // 1..50 in a scrambled order; quantiles must not depend on it. All values
+  // sit in the histogram's width-1 buckets, so interpolation reproduces the
+  // sorted-vector definition exactly.
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    int64_t v = ((i * 37) % 50) + 1;
+    values.push_back(v);
+    summary.Add(static_cast<double>(v));
   }
-  EXPECT_EQ(a.retained_samples(), b.retained_samples());
-  EXPECT_DOUBLE_EQ(a.Quantile(0.5), b.Quantile(0.5));
-  EXPECT_DOUBLE_EQ(a.Quantile(0.99), b.Quantile(0.99));
+  EXPECT_EQ(summary.count(), 50);
+  EXPECT_DOUBLE_EQ(summary.mean(), 25.5);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 50.0);
+  EXPECT_DOUBLE_EQ(summary.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.Quantile(1.0), 50.0);
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(summary.Quantile(q), OracleQuantile(values, q)) << q;
+  }
+}
+
+TEST(SummaryTest, FullSeriesCountedWithBoundedQuantileError) {
+  // No reservoir: count stays exact at any volume and quantiles track the
+  // oracle within the histogram's relative-error bound, p999 included.
+  Summary summary;
+  std::vector<int64_t> values;
+  const int n = 200'000;
+  for (int i = 1; i <= n; ++i) {
+    int64_t v = (i % 317 == 0) ? i * 41 : (i % 4096);  // heavy tail
+    values.push_back(v);
+    summary.Add(static_cast<double>(v));
+  }
+  EXPECT_EQ(summary.count(), n);
+  EXPECT_DOUBLE_EQ(summary.min(), 0.0);
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    double oracle = OracleQuantile(values, q);
+    EXPECT_NEAR(summary.Quantile(q), oracle,
+                2.0 * oracle / LogLinearHistogram::kSubBucketCount + 1.0)
+        << q;
+  }
+}
+
+TEST(SummaryTest, MergeMatchesSingleStream) {
+  Summary parts[4];
+  Summary whole;
+  for (int i = 0; i < 50'000; ++i) {
+    double v = static_cast<double>(i % 9973);
+    parts[i % 4].Add(v);
+    whole.Add(v);
+  }
+  Summary merged;
+  for (const Summary& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), whole.Quantile(q)) << q;
+  }
+  EXPECT_EQ(merged.ToString(), whole.ToString());
+}
+
+TEST(SummaryTest, DeterministicAcrossInsertionOrder) {
+  Summary forward;
+  Summary scrambled;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) forward.Add(i % 9973);
+  for (int i = 0; i < n; ++i) scrambled.Add(((i * 7919) % n) % 9973);
+  EXPECT_DOUBLE_EQ(forward.Quantile(0.5), scrambled.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(forward.Quantile(0.99), scrambled.Quantile(0.99));
+  EXPECT_DOUBLE_EQ(forward.Quantile(0.999), scrambled.Quantile(0.999));
+  EXPECT_EQ(forward.ToString(), scrambled.ToString());
 }
 
 // --------------------------------------------------------------------------

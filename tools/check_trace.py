@@ -27,6 +27,16 @@ back up); recover instants carry non-negative replay counters. When both
 files are given and the report has durable counters, the trace's RECOVERY
 span count must equal site.recoveries and the summed replayed records of
 its recover instants must equal site.wal_replay_records.
+
+The metrics-engine sub-schema (always-on unless --metrics=0): the report's
+"metrics" section must carry zero balance violations, per-phase ticks that
+sum EXACTLY to the total measured lifetime, the full nine-phase taxonomy,
+a bottleneck that really is the argmax phase, and a timeline whose windows
+increase strictly and whose per-window counters re-add to the run totals.
+The "trace" section's dropped counter is reported loudly (a warning, not a
+failure: dropping is legal, hiding it is not). Histogram bucket counts
+must now sum to the summary's exact count — the engine keeps every sample
+in log-linear buckets, there is no reservoir to cap at.
 """
 
 import json
@@ -278,6 +288,125 @@ def check_recovery(path, doc, trace_stats):
               f"(recoveries={recoveries}, replayed={replayed})")
 
 
+TXN_PHASES = ("admission", "scheme", "ser_wait", "ticket", "network",
+              "site_exec", "backoff", "parked", "recovery")
+
+TIMELINE_COUNTERS = ("submitted", "committed", "failed", "attempt_aborts",
+                     "max_queue_depth", "max_wait_depth", "max_parked",
+                     "site_down_events")
+
+
+def check_metrics_engine(path, doc):
+    """The always-on metrics-engine sub-schema over the run report."""
+    if "trace" in doc:
+        trace = doc["trace"]
+        for key in ("recorded", "dropped"):
+            if not isinstance(trace.get(key), int) or trace[key] < 0:
+                fail(f"{path}: trace.{key} must be a non-negative integer")
+        if trace["dropped"] > 0:
+            # Dropping under a bounded buffer is legal; silence is not.
+            print(f"check_trace: {path}: WARNING: trace sink dropped "
+                  f"{trace['dropped']} events (recorded "
+                  f"{trace['recorded']}) — raise --trace_buffer",
+                  file=sys.stderr)
+    if "metrics" not in doc:
+        return
+    m = doc["metrics"]
+    for key in ("window_size", "finished", "committed", "lifetime_ticks"):
+        if not isinstance(m.get(key), int) or m[key] < 0:
+            fail(f"{path}: metrics.{key} must be a non-negative integer")
+    finished = m["finished"]
+    if m["committed"] > finished:
+        fail(f"{path}: metrics.committed={m['committed']} exceeds "
+             f"finished={finished}")
+
+    # The balance invariant is the engine's core guarantee: every finished
+    # transaction's exclusive phases partition its lifetime exactly.
+    balance = m.get("balance", {})
+    if balance.get("violations") != 0 or balance.get("max_error") != 0:
+        fail(f"{path}: phase balance violated: {balance!r}")
+    if set(m.get("phases", {})) != set(TXN_PHASES):
+        fail(f"{path}: metrics.phases keys {sorted(m.get('phases', {}))} "
+             f"!= the phase taxonomy {sorted(TXN_PHASES)}")
+    phase_ticks = {}
+    for name in TXN_PHASES:
+        phase = m["phases"][name]
+        for key in ("ticks", "count"):
+            if not isinstance(phase.get(key), int) or phase[key] < 0:
+                fail(f"{path}: phase {name}.{key} must be a non-negative "
+                     f"integer")
+        if not 0.0 <= phase.get("share", -1.0) <= 1.0:
+            fail(f"{path}: phase {name} share {phase.get('share')!r} "
+                 f"outside [0,1]")
+        if phase["count"] != finished:
+            # Every phase summary gets one sample per finished transaction
+            # (zero dwell records as zero), so the counts must all agree.
+            fail(f"{path}: phase {name} count {phase['count']} != "
+                 f"finished {finished}")
+        for q in ("p50", "p95", "p99", "p999"):
+            if q not in phase.get("quantiles", {}):
+                fail(f"{path}: phase {name} lacks quantile {q}")
+        phase_ticks[name] = phase["ticks"]
+    if sum(phase_ticks.values()) != m["lifetime_ticks"]:
+        fail(f"{path}: phase ticks sum {sum(phase_ticks.values())} != "
+             f"lifetime_ticks {m['lifetime_ticks']}")
+
+    bottleneck = m.get("bottleneck", {})
+    if bottleneck.get("phase") not in TXN_PHASES:
+        fail(f"{path}: bottleneck phase {bottleneck.get('phase')!r} not in "
+             f"the taxonomy")
+    if finished and phase_ticks[bottleneck["phase"]] != max(
+            phase_ticks.values()):
+        fail(f"{path}: bottleneck {bottleneck['phase']} is not the argmax "
+             f"phase ({phase_ticks})")
+
+    timeline = m.get("timeline")
+    if not isinstance(timeline, list):
+        fail(f"{path}: metrics.timeline is not an array")
+    prev_window = None
+    totals = {"submitted": 0, "committed": 0}
+    for i, point in enumerate(timeline):
+        for key in TIMELINE_COUNTERS:
+            if not isinstance(point.get(key), int) or point[key] < 0:
+                fail(f"{path}: timeline[{i}].{key} must be a non-negative "
+                     f"integer")
+        if prev_window is not None and point["window"] <= prev_window:
+            fail(f"{path}: timeline windows not strictly increasing at "
+                 f"[{i}]: {point['window']} after {prev_window}")
+        prev_window = point["window"]
+        if point.get("start") != point["window"] * m["window_size"]:
+            fail(f"{path}: timeline[{i}] start {point.get('start')!r} != "
+                 f"window*window_size")
+        if not isinstance(point.get("p99_latency"), (int, float)) or \
+                point["p99_latency"] < 0:
+            fail(f"{path}: timeline[{i}] has bad p99_latency")
+        totals["submitted"] += point["submitted"]
+        totals["committed"] += point["committed"]
+    # Windowed counts are a partition of the run: they re-add to the totals.
+    if totals["submitted"] != finished:
+        fail(f"{path}: timeline submitted sum {totals['submitted']} != "
+             f"finished {finished}")
+    if totals["committed"] != m["committed"]:
+        fail(f"{path}: timeline committed sum {totals['committed']} != "
+             f"committed {m['committed']}")
+
+    # Cross-check against the flat registry the same report carries.
+    counters, summaries = doc["counters"], doc["summaries"]
+    if counters.get("metrics.finished", finished) != finished:
+        fail(f"{path}: counters['metrics.finished']="
+             f"{counters['metrics.finished']} != metrics.finished "
+             f"{finished}")
+    lifetime = summaries.get("txn.lifetime")
+    if lifetime is not None and lifetime["count"] != finished:
+        fail(f"{path}: txn.lifetime summary count {lifetime['count']} != "
+             f"metrics.finished {finished}")
+    print(f"check_trace: {path}: metrics engine consistent "
+          f"(finished={finished}, committed={m['committed']}, "
+          f"bottleneck={bottleneck['phase']} "
+          f"{bottleneck.get('share', 0.0):.0%}, "
+          f"windows={len(timeline)})")
+
+
 def check_metrics(path, trace_stats=None):
     with open(path) as f:
         doc = json.load(f)
@@ -293,7 +422,7 @@ def check_metrics(path, trace_stats=None):
                 fail(f"{path}: summary {name} lacks '{key}'")
         if summary["count"] < 0:
             fail(f"{path}: summary {name} has negative count")
-        for q in ("p50", "p90", "p95", "p99"):
+        for q in ("p50", "p90", "p95", "p99", "p999"):
             if q not in summary["quantiles"]:
                 fail(f"{path}: summary {name} lacks quantile {q}")
         histogram = summary["histogram"]
@@ -304,10 +433,10 @@ def check_metrics(path, trace_stats=None):
             if "le" not in bucket or "count" not in bucket:
                 fail(f"{path}: summary {name} has a malformed bucket")
             total += bucket["count"]
-        retained = min(summary["count"], 4096)  # Reservoir cap.
-        if histogram and total != retained:
+        # Log-linear histograms count every sample — no reservoir cap.
+        if histogram and total != summary["count"]:
             fail(f"{path}: summary {name} histogram counts {total} != "
-                 f"retained samples {retained}")
+                 f"count {summary['count']}")
     required = {"phase.submit_to_commit"}
     missing = required - set(doc["summaries"])
     if missing:
@@ -315,6 +444,7 @@ def check_metrics(path, trace_stats=None):
     check_analysis(path, doc,
                    trace_stats["downgrades"] if trace_stats else None)
     check_recovery(path, doc, trace_stats)
+    check_metrics_engine(path, doc)
     print(f"check_trace: {path}: {len(doc['counters'])} counters, "
           f"{len(doc['summaries'])} summaries OK")
 
