@@ -76,6 +76,10 @@ struct Options {
   int64_t checkpoint_interval = 256;
   mdbs::sim::Time recovery_cost = 0;
   std::string wal_dir;
+  bool gtm_durable = false;
+  int64_t gtm_checkpoint_interval = 256;
+  mdbs::sim::Time gtm_recovery_cost = 0;
+  std::string gtm_wal_dir;
 };
 
 bool ParseProtocol(const std::string& name, ProtocolKind* out) {
@@ -216,6 +220,19 @@ bool ParseOptions(int argc, char** argv, Options* options) {
     } else if (arg.rfind("--wal_dir=", 0) == 0) {
       options->wal_dir = value_of("--wal_dir=");
       options->durable = true;
+    } else if (arg == "--gtm_durable") {
+      options->gtm_durable = true;
+    } else if (arg.rfind("--gtm_checkpoint_interval=", 0) == 0) {
+      options->gtm_checkpoint_interval =
+          std::atoll(value_of("--gtm_checkpoint_interval=").c_str());
+      options->gtm_durable = true;
+    } else if (arg.rfind("--gtm_recovery_cost=", 0) == 0) {
+      options->gtm_recovery_cost =
+          std::atoll(value_of("--gtm_recovery_cost=").c_str());
+      options->gtm_durable = true;
+    } else if (arg.rfind("--gtm_wal_dir=", 0) == 0) {
+      options->gtm_wal_dir = value_of("--gtm_wal_dir=");
+      options->gtm_durable = true;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -278,6 +295,18 @@ void PrintUsage() {
       "  --wal_dir=PATH                back each site's WAL with a file\n"
       "                                PATH/s<k>.wal that survives process\n"
       "                                restarts (implies --durable)\n"
+      "  --gtm_durable                 the GTM write-ahead logs every state\n"
+      "                                transition; gtm_crash@T:D fault-plan\n"
+      "                                directives crash it at T and replay\n"
+      "                                the log D ticks later (DESIGN §12)\n"
+      "  --gtm_checkpoint_interval=N   GTM log records between checkpoints\n"
+      "                                (0 = replay from the log head;\n"
+      "                                implies --gtm_durable)\n"
+      "  --gtm_recovery_cost=T         modeled replay ticks per scanned GTM\n"
+      "                                log record (implies --gtm_durable;\n"
+      "                                see EXPERIMENTS E15)\n"
+      "  --gtm_wal_dir=PATH            back the GTM WAL with PATH/gtm.wal\n"
+      "                                (implies --gtm_durable)\n"
       "  --analyze                     run the static conflict-robustness\n"
       "                                analyzer on the mix and print the\n"
       "                                verdict (certificate or witness)\n"
@@ -323,6 +352,24 @@ int main(int argc, char** argv) {
             options.wal_dir + "/s" + std::to_string(i) + ".wal");
       }
     }
+  }
+  if (options.gtm_durable) {
+    config.gtm.durable = true;
+    config.gtm.checkpoint_interval = options.gtm_checkpoint_interval;
+    config.gtm.recovery_time_per_record = options.gtm_recovery_cost;
+    if (!options.gtm_wal_dir.empty()) {
+      config.gtm.wal_device = std::make_shared<mdbs::storage::FileLogDevice>(
+          options.gtm_wal_dir + "/gtm.wal");
+    }
+  }
+  // A gtm_crash against a non-durable GTM is rejected here (exit 2) rather
+  // than tripping the same check fatally inside the Mdbs constructor.
+  mdbs::Status plan_ok =
+      mdbs::fault::ValidatePlanForConfig(config.fault_plan,
+                                         config.gtm.durable);
+  if (!plan_ok.ok()) {
+    std::fprintf(stderr, "--fault_plan: %s\n", plan_ok.ToString().c_str());
+    return 2;
   }
   bool want_trace =
       !options.trace_out.empty() || !options.metrics_out.empty();
@@ -489,6 +536,7 @@ int main(int argc, char** argv) {
     info.emplace_back("metrics_window",
                       std::to_string(options.metrics_window));
     if (options.durable) info.emplace_back("durable", "1");
+    if (options.gtm_durable) info.emplace_back("gtm_durable", "1");
     if (!system.resolved_fault_plan().Empty()) {
       info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
     }

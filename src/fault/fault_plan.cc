@@ -81,6 +81,17 @@ Status ParseOneDirective(const std::string& token, FaultPlan* plan) {
     plan->crashes.push_back(CrashEvent{SiteId(site), at, duration});
     return Status::OK();
   }
+  if (token.rfind("gtm_crash@", 0) == 0) {
+    // gtm_crash@T:D
+    std::vector<std::string> parts = SplitColons(token.substr(10));
+    GtmCrashEvent event;
+    if (parts.size() != 2 || !ParseTicks(parts[0], &event.at) ||
+        !ParseTicks(parts[1], &event.duration) || event.duration <= 0) {
+      return malformed();
+    }
+    plan->gtm_crashes.push_back(event);
+    return Status::OK();
+  }
   if (token.rfind("sweep@", 0) == 0) {
     // sweep@T:G:D
     std::vector<std::string> parts = SplitColons(token.substr(6));
@@ -132,7 +143,8 @@ Status ParseOneDirective(const std::string& token, FaultPlan* plan) {
 }  // namespace
 
 bool FaultPlan::Empty() const {
-  return crashes.empty() && sweeps.empty() && !HasMessageFaults();
+  return crashes.empty() && sweeps.empty() && gtm_crashes.empty() &&
+         !HasMessageFaults();
 }
 
 bool FaultPlan::HasMessageFaults() const {
@@ -150,6 +162,10 @@ std::string FaultPlan::ToSpec() const {
   }
   for (const SweepEvent& s : sweeps) {
     os << sep << "sweep@" << s.first_at << ":" << s.gap << ":" << s.duration;
+    sep = ";";
+  }
+  for (const GtmCrashEvent& g : gtm_crashes) {
+    os << sep << "gtm_crash@" << g.at << ":" << g.duration;
     sep = ";";
   }
   if (request_loss > 0) {
@@ -217,6 +233,22 @@ FaultPlan ResolveSweeps(const FaultPlan& plan, int num_sites) {
               return a.site.value() < b.site.value();
             });
   return resolved;
+}
+
+Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable) {
+  if (!plan.gtm_crashes.empty() && !gtm_durable) {
+    return Status::InvalidArgument(
+        "fault plan schedules a gtm_crash but the GTM is not durable: a "
+        "non-durable GTM cannot replay its state, so recovery would drop "
+        "every in-flight global transaction; enable GTM durability "
+        "(--gtm_durable) or remove the gtm_crash directive");
+  }
+  for (const GtmCrashEvent& event : plan.gtm_crashes) {
+    if (event.duration <= 0) {
+      return Status::InvalidArgument("gtm_crash outage must be positive");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace mdbs::fault

@@ -21,6 +21,18 @@ struct CrashEvent {
   friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
 };
 
+/// One scheduled GTM crash: the global transaction manager loses all
+/// volatile state at `at` and starts recovery (WAL replay, then resume)
+/// `duration` ticks later. Requires a durable GTM — armed plans are
+/// validated against the multidatabase config and rejected loudly when the
+/// GTM has no log to replay.
+struct GtmCrashEvent {
+  sim::Time at = 0;
+  sim::Time duration = 0;
+
+  friend bool operator==(const GtmCrashEvent&, const GtmCrashEvent&) = default;
+};
+
 /// A crash sweep over every site, resolved against the actual site count
 /// when the multidatabase is built: site i crashes at `first_at + i * gap`
 /// for `duration` ticks.
@@ -46,6 +58,7 @@ struct SweepEvent {
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<SweepEvent> sweeps;
+  std::vector<GtmCrashEvent> gtm_crashes;
   /// Probability a begin/data request is lost before reaching the site.
   double request_loss = 0;
   /// Probability the site's response is lost on the way back.
@@ -84,6 +97,8 @@ struct FaultPlan {
 ///   crash@T:sN:D   crash site N at tick T for D ticks
 ///   sweep@T:G:D    crash every site once: site i at T + i*G for D ticks
 ///                  (expanded against the actual site count at build time)
+///   gtm_crash@T:D  crash the GTM at tick T; recovery starts D ticks later
+///                  (durable GTM only — rejected otherwise at build time)
 ///   req_loss=P     drop requests with probability P
 ///   resp_loss=P    drop responses with probability P
 ///   dup=P          duplicate delivered messages with probability P
@@ -96,6 +111,12 @@ StatusOr<FaultPlan> ParseFaultPlan(const std::string& text);
 /// (appended to `crashes`, sweeps cleared). Crash events are returned sorted
 /// by (at, site) so arming order is deterministic.
 FaultPlan ResolveSweeps(const FaultPlan& plan, int num_sites);
+
+/// Checks the plan against the target configuration. A plan with
+/// gtm_crash directives is only runnable when the GTM is durable — a
+/// non-durable GTM has no log to replay, so "crash and recover it" would
+/// silently drop every in-flight global transaction. Fails loudly instead.
+Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable);
 
 }  // namespace mdbs::fault
 

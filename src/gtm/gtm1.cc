@@ -1,8 +1,10 @@
 #include "gtm/gtm1.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "gtm/gtm_log.h"
 
 namespace mdbs::gtm {
 
@@ -10,26 +12,162 @@ Gtm1::Gtm1(const Gtm1Config& config, sim::TaskRunner* loop,
            SiteGateway* gateway, uint64_t seed)
     : config_(config), loop_(loop), gateway_(gateway), rng_(seed) {
   Gtm2::Callbacks callbacks;
+  // All four callbacks are muted during WAL replay (the live run already
+  // performed their side effects) and the deferred ones capture the crash
+  // epoch so a pre-crash pump cannot drive post-recovery state.
   callbacks.release_ser = [this](GlobalTxnId txn, SiteId site) {
+    if (replaying_) return;
     OnSerReleased(txn, site);
   };
   callbacks.forward_ack = [this](GlobalTxnId txn, SiteId site) {
+    if (replaying_) return;
     OnAckForwarded(txn, site);
   };
   callbacks.validate_passed = [this](GlobalTxnId txn) {
+    if (replaying_) return;
     // Defer: validate_passed fires inside the GTM2 pump.
-    loop_->Schedule(0, [this, txn]() { OnValidatePassed(txn); });
+    int64_t epoch = epoch_;
+    loop_->Schedule(0, [this, txn, epoch]() {
+      if (epoch != epoch_) return;
+      OnValidatePassed(txn);
+    });
   };
   callbacks.abort_txn = [this](GlobalTxnId txn) {
-    loop_->Schedule(0, [this, txn]() {
+    if (replaying_) return;
+    int64_t epoch = epoch_;
+    loop_->Schedule(0, [this, txn, epoch]() {
+      if (epoch != epoch_) return;
       FailAttempt(txn, Status::TransactionAborted("GTM scheme abort"),
                   /*scheme_demanded=*/true);
     });
   };
-  std::unique_ptr<Scheme> scheme = config.scheme_factory
-                                       ? config.scheme_factory()
-                                       : MakeScheme(config.scheme);
-  gtm2_ = std::make_unique<Gtm2>(std::move(scheme), std::move(callbacks));
+  gtm2_ = std::make_unique<Gtm2>(MakeFreshScheme(), std::move(callbacks));
+  if (config_.durable) {
+    MDBS_CHECK(gtm2_->scheme().SupportsSnapshot())
+        << "durable GTM requires a snapshot-capable scheme; "
+        << gtm2_->scheme().Name() << " is not (Schemes 0-3 and the "
+        << "certified fast path are)";
+    wal_device_ = config_.wal_device != nullptr
+                      ? config_.wal_device
+                      : std::make_shared<storage::MemLogDevice>();
+    wal_ = std::make_unique<GtmLogWriter>(wal_device_.get());
+  }
+}
+
+Gtm1::~Gtm1() = default;
+
+std::unique_ptr<Scheme> Gtm1::MakeFreshScheme() const {
+  return config_.scheme_factory ? config_.scheme_factory()
+                                : MakeScheme(config_.scheme);
+}
+
+GtmDurabilityStats Gtm1::durability_stats() const {
+  GtmDurabilityStats stats = durability_stats_;
+  if (wal_ != nullptr) {
+    stats.wal_records = wal_->records_written();
+    stats.wal_bytes = wal_->bytes_written();
+  }
+  return stats;
+}
+
+void Gtm1::LogRecord(const GtmLogRecord& record) {
+  if (wal_ == nullptr || replaying_) return;
+  wal_->Append(record);
+  MaybeScheduleCheckpoint();
+}
+
+void Gtm1::EnqueueGtm2(QueueOp op) {
+  if (wal_ != nullptr && !replaying_) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kEnqueue;
+    record.code = static_cast<uint8_t>(op.kind);
+    record.attempt = op.txn.value();
+    record.site = op.site.value();
+    record.sites.reserve(op.sites.size());
+    for (SiteId site : op.sites) record.sites.push_back(site.value());
+    LogRecord(record);
+  }
+  gtm2_->Enqueue(std::move(op));
+  if (gtm2_observer_) gtm2_observer_();
+}
+
+void Gtm1::AbortCleanupGtm2(GlobalTxnId txn) {
+  if (wal_ != nullptr && !replaying_) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kAbortCleanup;
+    record.attempt = txn.value();
+    LogRecord(record);
+  }
+  gtm2_->AbortCleanup(txn);
+  if (gtm2_observer_) gtm2_observer_();
+}
+
+void Gtm1::MaybeScheduleCheckpoint() {
+  if (config_.checkpoint_interval <= 0 || checkpoint_scheduled_) return;
+  if (wal_->records_since_checkpoint() < config_.checkpoint_interval) return;
+  // Deferred to a strand-turn boundary, where GTM2's QUEUE is provably
+  // empty and the volatile image is exactly WAIT + dead set + scheme DS.
+  checkpoint_scheduled_ = true;
+  int64_t epoch = epoch_;
+  loop_->Schedule(0, [this, epoch]() {
+    checkpoint_scheduled_ = false;
+    if (epoch != epoch_ || down_) return;
+    TakeCheckpoint();
+  });
+}
+
+void Gtm1::TakeCheckpoint() {
+  GtmLogRecord record;
+  record.type = GtmLogRecordType::kCheckpoint;
+  GtmCheckpoint* cp = &record.checkpoint;
+  cp->next_txn_id = next_txn_id_;
+  cp->next_attempt_id = next_attempt_id_;
+  cp->next_job_id = next_job_id_;
+  cp->gtm1_stats = stats_;
+  // jobs_ is id-ordered (ids are allocated monotonically at Submit and
+  // erasure preserves order).
+  for (const std::unique_ptr<Job>& job : jobs_) {
+    GtmCheckpoint::JobImage image;
+    image.id = job->id;
+    image.submit_time = job->submit_time;
+    image.attempts = job->attempts;
+    image.parked = job->parked;
+    if (attempts_.find(job->current_attempt) != attempts_.end()) {
+      image.current_attempt = job->current_attempt.value();
+    }
+    cp->jobs.push_back(image);
+  }
+  std::vector<const Attempt*> live;
+  live.reserve(attempts_.size());
+  for (const auto& [id, attempt] : attempts_) live.push_back(attempt.get());
+  std::sort(live.begin(), live.end(), [](const Attempt* a, const Attempt* b) {
+    return a->id.value() < b->id.value();
+  });
+  for (const Attempt* attempt : live) {
+    GtmCheckpoint::AttemptImage image;
+    image.id = attempt->id.value();
+    image.job = attempt->job->id;
+    image.committing = attempt->committing;
+    image.commit_index = static_cast<int64_t>(attempt->commit_next);
+    for (SiteId site : attempt->begun_sites) {
+      image.subs.emplace_back(site.value(),
+                              attempt->sub_ids.at(site).value());
+    }
+    for (const auto& [key, value] : attempt->reads) {
+      image.reads.push_back({key.first.value(), key.second.value(), value});
+    }
+    cp->attempts.push_back(std::move(image));
+  }
+  for (SiteId site : quarantined_) cp->quarantined.push_back(site.value());
+  std::sort(cp->quarantined.begin(), cp->quarantined.end());
+  Gtm2::VolatileImage gtm2_image = gtm2_->SnapshotForCheckpoint();
+  cp->wait = std::move(gtm2_image.wait);
+  cp->dead_txns = std::move(gtm2_image.dead_txns);
+  cp->gtm2_stats = gtm2_image.stats;
+  cp->scheme_steps = gtm2_image.scheme_steps;
+  cp->scheme_state = std::move(gtm2_image.scheme_state);
+  LogRecord(record);
+  ++durability_stats_.checkpoints;
 }
 
 void Gtm1::EnableTrace(obs::TraceSink* sink) {
@@ -55,6 +193,14 @@ SiteGateway::OpCallback Gtm1::WrapRoundTrip(GlobalTxnId attempt_id, TxnId sub,
 
 void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   MDBS_CHECK(!spec.ops.empty()) << "empty global transaction";
+  if (down_) {
+    // The GTM is crashed or still replaying: the client's submission rides
+    // out the outage in the admission buffer and is admitted, in arrival
+    // order, when the recovered GTM resumes.
+    ++durability_stats_.buffered_submits;
+    pending_submits_.push_back(PendingSubmit{std::move(spec), std::move(cb)});
+    return;
+  }
   ++stats_.submitted;
   ++in_flight_;
   auto job = std::make_unique<Job>();
@@ -65,6 +211,13 @@ void Gtm1::Submit(GlobalTxnSpec spec, ResultCallback cb) {
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kSubmit, job->id, -1,
                    static_cast<int64_t>(job->spec.Sites().size()));
+  }
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kSubmit;
+    record.job = job->id;
+    record.time = job->submit_time;
+    LogRecord(record);
   }
   Job* raw = job.get();
   jobs_.push_back(std::move(job));
@@ -133,6 +286,14 @@ void Gtm1::StartAttempt(Job* job) {
   GlobalTxnId attempt_id = attempt->id;
   std::vector<SiteId> sites = job->spec.Sites();
   attempts_[attempt_id] = std::move(attempt);
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kAttemptStart;
+    record.attempt = attempt_id.value();
+    record.job = job->id;
+    record.index = job->attempts;
+    LogRecord(record);
+  }
   if (metrics_ != nullptr) {
     metrics_->AttemptStarted(attempt_id, job->id);
     metrics_->Transition(job->id, obs::TxnPhase::kScheme);
@@ -150,7 +311,9 @@ void Gtm1::StartAttempt(Job* job) {
   }
 
   if (config_.attempt_timeout > 0) {
-    loop_->Schedule(config_.attempt_timeout, [this, attempt_id]() {
+    int64_t epoch = epoch_;
+    loop_->Schedule(config_.attempt_timeout, [this, attempt_id, epoch]() {
+      if (epoch != epoch_) return;
       Attempt* timed_out = FindAttempt(attempt_id);
       if (timed_out == nullptr || timed_out->failed ||
           timed_out->committing) {
@@ -167,7 +330,7 @@ void Gtm1::StartAttempt(Job* job) {
     });
   }
 
-  gtm2_->Enqueue(QueueOp::Init(attempt_id, std::move(sites)));
+  EnqueueGtm2(QueueOp::Init(attempt_id, std::move(sites)));
   AdvanceStep(attempt_id);
 }
 
@@ -179,7 +342,7 @@ void Gtm1::AdvanceStep(GlobalTxnId attempt_id) {
     if (metrics_ != nullptr) {
       metrics_->Transition(attempt->job->id, obs::TxnPhase::kScheme);
     }
-    gtm2_->Enqueue(QueueOp::Validate(attempt_id));
+    EnqueueGtm2(QueueOp::Validate(attempt_id));
     return;
   }
   const Step& step = attempt->steps[attempt->next_step];
@@ -188,7 +351,7 @@ void Gtm1::AdvanceStep(GlobalTxnId attempt_id) {
     if (metrics_ != nullptr) {
       metrics_->Transition(attempt->job->id, obs::TxnPhase::kScheme);
     }
-    gtm2_->Enqueue(QueueOp::Ser(attempt_id, step.site));
+    EnqueueGtm2(QueueOp::Ser(attempt_id, step.site));
     return;
   }
   PerformStep(attempt, step,
@@ -220,13 +383,15 @@ void Gtm1::OnSerReleased(GlobalTxnId attempt_id, SiteId site) {
                   return;
                 }
                 // The server inserts the ack into QUEUE (paper §4).
-                gtm2_->Enqueue(QueueOp::Ack(attempt_id, site));
+                EnqueueGtm2(QueueOp::Ack(attempt_id, site));
               });
 }
 
 void Gtm1::OnAckForwarded(GlobalTxnId attempt_id, SiteId) {
   // Deferred: forward_ack fires inside the GTM2 pump.
-  loop_->Schedule(0, [this, attempt_id]() {
+  int64_t epoch = epoch_;
+  loop_->Schedule(0, [this, attempt_id, epoch]() {
+    if (epoch != epoch_) return;
     Attempt* attempt = FindAttempt(attempt_id);
     if (attempt == nullptr || attempt->failed) return;
     ++attempt->next_step;
@@ -254,6 +419,14 @@ void Gtm1::PerformStep(Attempt* attempt, const Step& step,
       TxnId sub_id = TxnId(next_txn_id_++);
       attempt->sub_ids[step.site] = sub_id;
       attempt->begun_sites.push_back(step.site);
+      if (wal_ != nullptr) {
+        GtmLogRecord record;
+        record.type = GtmLogRecordType::kBeginSite;
+        record.attempt = attempt_id.value();
+        record.site = step.site.value();
+        record.sub = sub_id.value();
+        LogRecord(record);
+      }
       gateway_->Begin(step.site, sub_id, attempt_id,
                       [done](const Status& status) { done(status, 0); });
       return;
@@ -302,6 +475,15 @@ void Gtm1::PerformStep(Attempt* attempt, const Step& step,
                           if (reader != nullptr && status.ok() &&
                               op.type == OpType::kRead) {
                             reader->reads[{site, op.item}] = value;
+                            if (wal_ != nullptr) {
+                              GtmLogRecord record;
+                              record.type = GtmLogRecordType::kRead;
+                              record.attempt = attempt_id.value();
+                              record.site = site.value();
+                              record.item = op.item.value();
+                              record.value = value;
+                              LogRecord(record);
+                            }
                           }
                           done(status, value);
                         }));
@@ -314,17 +496,34 @@ void Gtm1::OnValidatePassed(GlobalTxnId attempt_id) {
   Attempt* attempt = FindAttempt(attempt_id);
   if (attempt == nullptr || attempt->failed) return;
   attempt->committing = true;
+  if (wal_ != nullptr) {
+    // Once this record is durable, a crashed GTM forward-rolls the commit
+    // fan-out (site commits are idempotent) instead of aborting.
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kCommitStart;
+    record.attempt = attempt_id.value();
+    LogRecord(record);
+  }
   CommitNextSite(attempt_id, 0);
 }
 
 void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
   Attempt* attempt = FindAttempt(attempt_id);
   if (attempt == nullptr || attempt->failed) return;
+  attempt->commit_next = index;
   if (index == attempt->begun_sites.size()) {
     // Fully committed.
-    gtm2_->Enqueue(QueueOp::Fin(attempt_id));
+    EnqueueGtm2(QueueOp::Fin(attempt_id));
     Job* job = attempt->job;
     ++stats_.committed;
+    if (wal_ != nullptr) {
+      GtmLogRecord record;
+      record.type = GtmLogRecordType::kFinish;
+      record.job = job->id;
+      record.code = static_cast<uint8_t>(GtmFinishOutcome::kCommitted);
+      record.index = job->attempts;
+      LogRecord(record);
+    }
     if (metrics_ != nullptr) {
       metrics_->AttemptEnded(attempt_id);
       metrics_->TxnFinished(job->id, /*committed=*/true);
@@ -348,14 +547,28 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
   if (metrics_ != nullptr) {
     metrics_->Transition(attempt->job->id, obs::TxnPhase::kSiteExec);
   }
+  // The epoch guard matters here more than anywhere: after a crash the
+  // recovered GTM re-drives this very attempt id from its logged commit
+  // index, and a stale pre-crash ack racing the re-driven fan-out would
+  // advance the cursor twice.
+  int64_t epoch = epoch_;
   gateway_->Commit(
-      site, sub_id, [this, attempt_id, index, sub_id](const Status& status) {
+      site, sub_id,
+      [this, attempt_id, index, sub_id, epoch](const Status& status) {
+        if (epoch != epoch_) return;
         Attempt* committing = FindAttempt(attempt_id);
         if (committing == nullptr || committing->failed) return;
         if (metrics_ != nullptr) {
           metrics_->EndRoundTrip(committing->job->id, sub_id);
         }
         if (status.ok()) {
+          if (wal_ != nullptr) {
+            GtmLogRecord record;
+            record.type = GtmLogRecordType::kCommitSite;
+            record.attempt = attempt_id.value();
+            record.index = static_cast<int64_t>(index);
+            LogRecord(record);
+          }
           CommitNextSite(attempt_id, index + 1);
           return;
         }
@@ -381,7 +594,15 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
           gateway_->Abort(rest, committing->sub_ids.at(rest),
                           [](const Status&) {});
         }
-        gtm2_->AbortCleanup(attempt_id);
+        AbortCleanupGtm2(attempt_id);
+        if (wal_ != nullptr) {
+          GtmLogRecord record;
+          record.type = GtmLogRecordType::kFinish;
+          record.job = job->id;
+          record.code = static_cast<uint8_t>(GtmFinishOutcome::kPartial);
+          record.index = job->attempts;
+          LogRecord(record);
+        }
         if (metrics_ != nullptr) {
           metrics_->AttemptEnded(attempt_id);
           metrics_->TxnFinished(job->id, /*committed=*/false);
@@ -406,23 +627,35 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   attempt->failed = true;
   ++stats_.aborted_attempts;
   if (scheme_demanded) ++stats_.scheme_aborts;
+  const std::string& msg = reason.message();
+  bool by_timeout = msg == "attempt timed out";
+  bool by_site_down =
+      msg.size() > 5 && msg.compare(msg.size() - 5, 5, " down") == 0;
   if (trace_ != nullptr) {
-    const std::string& msg = reason.message();
-    bool by_site_down =
-        msg.size() > 5 && msg.compare(msg.size() - 5, 5, " down") == 0;
-    const char* why = scheme_demanded          ? "scheme"
-                      : msg == "attempt timed out" ? "timeout"
-                      : by_site_down               ? "site_down"
-                                                   : "site";
+    const char* why = scheme_demanded ? "scheme"
+                      : by_timeout    ? "timeout"
+                      : by_site_down  ? "site_down"
+                                      : "site";
     trace_->Record(obs::TraceEventKind::kAttemptAbort, attempt_id.value(), -1,
                    attempt->job->id, attempt->job->attempts, why);
+  }
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kAttemptFail;
+    record.attempt = attempt_id.value();
+    record.code =
+        static_cast<uint8_t>(scheme_demanded ? GtmAttemptFailReason::kScheme
+                             : by_timeout    ? GtmAttemptFailReason::kTimeout
+                             : by_site_down  ? GtmAttemptFailReason::kSiteDown
+                                             : GtmAttemptFailReason::kSite);
+    LogRecord(record);
   }
 
   // Abort every begun subtransaction (idempotent at the sites).
   for (SiteId site : attempt->begun_sites) {
     gateway_->Abort(site, attempt->sub_ids.at(site), [](const Status&) {});
   }
-  gtm2_->AbortCleanup(attempt_id);
+  AbortCleanupGtm2(attempt_id);
 
   Job* job = attempt->job;
   attempts_.erase(attempt_id);
@@ -432,6 +665,14 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   }
   if (job->attempts >= config_.max_attempts) {
     ++stats_.failed;
+    if (wal_ != nullptr) {
+      GtmLogRecord record;
+      record.type = GtmLogRecordType::kFinish;
+      record.job = job->id;
+      record.code = static_cast<uint8_t>(GtmFinishOutcome::kGaveUp);
+      record.index = job->attempts;
+      LogRecord(record);
+    }
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEventKind::kTxnFail, attempt_id.value(), -1,
                      job->id, job->attempts, "gave_up");
@@ -453,7 +694,11 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
   if (metrics_ != nullptr) {
     metrics_->Transition(job_id, obs::TxnPhase::kBackoff);
   }
-  loop_->Schedule(RetryDelay(*job), [this, job_id]() { RetryJob(job_id); });
+  int64_t epoch = epoch_;
+  loop_->Schedule(RetryDelay(*job), [this, job_id, epoch]() {
+    if (epoch != epoch_) return;
+    RetryJob(job_id);
+  });
 }
 
 sim::Time Gtm1::RetryDelay(const Job& job) {
@@ -481,8 +726,14 @@ void Gtm1::RetryJob(int64_t job_id) {
 
 void Gtm1::ParkJob(Job* job) {
   job->parked = true;
-  int64_t epoch = ++job->park_epoch;
+  ++job->park_epoch;
   ++stats_.parked;
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kPark;
+    record.job = job->id;
+    LogRecord(record);
+  }
   if (metrics_ != nullptr) {
     metrics_->Transition(job->id, obs::TxnPhase::kParked);
   }
@@ -490,15 +741,32 @@ void Gtm1::ParkJob(Job* job) {
     trace_->Record(obs::TraceEventKind::kTxnParked, job->id, -1,
                    job->attempts);
   }
+  ArmParkTimeout(job);
+}
+
+void Gtm1::ArmParkTimeout(Job* job) {
   if (config_.quarantine_park_timeout <= 0) return;
   int64_t job_id = job->id;
-  loop_->Schedule(config_.quarantine_park_timeout, [this, job_id, epoch]() {
+  int64_t park_epoch = job->park_epoch;
+  int64_t epoch = epoch_;
+  loop_->Schedule(config_.quarantine_park_timeout,
+                  [this, job_id, park_epoch, epoch]() {
+    if (epoch != epoch_) return;
     Job* parked = FindJob(job_id);
-    if (parked == nullptr || !parked->parked || parked->park_epoch != epoch) {
+    if (parked == nullptr || !parked->parked ||
+        parked->park_epoch != park_epoch) {
       return;
     }
     ++stats_.park_timeouts;
     ++stats_.failed;
+    if (wal_ != nullptr) {
+      GtmLogRecord record;
+      record.type = GtmLogRecordType::kFinish;
+      record.job = parked->id;
+      record.code = static_cast<uint8_t>(GtmFinishOutcome::kParkTimeout);
+      record.index = parked->attempts;
+      LogRecord(record);
+    }
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEventKind::kTxnFail, parked->current_attempt.value(),
                      -1, parked->id, parked->attempts, "park_timeout");
@@ -515,7 +783,16 @@ void Gtm1::ParkJob(Job* job) {
 }
 
 void Gtm1::OnSiteDown(SiteId site) {
+  // While the GTM itself is down, site churn is invisible to it; Recover()
+  // takes the health monitor's current view instead of replaying this churn.
+  if (down_) return;
   if (!quarantined_.insert(site).second) return;
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kSiteDown;
+    record.site = site.value();
+    LogRecord(record);
+  }
   if (metrics_ != nullptr) metrics_->SiteDownEvent();
   // Collect first: FailAttempt erases from attempts_.
   std::vector<GlobalTxnId> doomed;
@@ -536,13 +813,26 @@ void Gtm1::OnSiteDown(SiteId site) {
 }
 
 void Gtm1::OnSiteUp(SiteId site) {
+  if (down_) return;
   if (quarantined_.erase(site) == 0) return;
+  if (wal_ != nullptr) {
+    GtmLogRecord record;
+    record.type = GtmLogRecordType::kSiteUp;
+    record.site = site.value();
+    LogRecord(record);
+  }
   for (const std::unique_ptr<Job>& owned : jobs_) {
     Job* job = owned.get();
     if (!job->parked || TouchesQuarantine(*job)) continue;
     job->parked = false;
     ++job->park_epoch;  // Invalidate the park timeout.
     ++stats_.unparked;
+    if (wal_ != nullptr) {
+      GtmLogRecord record;
+      record.type = GtmLogRecordType::kUnpark;
+      record.job = job->id;
+      LogRecord(record);
+    }
     if (trace_ != nullptr) {
       trace_->Record(obs::TraceEventKind::kTxnUnparked, job->id, -1,
                      job->attempts);
@@ -552,7 +842,11 @@ void Gtm1::OnSiteUp(SiteId site) {
     int64_t job_id = job->id;
     sim::Time delay = 1 + static_cast<sim::Time>(rng_.NextBelow(
                               static_cast<uint64_t>(config_.retry_backoff) + 1));
-    loop_->Schedule(delay, [this, job_id]() { RetryJob(job_id); });
+    int64_t epoch = epoch_;
+    loop_->Schedule(delay, [this, job_id, epoch]() {
+      if (epoch != epoch_) return;
+      RetryJob(job_id);
+    });
   }
 }
 
@@ -597,6 +891,276 @@ Gtm1::Job* Gtm1::FindJob(int64_t job_id) {
     if (job->id == job_id) return job.get();
   }
   return nullptr;
+}
+
+void Gtm1::Crash() {
+  MDBS_CHECK(config_.durable) << "Crash() requires Gtm1Config::durable";
+  if (down_) return;
+  down_ = true;
+  // Invalidate every scheduled lambda and in-flight gateway callback: a
+  // pre-crash timer or site ack must not drive post-recovery state.
+  ++epoch_;
+  checkpoint_scheduled_ = false;
+  ++durability_stats_.crashes;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kGtmCrash, -1, -1,
+                   static_cast<int64_t>(attempts_.size()),
+                   static_cast<int64_t>(jobs_.size()));
+  }
+  if (metrics_ != nullptr) {
+    for (const auto& [id, attempt] : attempts_) metrics_->AttemptEnded(id);
+    for (const std::unique_ptr<Job>& job : jobs_) {
+      metrics_->Transition(job->id, obs::TxnPhase::kRecovery);
+    }
+  }
+  // The clients outlive the GTM: model them retaining their specs, result
+  // callbacks and submit times across the outage (closures are not
+  // serializable, so the log cannot carry them).
+  client_registry_.clear();
+  for (std::unique_ptr<Job>& job : jobs_) {
+    ClientEntry entry;
+    entry.spec = std::move(job->spec);
+    entry.cb = std::move(job->cb);
+    entry.submit_time = job->submit_time;
+    client_registry_.emplace(job->id, std::move(entry));
+  }
+  // in_flight_ survives: the jobs are not finished, merely forgotten until
+  // Recover() rebuilds them from the log.
+  attempts_.clear();
+  jobs_.clear();
+  quarantined_.clear();
+  stats_ = Gtm1Stats{};
+  gtm2_->ResetForRecovery(MakeFreshScheme());
+}
+
+void Gtm1::Recover(const std::vector<SiteId>& down_sites) {
+  if (!down_ || recovering_) return;
+  recovering_ = true;
+  ++durability_stats_.recoveries;
+
+  GtmLogScan scan;
+  Status read = ReadGtmLog(*wal_device_, &scan);
+  MDBS_CHECK(read.ok()) << read.message();
+  if (scan.torn_tail) {
+    wal_device_->Truncate(static_cast<int64_t>(scan.valid_bytes));
+  }
+  GtmLogAnalysis analysis;
+  Status analyzed = AnalyzeGtmLog(scan.records, &analysis);
+  MDBS_CHECK(analyzed.ok()) << analyzed.message();
+  int64_t replayed_records = static_cast<int64_t>(scan.records.size());
+  durability_stats_.replayed_records += replayed_records;
+  durability_stats_.replayed_bytes += static_cast<int64_t>(scan.valid_bytes);
+
+  next_txn_id_ = analysis.next_txn_id;
+  next_attempt_id_ = analysis.next_attempt_id;
+  next_job_id_ = analysis.next_job_id;
+  stats_ = analysis.stats;
+  if (config_.certified_fast_path) {
+    stats_.fast_path_attempts = stats_.attempts;
+  }
+  // The health monitor's *current* view supersedes the logged quarantine
+  // churn: sites went down and came back while the GTM was blind.
+  quarantined_.clear();
+  for (SiteId site : down_sites) quarantined_.insert(site);
+
+  // Rebuild GTM2 (WAIT, dead set, scheme DS) by restoring the latest
+  // checkpoint and replaying the logged mutation suffix, observability
+  // muted so replay emits no trace events or metrics.
+  replaying_ = true;
+  gtm2_->EnableTrace(nullptr);
+  gtm2_->EnableMetrics(nullptr);
+  if (analysis.checkpoint_index != GtmLogAnalysis::kNoCheckpoint) {
+    const GtmCheckpoint& cp =
+        scan.records[analysis.checkpoint_index].checkpoint;
+    Gtm2::VolatileImage image;
+    image.wait = cp.wait;
+    image.dead_txns = cp.dead_txns;
+    image.stats = cp.gtm2_stats;
+    image.scheme_steps = cp.scheme_steps;
+    image.scheme_state = cp.scheme_state;
+    gtm2_->RestoreFromCheckpoint(image);
+  }
+  for (size_t index : analysis.gtm2_replay) {
+    const GtmLogRecord& record = scan.records[index];
+    if (record.type == GtmLogRecordType::kEnqueue) {
+      QueueOp op;
+      op.kind = static_cast<QueueOpKind>(record.code);
+      op.txn = GlobalTxnId(record.attempt);
+      op.site = SiteId(record.site);
+      op.sites.reserve(record.sites.size());
+      for (int64_t site : record.sites) op.sites.emplace_back(site);
+      gtm2_->Enqueue(std::move(op));
+    } else {
+      gtm2_->AbortCleanup(GlobalTxnId(record.attempt));
+    }
+    ++durability_stats_.replayed_enqueues;
+  }
+  gtm2_->EnableTrace(trace_);
+  gtm2_->EnableMetrics(metrics_);
+  replaying_ = false;
+
+  // Re-attach the clients to the unfinished jobs the log knows about. The
+  // two views must agree exactly: a logged job without a client, or a
+  // client whose job never reached the log, is a durability bug.
+  for (const auto& [job_id, image] : analysis.jobs) {
+    auto entry = client_registry_.find(job_id);
+    MDBS_CHECK(entry != client_registry_.end())
+        << "logged unfinished job " << job_id << " has no attached client";
+    auto job = std::make_unique<Job>();
+    job->id = image.id;
+    job->spec = std::move(entry->second.spec);
+    job->cb = std::move(entry->second.cb);
+    job->attempts = static_cast<int>(image.attempts);
+    job->submit_time = entry->second.submit_time;
+    job->parked = image.parked;
+    jobs_.push_back(std::move(job));
+    client_registry_.erase(entry);
+  }
+  MDBS_CHECK(client_registry_.empty())
+      << "client retained a job the log never admitted";
+  MDBS_CHECK(in_flight_ == static_cast<int64_t>(jobs_.size()));
+
+  for (const auto& [attempt_id, image] : analysis.attempts) {
+    Job* job = FindJob(image.job);
+    MDBS_CHECK(job != nullptr);
+    if (image.committing) {
+      // Validation passed before the crash: the global commit is decided.
+      // Rebuild the attempt at its logged commit cursor; ResumeAfterRecovery
+      // forward-rolls the fan-out (site Commit is idempotent).
+      auto attempt = std::make_unique<Attempt>();
+      attempt->id = GlobalTxnId(attempt_id);
+      attempt->job = job;
+      attempt->committing = true;
+      attempt->commit_next = static_cast<size_t>(image.commit_index);
+      for (const auto& [site, sub] : image.subs) {
+        attempt->begun_sites.emplace_back(site);
+        attempt->sub_ids.emplace(SiteId(site), TxnId(sub));
+      }
+      for (const auto& read : image.reads) {
+        attempt->reads[{SiteId(read[0]), DataItemId(read[1])}] = read[2];
+      }
+      job->current_attempt = attempt->id;
+      attempts_.emplace(attempt->id, std::move(attempt));
+    } else {
+      // In flight but undecided at the crash: abort the begun
+      // sub-transactions (idempotent at the sites) and retry fresh — the
+      // safe default for an attempt whose site-side fate is unknown.
+      ++stats_.aborted_attempts;
+      ++durability_stats_.recovery_aborted_attempts;
+      for (const auto& [site, sub] : image.subs) {
+        gateway_->Abort(SiteId(site), TxnId(sub), [](const Status&) {});
+      }
+      if (trace_ != nullptr) {
+        trace_->Record(obs::TraceEventKind::kAttemptAbort, attempt_id, -1,
+                       job->id, job->attempts, "gtm_crash");
+      }
+      GtmLogRecord record;
+      record.type = GtmLogRecordType::kAttemptFail;
+      record.attempt = attempt_id;
+      record.code = static_cast<uint8_t>(GtmAttemptFailReason::kGtmCrash);
+      LogRecord(record);
+      AbortCleanupGtm2(GlobalTxnId(attempt_id));
+      if (metrics_ != nullptr) metrics_->AttemptAborted(job->id);
+      job->current_attempt = GlobalTxnId();
+    }
+  }
+
+  // Model the replay cost: the GTM stays down for a further base + per-record
+  // delay before it resumes driving transactions.
+  sim::Time delay =
+      config_.recovery_base_time +
+      config_.recovery_time_per_record * replayed_records;
+  durability_stats_.recovery_ticks += delay;
+  int64_t epoch = epoch_;
+  loop_->Schedule(delay, [this, epoch, replayed_records]() {
+    if (epoch != epoch_) return;
+    ResumeAfterRecovery(replayed_records);
+  });
+}
+
+void Gtm1::ResumeAfterRecovery(int64_t replayed_records) {
+  down_ = false;
+  recovering_ = false;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kGtmRecover, -1, -1, replayed_records,
+                   static_cast<int64_t>(jobs_.size()));
+  }
+  // Collect ids first: CommitNextSite on an attempt whose fan-out already
+  // finished every site completes the job synchronously, erasing it from
+  // jobs_ under our feet.
+  std::vector<int64_t> job_ids;
+  job_ids.reserve(jobs_.size());
+  for (const std::unique_ptr<Job>& job : jobs_) job_ids.push_back(job->id);
+  for (int64_t job_id : job_ids) {
+    Job* job = FindJob(job_id);
+    if (job == nullptr) continue;
+    Attempt* attempt = FindAttempt(job->current_attempt);
+    if (attempt != nullptr) {
+      // Forward-roll the decided commit from its logged cursor.
+      ++durability_stats_.resumed_commits;
+      if (metrics_ != nullptr) {
+        metrics_->AttemptStarted(attempt->id, job->id);
+        metrics_->Transition(job->id, obs::TxnPhase::kSiteExec);
+      }
+      CommitNextSite(attempt->id, attempt->commit_next);
+      continue;
+    }
+    if (job->parked) {
+      if (!TouchesQuarantine(*job)) {
+        // The blocking site recovered during the outage: unpark now.
+        job->parked = false;
+        ++job->park_epoch;
+        ++stats_.unparked;
+        if (wal_ != nullptr) {
+          GtmLogRecord record;
+          record.type = GtmLogRecordType::kUnpark;
+          record.job = job->id;
+          LogRecord(record);
+        }
+        if (trace_ != nullptr) {
+          trace_->Record(obs::TraceEventKind::kTxnUnparked, job->id, -1,
+                         job->attempts);
+        }
+        if (metrics_ != nullptr) {
+          metrics_->Transition(job->id, obs::TxnPhase::kBackoff);
+        }
+        int64_t id = job->id;
+        sim::Time delay =
+            1 + static_cast<sim::Time>(rng_.NextBelow(
+                    static_cast<uint64_t>(config_.retry_backoff) + 1));
+        int64_t epoch = epoch_;
+        loop_->Schedule(delay, [this, id, epoch]() {
+          if (epoch != epoch_) return;
+          RetryJob(id);
+        });
+      } else {
+        if (metrics_ != nullptr) {
+          metrics_->Transition(job->id, obs::TxnPhase::kParked);
+        }
+        // The pre-crash park timer died with the crash; the timeout
+        // restarts from recovery time.
+        ArmParkTimeout(job);
+      }
+      continue;
+    }
+    // Backoff / freshly-aborted jobs retry on the normal schedule.
+    if (metrics_ != nullptr) {
+      metrics_->Transition(job->id, obs::TxnPhase::kBackoff);
+    }
+    int64_t id = job->id;
+    int64_t epoch = epoch_;
+    loop_->Schedule(RetryDelay(*job), [this, id, epoch]() {
+      if (epoch != epoch_) return;
+      RetryJob(id);
+    });
+  }
+  // Admit the submissions that arrived while the GTM was down, in arrival
+  // order.
+  std::vector<PendingSubmit> buffered = std::move(pending_submits_);
+  pending_submits_.clear();
+  for (PendingSubmit& pending : buffered) {
+    Submit(std::move(pending.spec), std::move(pending.cb));
+  }
 }
 
 }  // namespace mdbs::gtm

@@ -2,6 +2,7 @@
 #define MDBS_GTM_GTM1_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,8 +17,12 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/task_runner.h"
+#include "storage/log_device.h"
 
 namespace mdbs::gtm {
+
+struct GtmLogRecord;
+class GtmLogWriter;
 
 /// The "servers" of the paper (Figure 1): GTM1's asynchronous gateway to the
 /// local DBMSs, one logical server per transaction per site. The MDBS
@@ -72,6 +77,45 @@ struct Gtm1Config {
   /// is failed back to the caller instead of retried. 0 parks forever
   /// (until recovery or max_attempts elsewhere).
   sim::Time quarantine_park_timeout = 120'000;
+
+  /// Durable GTM: write-ahead log every state transition (submission,
+  /// attempt lifecycle, every GTM2 enqueue/cleanup, commit progress,
+  /// park/quarantine churn) to `wal_device` before it takes effect, so
+  /// Crash()/Recover() can rebuild the exact pre-crash WAIT/QUEUE/ticket
+  /// state. Requires a snapshot-capable scheme (Schemes 0-3 / the
+  /// certified fast path; the baselines are not).
+  bool durable = false;
+  /// Take a checkpoint after this many log records (0 disables; replay
+  /// then starts from the log head).
+  int64_t checkpoint_interval = 256;
+  /// Modeled replay cost charged before the recovered GTM resumes:
+  /// base + per_record * records.
+  sim::Time recovery_base_time = 0;
+  sim::Time recovery_time_per_record = 0;
+  /// Backing device of the GTM WAL; a fresh in-memory device when null.
+  std::shared_ptr<storage::LogDevice> wal_device;
+};
+
+/// Counters of the durable GTM (all zero when Gtm1Config::durable is off).
+struct GtmDurabilityStats {
+  int64_t wal_records = 0;
+  int64_t wal_bytes = 0;
+  int64_t checkpoints = 0;
+  int64_t crashes = 0;
+  int64_t recoveries = 0;
+  /// Log records scanned across all recoveries.
+  int64_t replayed_records = 0;
+  int64_t replayed_bytes = 0;
+  /// GTM2 mutations (enqueues + cleanups) re-applied during replay.
+  int64_t replayed_enqueues = 0;
+  /// Mid-commit attempts forward-rolled to completion after a crash.
+  int64_t resumed_commits = 0;
+  /// In-flight attempts aborted at recovery and retried via fresh attempts.
+  int64_t recovery_aborted_attempts = 0;
+  /// Submissions that arrived during an outage and were buffered.
+  int64_t buffered_submits = 0;
+  /// Modeled replay ticks charged before resuming.
+  int64_t recovery_ticks = 0;
 };
 
 /// Final outcome of one global transaction (across all its attempts).
@@ -125,6 +169,9 @@ class Gtm1 {
   Gtm1(const Gtm1&) = delete;
   Gtm1& operator=(const Gtm1&) = delete;
 
+  /// Out of line: GtmLogWriter is incomplete here.
+  ~Gtm1();
+
   /// Submits a global transaction; `cb` fires once with the final outcome.
   void Submit(GlobalTxnSpec spec, ResultCallback cb);
 
@@ -159,6 +206,40 @@ class Gtm1 {
   Gtm2& mutable_gtm2() { return *gtm2_; }
   const Gtm1Stats& stats() const { return stats_; }
 
+  /// Crashes the durable GTM (Gtm1Config::durable required): all volatile
+  /// state — attempts, jobs, quarantine, GTM2's WAIT and scheme DS — is
+  /// wiped as a process crash would. Clients' callbacks and specs survive
+  /// in the client registry (clients hold them across the outage), and
+  /// submissions arriving while down are buffered. No-op when already
+  /// down.
+  void Crash();
+
+  /// Restarts the crashed GTM from its WAL: scans + analyzes the log,
+  /// restores the latest checkpoint, replays the GTM2 mutation suffix to
+  /// the exact pre-crash WAIT/scheme state, forward-rolls attempts that
+  /// were mid-commit (site commits are idempotent), aborts and retries
+  /// every other in-flight attempt, and re-parks parked jobs (their park
+  /// timeout restarts). `down_sites` is the health monitor's *current*
+  /// down set — it kept probing through the outage, so it supersedes the
+  /// logged quarantine churn. After a modeled replay delay
+  /// (recovery_base_time + per_record * records) the GTM resumes and
+  /// drains buffered submissions in arrival order. No-op unless down.
+  void Recover(const std::vector<SiteId>& down_sites);
+
+  bool IsDown() const { return down_; }
+
+  GtmDurabilityStats durability_stats() const;
+
+  storage::LogDevice* wal_device() const { return wal_device_.get(); }
+
+  /// Test hook: fires after every logged GTM2 mutation (enqueue or abort
+  /// cleanup) once the synchronous pump has quiesced. The crash-point fuzz
+  /// battery captures a live GTM2 fingerprint at each firing and compares
+  /// it against the state replayed from the corresponding log prefix.
+  void SetGtm2MutationObserverForTest(std::function<void()> hook) {
+    gtm2_observer_ = std::move(hook);
+  }
+
   /// Records lifecycle events into `sink` (nullptr disables); forwarded to
   /// GTM2 and the scheme. Call before the first Submit.
   void EnableTrace(obs::TraceSink* sink);
@@ -190,6 +271,9 @@ class Gtm1 {
     ReadContext reads;
     bool failed = false;
     bool committing = false;
+    /// Next begun_sites index to commit; meaningful while committing (the
+    /// durable GTM checkpoints it to forward-roll after a crash).
+    size_t commit_next = 0;
   };
 
   struct Job {
@@ -206,6 +290,23 @@ class Gtm1 {
     /// Bumped on every park/unpark so a stale park-timeout timer can tell
     /// it lost the race.
     int64_t park_epoch = 0;
+  };
+
+  /// A submission buffered while the GTM is down, admitted at recovery.
+  struct PendingSubmit {
+    GlobalTxnSpec spec;
+    ResultCallback cb;
+  };
+
+  /// What the clients retain across a GTM outage: their specs, result
+  /// callbacks and submit times. Populated at Crash() from the in-flight
+  /// jobs, consumed at Recover() when the logged jobs are rebuilt (value
+  /// functions and callbacks are closures — unserializable — so this
+  /// models the clients re-attaching, not the log storing them).
+  struct ClientEntry {
+    GlobalTxnSpec spec;
+    ResultCallback cb;
+    sim::Time submit_time = 0;
   };
 
   void StartAttempt(Job* job);
@@ -238,6 +339,22 @@ class Gtm1 {
   SiteGateway::OpCallback WrapRoundTrip(GlobalTxnId attempt_id, TxnId sub,
                                         SiteGateway::OpCallback done);
 
+  /// Appends to the GTM WAL (no-op when not durable or during replay) and
+  /// schedules a checkpoint when the interval elapsed.
+  void LogRecord(const GtmLogRecord& record);
+  /// The ONLY paths to gtm2_->Enqueue / AbortCleanup: log the mutation,
+  /// apply it (the pump runs to quiescence inside), then fire the test
+  /// observer — so live fingerprints at observer time match what replaying
+  /// the log prefix up to this record reproduces.
+  void EnqueueGtm2(QueueOp op);
+  void AbortCleanupGtm2(GlobalTxnId txn);
+  void MaybeScheduleCheckpoint();
+  void TakeCheckpoint();
+  std::unique_ptr<Scheme> MakeFreshScheme() const;
+  /// Arms (or re-arms, after recovery) the park timeout of a parked job.
+  void ArmParkTimeout(Job* job);
+  void ResumeAfterRecovery(int64_t replayed_records);
+
   Gtm1Config config_;
   sim::TaskRunner* loop_;
   SiteGateway* gateway_;
@@ -254,6 +371,25 @@ class Gtm1 {
   std::unordered_set<SiteId> quarantined_;
   std::function<void()> activity_hook_;
   Gtm1Stats stats_;
+
+  // Durability (config_.durable only; wal_ is null otherwise).
+  std::shared_ptr<storage::LogDevice> wal_device_;
+  std::unique_ptr<GtmLogWriter> wal_;
+  bool down_ = false;
+  /// Between Recover() and the delayed resume.
+  bool recovering_ = false;
+  /// Suppresses logging, site calls and observability while the WAL suffix
+  /// is replayed through GTM2.
+  bool replaying_ = false;
+  bool checkpoint_scheduled_ = false;
+  /// Bumped at every Crash(); scheduled lambdas and gateway callbacks
+  /// capture it and drop themselves when stale, so pre-crash timers and
+  /// acks cannot drive post-recovery state.
+  int64_t epoch_ = 0;
+  GtmDurabilityStats durability_stats_;
+  std::vector<PendingSubmit> pending_submits_;
+  std::map<int64_t, ClientEntry> client_registry_;
+  std::function<void()> gtm2_observer_;
 };
 
 }  // namespace mdbs::gtm

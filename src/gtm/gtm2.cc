@@ -1,10 +1,13 @@
 #include "gtm/gtm2.h"
 
+#include <algorithm>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "storage/framing.h"
 
 namespace mdbs::gtm {
 
@@ -270,6 +273,83 @@ void Gtm2::AbortCleanup(GlobalTxnId txn) {
     pumping_ = false;
     if (!queue_.empty()) Pump();
   }
+}
+
+namespace {
+
+void EncodeOp(const QueueOp& op, std::vector<uint8_t>* out) {
+  storage::PutU8(out, static_cast<uint8_t>(op.kind));
+  storage::PutI64(out, op.txn.value());
+  storage::PutI64(out, op.site.value());
+  storage::PutU32(out, static_cast<uint32_t>(op.sites.size()));
+  for (SiteId site : op.sites) storage::PutI64(out, site.value());
+}
+
+std::vector<int64_t> SortedTxns(
+    const std::unordered_set<GlobalTxnId>& txns) {
+  std::vector<int64_t> sorted;
+  sorted.reserve(txns.size());
+  for (GlobalTxnId txn : txns) sorted.push_back(txn.value());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+Gtm2::VolatileImage Gtm2::SnapshotForCheckpoint() const {
+  MDBS_CHECK(!pumping_ && queue_.empty())
+      << "GTM2 snapshot requires a quiescent driver";
+  VolatileImage image;
+  image.wait.assign(wait_.begin(), wait_.end());
+  image.dead_txns = SortedTxns(dead_txns_);
+  image.stats = stats_;
+  image.scheme_steps = scheme_->steps();
+  scheme_->EncodeState(&image.scheme_state);
+  return image;
+}
+
+void Gtm2::RestoreFromCheckpoint(const VolatileImage& image) {
+  MDBS_CHECK(!pumping_ && queue_.empty());
+  wait_.assign(image.wait.begin(), image.wait.end());
+  dead_txns_.clear();
+  for (int64_t txn : image.dead_txns) dead_txns_.insert(GlobalTxnId(txn));
+  stats_ = image.stats;
+  MDBS_CHECK(scheme_->SupportsSnapshot())
+      << scheme_->Name() << " cannot restore a checkpoint";
+  MDBS_CHECK(
+      scheme_->DecodeState(image.scheme_state.data(), image.scheme_state.size()))
+      << "undecodable " << scheme_->Name() << " snapshot";
+  scheme_->RestoreSteps(image.scheme_steps);
+}
+
+void Gtm2::ResetForRecovery(std::unique_ptr<Scheme> fresh) {
+  MDBS_CHECK(fresh != nullptr);
+  queue_.clear();
+  wait_.clear();
+  dead_txns_.clear();
+  stats_ = Gtm2Stats{};
+  pumping_ = false;
+  ser_graph_ = audit::SerGraphAudit();
+  scheme_ = std::move(fresh);
+  scheme_->EnableTrace(trace_);
+}
+
+std::vector<uint8_t> Gtm2::StateFingerprint() const {
+  std::vector<uint8_t> out;
+  scheme_->EncodeState(&out);
+  storage::PutI64(&out, scheme_->steps());
+  storage::PutU32(&out, static_cast<uint32_t>(wait_.size()));
+  for (const QueueOp& op : wait_) EncodeOp(op, &out);
+  std::vector<int64_t> dead = SortedTxns(dead_txns_);
+  storage::PutU32(&out, static_cast<uint32_t>(dead.size()));
+  for (int64_t txn : dead) storage::PutI64(&out, txn);
+  storage::PutI64(&out, stats_.processed_ops);
+  storage::PutI64(&out, stats_.wait_additions);
+  storage::PutI64(&out, stats_.ser_wait_additions);
+  storage::PutI64(&out, stats_.cond_evaluations);
+  storage::PutI64(&out, stats_.failed_rescan_steps);
+  storage::PutI64(&out, stats_.scheme_aborts);
+  return out;
 }
 
 }  // namespace mdbs::gtm

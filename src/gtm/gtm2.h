@@ -99,6 +99,39 @@ class Gtm2 {
   /// disables); forwarded to the scheme for its DS events.
   void EnableTrace(obs::TraceSink* sink);
 
+  /// Volatile GTM2 state as the durable GTM's checkpoints capture it. Only
+  /// taken at strand-turn boundaries, where QUEUE is provably empty — so
+  /// WAIT, the dead set, the counters and the scheme DS are the whole
+  /// state.
+  struct VolatileImage {
+    std::vector<QueueOp> wait;       // in WAIT order
+    std::vector<int64_t> dead_txns;  // sorted
+    Gtm2Stats stats;
+    int64_t scheme_steps = 0;
+    std::vector<uint8_t> scheme_state;
+  };
+
+  /// Snapshots the volatile state; crashes unless the driver is quiescent
+  /// (not pumping, QUEUE empty).
+  VolatileImage SnapshotForCheckpoint() const;
+
+  /// Restores a snapshot into a freshly reset driver. The scheme must
+  /// support snapshots and accept the encoded state.
+  void RestoreFromCheckpoint(const VolatileImage& image);
+
+  /// GTM crash: drops QUEUE/WAIT/dead-set/stats and installs a fresh scheme
+  /// instance; trace/metrics/audit wiring survives. The audit ser(S) graph
+  /// restarts empty — deliberately not logged: a subset of its edges can
+  /// only miss cycles (none exist if the run was clean), never fabricate
+  /// one.
+  void ResetForRecovery(std::unique_ptr<Scheme> fresh);
+
+  /// Deterministic structural fingerprint of the volatile state (scheme DS
+  /// encoding + steps, WAIT in order, dead set, counters). The recovery
+  /// oracle compares a replayed instance's fingerprint against the live
+  /// one's at the same log position.
+  std::vector<uint8_t> StateFingerprint() const;
+
   /// Reports queue depth and critical-path WAIT dwell (ser/validate
   /// operations) to the always-on metrics engine (nullptr disables).
   void EnableMetrics(obs::MetricsEngine* engine) { metrics_ = engine; }

@@ -1,0 +1,596 @@
+#include "gtm/gtm_log.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace mdbs::gtm {
+
+namespace {
+
+using storage::Cursor;
+using storage::PutI64;
+using storage::PutU32;
+using storage::PutU8;
+
+void EncodeGtm1Stats(const Gtm1Stats& s, std::vector<uint8_t>* out) {
+  PutI64(out, s.submitted);
+  PutI64(out, s.committed);
+  PutI64(out, s.failed);
+  PutI64(out, s.attempts);
+  PutI64(out, s.aborted_attempts);
+  PutI64(out, s.scheme_aborts);
+  PutI64(out, s.timeouts);
+  PutI64(out, s.partial_commits);
+  PutI64(out, s.site_down_aborts);
+  PutI64(out, s.parked);
+  PutI64(out, s.unparked);
+  PutI64(out, s.park_timeouts);
+  PutI64(out, s.fast_path_attempts);
+}
+
+void DecodeGtm1Stats(Cursor* c, Gtm1Stats* s) {
+  s->submitted = c->I64();
+  s->committed = c->I64();
+  s->failed = c->I64();
+  s->attempts = c->I64();
+  s->aborted_attempts = c->I64();
+  s->scheme_aborts = c->I64();
+  s->timeouts = c->I64();
+  s->partial_commits = c->I64();
+  s->site_down_aborts = c->I64();
+  s->parked = c->I64();
+  s->unparked = c->I64();
+  s->park_timeouts = c->I64();
+  s->fast_path_attempts = c->I64();
+}
+
+void EncodeGtm2Stats(const Gtm2Stats& s, std::vector<uint8_t>* out) {
+  PutI64(out, s.processed_ops);
+  PutI64(out, s.wait_additions);
+  PutI64(out, s.ser_wait_additions);
+  PutI64(out, s.cond_evaluations);
+  PutI64(out, s.failed_rescan_steps);
+  PutI64(out, s.scheme_aborts);
+}
+
+void DecodeGtm2Stats(Cursor* c, Gtm2Stats* s) {
+  s->processed_ops = c->I64();
+  s->wait_additions = c->I64();
+  s->ser_wait_additions = c->I64();
+  s->cond_evaluations = c->I64();
+  s->failed_rescan_steps = c->I64();
+  s->scheme_aborts = c->I64();
+}
+
+void EncodeQueueOpInto(const QueueOp& op, std::vector<uint8_t>* out) {
+  PutU8(out, static_cast<uint8_t>(op.kind));
+  PutI64(out, op.txn.value());
+  PutI64(out, op.site.value());
+  PutU32(out, static_cast<uint32_t>(op.sites.size()));
+  for (SiteId site : op.sites) PutI64(out, site.value());
+}
+
+bool DecodeQueueOpFrom(Cursor* c, QueueOp* op) {
+  uint8_t kind = c->U8();
+  if (kind > static_cast<uint8_t>(QueueOpKind::kFin)) return false;
+  op->kind = static_cast<QueueOpKind>(kind);
+  op->txn = GlobalTxnId(c->I64());
+  op->site = SiteId(c->I64());
+  uint32_t n = c->U32();
+  op->sites.clear();
+  for (uint32_t i = 0; i < n && c->ok(); ++i) op->sites.emplace_back(c->I64());
+  return c->ok();
+}
+
+void EncodeCheckpoint(const GtmCheckpoint& cp, std::vector<uint8_t>* out) {
+  PutI64(out, cp.next_txn_id);
+  PutI64(out, cp.next_attempt_id);
+  PutI64(out, cp.next_job_id);
+  EncodeGtm1Stats(cp.gtm1_stats, out);
+  PutU32(out, static_cast<uint32_t>(cp.jobs.size()));
+  for (const GtmCheckpoint::JobImage& job : cp.jobs) {
+    PutI64(out, job.id);
+    PutI64(out, job.submit_time);
+    PutI64(out, job.attempts);
+    PutI64(out, job.current_attempt);
+    PutU8(out, job.parked ? 1 : 0);
+  }
+  PutU32(out, static_cast<uint32_t>(cp.attempts.size()));
+  for (const GtmCheckpoint::AttemptImage& attempt : cp.attempts) {
+    PutI64(out, attempt.id);
+    PutI64(out, attempt.job);
+    PutU8(out, attempt.committing ? 1 : 0);
+    PutI64(out, attempt.commit_index);
+    PutU32(out, static_cast<uint32_t>(attempt.subs.size()));
+    for (const auto& [site, sub] : attempt.subs) {
+      PutI64(out, site);
+      PutI64(out, sub);
+    }
+    PutU32(out, static_cast<uint32_t>(attempt.reads.size()));
+    for (const auto& read : attempt.reads) {
+      PutI64(out, read[0]);
+      PutI64(out, read[1]);
+      PutI64(out, read[2]);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(cp.quarantined.size()));
+  for (int64_t site : cp.quarantined) PutI64(out, site);
+  PutU32(out, static_cast<uint32_t>(cp.wait.size()));
+  for (const QueueOp& op : cp.wait) EncodeQueueOpInto(op, out);
+  PutU32(out, static_cast<uint32_t>(cp.dead_txns.size()));
+  for (int64_t txn : cp.dead_txns) PutI64(out, txn);
+  EncodeGtm2Stats(cp.gtm2_stats, out);
+  PutI64(out, cp.scheme_steps);
+  PutU32(out, static_cast<uint32_t>(cp.scheme_state.size()));
+  out->insert(out->end(), cp.scheme_state.begin(), cp.scheme_state.end());
+}
+
+bool DecodeCheckpoint(Cursor* c, GtmCheckpoint* cp) {
+  cp->next_txn_id = c->I64();
+  cp->next_attempt_id = c->I64();
+  cp->next_job_id = c->I64();
+  DecodeGtm1Stats(c, &cp->gtm1_stats);
+  uint32_t jobs = c->U32();
+  for (uint32_t i = 0; i < jobs && c->ok(); ++i) {
+    GtmCheckpoint::JobImage job;
+    job.id = c->I64();
+    job.submit_time = c->I64();
+    job.attempts = c->I64();
+    job.current_attempt = c->I64();
+    job.parked = c->U8() != 0;
+    cp->jobs.push_back(job);
+  }
+  uint32_t attempts = c->U32();
+  for (uint32_t i = 0; i < attempts && c->ok(); ++i) {
+    GtmCheckpoint::AttemptImage attempt;
+    attempt.id = c->I64();
+    attempt.job = c->I64();
+    attempt.committing = c->U8() != 0;
+    attempt.commit_index = c->I64();
+    uint32_t subs = c->U32();
+    for (uint32_t j = 0; j < subs && c->ok(); ++j) {
+      int64_t site = c->I64();
+      int64_t sub = c->I64();
+      attempt.subs.emplace_back(site, sub);
+    }
+    uint32_t reads = c->U32();
+    for (uint32_t j = 0; j < reads && c->ok(); ++j) {
+      std::array<int64_t, 3> read;
+      read[0] = c->I64();
+      read[1] = c->I64();
+      read[2] = c->I64();
+      attempt.reads.push_back(read);
+    }
+    cp->attempts.push_back(std::move(attempt));
+  }
+  uint32_t quarantined = c->U32();
+  for (uint32_t i = 0; i < quarantined && c->ok(); ++i) {
+    cp->quarantined.push_back(c->I64());
+  }
+  uint32_t wait = c->U32();
+  for (uint32_t i = 0; i < wait && c->ok(); ++i) {
+    QueueOp op;
+    if (!DecodeQueueOpFrom(c, &op)) return false;
+    cp->wait.push_back(std::move(op));
+  }
+  uint32_t dead = c->U32();
+  for (uint32_t i = 0; i < dead && c->ok(); ++i) {
+    cp->dead_txns.push_back(c->I64());
+  }
+  DecodeGtm2Stats(c, &cp->gtm2_stats);
+  cp->scheme_steps = c->I64();
+  uint32_t blob = c->U32();
+  for (uint32_t i = 0; i < blob && c->ok(); ++i) {
+    cp->scheme_state.push_back(c->U8());
+  }
+  return c->ok();
+}
+
+std::vector<uint8_t> EncodePayload(const GtmLogRecord& record) {
+  std::vector<uint8_t> payload;
+  PutU8(&payload, static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case GtmLogRecordType::kSubmit:
+      PutI64(&payload, record.job);
+      PutI64(&payload, record.time);
+      break;
+    case GtmLogRecordType::kAttemptStart:
+      PutI64(&payload, record.attempt);
+      PutI64(&payload, record.job);
+      PutI64(&payload, record.index);
+      break;
+    case GtmLogRecordType::kBeginSite:
+      PutI64(&payload, record.attempt);
+      PutI64(&payload, record.site);
+      PutI64(&payload, record.sub);
+      break;
+    case GtmLogRecordType::kRead:
+      PutI64(&payload, record.attempt);
+      PutI64(&payload, record.site);
+      PutI64(&payload, record.item);
+      PutI64(&payload, record.value);
+      break;
+    case GtmLogRecordType::kEnqueue:
+      PutU8(&payload, record.code);
+      PutI64(&payload, record.attempt);
+      PutI64(&payload, record.site);
+      PutU32(&payload, static_cast<uint32_t>(record.sites.size()));
+      for (int64_t site : record.sites) PutI64(&payload, site);
+      break;
+    case GtmLogRecordType::kAbortCleanup:
+      PutI64(&payload, record.attempt);
+      break;
+    case GtmLogRecordType::kAttemptFail:
+      PutI64(&payload, record.attempt);
+      PutU8(&payload, record.code);
+      break;
+    case GtmLogRecordType::kCommitStart:
+      PutI64(&payload, record.attempt);
+      break;
+    case GtmLogRecordType::kCommitSite:
+      PutI64(&payload, record.attempt);
+      PutI64(&payload, record.index);
+      break;
+    case GtmLogRecordType::kFinish:
+      PutI64(&payload, record.job);
+      PutU8(&payload, record.code);
+      PutI64(&payload, record.index);
+      break;
+    case GtmLogRecordType::kPark:
+    case GtmLogRecordType::kUnpark:
+      PutI64(&payload, record.job);
+      break;
+    case GtmLogRecordType::kSiteDown:
+    case GtmLogRecordType::kSiteUp:
+      PutI64(&payload, record.site);
+      break;
+    case GtmLogRecordType::kCheckpoint:
+      EncodeCheckpoint(record.checkpoint, &payload);
+      break;
+  }
+  return payload;
+}
+
+bool DecodePayload(const uint8_t* data, size_t size, GtmLogRecord* record) {
+  Cursor c(data, size);
+  uint8_t type = c.U8();
+  if (type < static_cast<uint8_t>(GtmLogRecordType::kSubmit) ||
+      type > static_cast<uint8_t>(GtmLogRecordType::kCheckpoint)) {
+    return false;
+  }
+  record->type = static_cast<GtmLogRecordType>(type);
+  switch (record->type) {
+    case GtmLogRecordType::kSubmit:
+      record->job = c.I64();
+      record->time = c.I64();
+      break;
+    case GtmLogRecordType::kAttemptStart:
+      record->attempt = c.I64();
+      record->job = c.I64();
+      record->index = c.I64();
+      break;
+    case GtmLogRecordType::kBeginSite:
+      record->attempt = c.I64();
+      record->site = c.I64();
+      record->sub = c.I64();
+      break;
+    case GtmLogRecordType::kRead:
+      record->attempt = c.I64();
+      record->site = c.I64();
+      record->item = c.I64();
+      record->value = c.I64();
+      break;
+    case GtmLogRecordType::kEnqueue: {
+      record->code = c.U8();
+      if (record->code > static_cast<uint8_t>(QueueOpKind::kFin)) return false;
+      record->attempt = c.I64();
+      record->site = c.I64();
+      uint32_t n = c.U32();
+      for (uint32_t i = 0; i < n && c.ok(); ++i) {
+        record->sites.push_back(c.I64());
+      }
+      break;
+    }
+    case GtmLogRecordType::kAbortCleanup:
+      record->attempt = c.I64();
+      break;
+    case GtmLogRecordType::kAttemptFail:
+      record->attempt = c.I64();
+      record->code = c.U8();
+      break;
+    case GtmLogRecordType::kCommitStart:
+      record->attempt = c.I64();
+      break;
+    case GtmLogRecordType::kCommitSite:
+      record->attempt = c.I64();
+      record->index = c.I64();
+      break;
+    case GtmLogRecordType::kFinish:
+      record->job = c.I64();
+      record->code = c.U8();
+      record->index = c.I64();
+      break;
+    case GtmLogRecordType::kPark:
+    case GtmLogRecordType::kUnpark:
+      record->job = c.I64();
+      break;
+    case GtmLogRecordType::kSiteDown:
+    case GtmLogRecordType::kSiteUp:
+      record->site = c.I64();
+      break;
+    case GtmLogRecordType::kCheckpoint:
+      if (!DecodeCheckpoint(&c, &record->checkpoint)) return false;
+      break;
+  }
+  return c.ok() && c.exhausted();
+}
+
+}  // namespace
+
+const char* GtmLogRecordTypeName(GtmLogRecordType type) {
+  switch (type) {
+    case GtmLogRecordType::kSubmit:
+      return "submit";
+    case GtmLogRecordType::kAttemptStart:
+      return "attempt_start";
+    case GtmLogRecordType::kBeginSite:
+      return "begin_site";
+    case GtmLogRecordType::kRead:
+      return "read";
+    case GtmLogRecordType::kEnqueue:
+      return "enqueue";
+    case GtmLogRecordType::kAbortCleanup:
+      return "abort_cleanup";
+    case GtmLogRecordType::kAttemptFail:
+      return "attempt_fail";
+    case GtmLogRecordType::kCommitStart:
+      return "commit_start";
+    case GtmLogRecordType::kCommitSite:
+      return "commit_site";
+    case GtmLogRecordType::kFinish:
+      return "finish";
+    case GtmLogRecordType::kPark:
+      return "park";
+    case GtmLogRecordType::kUnpark:
+      return "unpark";
+    case GtmLogRecordType::kSiteDown:
+      return "site_down";
+    case GtmLogRecordType::kSiteUp:
+      return "site_up";
+    case GtmLogRecordType::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> EncodeGtmLogRecord(const GtmLogRecord& record) {
+  return storage::FramePayload(EncodePayload(record));
+}
+
+Status ReadGtmLog(storage::LogDevice& device, GtmLogScan* out) {
+  *out = GtmLogScan{};
+  std::vector<uint8_t> image;
+  Status status = device.ReadAll(&image);
+  if (!status.ok()) return status;
+  storage::FrameScan frames;
+  status = storage::ScanFrames(image, &frames);
+  if (!status.ok()) return status;
+  out->valid_bytes = frames.valid_bytes;
+  out->torn_tail = frames.torn_tail;
+  out->records.reserve(frames.payloads.size());
+  for (const auto& [offset, length] : frames.payloads) {
+    GtmLogRecord record;
+    if (!DecodePayload(image.data() + offset, length, &record)) {
+      return Status::Internal(
+          "GTM log corruption: undecodable frame at byte " +
+          std::to_string(offset - 8));
+    }
+    out->records.push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+void GtmLogWriter::Append(const GtmLogRecord& record) {
+  frames_.AppendPayload(EncodePayload(record),
+                        record.type == GtmLogRecordType::kCheckpoint);
+}
+
+namespace {
+
+/// Applies one checkpoint record to the analysis accumulator.
+void RestoreFromCheckpoint(const GtmCheckpoint& cp, GtmLogAnalysis* out) {
+  out->next_txn_id = cp.next_txn_id;
+  out->next_attempt_id = cp.next_attempt_id;
+  out->next_job_id = cp.next_job_id;
+  out->stats = cp.gtm1_stats;
+  out->jobs.clear();
+  for (const GtmCheckpoint::JobImage& job : cp.jobs) out->jobs[job.id] = job;
+  out->attempts.clear();
+  for (const GtmCheckpoint::AttemptImage& attempt : cp.attempts) {
+    out->attempts[attempt.id] = attempt;
+  }
+  out->quarantined = cp.quarantined;
+  out->gtm2_replay.clear();
+}
+
+void InsertSorted(std::vector<int64_t>* values, int64_t value) {
+  auto it = std::lower_bound(values->begin(), values->end(), value);
+  if (it == values->end() || *it != value) values->insert(it, value);
+}
+
+void EraseSorted(std::vector<int64_t>* values, int64_t value) {
+  auto it = std::lower_bound(values->begin(), values->end(), value);
+  if (it != values->end() && *it == value) values->erase(it);
+}
+
+}  // namespace
+
+Status AnalyzeGtmLog(const std::vector<GtmLogRecord>& records,
+                     GtmLogAnalysis* out) {
+  *out = GtmLogAnalysis{};
+  for (size_t i = 0; i < records.size(); ++i) {
+    const GtmLogRecord& r = records[i];
+    switch (r.type) {
+      case GtmLogRecordType::kCheckpoint:
+        RestoreFromCheckpoint(r.checkpoint, out);
+        out->checkpoint_index = i;
+        break;
+      case GtmLogRecordType::kSubmit: {
+        GtmCheckpoint::JobImage job;
+        job.id = r.job;
+        job.submit_time = r.time;
+        out->jobs[r.job] = job;
+        ++out->stats.submitted;
+        out->next_job_id = std::max(out->next_job_id, r.job + 1);
+        break;
+      }
+      case GtmLogRecordType::kAttemptStart: {
+        auto job = out->jobs.find(r.job);
+        if (job == out->jobs.end()) {
+          return Status::Internal("GTM log: attempt_start for unknown job " +
+                                  std::to_string(r.job));
+        }
+        GtmCheckpoint::AttemptImage attempt;
+        attempt.id = r.attempt;
+        attempt.job = r.job;
+        out->attempts[r.attempt] = std::move(attempt);
+        job->second.attempts = r.index;
+        job->second.current_attempt = r.attempt;
+        job->second.parked = false;
+        ++out->stats.attempts;
+        out->next_attempt_id = std::max(out->next_attempt_id, r.attempt + 1);
+        break;
+      }
+      case GtmLogRecordType::kBeginSite: {
+        auto attempt = out->attempts.find(r.attempt);
+        if (attempt == out->attempts.end()) {
+          return Status::Internal("GTM log: begin_site for unknown attempt " +
+                                  std::to_string(r.attempt));
+        }
+        attempt->second.subs.emplace_back(r.site, r.sub);
+        out->next_txn_id = std::max(out->next_txn_id, r.sub + 1);
+        break;
+      }
+      case GtmLogRecordType::kRead: {
+        auto attempt = out->attempts.find(r.attempt);
+        if (attempt == out->attempts.end()) {
+          return Status::Internal("GTM log: read for unknown attempt " +
+                                  std::to_string(r.attempt));
+        }
+        attempt->second.reads.push_back({r.site, r.item, r.value});
+        break;
+      }
+      case GtmLogRecordType::kEnqueue:
+      case GtmLogRecordType::kAbortCleanup:
+        out->gtm2_replay.push_back(i);
+        break;
+      case GtmLogRecordType::kAttemptFail: {
+        auto attempt = out->attempts.find(r.attempt);
+        if (attempt == out->attempts.end()) {
+          return Status::Internal(
+              "GTM log: attempt_fail for unknown attempt " +
+              std::to_string(r.attempt));
+        }
+        auto job = out->jobs.find(attempt->second.job);
+        if (job != out->jobs.end()) job->second.current_attempt = -1;
+        out->attempts.erase(attempt);
+        ++out->stats.aborted_attempts;
+        switch (static_cast<GtmAttemptFailReason>(r.code)) {
+          case GtmAttemptFailReason::kScheme:
+            ++out->stats.scheme_aborts;
+            break;
+          case GtmAttemptFailReason::kTimeout:
+            ++out->stats.timeouts;
+            break;
+          case GtmAttemptFailReason::kSiteDown:
+            ++out->stats.site_down_aborts;
+            break;
+          case GtmAttemptFailReason::kSite:
+          case GtmAttemptFailReason::kGtmCrash:
+            break;
+        }
+        break;
+      }
+      case GtmLogRecordType::kCommitStart: {
+        auto attempt = out->attempts.find(r.attempt);
+        if (attempt == out->attempts.end()) {
+          return Status::Internal(
+              "GTM log: commit_start for unknown attempt " +
+              std::to_string(r.attempt));
+        }
+        attempt->second.committing = true;
+        attempt->second.commit_index = 0;
+        break;
+      }
+      case GtmLogRecordType::kCommitSite: {
+        auto attempt = out->attempts.find(r.attempt);
+        if (attempt == out->attempts.end()) {
+          return Status::Internal(
+              "GTM log: commit_site for unknown attempt " +
+              std::to_string(r.attempt));
+        }
+        attempt->second.commit_index = r.index + 1;
+        break;
+      }
+      case GtmLogRecordType::kFinish: {
+        auto job = out->jobs.find(r.job);
+        if (job == out->jobs.end()) {
+          return Status::Internal("GTM log: finish for unknown job " +
+                                  std::to_string(r.job));
+        }
+        if (job->second.current_attempt >= 0) {
+          out->attempts.erase(job->second.current_attempt);
+        }
+        out->jobs.erase(job);
+        switch (static_cast<GtmFinishOutcome>(r.code)) {
+          case GtmFinishOutcome::kCommitted:
+            ++out->stats.committed;
+            break;
+          case GtmFinishOutcome::kGaveUp:
+            ++out->stats.failed;
+            break;
+          case GtmFinishOutcome::kPartial:
+            ++out->stats.failed;
+            ++out->stats.partial_commits;
+            break;
+          case GtmFinishOutcome::kParkTimeout:
+            ++out->stats.failed;
+            ++out->stats.park_timeouts;
+            break;
+        }
+        break;
+      }
+      case GtmLogRecordType::kPark: {
+        auto job = out->jobs.find(r.job);
+        if (job == out->jobs.end()) {
+          return Status::Internal("GTM log: park for unknown job " +
+                                  std::to_string(r.job));
+        }
+        job->second.parked = true;
+        ++out->stats.parked;
+        break;
+      }
+      case GtmLogRecordType::kUnpark: {
+        auto job = out->jobs.find(r.job);
+        if (job == out->jobs.end()) {
+          return Status::Internal("GTM log: unpark for unknown job " +
+                                  std::to_string(r.job));
+        }
+        job->second.parked = false;
+        ++out->stats.unparked;
+        break;
+      }
+      case GtmLogRecordType::kSiteDown:
+        InsertSorted(&out->quarantined, r.site);
+        break;
+      case GtmLogRecordType::kSiteUp:
+        EraseSorted(&out->quarantined, r.site);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mdbs::gtm

@@ -1,0 +1,203 @@
+#ifndef MDBS_GTM_GTM_LOG_H_
+#define MDBS_GTM_GTM_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "gtm/gtm1.h"
+#include "gtm/gtm2.h"
+#include "gtm/queue_op.h"
+#include "storage/framing.h"
+#include "storage/log_device.h"
+
+namespace mdbs::gtm {
+
+/// Record types of the GTM write-ahead log. The log captures every GTM
+/// state transition that recovery needs: job admission, attempt lifecycle,
+/// sub-transaction creation, every GTM2 mutation (enqueue / abort cleanup —
+/// the scheme DS and WAIT are deterministic functions of that sequence),
+/// commit progress for forward-rolling, and quarantine churn. What is
+/// deliberately NOT logged: site responses other than reads (recovery
+/// aborts non-committing attempts instead of resuming mid-step), and the
+/// audit layer's ser(S) graph (an under-approximation after recovery is
+/// safe — fewer edges can only miss, never fabricate, a cycle).
+enum class GtmLogRecordType : uint8_t {
+  kSubmit = 1,        // job admitted; time = submit tick
+  kAttemptStart = 2,  // attempt created; index = 1-based attempt number
+  kBeginSite = 3,     // sub-transaction allocated for (attempt, site)
+  kRead = 4,          // data-op read observed (site, item, value)
+  kEnqueue = 5,       // GTM2 enqueue; code = QueueOpKind, sites for kInit
+  kAbortCleanup = 6,  // GTM2 purge of a dead attempt
+  kAttemptFail = 7,   // attempt retired; code = GtmAttemptFailReason
+  kCommitStart = 8,   // validation passed, commit fan-out begins
+  kCommitSite = 9,    // site #index committed (acked)
+  kFinish = 10,       // job finished; code = GtmFinishOutcome, index = attempts
+  kPark = 11,         // job parked on a quarantined site
+  kUnpark = 12,       // parked job resumed
+  kSiteDown = 13,     // health monitor quarantined `site`
+  kSiteUp = 14,       // quarantine lifted
+  kCheckpoint = 15,   // full snapshot; replay restarts here
+};
+
+const char* GtmLogRecordTypeName(GtmLogRecordType type);
+
+/// Reason byte of a kAttemptFail record; mirrors the Gtm1Stats taxonomy so
+/// replay reconstructs the counters exactly.
+enum class GtmAttemptFailReason : uint8_t {
+  kSite = 0,      // local DBMS abort / site error
+  kScheme = 1,    // non-conservative scheme demanded the abort
+  kTimeout = 2,   // per-attempt timeout fired
+  kSiteDown = 3,  // site-down declaration doomed the attempt
+  kGtmCrash = 4,  // in flight across a GTM crash; aborted at recovery
+};
+
+/// Outcome byte of a kFinish record.
+enum class GtmFinishOutcome : uint8_t {
+  kCommitted = 0,
+  kGaveUp = 1,       // max_attempts exhausted
+  kPartial = 2,      // partial commit; resubmission is unsafe
+  kParkTimeout = 3,  // failed back while parked on a quarantined site
+};
+
+/// Checkpoint image: the complete durable GTM state at one log position.
+/// Everything is encoded in deterministic (sorted / insertion) order so a
+/// checkpoint taken at the same logical point always produces identical
+/// bytes — the determinism battery depends on it.
+struct GtmCheckpoint {
+  struct JobImage {
+    int64_t id = -1;
+    int64_t submit_time = 0;
+    int64_t attempts = 0;
+    /// Live attempt id, -1 when the job is parked or in backoff.
+    int64_t current_attempt = -1;
+    bool parked = false;
+  };
+  struct AttemptImage {
+    int64_t id = -1;
+    int64_t job = -1;
+    bool committing = false;
+    /// Next site index to commit (committing attempts only).
+    int64_t commit_index = 0;
+    /// (site, sub-txn) in begin order.
+    std::vector<std::pair<int64_t, int64_t>> subs;
+    /// (site, item, value) sorted by (site, item).
+    std::vector<std::array<int64_t, 3>> reads;
+  };
+
+  int64_t next_txn_id = 0;
+  int64_t next_attempt_id = 0;
+  int64_t next_job_id = 0;
+  Gtm1Stats gtm1_stats;
+  std::vector<JobImage> jobs;          // sorted by id
+  std::vector<AttemptImage> attempts;  // sorted by id
+  std::vector<int64_t> quarantined;    // sorted
+
+  // GTM2 volatile image (QUEUE is empty at every strand-turn boundary, so
+  // only WAIT, the dead set, the counters and the scheme DS are captured).
+  std::vector<QueueOp> wait;       // in WAIT order
+  std::vector<int64_t> dead_txns;  // sorted
+  Gtm2Stats gtm2_stats;
+  int64_t scheme_steps = 0;
+  std::vector<uint8_t> scheme_state;
+};
+
+/// One GTM WAL record. Field use depends on `type` (see the enum); unused
+/// fields keep their defaults and are not encoded.
+struct GtmLogRecord {
+  GtmLogRecordType type = GtmLogRecordType::kSubmit;
+  int64_t job = -1;
+  int64_t attempt = -1;
+  int64_t site = -1;
+  int64_t sub = -1;
+  int64_t item = 0;
+  int64_t value = 0;
+  /// kAttemptStart: attempt number; kCommitSite: committed site index;
+  /// kFinish: attempts used.
+  int64_t index = 0;
+  /// kEnqueue: QueueOpKind; kAttemptFail: GtmAttemptFailReason; kFinish:
+  /// GtmFinishOutcome.
+  uint8_t code = 0;
+  /// kSubmit: submit tick.
+  int64_t time = 0;
+  /// kEnqueue(kInit): the announced site set, in announcement order.
+  std::vector<int64_t> sites;
+  /// kCheckpoint only.
+  GtmCheckpoint checkpoint;
+};
+
+/// Encodes one record as a CRC-framed log frame (storage/framing.h — the
+/// same framing the per-site WAL uses, with the GTM record schema inside).
+std::vector<uint8_t> EncodeGtmLogRecord(const GtmLogRecord& record);
+
+/// Result of scanning a GTM log image.
+struct GtmLogScan {
+  std::vector<GtmLogRecord> records;
+  /// Bytes covered by complete, CRC-valid frames.
+  size_t valid_bytes = 0;
+  /// True when the image ends in an incomplete frame (torn tail — the
+  /// crash interrupted an append). The tail is ignored, not an error.
+  bool torn_tail = false;
+};
+
+/// Reads and decodes the device's whole image. CRC mismatches in the
+/// interior and undecodable payloads are hard errors (corruption, not a
+/// torn append).
+Status ReadGtmLog(storage::LogDevice& device, GtmLogScan* out);
+
+/// Appends GTM records through the shared frame writer. A kCheckpoint
+/// append resets records_since_checkpoint().
+class GtmLogWriter {
+ public:
+  explicit GtmLogWriter(storage::LogDevice* device) : frames_(device) {}
+
+  GtmLogWriter(const GtmLogWriter&) = delete;
+  GtmLogWriter& operator=(const GtmLogWriter&) = delete;
+
+  void Append(const GtmLogRecord& record);
+
+  int64_t records_written() const { return frames_.records_written(); }
+  int64_t bytes_written() const { return frames_.bytes_written(); }
+  int64_t records_since_checkpoint() const {
+    return frames_.records_since_checkpoint();
+  }
+
+ private:
+  storage::FrameWriter frames_;
+};
+
+/// State derived from a (possibly truncated) GTM log: the latest
+/// checkpoint, fast-forwarded through the suffix. Pure function of the
+/// record sequence — the crash-point fuzz battery runs it over every
+/// prefix.
+struct GtmLogAnalysis {
+  int64_t next_txn_id = 0;
+  int64_t next_attempt_id = 0;
+  int64_t next_job_id = 0;
+  Gtm1Stats stats;
+  /// Unfinished jobs, keyed by id (ordered — recovery resumes in id order).
+  std::map<int64_t, GtmCheckpoint::JobImage> jobs;
+  /// Live (not failed, not finished) attempts, keyed by id.
+  std::map<int64_t, GtmCheckpoint::AttemptImage> attempts;
+  /// Quarantine set as of the log end (sorted). Recovery supersedes it
+  /// with the health monitor's current view; the fuzz oracle checks it.
+  std::vector<int64_t> quarantined;
+  /// Index of the latest kCheckpoint record, or npos.
+  static constexpr size_t kNoCheckpoint = static_cast<size_t>(-1);
+  size_t checkpoint_index = kNoCheckpoint;
+  /// Indices of kEnqueue / kAbortCleanup records after the checkpoint, in
+  /// log order: replaying them through a checkpoint-restored GTM2
+  /// reproduces the exact pre-crash WAIT / dead-set / scheme DS state.
+  std::vector<size_t> gtm2_replay;
+};
+
+Status AnalyzeGtmLog(const std::vector<GtmLogRecord>& records,
+                     GtmLogAnalysis* out);
+
+}  // namespace mdbs::gtm
+
+#endif  // MDBS_GTM_GTM_LOG_H_

@@ -38,6 +38,10 @@ class RobustFastPath : public ConservativeSchemeBase {
   /// Never aborts; the certificate (not a DS) guarantees acyclic ser(S).
   bool IsConservative() const override { return true; }
 
+  /// Stateless, so the base's empty encoding is the whole snapshot — the
+  /// durable GTM can crash and recover under the certified fast path.
+  bool SupportsSnapshot() const override { return true; }
+
  private:
   SchemeKind certified_as_;
 };

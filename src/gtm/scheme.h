@@ -101,9 +101,36 @@ class Scheme {
     return Status::OK();
   }
 
+  // -------------------------------------------------------------------
+  // Durability surface (src/gtm/gtm_log). A durable GTM snapshots the
+  // scheme's DS into its checkpoint records and rebuilds it on recovery;
+  // between checkpoints the logged enqueue sequence is replayed through a
+  // fresh Gtm2, so schemes must be deterministic functions of it (the
+  // paper's Schemes 0-3 are).
+  // -------------------------------------------------------------------
+
+  /// True when the scheme implements EncodeState/DecodeState. The durable
+  /// GTM refuses to run — loudly, at configuration time — with a scheme
+  /// that cannot be snapshotted.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// Serializes the scheme's DS into `out`, deterministically (sorted
+  /// iteration orders), using the little-endian storage primitives. The
+  /// encoding doubles as the recovery tests' structural fingerprint.
+  virtual void EncodeState(std::vector<uint8_t>* out) const { (void)out; }
+
+  /// Rebuilds DS from an EncodeState image. Returns false on a malformed
+  /// image (recovery must fail loudly, never silently diverge).
+  virtual bool DecodeState(const uint8_t* data, size_t size) {
+    (void)data;
+    return size == 0;
+  }
+
   /// Abstract step counter for the complexity experiments.
   int64_t steps() const { return steps_; }
   void ResetSteps() { steps_ = 0; }
+  /// Restores the step counter from a GTM checkpoint image.
+  void RestoreSteps(int64_t steps) { steps_ = steps; }
 
   /// Records scheme data-structure churn (marked edges, dependencies,
   /// ser_bef seeding) into `sink`; nullptr disables. Set by the driver.

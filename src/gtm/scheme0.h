@@ -23,6 +23,10 @@ class Scheme0 : public ConservativeSchemeBase {
   Status CheckStructuralInvariants() const override;
   Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
+  bool SupportsSnapshot() const override { return true; }
+  void EncodeState(std::vector<uint8_t>* out) const override;
+  bool DecodeState(const uint8_t* data, size_t size) override;
+
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;
   void ActSer(GlobalTxnId txn, SiteId site) override;
@@ -53,6 +57,9 @@ class SchemeNone : public ConservativeSchemeBase {
   Verdict CondFin(GlobalTxnId) override { return Verdict::kReady; }
   void ActFin(GlobalTxnId) override {}
   void ActAbortCleanup(GlobalTxnId) override {}
+
+  /// Stateless, so the base's empty encoding is the whole snapshot.
+  bool SupportsSnapshot() const override { return true; }
 };
 
 }  // namespace mdbs::gtm

@@ -36,6 +36,10 @@ class Scheme1 : public ConservativeSchemeBase {
   Status CheckStructuralInvariants() const override;
   Status AuditSerRelease(GlobalTxnId txn, SiteId site) const override;
 
+  bool SupportsSnapshot() const override { return true; }
+  void EncodeState(std::vector<uint8_t>* out) const override;
+  bool DecodeState(const uint8_t* data, size_t size) override;
+
   void ActInit(const QueueOp& op) override;
   Verdict CondSer(GlobalTxnId txn, SiteId site) override;
   void ActSer(GlobalTxnId txn, SiteId site) override;

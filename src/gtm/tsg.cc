@@ -122,4 +122,13 @@ bool TransactionSiteGraph::EdgeOnCycle(GlobalTxnId txn, SiteId site,
   return false;
 }
 
+
+std::vector<GlobalTxnId> TransactionSiteGraph::Txns() const {
+  std::vector<GlobalTxnId> txns;
+  txns.reserve(txns_.size());
+  for (const auto& [txn, sites] : txns_) txns.push_back(txn);
+  std::sort(txns.begin(), txns.end());
+  return txns;
+}
+
 }  // namespace mdbs::gtm

@@ -36,6 +36,11 @@ class TransactionSiteGraph {
   size_t SiteCount() const { return sites_.size(); }
   size_t EdgeCount() const { return edge_count_; }
 
+  /// Transaction nodes in id order — the deterministic iteration the GTM
+  /// checkpoint encoding needs (sites_/edge_count_ are derived state, so
+  /// txn -> sites is the whole graph).
+  std::vector<GlobalTxnId> Txns() const;
+
   /// Structural self-check (audit layer): the two adjacency maps mirror
   /// each other exactly — every (txn, site) edge appears on both sides, no
   /// txn lists a site twice, no empty site buckets linger, and the edge

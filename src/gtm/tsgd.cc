@@ -315,4 +315,30 @@ std::vector<Dependency> Tsgd::EliminateCycles(GlobalTxnId origin,
   return delta;
 }
 
+
+std::vector<GlobalTxnId> Tsgd::Txns() const {
+  std::vector<GlobalTxnId> txns;
+  txns.reserve(txns_.size());
+  for (const auto& [txn, sites] : txns_) txns.push_back(txn);
+  std::sort(txns.begin(), txns.end());
+  return txns;
+}
+
+std::vector<Dependency> Tsgd::AllDependencies() const {
+  std::vector<Dependency> deps;
+  deps.reserve(dep_count_);
+  for (const auto& [site, from_map] : deps_from_) {
+    for (const auto& [from, tos] : from_map) {
+      for (GlobalTxnId to : tos) deps.push_back(Dependency{site, from, to});
+    }
+  }
+  std::sort(deps.begin(), deps.end(), [](const Dependency& a,
+                                         const Dependency& b) {
+    if (a.site != b.site) return a.site < b.site;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  return deps;
+}
+
 }  // namespace mdbs::gtm

@@ -61,6 +61,13 @@ class Tsgd {
   size_t TxnCount() const { return txns_.size(); }
   size_t DependencyCount() const { return dep_count_; }
 
+  /// Transaction nodes in id order (deterministic snapshot encoding).
+  std::vector<GlobalTxnId> Txns() const;
+  /// Every dependency, sorted by (site, from, to). Together with Txns()/
+  /// SitesOf this is the whole graph; rebuilding via InsertTxn +
+  /// AddDependency restores the derived maps.
+  std::vector<Dependency> AllDependencies() const;
+
   /// Structural self-check (audit layer): adjacency maps mirror each
   /// other, every dependency connects two transactions that both have an
   /// edge at its site, deps_into_/deps_from_ are exact mirrors, counts

@@ -258,6 +258,19 @@ std::string DriverReport::ToString() const {
        << " undone=" << durability.undone_writes
        << " recovery_ticks=" << durability.recovery_ticks << "\n";
   }
+  if (gtm_durability.wal_records > 0 || gtm_durability.recoveries > 0) {
+    os << "gtm_wal: records=" << gtm_durability.wal_records
+       << " bytes=" << gtm_durability.wal_bytes
+       << " checkpoints=" << gtm_durability.checkpoints
+       << " crashes=" << gtm_durability.crashes
+       << " recoveries=" << gtm_durability.recoveries
+       << " replayed=" << gtm_durability.replayed_records
+       << " replayed_enqueues=" << gtm_durability.replayed_enqueues
+       << " resumed_commits=" << gtm_durability.resumed_commits
+       << " recovery_aborts=" << gtm_durability.recovery_aborted_attempts
+       << " buffered_submits=" << gtm_durability.buffered_submits
+       << " recovery_ticks=" << gtm_durability.recovery_ticks << "\n";
+  }
   os << "duration=" << duration << " ticks\n";
   return os.str();
 }
@@ -306,6 +319,25 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("gtm1.unparked", gtm1.unparked);
   registry->Increment("gtm1.park_timeouts", gtm1.park_timeouts);
   registry->Increment("gtm1.fast_path_attempts", gtm1.fast_path_attempts);
+  registry->Increment("gtm_wal.records", gtm_durability.wal_records);
+  registry->Increment("gtm_wal.bytes", gtm_durability.wal_bytes);
+  registry->Increment("gtm_wal.checkpoints", gtm_durability.checkpoints);
+  registry->Increment("gtm_wal.crashes", gtm_durability.crashes);
+  registry->Increment("gtm_wal.recoveries", gtm_durability.recoveries);
+  registry->Increment("gtm_wal.replayed_records",
+                      gtm_durability.replayed_records);
+  registry->Increment("gtm_wal.replayed_bytes",
+                      gtm_durability.replayed_bytes);
+  registry->Increment("gtm_wal.replayed_enqueues",
+                      gtm_durability.replayed_enqueues);
+  registry->Increment("gtm_wal.resumed_commits",
+                      gtm_durability.resumed_commits);
+  registry->Increment("gtm_wal.recovery_aborted_attempts",
+                      gtm_durability.recovery_aborted_attempts);
+  registry->Increment("gtm_wal.buffered_submits",
+                      gtm_durability.buffered_submits);
+  registry->Increment("gtm_wal.recovery_ticks",
+                      gtm_durability.recovery_ticks);
   registry->Increment("gtm2.processed_ops", gtm2.processed_ops);
   registry->Increment("gtm2.wait_additions", gtm2.wait_additions);
   registry->Increment("gtm2.ser_wait_additions", gtm2.ser_wait_additions);
@@ -368,6 +400,7 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
   report.global_attempts = state->attempts;
   report.gtm1 = mdbs->gtm().stats();
   report.gtm2 = mdbs->gtm().gtm2().stats();
+  report.gtm_durability = mdbs->gtm().durability_stats();
   for (SiteId site : mdbs->site_ids()) {
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();

@@ -76,6 +76,9 @@ struct DriverReport {
   fault::FaultStats faults;
   /// WAL/recovery activity summed across durable sites (zeros otherwise).
   site::SiteDurabilityStats durability;
+  /// The durable GTM's own WAL/crash/replay activity (zeros when the GTM
+  /// is not durable or no gtm_crash was injected).
+  gtm::GtmDurabilityStats gtm_durability;
 
   std::string ToString() const;
 

@@ -85,8 +85,11 @@ Mdbs::Mdbs(const MdbsConfig& config)
   if (config.response_loss_probability > 0 && plan.response_loss <= 0) {
     plan.response_loss = config.response_loss_probability;
   }
+  Status plan_ok = fault::ValidatePlanForConfig(plan, config.gtm.durable);
+  MDBS_CHECK(plan_ok.ok()) << plan_ok.message();
   injector_ = std::make_unique<fault::FaultInjector>(plan, config.seed);
   ArmPlanCrashes();
+  ArmGtmCrashes();
 
   HealthMonitor::Callbacks health_callbacks;
   health_callbacks.probe = [this](SiteId site, std::function<void()> ack) {
@@ -116,6 +119,28 @@ void Mdbs::ArmPlanCrashes() {
       });
     });
   }
+}
+
+void Mdbs::ArmGtmCrashes() {
+  for (const fault::GtmCrashEvent& event : injector_->plan().gtm_crashes) {
+    GtmRunner()->Schedule(event.at, [this, event]() {
+      if (gtm1_->IsDown()) return;  // Overlapping windows merge.
+      gtm1_->Crash();
+      GtmRunner()->Schedule(event.duration, [this]() {
+        gtm1_->Recover(CurrentlyDownSites());
+      });
+    });
+  }
+}
+
+std::vector<SiteId> Mdbs::CurrentlyDownSites() const {
+  std::vector<SiteId> down;
+  for (SiteId id : site_ids_) {
+    if (health_->state(id) == HealthMonitor::SiteState::kDown) {
+      down.push_back(id);
+    }
+  }
+  return down;
 }
 
 Mdbs::~Mdbs() { StopStrands(); }
@@ -183,6 +208,16 @@ void Mdbs::FinishThreadedRun() {
       horizon_ticks = std::max<sim::Time>(
           horizon_ticks, 2 * site.recovery_base_time + 100);
     }
+  }
+  // A pending GTM crash/recovery window must count as busy: while the GTM
+  // is down, in-flight transactions are waiting on its recovery timer.
+  for (const fault::GtmCrashEvent& event : config_.fault_plan.gtm_crashes) {
+    horizon_ticks = std::max<sim::Time>(horizon_ticks, 2 * event.duration +
+                                                          100);
+  }
+  if (config_.gtm.durable) {
+    horizon_ticks = std::max<sim::Time>(
+        horizon_ticks, 2 * config_.gtm.recovery_base_time + 100);
   }
   for (;;) {
     sim::Time horizon = ticker_->NowMicros() + horizon_ticks;

@@ -212,6 +212,14 @@ class Mdbs : public gtm::SiteGateway {
   /// strands (construction time, so replays align).
   void ArmPlanCrashes();
 
+  /// Schedules the plan's gtm_crash windows on the GTM strand. The recovery
+  /// leg hands Gtm1::Recover the health monitor's *current* down set — the
+  /// log's quarantine view is stale by however long the outage lasted.
+  void ArmGtmCrashes();
+
+  /// Sites the health monitor currently declares down (GTM strand only).
+  std::vector<SiteId> CurrentlyDownSites() const;
+
   /// The strand owning `site`'s state (the shared loop in simulation mode).
   sim::TaskRunner* SiteRunner(SiteId site);
   /// The strand owning the GTM's state.

@@ -311,6 +311,7 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
   }
   report.gtm1 = mdbs->gtm().stats();
   report.gtm2 = mdbs->gtm().gtm2().stats();
+  report.gtm_durability = mdbs->gtm().durability_stats();
   for (SiteId site : mdbs->site_ids()) {
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();

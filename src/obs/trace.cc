@@ -88,6 +88,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "txn_resubmit";
     case TraceEventKind::kNetFault:
       return "net_fault";
+    case TraceEventKind::kGtmCrash:
+      return "gtm_crash";
+    case TraceEventKind::kGtmRecover:
+      return "gtm_recover";
     case TraceEventKind::kStrandBacklog:
       return "strand_backlog";
     case TraceEventKind::kDowngrade:

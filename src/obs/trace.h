@@ -82,6 +82,10 @@ enum class TraceEventKind : uint8_t {
                   //   a = resubmission number, b = attempts used so far
   kNetFault,      // injected message fault; detail = "req_lost" |
                   //   "resp_lost" | "dup" | "dup_suppressed" | "spike"
+  kGtmCrash,      // durable GTM crashed; a = live attempts lost,
+                  //   b = in-flight jobs carried into recovery
+  kGtmRecover,    // durable GTM back up after WAL replay; a = replayed
+                  //   records, b = jobs resumed
 
   // Engine. site = strand owner (-1 = GTM strand).
   kStrandBacklog,  // threaded mode: a = tasks queued on the strand

@@ -223,6 +223,17 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
         EmitInstant(w, e);
         break;
 
+      case TraceEventKind::kGtmCrash:
+        // The GTM outage renders as a span on the GTM track; WAL replay
+        // and the resumed/aborted attempts it causes line up under it.
+        spans.Open("gtmdown", "GTM DOWN", "gtm_crash", 1, e.time);
+        EmitInstant(w, e);
+        break;
+      case TraceEventKind::kGtmRecover:
+        spans.Close("gtmdown", e.time);
+        EmitInstant(w, e);
+        break;
+
       case TraceEventKind::kQueueDepth:
         EmitCounter(w, "gtm2 depth", e.time,
                     {{"queue", e.a}, {"wait", e.b}});

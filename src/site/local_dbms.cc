@@ -201,6 +201,12 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
     cb(Status::TransactionAborted(ToString(config_.id) + " is down"));
     return;
   }
+  if (committed_txns_.count(txn) > 0) {
+    // Duplicate Commit — the durable GTM re-drives its fan-out from the
+    // logged cursor after a crash. Acknowledge without re-recording.
+    cb(Status::OK());
+    return;
+  }
   auto it = txns_.find(txn);
   if (it == txns_.end()) {
     cb(Status::TransactionAborted(ToString(txn) + " is not active"));
@@ -273,6 +279,7 @@ void LocalDbms::ProcessCommit(TxnId txn, TxnCallback cb) {
     recorder_->RecordFinish(txn, TxnOutcome::kCommitted,
                             protocol_->SerializationKey(txn));
   }
+  committed_txns_.insert(txn);
   txns_.erase(txn);
   // Checkpoint only after the committed transaction is fully retired: a
   // snapshot taken earlier would list it as active (with undo entries)
@@ -402,6 +409,7 @@ void LocalDbms::Crash() {
   mv_initial_images_.clear();
   last_writer_.clear();
   mv_latest_.clear();
+  committed_txns_.clear();
   // The stale protocol instance stays (nothing touches it while down_);
   // Recover() builds the replacement.
 }
@@ -479,6 +487,10 @@ storage::RecoveredState LocalDbms::ReplayAndInstall() {
   for (const auto& [item, v] : recovered.mv_latest) {
     mv_latest_[DataItemId(item)] = MvLatest{v.wts, TxnId(v.writer), v.value};
   }
+  committed_txns_.clear();
+  for (int64_t txn : recovered.committed_set) {
+    committed_txns_.insert(TxnId(txn));
+  }
 
   protocol_->RecoverClock(recovered.clock);
   if (protocol_->IsMultiversion()) {
@@ -524,6 +536,8 @@ void LocalDbms::MaybeCheckpoint() {
   rec.type = storage::WalRecordType::kCheckpoint;
   storage::CheckpointImage& image = rec.checkpoint;
   image.clock = protocol_->DurableClock();
+  for (TxnId txn : committed_txns_) image.committed.push_back(txn.value());
+  std::sort(image.committed.begin(), image.committed.end());
   for (const auto& [item, value] : store_.items()) {
     storage::CheckpointImage::Item entry;
     entry.item = item.value();

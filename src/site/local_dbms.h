@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -219,6 +220,12 @@ class LocalDbms : public lcc::ProtocolHost {
   storage::KvStore store_;
   std::unique_ptr<lcc::ConcurrencyControl> protocol_;
   std::unordered_map<TxnId, TxnState> txns_;
+  /// Every transaction committed here. Makes Commit idempotent: the durable
+  /// GTM forward-rolls its commit fan-out after its own crash, so a site can
+  /// legitimately see Commit twice for one sub-transaction. Persisted in
+  /// checkpoints and rebuilt by replay on durable sites; survives a
+  /// non-durable crash like the store does.
+  std::unordered_set<TxnId> committed_txns_;
   /// Multiversion sites: value an item had before its first committed
   /// write — the "initial version" readers with very old timestamps must
   /// observe after the store has moved on.

@@ -1,0 +1,97 @@
+#include "storage/framing.h"
+
+#include <array>
+#include <string>
+
+#include "common/logging.h"
+
+namespace mdbs::storage {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out->push_back((u >> (8 * i)) & 0xFF);
+}
+
+std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Status ScanFrames(const std::vector<uint8_t>& image, FrameScan* out) {
+  *out = FrameScan{};
+  size_t pos = 0;
+  while (pos < image.size()) {
+    if (image.size() - pos < 8) {
+      out->torn_tail = true;  // Not even a full header.
+      break;
+    }
+    uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) len |= uint32_t{image[pos + i]} << (8 * i);
+    for (int i = 0; i < 4; ++i) crc |= uint32_t{image[pos + 4 + i]} << (8 * i);
+    if (image.size() - pos - 8 < len) {
+      out->torn_tail = true;  // Frame extends past the end of the device.
+      break;
+    }
+    const uint8_t* payload = image.data() + pos + 8;
+    if (Crc32(payload, len) != crc) {
+      return Status::Internal("log corruption: CRC mismatch in frame at byte " +
+                              std::to_string(pos));
+    }
+    out->payloads.emplace_back(pos + 8, len);
+    pos += 8 + len;
+    out->boundaries.push_back(pos);
+    out->valid_bytes = pos;
+  }
+  return Status::OK();
+}
+
+void FrameWriter::AppendPayload(const std::vector<uint8_t>& payload,
+                                bool is_checkpoint) {
+  std::vector<uint8_t> frame = FramePayload(payload);
+  Status appended = device_->Append(frame.data(), frame.size());
+  MDBS_CHECK(appended.ok()) << appended.message();
+  ++records_written_;
+  bytes_written_ += static_cast<int64_t>(frame.size());
+  if (is_checkpoint) {
+    records_since_checkpoint_ = 0;
+  } else {
+    ++records_since_checkpoint_;
+  }
+}
+
+}  // namespace mdbs::storage

@@ -1,0 +1,115 @@
+#ifndef MDBS_STORAGE_FRAMING_H_
+#define MDBS_STORAGE_FRAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/log_device.h"
+
+namespace mdbs::storage {
+
+/// CRC-32 (IEEE 802.3, reflected) over `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Little-endian fixed-width encoding, independent of host byte order so a
+/// log written on one machine replays byte-for-byte on another.
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutI64(std::vector<uint8_t>* out, int64_t v);
+
+/// Bounds-checked little-endian decoding cursor. A structural overrun in a
+/// CRC-valid payload still counts as corruption (ok() goes false).
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() {
+    if (pos_ + 1 > size_) return Fail<uint8_t>();
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (pos_ + 4 > size_) return Fail<uint32_t>();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  int64_t I64() {
+    if (pos_ + 8 > size_) return Fail<int64_t>();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{data_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return static_cast<int64_t>(v);
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    return T{};
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wraps one payload as a CRC frame:
+///   [u32 payload_len][u32 crc32(payload)][payload]
+/// This is the one framing implementation shared by the site WAL and the
+/// GTM log; the two differ only in their payload (record) schemas.
+std::vector<uint8_t> FramePayload(const std::vector<uint8_t>& payload);
+
+/// Result of scanning a framed device image front to back, before any
+/// payload decoding.
+struct FrameScan {
+  /// (offset, length) of each complete, CRC-valid payload in the image.
+  std::vector<std::pair<size_t, size_t>> payloads;
+  /// Byte offset just past frame i — the admissible truncation points.
+  std::vector<size_t> boundaries;
+  /// Bytes covered by complete, CRC-valid frames.
+  size_t valid_bytes = 0;
+  /// True when trailing bytes form an incomplete frame — the torn tail a
+  /// crash mid-append legitimately leaves. The tail is ignored.
+  bool torn_tail = false;
+};
+
+/// Splits `image` into frames. A complete frame whose CRC is invalid is
+/// corruption — returns a non-OK status (recovery must fail loudly, never
+/// silently diverge). An incomplete trailing frame is a torn tail:
+/// admitted, flagged, ignored.
+Status ScanFrames(const std::vector<uint8_t>& image, FrameScan* out);
+
+/// Append-side shared by both logs: frames and appends payloads, counting
+/// bytes and records for the checkpoint trigger and the run report.
+class FrameWriter {
+ public:
+  explicit FrameWriter(LogDevice* device) : device_(device) {}
+
+  /// Frames and appends `payload`; crashes the process on device errors
+  /// (the in-memory device cannot fail; the file device failing is
+  /// non-recoverable here).
+  void AppendPayload(const std::vector<uint8_t>& payload, bool is_checkpoint);
+
+  int64_t records_written() const { return records_written_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  /// Records appended since the last checkpoint record.
+  int64_t records_since_checkpoint() const {
+    return records_since_checkpoint_;
+  }
+
+ private:
+  LogDevice* device_;
+  int64_t records_written_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t records_since_checkpoint_ = 0;
+};
+
+}  // namespace mdbs::storage
+
+#endif  // MDBS_STORAGE_FRAMING_H_

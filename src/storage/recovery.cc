@@ -44,6 +44,7 @@ Status RecoverWal(const LogDevice& device, bool multiversion,
     for (const CheckpointImage::ActiveTxn& txn : image.active) {
       active[txn.txn] = txn.undo;
     }
+    for (int64_t txn : image.committed) out->committed_set.insert(txn);
   }
 
   // Analysis: who committed, who finished aborting, within the window.
@@ -107,6 +108,7 @@ Status RecoverWal(const LogDevice& device, bool multiversion,
   // apply order — post-checkpoint entries are no-ops (their writes were
   // never redone), checkpoint-carried entries scrub the fuzzy snapshot.
   out->committed_txns = static_cast<int64_t>(committed.size());
+  for (int64_t txn : committed) out->committed_set.insert(txn);
   for (const auto& [txn, undo] : active) {
     if (committed.contains(txn) || aborted.contains(txn)) continue;
     ++out->loser_txns;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/status.h"
 #include "storage/wal.h"
@@ -33,6 +34,10 @@ struct RecoveredState {
   /// Counters recovered to >= this value keep timestamps / lock-point
   /// sequences / commit numbers monotone across the restart.
   int64_t clock = 0;
+  /// Every transaction ever committed at this site (checkpoint-carried set
+  /// plus kCommit records in the replay window) — restores the site's
+  /// duplicate-Commit idempotency filter.
+  std::unordered_set<int64_t> committed_set;
 
   // Replay statistics (surfaced in traces and the run report).
   int64_t scanned_records = 0;

@@ -1,76 +1,12 @@
 #include "storage/wal.h"
 
-#include <array>
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/framing.h"
 
 namespace mdbs::storage {
 namespace {
-
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
-/// Little-endian fixed-width encoding, independent of host byte order so a
-/// log written on one machine replays byte-for-byte on another.
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
-}
-
-void PutI64(std::vector<uint8_t>* out, int64_t v) {
-  uint64_t u = static_cast<uint64_t>(v);
-  for (int i = 0; i < 8; ++i) out->push_back((u >> (8 * i)) & 0xFF);
-}
-
-/// Bounds-checked little-endian decoding cursor. A structural overrun in a
-/// CRC-valid payload still counts as corruption (ok_ goes false).
-class Cursor {
- public:
-  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  uint8_t U8() {
-    if (pos_ + 1 > size_) return Fail<uint8_t>();
-    return data_[pos_++];
-  }
-  uint32_t U32() {
-    if (pos_ + 4 > size_) return Fail<uint32_t>();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= uint32_t{data_[pos_ + i]} << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-  int64_t I64() {
-    if (pos_ + 8 > size_) return Fail<int64_t>();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= uint64_t{data_[pos_ + i]} << (8 * i);
-    pos_ += 8;
-    return static_cast<int64_t>(v);
-  }
-
-  bool ok() const { return ok_; }
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  template <typename T>
-  T Fail() {
-    ok_ = false;
-    return T{};
-  }
-
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
 
 void EncodePayload(const WalRecord& record, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(record.type));
@@ -102,6 +38,8 @@ void EncodePayload(const WalRecord& record, std::vector<uint8_t>* out) {
     case WalRecordType::kCheckpoint: {
       const CheckpointImage& image = record.checkpoint;
       PutI64(out, image.clock);
+      PutU32(out, static_cast<uint32_t>(image.committed.size()));
+      for (int64_t txn : image.committed) PutI64(out, txn);
       PutU32(out, static_cast<uint32_t>(image.items.size()));
       for (const CheckpointImage::Item& item : image.items) {
         PutI64(out, item.item);
@@ -173,6 +111,11 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord* out) {
       out->type = WalRecordType::kCheckpoint;
       CheckpointImage& image = out->checkpoint;
       image.clock = c.I64();
+      uint32_t n_committed = c.U32();
+      if (!c.ok()) return false;
+      for (uint32_t i = 0; i < n_committed && c.ok(); ++i) {
+        image.committed.push_back(c.I64());
+      }
       uint32_t n_items = c.U32();
       if (!c.ok()) return false;
       for (uint32_t i = 0; i < n_items && c.ok(); ++i) {
@@ -224,16 +167,6 @@ bool DecodePayload(const uint8_t* data, size_t size, WalRecord* out) {
 
 }  // namespace
 
-uint32_t Crc32(const void* data, size_t size) {
-  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
 const char* WalRecordTypeName(WalRecordType type) {
   switch (type) {
     case WalRecordType::kBegin:
@@ -255,12 +188,7 @@ const char* WalRecordTypeName(WalRecordType type) {
 std::vector<uint8_t> EncodeWalRecord(const WalRecord& record) {
   std::vector<uint8_t> payload;
   EncodePayload(record, &payload);
-  std::vector<uint8_t> frame;
-  frame.reserve(payload.size() + 8);
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload.data(), payload.size()));
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  return frame;
+  return FramePayload(payload);
 }
 
 Status ReadWal(const LogDevice& device, WalScan* out) {
@@ -268,48 +196,27 @@ Status ReadWal(const LogDevice& device, WalScan* out) {
   std::vector<uint8_t> image;
   Status read = device.ReadAll(&image);
   if (!read.ok()) return read;
-  size_t pos = 0;
-  while (pos < image.size()) {
-    if (image.size() - pos < 8) {
-      out->torn_tail = true;  // Not even a full header.
-      break;
-    }
-    uint32_t len = 0, crc = 0;
-    for (int i = 0; i < 4; ++i) len |= uint32_t{image[pos + i]} << (8 * i);
-    for (int i = 0; i < 4; ++i) crc |= uint32_t{image[pos + 4 + i]} << (8 * i);
-    if (image.size() - pos - 8 < len) {
-      out->torn_tail = true;  // Frame extends past the end of the device.
-      break;
-    }
-    const uint8_t* payload = image.data() + pos + 8;
-    if (Crc32(payload, len) != crc) {
-      return Status::Internal("WAL corruption: CRC mismatch in frame at byte " +
-                              std::to_string(pos));
-    }
+  FrameScan frames;
+  Status scanned = ScanFrames(image, &frames);
+  if (!scanned.ok()) return scanned;
+  for (const auto& [offset, len] : frames.payloads) {
     WalRecord record;
-    if (!DecodePayload(payload, len, &record)) {
+    if (!DecodePayload(image.data() + offset, len, &record)) {
       return Status::Internal("WAL corruption: undecodable frame at byte " +
-                              std::to_string(pos));
+                              std::to_string(offset - 8));
     }
-    pos += 8 + len;
     out->records.push_back(std::move(record));
-    out->boundaries.push_back(pos);
-    out->valid_bytes = pos;
   }
+  out->boundaries = std::move(frames.boundaries);
+  out->valid_bytes = frames.valid_bytes;
+  out->torn_tail = frames.torn_tail;
   return Status::OK();
 }
 
 void WalWriter::Append(const WalRecord& record) {
-  std::vector<uint8_t> frame = EncodeWalRecord(record);
-  Status appended = device_->Append(frame.data(), frame.size());
-  MDBS_CHECK(appended.ok()) << appended.message();
-  ++records_written_;
-  bytes_written_ += static_cast<int64_t>(frame.size());
-  if (record.type == WalRecordType::kCheckpoint) {
-    records_since_checkpoint_ = 0;
-  } else {
-    ++records_since_checkpoint_;
-  }
+  std::vector<uint8_t> payload;
+  EncodePayload(record, &payload);
+  frames_.AppendPayload(payload, record.type == WalRecordType::kCheckpoint);
 }
 
 }  // namespace mdbs::storage

@@ -6,12 +6,10 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "storage/framing.h"
 #include "storage/log_device.h"
 
 namespace mdbs::storage {
-
-/// CRC-32 (IEEE 802.3, reflected) over `size` bytes.
-uint32_t Crc32(const void* data, size_t size);
 
 /// Write-ahead log record types. The log is logical-physical: redo carries
 /// after-images, undo carries before-images, and compensation records (CLR)
@@ -52,6 +50,12 @@ struct CheckpointImage {
 
   int64_t clock = 0;  // Protocol clock at checkpoint time.
   std::vector<Item> items;
+  /// Every transaction committed at this site so far, sorted. Carried so a
+  /// restarted site still answers a duplicate Commit idempotently — the
+  /// durable GTM forward-rolls its commit fan-out after its own crash, and
+  /// the re-driven Commit may target a sub-transaction that committed (and
+  /// was retired from the active table) before the site went down.
+  std::vector<int64_t> committed;
   /// Multiversion sites: pre-first-committed-write images (item, value).
   std::vector<std::pair<int64_t, int64_t>> mv_initial;
   /// Multiversion sites: latest committed version per item in TIMESTAMP
@@ -102,27 +106,25 @@ struct WalScan {
 Status ReadWal(const LogDevice& device, WalScan* out);
 
 /// Append-side of the log: encodes and appends records, counting bytes and
-/// records for the checkpoint trigger and the run report.
+/// records for the checkpoint trigger and the run report. A thin record
+/// schema over the shared CRC framing (storage::FrameWriter).
 class WalWriter {
  public:
-  explicit WalWriter(LogDevice* device) : device_(device) {}
+  explicit WalWriter(LogDevice* device) : frames_(device) {}
 
   /// Appends `record`; crashes the process on device errors (the in-memory
   /// device cannot fail; the file device failing is non-recoverable here).
   void Append(const WalRecord& record);
 
-  int64_t records_written() const { return records_written_; }
-  int64_t bytes_written() const { return bytes_written_; }
+  int64_t records_written() const { return frames_.records_written(); }
+  int64_t bytes_written() const { return frames_.bytes_written(); }
   /// Records appended since the last checkpoint record.
   int64_t records_since_checkpoint() const {
-    return records_since_checkpoint_;
+    return frames_.records_since_checkpoint();
   }
 
  private:
-  LogDevice* device_;
-  int64_t records_written_ = 0;
-  int64_t bytes_written_ = 0;
-  int64_t records_since_checkpoint_ = 0;
+  FrameWriter frames_;
 };
 
 }  // namespace mdbs::storage

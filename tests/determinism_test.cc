@@ -143,6 +143,33 @@ TEST(DeterminismTest, DurableRecoveryReplaysTheJsonReportByteForByte) {
   EXPECT_EQ(run(), run());
 }
 
+// A mid-run GTM crash — WAL replay, scheme-state reconstruction, aborted
+// and forward-rolled attempts, buffered submissions — must also replay
+// byte for byte from the same seeds: recovery is part of the simulated
+// schedule, not an out-of-band event.
+TEST(DeterminismTest, GtmCrashRecoveryReplaysByteForByte) {
+  auto run = []() {
+    MdbsConfig config = SystemConfig(13);
+    config.gtm.durable = true;
+    config.gtm.checkpoint_interval = 64;
+    config.gtm.recovery_time_per_record = 2;
+    config.gtm.attempt_timeout = 10'000;
+    fault::FaultPlan plan;
+    plan.gtm_crashes.push_back(fault::GtmCrashEvent{4000, 2500});
+    plan.gtm_crashes.push_back(fault::GtmCrashEvent{20'000, 1500});
+    config.fault_plan = plan;
+    DriverConfig workload = Workload();
+    Mdbs system(config);
+    DriverReport report = RunDriver(&system, workload, 19);
+    EXPECT_EQ(report.gtm_durability.crashes, 2);
+    EXPECT_EQ(report.gtm_durability.recoveries, 2);
+    EXPECT_GT(report.gtm_durability.replayed_records, 0);
+    EXPECT_TRUE(system.CheckGloballySerializable().ok());
+    return report.ToString();
+  };
+  EXPECT_EQ(run(), run());
+}
+
 // Replay itself must be a pure function of the log image: recovering the
 // same device twice yields identical stores, tables, and statistics.
 TEST(DeterminismTest, RecoveryFromTheSameLogIsIdentical) {

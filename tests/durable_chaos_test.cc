@@ -231,6 +231,52 @@ TEST(DurableChaosCostTest, NonZeroReplayCostStillLosesNothing) {
   ExpectZeroCommittedDataLoss(&system);
 }
 
+// Compound outage: the durable GTM crashes twice while a site-crash sweep
+// is in flight. GTM recovery must replay through the quarantine churn the
+// sweep logged, hand the health monitor's *current* down set to the
+// restarted scheme state, and still lose no committed data anywhere — the
+// hardest interleaving the fault language can express in one plan.
+TEST_P(DurableChaosTest, GtmCrashDuringSiteSweepLosesNothing) {
+  MdbsConfig config = MdbsConfig::Mixed(kMixedProtocols, GetParam());
+  config.seed = 71;
+  config.gtm.attempt_timeout = 10'000;
+  config.gtm.retry_backoff = 200;
+  config.gtm.durable = true;
+  config.gtm.checkpoint_interval = 64;
+  config.health.probe_interval = 300;
+  config.health.suspect_after = 600;
+  config.health.down_after = 1200;
+  config.fault_plan = fault::FaultPlan::CrashSweep(
+      /*num_sites=*/4, /*first_at=*/2000, /*gap=*/4000, /*duration=*/2000);
+  config.fault_plan.gtm_crashes.push_back(fault::GtmCrashEvent{6000, 2500});
+  config.fault_plan.gtm_crashes.push_back(
+      fault::GtmCrashEvent{15'000, 1500});
+  MakeDurable(&config, 64);
+  Mdbs system(config);
+
+  DriverConfig driver;
+  driver.global_clients = 6;
+  driver.local_clients_per_site = 1;
+  driver.target_global_commits = 100;
+  driver.global_workload.items_per_site = 25;
+  driver.local_workload.items_per_site = 25;
+  driver.global_retry_max = 3;
+  driver.global_retry_backoff = 400;
+  DriverReport report = RunDriver(&system, driver, 71);
+
+  EXPECT_EQ(report.gtm_durability.crashes, 2);
+  EXPECT_EQ(report.gtm_durability.recoveries, 2);
+  EXPECT_GT(report.gtm_durability.replayed_records, 0);
+  EXPECT_EQ(report.faults.plan_crashes, 4) << "the site sweep must run too";
+  EXPECT_EQ(report.durability.recoveries, 4);
+  EXPECT_GE(report.global_committed, 60);
+  EXPECT_TRUE(system.RunAuditOracle().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+  EXPECT_TRUE(system.CheckStrictness().ok());
+  ExpectZeroCommittedDataLoss(&system);
+}
+
 // Threaded engine: real strands, real clocks, durable sites crashing in a
 // sweep. Timing is nondeterministic, but the oracles are not: no committed
 // data loss, a serializable audit verdict, and every crash recovered.
@@ -272,6 +318,46 @@ TEST_P(DurableChaosTest, ThreadedCrashSweepLosesNoCommittedData) {
   EXPECT_TRUE(system.CheckGloballySerializable().ok())
       << system.GlobalSerializabilityResult().ToString();
   ExpectZeroCommittedDataLoss(&system);
+}
+
+// Threaded engine, durable GTM: a real-time GTM outage mid-run. Clients
+// keep their submissions and callbacks across the crash (closures are not
+// serializable, so the registry models clients that survive the outage);
+// the restarted GTM replays its WAL on its own strand while site strands
+// keep serving local work. Oracles: the outage happened, every crash
+// recovered, and the federation stays globally serializable.
+TEST_P(DurableChaosTest, ThreadedGtmCrashRidesOutTheOutage) {
+  MdbsConfig config = MdbsConfig::Mixed(
+      {ProtocolKind::kTwoPhaseLocking, ProtocolKind::kTimestampOrdering,
+       ProtocolKind::kMultiversionTO},
+      GetParam());
+  config.threaded = true;
+  config.seed = 83;
+  config.gtm.retry_backoff = 300;
+  config.gtm.attempt_timeout = 50'000;
+  config.gtm.durable = true;
+  config.gtm.checkpoint_interval = 128;
+  config.fault_plan.gtm_crashes.push_back(
+      fault::GtmCrashEvent{20'000, 15'000});
+  Mdbs system(config);
+
+  DriverConfig driver;
+  driver.global_clients = 4;
+  driver.local_clients_per_site = 1;
+  driver.target_global_commits = 40;
+  driver.global_workload.items_per_site = 30;
+  driver.local_workload.items_per_site = 30;
+  driver.global_retry_max = 2;
+  driver.global_retry_backoff = 500;
+  DriverReport report = RunThreadedDriver(&system, driver, 83);
+
+  EXPECT_GE(report.global_committed, 40);
+  EXPECT_EQ(report.gtm_durability.crashes, 1);
+  EXPECT_EQ(report.gtm_durability.recoveries, 1);
+  EXPECT_GT(report.gtm_durability.wal_records, 0);
+  EXPECT_TRUE(system.CheckLocallySerializable().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
 }
 
 }  // namespace

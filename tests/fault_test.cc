@@ -34,6 +34,44 @@ TEST(FaultPlanTest, ParsesEveryDirective) {
   EXPECT_TRUE(plan->HasMessageFaults());
 }
 
+TEST(FaultPlanTest, ParsesGtmCrashDirective) {
+  StatusOr<FaultPlan> plan =
+      ParseFaultPlan("gtm_crash@4000:2500;gtm_crash@9000:1000");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->gtm_crashes.size(), 2u);
+  EXPECT_EQ(plan->gtm_crashes[0].at, 4000);
+  EXPECT_EQ(plan->gtm_crashes[0].duration, 2500);
+  EXPECT_EQ(plan->gtm_crashes[1].at, 9000);
+  EXPECT_EQ(plan->gtm_crashes[1].duration, 1000);
+  EXPECT_FALSE(plan->Empty());
+  EXPECT_FALSE(plan->HasMessageFaults());
+}
+
+TEST(FaultPlanTest, GtmCrashSpecRoundTrips) {
+  StatusOr<FaultPlan> plan =
+      ParseFaultPlan("crash@1000:s2:500;gtm_crash@4000:2500;req_loss=0.02");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  StatusOr<FaultPlan> again = ParseFaultPlan(plan->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status();
+  ASSERT_EQ(again->gtm_crashes.size(), 1u);
+  EXPECT_EQ(again->gtm_crashes[0], plan->gtm_crashes[0]);
+  EXPECT_EQ(plan->ToSpec(), again->ToSpec());
+}
+
+TEST(FaultPlanTest, ValidatePlanForConfigRejectsNonDurableGtmCrash) {
+  StatusOr<FaultPlan> plan = ParseFaultPlan("gtm_crash@4000:2500");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Status not_durable = ValidatePlanForConfig(*plan, /*gtm_durable=*/false);
+  EXPECT_FALSE(not_durable.ok());
+  EXPECT_NE(not_durable.message().find("gtm_crash"), std::string::npos);
+  EXPECT_NE(not_durable.message().find("not durable"), std::string::npos);
+  EXPECT_TRUE(ValidatePlanForConfig(*plan, /*gtm_durable=*/true).ok());
+  // Plans without gtm_crash directives never need a durable GTM.
+  StatusOr<FaultPlan> sites_only = ParseFaultPlan("crash@1000:s0:500");
+  ASSERT_TRUE(sites_only.ok());
+  EXPECT_TRUE(ValidatePlanForConfig(*sites_only, false).ok());
+}
+
 TEST(FaultPlanTest, SpecRoundTrips) {
   const std::string spec =
       "crash@1000:s2:500;sweep@2000:3000:1500;req_loss=0.02;resp_loss=0.03;"
@@ -55,7 +93,9 @@ TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
 TEST(FaultPlanTest, RejectsMalformedDirectives) {
   for (const char* bad :
        {"crash@1000:500", "crash@1000:x2:500", "crash@1000:s2:0",
-        "sweep@10:20", "req_loss=1.5", "resp_loss=-0.1", "dup=x",
+        "sweep@10:20", "gtm_crash@1000", "gtm_crash@1000:0",
+        "gtm_crash@1000:2000:3000", "gtm_crash@x:100",
+        "req_loss=1.5", "resp_loss=-0.1", "dup=x",
         "spike=0.1", "spike=0.1:0", "seed=", "nonsense", "foo=1"}) {
     StatusOr<FaultPlan> plan = ParseFaultPlan(bad);
     EXPECT_FALSE(plan.ok()) << "accepted '" << bad << "'";

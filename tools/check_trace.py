@@ -28,6 +28,20 @@ files are given and the report has durable counters, the trace's RECOVERY
 span count must equal site.recoveries and the summed replayed records of
 its recover instants must equal site.wal_replay_records.
 
+The GTM-recovery sub-schema (mdbsim --gtm_durable with a gtm_crash fault
+plan): the GTM outage renders as a "GTM DOWN" span on the GTM track (never
+a site's), opened by a gtm_crash instant and closed by the matching
+gtm_recover instant; both instants live on the GTM track and carry
+non-negative counters (gtm_recover's "a" is the number of WAL records
+replayed). A trace may hold at most as many gtm_recover as gtm_crash
+instants (a run can end mid-outage, never the reverse). When both files
+are given, the instant counts must equal the report's gtm_wal.crashes and
+gtm_wal.recoveries and the summed replay counters must equal
+gtm_wal.replayed_records. Attempt-number monotonicity per global
+transaction is enforced across GTM restarts by the same check as for
+ordinary retries: recovery must resume the WAL's attempt counter, not
+restart it.
+
 The metrics-engine sub-schema (always-on unless --metrics=0): the report's
 "metrics" section must carry zero balance violations, per-phase ticks that
 sum EXACTLY to the total measured lifetime, the full nine-phase taxonomy,
@@ -80,6 +94,10 @@ def check_trace(path):
     open_recovery = {}  # tid -> open RECOVERY spans
     recovery_spans = 0
     replayed_records = 0
+    open_gtm_down = 0
+    gtm_crashes = 0
+    gtm_recovers = 0
+    gtm_replayed = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -128,6 +146,16 @@ def check_trace(path):
                     open_recovery[ev["tid"]] = \
                         open_recovery.get(ev["tid"], 0) + 1
                     recovery_spans += 1
+                elif ev["cat"] == "gtm_crash":
+                    # The GTM outage is a GTM-track span — a site track
+                    # carrying it would misattribute the outage.
+                    if ev["tid"] != GTM_TID:
+                        fail(f"{path}: event {i} GTM DOWN span on tid "
+                             f"{ev['tid']}, expected the GTM track")
+                    if ev["name"] != "GTM DOWN":
+                        fail(f"{path}: event {i} gtm_crash span named "
+                             f"{ev['name']!r}, expected 'GTM DOWN'")
+                    open_gtm_down += 1
                 elif ev["cat"] == "attempt":
                     m = ATTEMPT_NAME.match(ev["name"])
                     if not m:
@@ -155,6 +183,8 @@ def check_trace(path):
                         fail(f"{path}: event {i} DOWN span on tid "
                              f"{ev['tid']} closed with RECOVERY still open")
                     open_crash[ev["tid"]] = open_crash.get(ev["tid"], 0) - 1
+                elif ev["cat"] == "gtm_crash":
+                    open_gtm_down -= 1
         elif ph == "i":
             name, args = ev["name"], ev.get("args", {})
             if name == "net_fault":
@@ -199,6 +229,28 @@ def check_trace(path):
                     fail(f"{path}: event {i} downgrade with bad job id "
                          f"{args.get('a')!r}")
                 downgrades += 1
+            elif name in ("gtm_crash", "gtm_recover"):
+                if ev["tid"] != GTM_TID:
+                    fail(f"{path}: event {i} {name} on tid {ev['tid']}, "
+                         f"expected the GTM track")
+                for counter in ("a", "b"):
+                    if not isinstance(args.get(counter), int) or \
+                            args[counter] < 0:
+                        fail(f"{path}: event {i} {name} with bad counter "
+                             f"{counter}={args.get(counter)!r}")
+                if name == "gtm_crash":
+                    # The crash instant opens the outage: its GTM DOWN span
+                    # must already be in flight at this point in the stream.
+                    if open_gtm_down <= 0:
+                        fail(f"{path}: event {i} gtm_crash instant outside "
+                             f"a GTM DOWN span")
+                    gtm_crashes += 1
+                else:
+                    gtm_recovers += 1
+                    gtm_replayed += args["a"]
+                    if gtm_recovers > gtm_crashes:
+                        fail(f"{path}: event {i} gtm_recover without a "
+                             f"preceding gtm_crash")
         elif ph == "C":
             if not isinstance(ev.get("args"), dict) or not ev["args"]:
                 fail(f"{path}: counter event {i} needs non-empty args")
@@ -218,9 +270,12 @@ def check_trace(path):
           f"crashes={fault_counts['crash_spans']}, "
           f"net_faults={fault_counts['net_faults']}, "
           f"resubmits={fault_counts['resubmits']}, "
-          f"downgrades={downgrades}, recoveries={recovery_spans})")
+          f"downgrades={downgrades}, recoveries={recovery_spans}, "
+          f"gtm_crashes={gtm_crashes})")
     return {"downgrades": downgrades, "recovery_spans": recovery_spans,
-            "replayed_records": replayed_records}
+            "replayed_records": replayed_records,
+            "gtm_crashes": gtm_crashes, "gtm_recovers": gtm_recovers,
+            "gtm_replayed": gtm_replayed}
 
 
 def check_analysis(path, doc, trace_downgrades):
@@ -286,6 +341,38 @@ def check_recovery(path, doc, trace_stats):
     if info.get("durable") == "1" or recoveries:
         print(f"check_trace: {path}: durability counters consistent "
               f"(recoveries={recoveries}, replayed={replayed})")
+
+
+def check_gtm_recovery(path, doc, trace_stats):
+    """The GTM-durability sub-schema over the run report."""
+    info, counters = doc["info"], doc["counters"]
+    crashes = counters.get("gtm_wal.crashes", 0)
+    recoveries = counters.get("gtm_wal.recoveries", 0)
+    replayed = counters.get("gtm_wal.replayed_records", 0)
+    if recoveries > crashes:
+        fail(f"{path}: gtm_wal.recoveries={recoveries} exceeds "
+             f"gtm_wal.crashes={crashes}")
+    if recoveries and not counters.get("gtm_wal.records", 0):
+        fail(f"{path}: {recoveries} GTM recoveries but no GTM WAL records "
+             f"written")
+    if crashes and not info.get("gtm_durable"):
+        fail(f"{path}: {crashes} GTM crashes in a run not marked "
+             f"gtm_durable (a non-durable GTM must reject gtm_crash plans)")
+    if trace_stats is not None:
+        if trace_stats["gtm_crashes"] != crashes:
+            fail(f"{path}: gtm_wal.crashes={crashes} but the trace has "
+                 f"{trace_stats['gtm_crashes']} gtm_crash instants")
+        if trace_stats["gtm_recovers"] != recoveries:
+            fail(f"{path}: gtm_wal.recoveries={recoveries} but the trace "
+                 f"has {trace_stats['gtm_recovers']} gtm_recover instants")
+        if trace_stats["gtm_replayed"] != replayed:
+            fail(f"{path}: gtm_wal.replayed_records={replayed} but the "
+                 f"trace's gtm_recover instants replayed "
+                 f"{trace_stats['gtm_replayed']} records")
+    if info.get("gtm_durable") == "1" or crashes:
+        print(f"check_trace: {path}: GTM durability counters consistent "
+              f"(crashes={crashes}, recoveries={recoveries}, "
+              f"replayed={replayed})")
 
 
 TXN_PHASES = ("admission", "scheme", "ser_wait", "ticket", "network",
@@ -444,6 +531,7 @@ def check_metrics(path, trace_stats=None):
     check_analysis(path, doc,
                    trace_stats["downgrades"] if trace_stats else None)
     check_recovery(path, doc, trace_stats)
+    check_gtm_recovery(path, doc, trace_stats)
     check_metrics_engine(path, doc)
     print(f"check_trace: {path}: {len(doc['counters'])} counters, "
           f"{len(doc['summaries'])} summaries OK")
