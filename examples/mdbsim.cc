@@ -34,6 +34,7 @@
 #include "obs/report.h"
 #include "obs/trace_export.h"
 #include "sched/stats.h"
+#include "storage/framing.h"
 #include "storage/log_device.h"
 
 namespace {
@@ -80,6 +81,9 @@ struct Options {
   int64_t gtm_checkpoint_interval = 256;
   mdbs::sim::Time gtm_recovery_cost = 0;
   std::string gtm_wal_dir;
+  bool gtm_standby = false;
+  mdbs::sim::Time standby_lag = 10;
+  std::string wal_fsync;
 };
 
 bool ParseProtocol(const std::string& name, ProtocolKind* out) {
@@ -233,6 +237,19 @@ bool ParseOptions(int argc, char** argv, Options* options) {
     } else if (arg.rfind("--gtm_wal_dir=", 0) == 0) {
       options->gtm_wal_dir = value_of("--gtm_wal_dir=");
       options->gtm_durable = true;
+    } else if (arg == "--gtm_standby") {
+      options->gtm_standby = true;
+      options->gtm_durable = true;
+    } else if (arg.rfind("--standby_lag=", 0) == 0) {
+      options->standby_lag = std::atoll(value_of("--standby_lag=").c_str());
+      options->gtm_standby = true;
+      options->gtm_durable = true;
+      if (options->standby_lag < 0) {
+        std::fprintf(stderr, "--standby_lag must be >= 0\n");
+        return false;
+      }
+    } else if (arg.rfind("--wal_fsync=", 0) == 0) {
+      options->wal_fsync = value_of("--wal_fsync=");
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -307,6 +324,19 @@ void PrintUsage() {
       "                                see EXPERIMENTS E15)\n"
       "  --gtm_wal_dir=PATH            back the GTM WAL with PATH/gtm.wal\n"
       "                                (implies --gtm_durable)\n"
+      "  --gtm_standby                 warm-standby GTM pair: the primary\n"
+      "                                ships every WAL frame to a passive\n"
+      "                                twin; gtm_failover@T:D fault-plan\n"
+      "                                directives crash the primary at T and\n"
+      "                                promote the standby (fenced) D ticks\n"
+      "                                later (implies --gtm_durable)\n"
+      "  --standby_lag=T               one-way WAL-frame shipping delay to\n"
+      "                                the standby (default 10; implies\n"
+      "                                --gtm_standby)\n"
+      "  --wal_fsync=POLICY            WAL flush/sync policy for sites and\n"
+      "                                the GTM: every_commit (default),\n"
+      "                                interval:N, or off; forced barriers\n"
+      "                                are reported as wal.syncs\n"
       "  --analyze                     run the static conflict-robustness\n"
       "                                analyzer on the mix and print the\n"
       "                                verdict (certificate or witness)\n"
@@ -341,12 +371,24 @@ int main(int argc, char** argv) {
     }
     config.fault_plan = *plan;
   }
+  mdbs::storage::WalSyncConfig wal_sync;
+  if (!options.wal_fsync.empty()) {
+    mdbs::StatusOr<mdbs::storage::WalSyncConfig> parsed =
+        mdbs::storage::ParseWalSyncSpec(options.wal_fsync);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--wal_fsync: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    wal_sync = *parsed;
+  }
   if (options.durable) {
     for (size_t i = 0; i < config.sites.size(); ++i) {
       mdbs::site::SiteConfig& site = config.sites[i];
       site.durable = true;
       site.checkpoint_interval = options.checkpoint_interval;
       site.recovery_time_per_record = options.recovery_cost;
+      site.wal_sync = wal_sync;
       if (!options.wal_dir.empty()) {
         site.wal_device = std::make_shared<mdbs::storage::FileLogDevice>(
             options.wal_dir + "/s" + std::to_string(i) + ".wal");
@@ -357,16 +399,30 @@ int main(int argc, char** argv) {
     config.gtm.durable = true;
     config.gtm.checkpoint_interval = options.gtm_checkpoint_interval;
     config.gtm.recovery_time_per_record = options.gtm_recovery_cost;
+    config.gtm.wal_sync = wal_sync;
     if (!options.gtm_wal_dir.empty()) {
       config.gtm.wal_device = std::make_shared<mdbs::storage::FileLogDevice>(
           options.gtm_wal_dir + "/gtm.wal");
     }
   }
-  // A gtm_crash against a non-durable GTM is rejected here (exit 2) rather
-  // than tripping the same check fatally inside the Mdbs constructor.
-  mdbs::Status plan_ok =
-      mdbs::fault::ValidatePlanForConfig(config.fault_plan,
-                                         config.gtm.durable);
+  if (options.gtm_standby) {
+    config.gtm_standby = true;
+    config.standby_lag = options.standby_lag;
+    if (!options.gtm_wal_dir.empty() &&
+        config.gtm.wal_device->Size() != 0) {
+      std::fprintf(stderr,
+                   "--gtm_standby: %s/gtm.wal is non-empty; warm standby "
+                   "needs a fresh GTM WAL (shipped frame sequence numbers "
+                   "are log positions from zero)\n",
+                   options.gtm_wal_dir.c_str());
+      return 2;
+    }
+  }
+  // A gtm_crash/gtm_failover the configuration can't honor is rejected here
+  // (exit 2) rather than tripping the same check fatally inside the Mdbs
+  // constructor.
+  mdbs::Status plan_ok = mdbs::fault::ValidatePlanForConfig(
+      config.fault_plan, config.gtm.durable, config.gtm_standby);
   if (!plan_ok.ok()) {
     std::fprintf(stderr, "--fault_plan: %s\n", plan_ok.ToString().c_str());
     return 2;
@@ -468,8 +524,8 @@ int main(int argc, char** argv) {
   driver.local_workload.read_ratio = options.read_ratio;
   driver.local_workload.zipf_theta = options.zipf;
   driver.crash_interval = options.crash_interval;
-  driver.global_retry_max = options.retry_max;
-  driver.global_retry_backoff = options.retry_backoff;
+  driver.retry.max_resubmissions = options.retry_max;
+  driver.retry.backoff = options.retry_backoff;
   driver.templates = mix;
 
   mdbs::DriverReport report =
@@ -537,6 +593,13 @@ int main(int argc, char** argv) {
                       std::to_string(options.metrics_window));
     if (options.durable) info.emplace_back("durable", "1");
     if (options.gtm_durable) info.emplace_back("gtm_durable", "1");
+    if (options.gtm_standby) {
+      info.emplace_back("gtm_standby", "1");
+      info.emplace_back("standby_lag", std::to_string(options.standby_lag));
+    }
+    if (!options.wal_fsync.empty()) {
+      info.emplace_back("wal_fsync", options.wal_fsync);
+    }
     if (!system.resolved_fault_plan().Empty()) {
       info.emplace_back("fault_plan", system.resolved_fault_plan().ToSpec());
     }

@@ -92,6 +92,17 @@ Status ParseOneDirective(const std::string& token, FaultPlan* plan) {
     plan->gtm_crashes.push_back(event);
     return Status::OK();
   }
+  if (token.rfind("gtm_failover@", 0) == 0) {
+    // gtm_failover@T:D
+    std::vector<std::string> parts = SplitColons(token.substr(13));
+    GtmFailoverEvent event;
+    if (parts.size() != 2 || !ParseTicks(parts[0], &event.at) ||
+        !ParseTicks(parts[1], &event.duration) || event.duration <= 0) {
+      return malformed();
+    }
+    plan->gtm_failovers.push_back(event);
+    return Status::OK();
+  }
   if (token.rfind("sweep@", 0) == 0) {
     // sweep@T:G:D
     std::vector<std::string> parts = SplitColons(token.substr(6));
@@ -144,7 +155,7 @@ Status ParseOneDirective(const std::string& token, FaultPlan* plan) {
 
 bool FaultPlan::Empty() const {
   return crashes.empty() && sweeps.empty() && gtm_crashes.empty() &&
-         !HasMessageFaults();
+         gtm_failovers.empty() && !HasMessageFaults();
 }
 
 bool FaultPlan::HasMessageFaults() const {
@@ -166,6 +177,10 @@ std::string FaultPlan::ToSpec() const {
   }
   for (const GtmCrashEvent& g : gtm_crashes) {
     os << sep << "gtm_crash@" << g.at << ":" << g.duration;
+    sep = ";";
+  }
+  for (const GtmFailoverEvent& f : gtm_failovers) {
+    os << sep << "gtm_failover@" << f.at << ":" << f.duration;
     sep = ";";
   }
   if (request_loss > 0) {
@@ -235,7 +250,8 @@ FaultPlan ResolveSweeps(const FaultPlan& plan, int num_sites) {
   return resolved;
 }
 
-Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable) {
+Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable,
+                             bool gtm_standby) {
   if (!plan.gtm_crashes.empty() && !gtm_durable) {
     return Status::InvalidArgument(
         "fault plan schedules a gtm_crash but the GTM is not durable: a "
@@ -246,6 +262,37 @@ Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable) {
   for (const GtmCrashEvent& event : plan.gtm_crashes) {
     if (event.duration <= 0) {
       return Status::InvalidArgument("gtm_crash outage must be positive");
+    }
+  }
+  if (!plan.gtm_failovers.empty()) {
+    if (!gtm_durable) {
+      return Status::InvalidArgument(
+          "fault plan schedules a gtm_failover but the GTM is not durable: "
+          "warm-standby promotion replays the primary's WAL tail, so there "
+          "must be a WAL; enable GTM durability (--gtm_durable)");
+    }
+    if (!gtm_standby) {
+      return Status::InvalidArgument(
+          "fault plan schedules a gtm_failover but no warm standby is "
+          "configured; enable it (--gtm_standby) or remove the directive");
+    }
+    if (plan.gtm_failovers.size() > 1) {
+      return Status::InvalidArgument(
+          "fault plan schedules more than one gtm_failover, but there is "
+          "exactly one standby to promote");
+    }
+    if (!plan.gtm_crashes.empty()) {
+      return Status::InvalidArgument(
+          "fault plan mixes gtm_failover with gtm_crash: after a failover "
+          "the fenced old primary must stay dead, so a scheduled "
+          "crash-and-recover of 'the GTM' is ambiguous at best and split "
+          "brain at worst; use one or the other");
+    }
+  }
+  for (const GtmFailoverEvent& event : plan.gtm_failovers) {
+    if (event.duration <= 0) {
+      return Status::InvalidArgument(
+          "gtm_failover detection delay must be positive");
     }
   }
   return Status::OK();

@@ -33,6 +33,20 @@ struct GtmCrashEvent {
   friend bool operator==(const GtmCrashEvent&, const GtmCrashEvent&) = default;
 };
 
+/// One scheduled GTM failover: the primary GTM crashes at `at` and — after
+/// `duration` ticks of detection delay — the warm standby is promoted in
+/// its place (fenced takeover, see gtm::Gtm1::Promote). Requires both a
+/// durable GTM and a configured standby; at most one per plan, and never
+/// mixed with gtm_crash directives (the fenced old primary must stay dead —
+/// recovering it alongside the promoted standby would be split brain).
+struct GtmFailoverEvent {
+  sim::Time at = 0;
+  sim::Time duration = 0;
+
+  friend bool operator==(const GtmFailoverEvent&,
+                         const GtmFailoverEvent&) = default;
+};
+
 /// A crash sweep over every site, resolved against the actual site count
 /// when the multidatabase is built: site i crashes at `first_at + i * gap`
 /// for `duration` ticks.
@@ -59,6 +73,7 @@ struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<SweepEvent> sweeps;
   std::vector<GtmCrashEvent> gtm_crashes;
+  std::vector<GtmFailoverEvent> gtm_failovers;
   /// Probability a begin/data request is lost before reaching the site.
   double request_loss = 0;
   /// Probability the site's response is lost on the way back.
@@ -99,6 +114,9 @@ struct FaultPlan {
 ///                  (expanded against the actual site count at build time)
 ///   gtm_crash@T:D  crash the GTM at tick T; recovery starts D ticks later
 ///                  (durable GTM only — rejected otherwise at build time)
+///   gtm_failover@T:D  crash the primary GTM at tick T; promote the warm
+///                  standby D ticks later (durable GTM + standby only; at
+///                  most one per plan, never mixed with gtm_crash)
 ///   req_loss=P     drop requests with probability P
 ///   resp_loss=P    drop responses with probability P
 ///   dup=P          duplicate delivered messages with probability P
@@ -115,8 +133,13 @@ FaultPlan ResolveSweeps(const FaultPlan& plan, int num_sites);
 /// Checks the plan against the target configuration. A plan with
 /// gtm_crash directives is only runnable when the GTM is durable — a
 /// non-durable GTM has no log to replay, so "crash and recover it" would
-/// silently drop every in-flight global transaction. Fails loudly instead.
-Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable);
+/// silently drop every in-flight global transaction. gtm_failover
+/// additionally requires a configured warm standby, allows at most one
+/// failover per plan (there is one standby to promote), and must not be
+/// mixed with gtm_crash (the fenced old primary must stay dead). Fails
+/// loudly instead of degrading.
+Status ValidatePlanForConfig(const FaultPlan& plan, bool gtm_durable,
+                             bool gtm_standby);
 
 }  // namespace mdbs::fault
 

@@ -42,6 +42,9 @@ Gtm1::Gtm1(const Gtm1Config& config, sim::TaskRunner* loop,
     });
   };
   gtm2_ = std::make_unique<Gtm2>(MakeFreshScheme(), std::move(callbacks));
+  fence_ = config_.fence != nullptr ? config_.fence
+                                    : std::make_shared<FencingToken>();
+  fence_held_ = fence_->epoch;
   if (config_.durable) {
     MDBS_CHECK(gtm2_->scheme().SupportsSnapshot())
         << "durable GTM requires a snapshot-capable scheme; "
@@ -51,6 +54,17 @@ Gtm1::Gtm1(const Gtm1Config& config, sim::TaskRunner* loop,
                       ? config_.wal_device
                       : std::make_shared<storage::MemLogDevice>();
     wal_ = std::make_unique<GtmLogWriter>(wal_device_.get());
+    wal_->SetSyncConfig(config_.wal_sync);
+  }
+  if (config_.standby) {
+    MDBS_CHECK(config_.durable) << "a warm standby requires a durable GTM";
+    // Passive until Promote(): down (submissions would be buffered, but the
+    // facade never routes any here) and permanently "replaying" — shadow
+    // GTM2 mutations must neither log nor drive GTM1 callbacks.
+    standby_ = true;
+    down_ = true;
+    replaying_ = true;
+    standby_replayer_ = std::make_unique<GtmLogReplayer>();
   }
 }
 
@@ -66,8 +80,21 @@ GtmDurabilityStats Gtm1::durability_stats() const {
   if (wal_ != nullptr) {
     stats.wal_records = wal_->records_written();
     stats.wal_bytes = wal_->bytes_written();
+    stats.wal_syncs = wal_->syncs();
   }
   return stats;
+}
+
+GtmStandbyStats Gtm1::standby_stats() const {
+  GtmStandbyStats stats = standby_stats_;
+  stats.fencing_epoch = fence_->epoch;
+  stats.stale_rejections = fence_->stale_rejections;
+  return stats;
+}
+
+void Gtm1::SetWalShipper(
+    std::function<void(int64_t seq, std::vector<uint8_t> frame)> shipper) {
+  if (wal_ != nullptr) wal_->SetShipper(std::move(shipper));
 }
 
 void Gtm1::LogRecord(const GtmLogRecord& record) {
@@ -172,12 +199,14 @@ void Gtm1::TakeCheckpoint() {
 
 void Gtm1::EnableTrace(obs::TraceSink* sink) {
   trace_ = sink;
-  gtm2_->EnableTrace(sink);
+  // A standby's shadow GTM2 stays mute: its mutations mirror events the
+  // primary already traced. Promote() re-enables from the stored sink.
+  gtm2_->EnableTrace(standby_ ? nullptr : sink);
 }
 
 void Gtm1::EnableMetrics(obs::MetricsEngine* engine) {
   metrics_ = engine;
-  gtm2_->EnableMetrics(engine);
+  gtm2_->EnableMetrics(standby_ ? nullptr : engine);
 }
 
 SiteGateway::OpCallback Gtm1::WrapRoundTrip(GlobalTxnId attempt_id, TxnId sub,
@@ -538,6 +567,7 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
     result.submit_time = job->submit_time;
     result.finish_time = loop_->now();
     result.reads = std::move(attempt->reads);
+    result.gtm_epoch = fence_->epoch;
     attempts_.erase(attempt_id);
     FinishJob(job, std::move(result));
     return;
@@ -550,11 +580,19 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
   // The epoch guard matters here more than anywhere: after a crash the
   // recovered GTM re-drives this very attempt id from its logged commit
   // index, and a stale pre-crash ack racing the re-driven fan-out would
-  // advance the cursor twice.
+  // advance the cursor twice. The fence guard is its cross-instance twin:
+  // after a failover the promoted standby re-drives the fan-out, and an
+  // ack still in flight to the fenced old primary must be rejected (and
+  // counted) rather than advance a cursor no longer authoritative.
   int64_t epoch = epoch_;
+  int64_t fence = fence_->epoch;
   gateway_->Commit(
       site, sub_id,
-      [this, attempt_id, index, sub_id, epoch](const Status& status) {
+      [this, attempt_id, index, sub_id, epoch, fence](const Status& status) {
+        if (fence != fence_->epoch) {
+          ++fence_->stale_rejections;
+          return;
+        }
         if (epoch != epoch_) return;
         Attempt* committing = FindAttempt(attempt_id);
         if (committing == nullptr || committing->failed) return;
@@ -614,6 +652,7 @@ void Gtm1::CommitNextSite(GlobalTxnId attempt_id, size_t index) {
         result.submit_time = job->submit_time;
         result.finish_time = loop_->now();
         result.retry_safe = false;
+        result.gtm_epoch = fence_->epoch;
         attempts_.erase(attempt_id);
         ++stats_.failed;
         FinishJob(job, std::move(result));
@@ -685,6 +724,7 @@ void Gtm1::FailAttempt(GlobalTxnId attempt_id, const Status& reason,
     result.attempts = job->attempts;
     result.submit_time = job->submit_time;
     result.finish_time = loop_->now();
+    result.gtm_epoch = fence_->epoch;
     FinishJob(job, std::move(result));
     return;
   }
@@ -778,6 +818,7 @@ void Gtm1::ArmParkTimeout(Job* job) {
     result.attempts = parked->attempts;
     result.submit_time = parked->submit_time;
     result.finish_time = loop_->now();
+    result.gtm_epoch = fence_->epoch;
     FinishJob(parked, std::move(result));
   });
 }
@@ -935,6 +976,13 @@ void Gtm1::Crash() {
 
 void Gtm1::Recover(const std::vector<SiteId>& down_sites) {
   if (!down_ || recovering_) return;
+  if (fence_held_ != fence_->epoch) {
+    // A standby was promoted past this instance while it was down: it is
+    // fenced out and must stay dead — recovering would put two GTMs in
+    // charge of the same jobs (split brain). Counted, refused.
+    ++fence_->stale_rejections;
+    return;
+  }
   recovering_ = true;
   ++durability_stats_.recoveries;
 
@@ -950,18 +998,6 @@ void Gtm1::Recover(const std::vector<SiteId>& down_sites) {
   int64_t replayed_records = static_cast<int64_t>(scan.records.size());
   durability_stats_.replayed_records += replayed_records;
   durability_stats_.replayed_bytes += static_cast<int64_t>(scan.valid_bytes);
-
-  next_txn_id_ = analysis.next_txn_id;
-  next_attempt_id_ = analysis.next_attempt_id;
-  next_job_id_ = analysis.next_job_id;
-  stats_ = analysis.stats;
-  if (config_.certified_fast_path) {
-    stats_.fast_path_attempts = stats_.attempts;
-  }
-  // The health monitor's *current* view supersedes the logged quarantine
-  // churn: sites went down and came back while the GTM was blind.
-  quarantined_.clear();
-  for (SiteId site : down_sites) quarantined_.insert(site);
 
   // Rebuild GTM2 (WAIT, dead set, scheme DS) by restoring the latest
   // checkpoint and replaying the logged mutation suffix, observability
@@ -998,6 +1034,36 @@ void Gtm1::Recover(const std::vector<SiteId>& down_sites) {
   gtm2_->EnableTrace(trace_);
   gtm2_->EnableMetrics(metrics_);
   replaying_ = false;
+
+  InstallRecoveredState(analysis, down_sites, /*standby_promotion=*/false);
+
+  // Model the replay cost: the GTM stays down for a further base + per-record
+  // delay before it resumes driving transactions.
+  sim::Time delay =
+      config_.recovery_base_time +
+      config_.recovery_time_per_record * replayed_records;
+  durability_stats_.recovery_ticks += delay;
+  int64_t epoch = epoch_;
+  loop_->Schedule(delay, [this, epoch, replayed_records]() {
+    if (epoch != epoch_) return;
+    ResumeAfterRecovery(replayed_records, /*promoted=*/false);
+  });
+}
+
+void Gtm1::InstallRecoveredState(const GtmLogAnalysis& analysis,
+                                 const std::vector<SiteId>& down_sites,
+                                 bool standby_promotion) {
+  next_txn_id_ = analysis.next_txn_id;
+  next_attempt_id_ = analysis.next_attempt_id;
+  next_job_id_ = analysis.next_job_id;
+  stats_ = analysis.stats;
+  if (config_.certified_fast_path) {
+    stats_.fast_path_attempts = stats_.attempts;
+  }
+  // The health monitor's *current* view supersedes the logged quarantine
+  // churn: sites went down and came back while the GTM was blind.
+  quarantined_.clear();
+  for (SiteId site : down_sites) quarantined_.insert(site);
 
   // Re-attach the clients to the unfinished jobs the log knows about. The
   // two views must agree exactly: a logged job without a client, or a
@@ -1054,35 +1120,34 @@ void Gtm1::Recover(const std::vector<SiteId>& down_sites) {
         trace_->Record(obs::TraceEventKind::kAttemptAbort, attempt_id, -1,
                        job->id, job->attempts, "gtm_crash");
       }
-      GtmLogRecord record;
-      record.type = GtmLogRecordType::kAttemptFail;
-      record.attempt = attempt_id;
-      record.code = static_cast<uint8_t>(GtmAttemptFailReason::kGtmCrash);
-      LogRecord(record);
-      AbortCleanupGtm2(GlobalTxnId(attempt_id));
+      if (standby_promotion) {
+        // The promoted standby's fresh WAL never admitted these attempts:
+        // purge the shadow GTM2 directly and let the promotion checkpoint
+        // capture the post-abort state instead of logging per-attempt
+        // kAttemptFail/kAbortCleanup records.
+        gtm2_->AbortCleanup(GlobalTxnId(attempt_id));
+        if (gtm2_observer_) gtm2_observer_();
+      } else {
+        GtmLogRecord record;
+        record.type = GtmLogRecordType::kAttemptFail;
+        record.attempt = attempt_id;
+        record.code = static_cast<uint8_t>(GtmAttemptFailReason::kGtmCrash);
+        LogRecord(record);
+        AbortCleanupGtm2(GlobalTxnId(attempt_id));
+      }
       if (metrics_ != nullptr) metrics_->AttemptAborted(job->id);
       job->current_attempt = GlobalTxnId();
     }
   }
-
-  // Model the replay cost: the GTM stays down for a further base + per-record
-  // delay before it resumes driving transactions.
-  sim::Time delay =
-      config_.recovery_base_time +
-      config_.recovery_time_per_record * replayed_records;
-  durability_stats_.recovery_ticks += delay;
-  int64_t epoch = epoch_;
-  loop_->Schedule(delay, [this, epoch, replayed_records]() {
-    if (epoch != epoch_) return;
-    ResumeAfterRecovery(replayed_records);
-  });
 }
 
-void Gtm1::ResumeAfterRecovery(int64_t replayed_records) {
+void Gtm1::ResumeAfterRecovery(int64_t replayed_records, bool promoted) {
   down_ = false;
   recovering_ = false;
   if (trace_ != nullptr) {
-    trace_->Record(obs::TraceEventKind::kGtmRecover, -1, -1, replayed_records,
+    trace_->Record(promoted ? obs::TraceEventKind::kGtmPromote
+                            : obs::TraceEventKind::kGtmRecover,
+                   -1, -1, replayed_records,
                    static_cast<int64_t>(jobs_.size()));
   }
   // Collect ids first: CommitNextSite on an attempt whose fan-out already
@@ -1161,6 +1226,147 @@ void Gtm1::ResumeAfterRecovery(int64_t replayed_records) {
   for (PendingSubmit& pending : buffered) {
     Submit(std::move(pending.spec), std::move(pending.cb));
   }
+}
+
+void Gtm1::ReceiveShippedFrame(int64_t seq, std::vector<uint8_t> frame) {
+  if (!standby_) {
+    // Already promoted: this frame was shipped by the fenced primary's
+    // final strand turns and its content is (at most) a prefix of what the
+    // promotion already read from the durable log. Count and drop.
+    ++standby_stats_.dropped_frames;
+    return;
+  }
+  MDBS_CHECK(seq == standby_stats_.applied_records)
+      << "shipped frame out of order: got seq " << seq << ", expected "
+      << standby_stats_.applied_records
+      << " (the shipping channel must be a FIFO)";
+  storage::FrameScan scan;
+  Status scanned = storage::ScanFrames(frame, &scan);
+  MDBS_CHECK(scanned.ok() && !scan.torn_tail && scan.payloads.size() == 1)
+      << "malformed shipped frame at seq " << seq;
+  GtmLogRecord record;
+  MDBS_CHECK(DecodeGtmLogPayload(frame.data() + scan.payloads[0].first,
+                                 scan.payloads[0].second, &record))
+      << "undecodable shipped frame at seq " << seq;
+  ApplyStandbyRecord(record, static_cast<size_t>(seq));
+  ++standby_stats_.applied_records;
+  standby_stats_.applied_bytes += static_cast<int64_t>(frame.size());
+}
+
+void Gtm1::ApplyStandbyRecord(const GtmLogRecord& record, size_t index) {
+  Status applied = standby_replayer_->Apply(record, index);
+  MDBS_CHECK(applied.ok()) << applied.message();
+  // Mirror the record's GTM2 mutation into the live shadow, so promotion
+  // starts from the primary's exact WAIT / dead-set / scheme state with no
+  // suffix replay. replaying_ keeps the shadow's callbacks and logging mute.
+  switch (record.type) {
+    case GtmLogRecordType::kEnqueue: {
+      QueueOp op;
+      op.kind = static_cast<QueueOpKind>(record.code);
+      op.txn = GlobalTxnId(record.attempt);
+      op.site = SiteId(record.site);
+      op.sites.reserve(record.sites.size());
+      for (int64_t site : record.sites) op.sites.emplace_back(site);
+      gtm2_->Enqueue(std::move(op));
+      break;
+    }
+    case GtmLogRecordType::kAbortCleanup:
+      gtm2_->AbortCleanup(GlobalTxnId(record.attempt));
+      break;
+    case GtmLogRecordType::kCheckpoint: {
+      // The primary checkpointed: snap the shadow to the image, exactly as
+      // cold recovery would restart replay from this record.
+      const GtmCheckpoint& cp = record.checkpoint;
+      gtm2_->ResetForRecovery(MakeFreshScheme());
+      Gtm2::VolatileImage image;
+      image.wait = cp.wait;
+      image.dead_txns = cp.dead_txns;
+      image.stats = cp.gtm2_stats;
+      image.scheme_steps = cp.scheme_steps;
+      image.scheme_state = cp.scheme_state;
+      gtm2_->RestoreFromCheckpoint(image);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Gtm1::Promote(Gtm1* primary, const std::vector<SiteId>& down_sites) {
+  MDBS_CHECK(standby_) << "Promote() requires a standby GTM";
+  MDBS_CHECK(primary->IsDown())
+      << "refusing to promote a standby while the primary is live";
+  ++standby_stats_.promotions;
+
+  // Adopt the primary's clients: they retained their specs and callbacks
+  // across the outage and re-attach to whoever answers — now this GTM. The
+  // buffered submissions and in-flight accounting come along.
+  client_registry_ = std::move(primary->client_registry_);
+  primary->client_registry_.clear();
+  in_flight_ = primary->in_flight_;
+  primary->in_flight_ = 0;
+  for (PendingSubmit& pending : primary->pending_submits_) {
+    pending_submits_.push_back(std::move(pending));
+  }
+  primary->pending_submits_.clear();
+
+  // The primary's durable log is the ground truth; the shipping channel
+  // had delivered a prefix of it. Read the log, drop any torn tail, and
+  // apply only the unshipped remainder — the lag that bounds this
+  // failover's replay work, independent of total log length.
+  GtmLogScan scan;
+  Status read = ReadGtmLog(*primary->wal_device_, &scan);
+  MDBS_CHECK(read.ok()) << read.message();
+  if (scan.torn_tail) {
+    primary->wal_device_->Truncate(static_cast<int64_t>(scan.valid_bytes));
+  }
+  int64_t applied = standby_stats_.applied_records;
+  MDBS_CHECK(applied <= static_cast<int64_t>(scan.records.size()))
+      << "standby applied " << applied << " records but the primary's log "
+      << "only holds " << scan.records.size();
+  int64_t tail_records = static_cast<int64_t>(scan.records.size()) - applied;
+  standby_stats_.lag_records = tail_records;
+  standby_stats_.lag_bytes =
+      static_cast<int64_t>(scan.valid_bytes) - standby_stats_.applied_bytes;
+
+  // Fence: from here on, anything still acting under the old epoch — the
+  // primary's in-flight gateway callbacks, a stray Recover() — is stale.
+  ++fence_->epoch;
+  fence_held_ = fence_->epoch;
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEventKind::kGtmPromoteBegin, -1, -1,
+                   fence_->epoch, tail_records);
+  }
+
+  for (size_t i = static_cast<size_t>(applied); i < scan.records.size(); ++i) {
+    ApplyStandbyRecord(scan.records[i], i);
+    ++standby_stats_.applied_records;
+  }
+  durability_stats_.replayed_records += tail_records;
+  durability_stats_.replayed_bytes += standby_stats_.lag_bytes;
+
+  // Become the active GTM: the shadow GTM2 goes live (observability on),
+  // and the recovered state installs exactly as Recover() would — minus
+  // per-attempt logging, since the fresh WAL gets a full checkpoint below.
+  standby_ = false;
+  recovering_ = true;
+  gtm2_->EnableTrace(trace_);
+  gtm2_->EnableMetrics(metrics_);
+  InstallRecoveredState(standby_replayer_->analysis(), down_sites,
+                        /*standby_promotion=*/true);
+  replaying_ = false;
+  TakeCheckpoint();
+
+  // Unavailability model: the promoted GTM pays for the tail it had to
+  // read back, not for the primary's whole log — the warm-standby claim.
+  sim::Time delay = config_.recovery_base_time +
+                    config_.recovery_time_per_record * tail_records;
+  durability_stats_.recovery_ticks += delay;
+  int64_t epoch = epoch_;
+  loop_->Schedule(delay, [this, epoch, tail_records]() {
+    if (epoch != epoch_) return;
+    ResumeAfterRecovery(tail_records, /*promoted=*/true);
+  });
 }
 
 }  // namespace mdbs::gtm

@@ -17,12 +17,15 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/task_runner.h"
+#include "storage/framing.h"
 #include "storage/log_device.h"
 
 namespace mdbs::gtm {
 
 struct GtmLogRecord;
+struct GtmLogAnalysis;
 class GtmLogWriter;
+class GtmLogReplayer;
 
 /// The "servers" of the paper (Figure 1): GTM1's asynchronous gateway to the
 /// local DBMSs, one logical server per transaction per site. The MDBS
@@ -41,6 +44,16 @@ class SiteGateway {
                       OpCallback cb) = 0;
   virtual void Commit(SiteId site, TxnId txn, TxnCallback cb) = 0;
   virtual void Abort(SiteId site, TxnId txn, TxnCallback cb) = 0;
+};
+
+/// Shared between a warm-standby GTM pair: the failover fencing epoch plus
+/// the count of stale-epoch rejections (gateway responses delivered, or
+/// recovery attempted, under a superseded epoch). Promotion bumps `epoch`;
+/// anything still acting under the old value is fenced out — the
+/// split-brain guard. Mutated on the GTM strand only.
+struct FencingToken {
+  int64_t epoch = 0;
+  int64_t stale_rejections = 0;
 };
 
 struct Gtm1Config {
@@ -94,6 +107,18 @@ struct Gtm1Config {
   sim::Time recovery_time_per_record = 0;
   /// Backing device of the GTM WAL; a fresh in-memory device when null.
   std::shared_ptr<storage::LogDevice> wal_device;
+  /// When to force the WAL to stable storage (mdbsim --wal_fsync=).
+  storage::WalSyncConfig wal_sync;
+
+  /// Warm standby: construct this GTM as the passive follower of a primary.
+  /// It starts down (never submitted to directly), continuously applies
+  /// WAL frames shipped via ReceiveShippedFrame into a live shadow GTM2,
+  /// and only becomes active through Promote(). Requires `durable`; the
+  /// standby always gets its own fresh `wal_device` (leave it null).
+  bool standby = false;
+  /// Fencing token shared across a primary/standby pair; self-created when
+  /// null (single-GTM runs, where it never advances).
+  std::shared_ptr<FencingToken> fence;
 };
 
 /// Counters of the durable GTM (all zero when Gtm1Config::durable is off).
@@ -116,6 +141,32 @@ struct GtmDurabilityStats {
   int64_t buffered_submits = 0;
   /// Modeled replay ticks charged before resuming.
   int64_t recovery_ticks = 0;
+  /// Sync barriers forced by the flush policy (`--wal_fsync=`).
+  int64_t wal_syncs = 0;
+};
+
+/// Warm-standby shipping and failover counters (all zero when no standby is
+/// configured). The shipped_* fields are counted by the shipping channel —
+/// the MDBS facade's network model — and overlaid there; a bare Gtm1 fills
+/// the applied/lag/promotion/fencing fields.
+struct GtmStandbyStats {
+  int64_t shipped_records = 0;
+  int64_t shipped_bytes = 0;
+  /// Frames applied into the shadow state (shipped ones plus the durable
+  /// tail read back at promotion).
+  int64_t applied_records = 0;
+  int64_t applied_bytes = 0;
+  /// Durable-but-unshipped backlog at promotion time: the records the
+  /// promoted standby had to read from the primary's log before taking
+  /// over. This — not the log length — bounds failover unavailability.
+  int64_t lag_records = 0;
+  int64_t lag_bytes = 0;
+  int64_t promotions = 0;
+  int64_t fencing_epoch = 0;
+  int64_t stale_rejections = 0;
+  /// Frames that arrived after promotion (shipped by the fenced primary's
+  /// final strand turns) and were discarded.
+  int64_t dropped_frames = 0;
 };
 
 /// Final outcome of one global transaction (across all its attempts).
@@ -130,6 +181,10 @@ struct GlobalTxnResult {
   /// commit): resubmitting such a transaction would double-apply the
   /// committed sites' effects, so the driver's retry layer must not.
   bool retry_safe = true;
+  /// Fencing epoch of the GTM that produced this result. Bumps at every
+  /// standby promotion, so after a failover every response carries the new
+  /// epoch — the no-split-brain acceptance check.
+  int64_t gtm_epoch = 0;
 };
 
 struct Gtm1Stats {
@@ -231,6 +286,37 @@ class Gtm1 {
   GtmDurabilityStats durability_stats() const;
 
   storage::LogDevice* wal_device() const { return wal_device_.get(); }
+
+  /// Installs the WAL shipping tap (see GtmLogWriter::Shipper). The MDBS
+  /// facade wires it to re-post every appended frame to the standby over
+  /// the modeled network. No-op when not durable.
+  void SetWalShipper(
+      std::function<void(int64_t seq, std::vector<uint8_t> frame)> shipper);
+
+  /// Standby only: applies one shipped WAL frame. `seq` is the record's
+  /// log position; frames must arrive in order (the shipping channel is a
+  /// FIFO). Frames arriving after promotion are counted and dropped — they
+  /// were shipped by the fenced primary.
+  void ReceiveShippedFrame(int64_t seq, std::vector<uint8_t> frame);
+
+  /// Standby only: fenced failover. Takes over from the crashed `primary`:
+  /// adopts its clients and buffered submissions, finishes applying the
+  /// durable-but-unshipped log tail (the shipping lag — the only replay
+  /// this path pays), bumps the shared fencing epoch so stale primary
+  /// callbacks and recovery attempts are rejected, forward-rolls / aborts
+  /// in-flight attempts exactly as Recover() does, seeds its own fresh WAL
+  /// with a full checkpoint, and resumes after a modeled delay of
+  /// recovery_base_time + per_record * tail records.
+  void Promote(Gtm1* primary, const std::vector<SiteId>& down_sites);
+
+  /// True until Promote() turns this standby into the active GTM.
+  bool IsStandby() const { return standby_; }
+
+  /// Shipping/failover counters; the shipped_* and fencing fields are
+  /// overlaid (by the MDBS facade / from the shared token).
+  GtmStandbyStats standby_stats() const;
+
+  const std::shared_ptr<FencingToken>& fence() const { return fence_; }
 
   /// Test hook: fires after every logged GTM2 mutation (enqueue or abort
   /// cleanup) once the synchronous pump has quiesced. The crash-point fuzz
@@ -353,7 +439,20 @@ class Gtm1 {
   std::unique_ptr<Scheme> MakeFreshScheme() const;
   /// Arms (or re-arms, after recovery) the park timeout of a parked job.
   void ArmParkTimeout(Job* job);
-  void ResumeAfterRecovery(int64_t replayed_records);
+  void ResumeAfterRecovery(int64_t replayed_records, bool promoted);
+  /// Standby apply: feeds one decoded record to the running analysis and
+  /// mirrors its GTM2 mutation (enqueue / cleanup / checkpoint restore)
+  /// into the live shadow instance.
+  void ApplyStandbyRecord(const GtmLogRecord& record, size_t index);
+  /// Shared tail of Recover() and Promote(): installs the analysis-derived
+  /// id counters and stats, re-attaches clients to the logged unfinished
+  /// jobs, forward-rolls committing attempts' images and aborts undecided
+  /// ones. On the promotion path the per-attempt kAttemptFail/kAbortCleanup
+  /// records are NOT logged — the promoted GTM's fresh WAL gets one full
+  /// checkpoint instead.
+  void InstallRecoveredState(const GtmLogAnalysis& analysis,
+                             const std::vector<SiteId>& down_sites,
+                             bool standby_promotion);
 
   Gtm1Config config_;
   sim::TaskRunner* loop_;
@@ -390,6 +489,15 @@ class Gtm1 {
   std::vector<PendingSubmit> pending_submits_;
   std::map<int64_t, ClientEntry> client_registry_;
   std::function<void()> gtm2_observer_;
+
+  // Warm standby (config_.standby; see ReceiveShippedFrame / Promote).
+  bool standby_ = false;
+  std::unique_ptr<GtmLogReplayer> standby_replayer_;
+  GtmStandbyStats standby_stats_;
+  std::shared_ptr<FencingToken> fence_;
+  /// The fencing epoch this GTM is entitled to act under; once a promotion
+  /// bumps the shared token past it, this instance is fenced out.
+  int64_t fence_held_ = 0;
 };
 
 }  // namespace mdbs::gtm

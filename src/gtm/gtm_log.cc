@@ -253,7 +253,10 @@ std::vector<uint8_t> EncodePayload(const GtmLogRecord& record) {
   return payload;
 }
 
-bool DecodePayload(const uint8_t* data, size_t size, GtmLogRecord* record) {
+}  // namespace
+
+bool DecodeGtmLogPayload(const uint8_t* data, size_t size,
+                         GtmLogRecord* record) {
   Cursor c(data, size);
   uint8_t type = c.U8();
   if (type < static_cast<uint8_t>(GtmLogRecordType::kSubmit) ||
@@ -327,8 +330,6 @@ bool DecodePayload(const uint8_t* data, size_t size, GtmLogRecord* record) {
   return c.ok() && c.exhausted();
 }
 
-}  // namespace
-
 const char* GtmLogRecordTypeName(GtmLogRecordType type) {
   switch (type) {
     case GtmLogRecordType::kSubmit:
@@ -382,7 +383,7 @@ Status ReadGtmLog(storage::LogDevice& device, GtmLogScan* out) {
   out->records.reserve(frames.payloads.size());
   for (const auto& [offset, length] : frames.payloads) {
     GtmLogRecord record;
-    if (!DecodePayload(image.data() + offset, length, &record)) {
+    if (!DecodeGtmLogPayload(image.data() + offset, length, &record)) {
       return Status::Internal(
           "GTM log corruption: undecodable frame at byte " +
           std::to_string(offset - 8));
@@ -393,8 +394,15 @@ Status ReadGtmLog(storage::LogDevice& device, GtmLogScan* out) {
 }
 
 void GtmLogWriter::Append(const GtmLogRecord& record) {
-  frames_.AppendPayload(EncodePayload(record),
-                        record.type == GtmLogRecordType::kCheckpoint);
+  std::vector<uint8_t> payload = EncodePayload(record);
+  bool is_checkpoint = record.type == GtmLogRecordType::kCheckpoint;
+  bool is_commit_point = is_checkpoint ||
+                         record.type == GtmLogRecordType::kCommitStart ||
+                         record.type == GtmLogRecordType::kFinish;
+  frames_.AppendPayload(payload, is_checkpoint, is_commit_point);
+  if (shipper_) {
+    shipper_(frames_.records_written() - 1, storage::FramePayload(payload));
+  }
 }
 
 namespace {
@@ -427,169 +435,175 @@ void EraseSorted(std::vector<int64_t>* values, int64_t value) {
 
 }  // namespace
 
+Status GtmLogReplayer::Apply(const GtmLogRecord& r, size_t index) {
+  GtmLogAnalysis* out = &analysis_;
+  switch (r.type) {
+    case GtmLogRecordType::kCheckpoint:
+      RestoreFromCheckpoint(r.checkpoint, out);
+      out->checkpoint_index = index;
+      break;
+    case GtmLogRecordType::kSubmit: {
+      GtmCheckpoint::JobImage job;
+      job.id = r.job;
+      job.submit_time = r.time;
+      out->jobs[r.job] = job;
+      ++out->stats.submitted;
+      out->next_job_id = std::max(out->next_job_id, r.job + 1);
+      break;
+    }
+    case GtmLogRecordType::kAttemptStart: {
+      auto job = out->jobs.find(r.job);
+      if (job == out->jobs.end()) {
+        return Status::Internal("GTM log: attempt_start for unknown job " +
+                                std::to_string(r.job));
+      }
+      GtmCheckpoint::AttemptImage attempt;
+      attempt.id = r.attempt;
+      attempt.job = r.job;
+      out->attempts[r.attempt] = std::move(attempt);
+      job->second.attempts = r.index;
+      job->second.current_attempt = r.attempt;
+      job->second.parked = false;
+      ++out->stats.attempts;
+      out->next_attempt_id = std::max(out->next_attempt_id, r.attempt + 1);
+      break;
+    }
+    case GtmLogRecordType::kBeginSite: {
+      auto attempt = out->attempts.find(r.attempt);
+      if (attempt == out->attempts.end()) {
+        return Status::Internal("GTM log: begin_site for unknown attempt " +
+                                std::to_string(r.attempt));
+      }
+      attempt->second.subs.emplace_back(r.site, r.sub);
+      out->next_txn_id = std::max(out->next_txn_id, r.sub + 1);
+      break;
+    }
+    case GtmLogRecordType::kRead: {
+      auto attempt = out->attempts.find(r.attempt);
+      if (attempt == out->attempts.end()) {
+        return Status::Internal("GTM log: read for unknown attempt " +
+                                std::to_string(r.attempt));
+      }
+      attempt->second.reads.push_back({r.site, r.item, r.value});
+      break;
+    }
+    case GtmLogRecordType::kEnqueue:
+    case GtmLogRecordType::kAbortCleanup:
+      out->gtm2_replay.push_back(index);
+      break;
+    case GtmLogRecordType::kAttemptFail: {
+      auto attempt = out->attempts.find(r.attempt);
+      if (attempt == out->attempts.end()) {
+        return Status::Internal(
+            "GTM log: attempt_fail for unknown attempt " +
+            std::to_string(r.attempt));
+      }
+      auto job = out->jobs.find(attempt->second.job);
+      if (job != out->jobs.end()) job->second.current_attempt = -1;
+      out->attempts.erase(attempt);
+      ++out->stats.aborted_attempts;
+      switch (static_cast<GtmAttemptFailReason>(r.code)) {
+        case GtmAttemptFailReason::kScheme:
+          ++out->stats.scheme_aborts;
+          break;
+        case GtmAttemptFailReason::kTimeout:
+          ++out->stats.timeouts;
+          break;
+        case GtmAttemptFailReason::kSiteDown:
+          ++out->stats.site_down_aborts;
+          break;
+        case GtmAttemptFailReason::kSite:
+        case GtmAttemptFailReason::kGtmCrash:
+          break;
+      }
+      break;
+    }
+    case GtmLogRecordType::kCommitStart: {
+      auto attempt = out->attempts.find(r.attempt);
+      if (attempt == out->attempts.end()) {
+        return Status::Internal(
+            "GTM log: commit_start for unknown attempt " +
+            std::to_string(r.attempt));
+      }
+      attempt->second.committing = true;
+      attempt->second.commit_index = 0;
+      break;
+    }
+    case GtmLogRecordType::kCommitSite: {
+      auto attempt = out->attempts.find(r.attempt);
+      if (attempt == out->attempts.end()) {
+        return Status::Internal(
+            "GTM log: commit_site for unknown attempt " +
+            std::to_string(r.attempt));
+      }
+      attempt->second.commit_index = r.index + 1;
+      break;
+    }
+    case GtmLogRecordType::kFinish: {
+      auto job = out->jobs.find(r.job);
+      if (job == out->jobs.end()) {
+        return Status::Internal("GTM log: finish for unknown job " +
+                                std::to_string(r.job));
+      }
+      if (job->second.current_attempt >= 0) {
+        out->attempts.erase(job->second.current_attempt);
+      }
+      out->jobs.erase(job);
+      switch (static_cast<GtmFinishOutcome>(r.code)) {
+        case GtmFinishOutcome::kCommitted:
+          ++out->stats.committed;
+          break;
+        case GtmFinishOutcome::kGaveUp:
+          ++out->stats.failed;
+          break;
+        case GtmFinishOutcome::kPartial:
+          ++out->stats.failed;
+          ++out->stats.partial_commits;
+          break;
+        case GtmFinishOutcome::kParkTimeout:
+          ++out->stats.failed;
+          ++out->stats.park_timeouts;
+          break;
+      }
+      break;
+    }
+    case GtmLogRecordType::kPark: {
+      auto job = out->jobs.find(r.job);
+      if (job == out->jobs.end()) {
+        return Status::Internal("GTM log: park for unknown job " +
+                                std::to_string(r.job));
+      }
+      job->second.parked = true;
+      ++out->stats.parked;
+      break;
+    }
+    case GtmLogRecordType::kUnpark: {
+      auto job = out->jobs.find(r.job);
+      if (job == out->jobs.end()) {
+        return Status::Internal("GTM log: unpark for unknown job " +
+                                std::to_string(r.job));
+      }
+      job->second.parked = false;
+      ++out->stats.unparked;
+      break;
+    }
+    case GtmLogRecordType::kSiteDown:
+      InsertSorted(&out->quarantined, r.site);
+      break;
+    case GtmLogRecordType::kSiteUp:
+      EraseSorted(&out->quarantined, r.site);
+      break;
+  }
+  return Status::OK();
+}
+
 Status AnalyzeGtmLog(const std::vector<GtmLogRecord>& records,
                      GtmLogAnalysis* out) {
-  *out = GtmLogAnalysis{};
+  GtmLogReplayer replayer;
   for (size_t i = 0; i < records.size(); ++i) {
-    const GtmLogRecord& r = records[i];
-    switch (r.type) {
-      case GtmLogRecordType::kCheckpoint:
-        RestoreFromCheckpoint(r.checkpoint, out);
-        out->checkpoint_index = i;
-        break;
-      case GtmLogRecordType::kSubmit: {
-        GtmCheckpoint::JobImage job;
-        job.id = r.job;
-        job.submit_time = r.time;
-        out->jobs[r.job] = job;
-        ++out->stats.submitted;
-        out->next_job_id = std::max(out->next_job_id, r.job + 1);
-        break;
-      }
-      case GtmLogRecordType::kAttemptStart: {
-        auto job = out->jobs.find(r.job);
-        if (job == out->jobs.end()) {
-          return Status::Internal("GTM log: attempt_start for unknown job " +
-                                  std::to_string(r.job));
-        }
-        GtmCheckpoint::AttemptImage attempt;
-        attempt.id = r.attempt;
-        attempt.job = r.job;
-        out->attempts[r.attempt] = std::move(attempt);
-        job->second.attempts = r.index;
-        job->second.current_attempt = r.attempt;
-        job->second.parked = false;
-        ++out->stats.attempts;
-        out->next_attempt_id = std::max(out->next_attempt_id, r.attempt + 1);
-        break;
-      }
-      case GtmLogRecordType::kBeginSite: {
-        auto attempt = out->attempts.find(r.attempt);
-        if (attempt == out->attempts.end()) {
-          return Status::Internal("GTM log: begin_site for unknown attempt " +
-                                  std::to_string(r.attempt));
-        }
-        attempt->second.subs.emplace_back(r.site, r.sub);
-        out->next_txn_id = std::max(out->next_txn_id, r.sub + 1);
-        break;
-      }
-      case GtmLogRecordType::kRead: {
-        auto attempt = out->attempts.find(r.attempt);
-        if (attempt == out->attempts.end()) {
-          return Status::Internal("GTM log: read for unknown attempt " +
-                                  std::to_string(r.attempt));
-        }
-        attempt->second.reads.push_back({r.site, r.item, r.value});
-        break;
-      }
-      case GtmLogRecordType::kEnqueue:
-      case GtmLogRecordType::kAbortCleanup:
-        out->gtm2_replay.push_back(i);
-        break;
-      case GtmLogRecordType::kAttemptFail: {
-        auto attempt = out->attempts.find(r.attempt);
-        if (attempt == out->attempts.end()) {
-          return Status::Internal(
-              "GTM log: attempt_fail for unknown attempt " +
-              std::to_string(r.attempt));
-        }
-        auto job = out->jobs.find(attempt->second.job);
-        if (job != out->jobs.end()) job->second.current_attempt = -1;
-        out->attempts.erase(attempt);
-        ++out->stats.aborted_attempts;
-        switch (static_cast<GtmAttemptFailReason>(r.code)) {
-          case GtmAttemptFailReason::kScheme:
-            ++out->stats.scheme_aborts;
-            break;
-          case GtmAttemptFailReason::kTimeout:
-            ++out->stats.timeouts;
-            break;
-          case GtmAttemptFailReason::kSiteDown:
-            ++out->stats.site_down_aborts;
-            break;
-          case GtmAttemptFailReason::kSite:
-          case GtmAttemptFailReason::kGtmCrash:
-            break;
-        }
-        break;
-      }
-      case GtmLogRecordType::kCommitStart: {
-        auto attempt = out->attempts.find(r.attempt);
-        if (attempt == out->attempts.end()) {
-          return Status::Internal(
-              "GTM log: commit_start for unknown attempt " +
-              std::to_string(r.attempt));
-        }
-        attempt->second.committing = true;
-        attempt->second.commit_index = 0;
-        break;
-      }
-      case GtmLogRecordType::kCommitSite: {
-        auto attempt = out->attempts.find(r.attempt);
-        if (attempt == out->attempts.end()) {
-          return Status::Internal(
-              "GTM log: commit_site for unknown attempt " +
-              std::to_string(r.attempt));
-        }
-        attempt->second.commit_index = r.index + 1;
-        break;
-      }
-      case GtmLogRecordType::kFinish: {
-        auto job = out->jobs.find(r.job);
-        if (job == out->jobs.end()) {
-          return Status::Internal("GTM log: finish for unknown job " +
-                                  std::to_string(r.job));
-        }
-        if (job->second.current_attempt >= 0) {
-          out->attempts.erase(job->second.current_attempt);
-        }
-        out->jobs.erase(job);
-        switch (static_cast<GtmFinishOutcome>(r.code)) {
-          case GtmFinishOutcome::kCommitted:
-            ++out->stats.committed;
-            break;
-          case GtmFinishOutcome::kGaveUp:
-            ++out->stats.failed;
-            break;
-          case GtmFinishOutcome::kPartial:
-            ++out->stats.failed;
-            ++out->stats.partial_commits;
-            break;
-          case GtmFinishOutcome::kParkTimeout:
-            ++out->stats.failed;
-            ++out->stats.park_timeouts;
-            break;
-        }
-        break;
-      }
-      case GtmLogRecordType::kPark: {
-        auto job = out->jobs.find(r.job);
-        if (job == out->jobs.end()) {
-          return Status::Internal("GTM log: park for unknown job " +
-                                  std::to_string(r.job));
-        }
-        job->second.parked = true;
-        ++out->stats.parked;
-        break;
-      }
-      case GtmLogRecordType::kUnpark: {
-        auto job = out->jobs.find(r.job);
-        if (job == out->jobs.end()) {
-          return Status::Internal("GTM log: unpark for unknown job " +
-                                  std::to_string(r.job));
-        }
-        job->second.parked = false;
-        ++out->stats.unparked;
-        break;
-      }
-      case GtmLogRecordType::kSiteDown:
-        InsertSorted(&out->quarantined, r.site);
-        break;
-      case GtmLogRecordType::kSiteUp:
-        EraseSorted(&out->quarantined, r.site);
-        break;
-    }
+    MDBS_RETURN_IF_ERROR(replayer.Apply(records[i], i));
   }
+  *out = replayer.analysis();
   return Status::OK();
 }
 

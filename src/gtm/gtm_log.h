@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -134,6 +135,13 @@ struct GtmLogRecord {
 /// same framing the per-site WAL uses, with the GTM record schema inside).
 std::vector<uint8_t> EncodeGtmLogRecord(const GtmLogRecord& record);
 
+/// Decodes one frame payload (the bytes between the CRC header and the next
+/// frame). Returns false on a structurally invalid payload. Public because
+/// the warm standby decodes shipped frames one at a time, outside
+/// ReadGtmLog's whole-device path.
+bool DecodeGtmLogPayload(const uint8_t* data, size_t size,
+                         GtmLogRecord* record);
+
 /// Result of scanning a GTM log image.
 struct GtmLogScan {
   std::vector<GtmLogRecord> records;
@@ -153,10 +161,26 @@ Status ReadGtmLog(storage::LogDevice& device, GtmLogScan* out);
 /// append resets records_since_checkpoint().
 class GtmLogWriter {
  public:
+  /// Shipping tap for the warm standby: called synchronously after every
+  /// durable append with the record's log position (0-based, assuming the
+  /// device started empty) and its CRC-framed bytes. Implementations
+  /// re-post the frame across the modeled network; the callback itself
+  /// runs on the GTM strand and must not re-enter the writer.
+  using Shipper = std::function<void(int64_t seq, std::vector<uint8_t> frame)>;
+
   explicit GtmLogWriter(storage::LogDevice* device) : frames_(device) {}
 
   GtmLogWriter(const GtmLogWriter&) = delete;
   GtmLogWriter& operator=(const GtmLogWriter&) = delete;
+
+  void SetShipper(Shipper shipper) { shipper_ = std::move(shipper); }
+
+  /// Replaces the sync policy (default: every commit point). GTM commit
+  /// points are kCommitStart, kFinish and kCheckpoint — the records whose
+  /// loss would lose an acknowledged global decision.
+  void SetSyncConfig(const storage::WalSyncConfig& config) {
+    frames_.SetSyncConfig(config);
+  }
 
   void Append(const GtmLogRecord& record);
 
@@ -165,9 +189,12 @@ class GtmLogWriter {
   int64_t records_since_checkpoint() const {
     return frames_.records_since_checkpoint();
   }
+  /// Sync barriers forced by the policy so far.
+  int64_t syncs() const { return frames_.syncs(); }
 
  private:
   storage::FrameWriter frames_;
+  Shipper shipper_;
 };
 
 /// State derived from a (possibly truncated) GTM log: the latest
@@ -197,6 +224,27 @@ struct GtmLogAnalysis {
 
 Status AnalyzeGtmLog(const std::vector<GtmLogRecord>& records,
                      GtmLogAnalysis* out);
+
+/// Incremental form of AnalyzeGtmLog: feed records one at a time and read
+/// the running analysis at any point. The warm standby applies shipped
+/// frames through this as they arrive, so promotion only has to analyze the
+/// unshipped tail; AnalyzeGtmLog itself is a loop over Apply.
+class GtmLogReplayer {
+ public:
+  GtmLogReplayer() = default;
+
+  /// Applies the record at log position `index` to the running analysis.
+  /// Structurally impossible sequences (references to unknown jobs or
+  /// attempts) are corruption — a non-OK status, exactly as AnalyzeGtmLog
+  /// reports them.
+  Status Apply(const GtmLogRecord& record, size_t index);
+
+  const GtmLogAnalysis& analysis() const { return analysis_; }
+  GtmLogAnalysis* mutable_analysis() { return &analysis_; }
+
+ private:
+  GtmLogAnalysis analysis_;
+};
 
 }  // namespace mdbs::gtm
 

@@ -19,6 +19,7 @@ struct RunState {
   int64_t local_retries = 0;
   int64_t global_resubmissions = 0;
   int64_t global_retry_unsafe = 0;
+  int64_t txns_failed_permanently = 0;
   sim::Summary response;
   sim::Summary attempts;
   bool stop_issuing = false;
@@ -56,7 +57,8 @@ void SubmitGlobalTry(const std::shared_ptr<GlobalTxnTry>& txn) {
               static_cast<double>(result.finish_time - txn->start));
           state.attempts.Add(txn->attempts_total);
         } else if (result.retry_safe && !state.stop_issuing &&
-                   txn->resubmissions < state.config.global_retry_max) {
+                   txn->resubmissions <
+                       state.config.retry.max_resubmissions) {
           ++txn->resubmissions;
           ++state.global_resubmissions;
           if (obs::TraceSink* sink = state.mdbs->trace_sink()) {
@@ -65,7 +67,7 @@ void SubmitGlobalTry(const std::shared_ptr<GlobalTxnTry>& txn) {
           }
           // Doubling backoff (capped at 8x) with jitter before the fresh
           // submission.
-          sim::Time base = state.config.global_retry_backoff;
+          sim::Time base = state.config.retry.backoff;
           for (int i = 1; i < txn->resubmissions && i < 4; ++i) base *= 2;
           state.mdbs->loop().Schedule(
               base + static_cast<sim::Time>(txn->rng->NextBelow(
@@ -73,7 +75,13 @@ void SubmitGlobalTry(const std::shared_ptr<GlobalTxnTry>& txn) {
               [txn]() { SubmitGlobalTry(txn); });
           return;
         } else {
-          if (!result.retry_safe) ++state.global_retry_unsafe;
+          if (!result.retry_safe) {
+            ++state.global_retry_unsafe;
+          } else if (!state.stop_issuing) {
+            // A retry-safe failure with the resubmission budget spent: the
+            // client gives up permanently.
+            ++state.txns_failed_permanently;
+          }
           ++state.global_failed;
         }
         if (state.TargetReached()) {
@@ -232,7 +240,8 @@ std::string DriverReport::ToString() const {
      << "  response: " << global_response.ToString() << "\n"
      << "  attempts: " << global_attempts.ToString() << "\n"
      << "  resubmissions=" << global_resubmissions
-     << " retry_unsafe=" << global_retry_unsafe << "\n"
+     << " retry_unsafe=" << global_retry_unsafe
+     << " failed_permanently=" << txns_failed_permanently << "\n"
      << "local: committed=" << local_committed << " failed=" << local_failed
      << " retries=" << local_abort_retries << "\n"
      << "gtm1: attempts=" << gtm1.attempts
@@ -256,6 +265,7 @@ std::string DriverReport::ToString() const {
        << " replayed=" << durability.replay_records
        << " redone=" << durability.redo_writes
        << " undone=" << durability.undone_writes
+       << " syncs=" << durability.wal_syncs
        << " recovery_ticks=" << durability.recovery_ticks << "\n";
   }
   if (gtm_durability.wal_records > 0 || gtm_durability.recoveries > 0) {
@@ -269,7 +279,20 @@ std::string DriverReport::ToString() const {
        << " resumed_commits=" << gtm_durability.resumed_commits
        << " recovery_aborts=" << gtm_durability.recovery_aborted_attempts
        << " buffered_submits=" << gtm_durability.buffered_submits
+       << " syncs=" << gtm_durability.wal_syncs
        << " recovery_ticks=" << gtm_durability.recovery_ticks << "\n";
+  }
+  if (gtm_standby.shipped_records > 0 || gtm_standby.promotions > 0) {
+    os << "gtm_standby: shipped=" << gtm_standby.shipped_records << "/"
+       << gtm_standby.shipped_bytes << "B"
+       << " applied=" << gtm_standby.applied_records << "/"
+       << gtm_standby.applied_bytes << "B"
+       << " lag=" << gtm_standby.lag_records << "/" << gtm_standby.lag_bytes
+       << "B"
+       << " promotions=" << gtm_standby.promotions
+       << " epoch=" << gtm_standby.fencing_epoch
+       << " stale_rejections=" << gtm_standby.stale_rejections
+       << " dropped_frames=" << gtm_standby.dropped_frames << "\n";
   }
   os << "duration=" << duration << " ticks\n";
   return os.str();
@@ -287,6 +310,8 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("driver.crashes", crashes);
   registry->Increment("driver.global_resubmissions", global_resubmissions);
   registry->Increment("driver.global_retry_unsafe", global_retry_unsafe);
+  registry->Increment("driver.txn_failed_permanently",
+                      txns_failed_permanently);
   registry->Increment("fault.requests_lost", faults.requests_lost);
   registry->Increment("fault.responses_lost", faults.responses_lost);
   registry->Increment("fault.duplicates_injected", faults.duplicates_injected);
@@ -303,6 +328,7 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
   registry->Increment("site.wal_redo_writes", durability.redo_writes);
   registry->Increment("site.wal_undone_writes", durability.undone_writes);
   registry->Increment("site.recovery_ticks", durability.recovery_ticks);
+  registry->Increment("site.wal_syncs", durability.wal_syncs);
   registry->Observe("driver.global_throughput_per_mtick", global_throughput);
   registry->Put("driver.global_response", global_response);
   registry->Put("driver.global_attempts", global_attempts);
@@ -338,6 +364,21 @@ void DriverReport::AddToRegistry(sim::MetricsRegistry* registry) const {
                       gtm_durability.buffered_submits);
   registry->Increment("gtm_wal.recovery_ticks",
                       gtm_durability.recovery_ticks);
+  registry->Increment("gtm_wal.syncs", gtm_durability.wal_syncs);
+  registry->Increment("gtm_standby.shipped_records",
+                      gtm_standby.shipped_records);
+  registry->Increment("gtm_standby.shipped_bytes", gtm_standby.shipped_bytes);
+  registry->Increment("gtm_standby.applied_records",
+                      gtm_standby.applied_records);
+  registry->Increment("gtm_standby.applied_bytes", gtm_standby.applied_bytes);
+  registry->Increment("gtm_standby.lag_records", gtm_standby.lag_records);
+  registry->Increment("gtm_standby.lag_bytes", gtm_standby.lag_bytes);
+  registry->Increment("gtm_standby.promotions", gtm_standby.promotions);
+  registry->Increment("gtm_standby.fencing_epoch", gtm_standby.fencing_epoch);
+  registry->Increment("gtm_standby.stale_rejections",
+                      gtm_standby.stale_rejections);
+  registry->Increment("gtm_standby.dropped_frames",
+                      gtm_standby.dropped_frames);
   registry->Increment("gtm2.processed_ops", gtm2.processed_ops);
   registry->Increment("gtm2.wait_additions", gtm2.wait_additions);
   registry->Increment("gtm2.ser_wait_additions", gtm2.ser_wait_additions);
@@ -389,6 +430,7 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
   report.local_abort_retries = state->local_retries;
   report.global_resubmissions = state->global_resubmissions;
   report.global_retry_unsafe = state->global_retry_unsafe;
+  report.txns_failed_permanently = state->txns_failed_permanently;
   report.faults = mdbs->fault_stats();
   report.duration = mdbs->loop().now() - start_time;
   if (report.duration > 0) {
@@ -400,7 +442,8 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
   report.global_attempts = state->attempts;
   report.gtm1 = mdbs->gtm().stats();
   report.gtm2 = mdbs->gtm().gtm2().stats();
-  report.gtm_durability = mdbs->gtm().durability_stats();
+  report.gtm_durability = mdbs->gtm_durability_stats();
+  report.gtm_standby = mdbs->gtm_standby_stats();
   for (SiteId site : mdbs->site_ids()) {
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();
@@ -415,6 +458,7 @@ DriverReport RunDriver(Mdbs* mdbs, const DriverConfig& config,
     report.durability.redo_writes += wal.redo_writes;
     report.durability.undone_writes += wal.undone_writes;
     report.durability.recovery_ticks += wal.recovery_ticks;
+    report.durability.wal_syncs += wal.wal_syncs;
   }
   return report;
 }

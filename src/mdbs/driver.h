@@ -17,6 +17,22 @@ namespace mdbs {
 /// the GTM never sees — the source of indirect conflicts. The run stops
 /// once `target_global_commits` global transactions committed and all
 /// in-flight work drained.
+/// Client-level retry policy on top of the GTM's own attempts: a failed
+/// global transaction is resubmitted (as a fresh GTM job, same spec) up to
+/// `max_resubmissions` times, with doubling backoff from `backoff`.
+/// Resubmission is guarded by GlobalTxnResult::retry_safe — a partial
+/// commit is never resubmitted, since that would double-apply the committed
+/// sites' effects. A retry-safe failure that exhausts the budget is counted
+/// as failed permanently (DriverReport::txns_failed_permanently).
+struct RetryConfig {
+  /// Resubmission budget per logical transaction. 0 disables client
+  /// retries.
+  int max_resubmissions = 0;
+  /// Initial backoff before a resubmission; doubles per resubmission
+  /// (capped at 8x), plus uniform jitter of up to one base interval.
+  sim::Time backoff = 1000;
+};
+
 struct DriverConfig {
   int global_clients = 8;
   int local_clients_per_site = 2;
@@ -31,14 +47,8 @@ struct DriverConfig {
   /// GTM retries). 0 disables. Scripted alternative: MdbsConfig::fault_plan.
   sim::Time crash_interval = 0;
   sim::Time crash_duration = 2000;
-  /// Client-level retry layer on top of the GTM's own attempts: a failed
-  /// global transaction is resubmitted (as a fresh GTM job, same spec) up
-  /// to this many times, with doubling backoff from `global_retry_backoff`.
-  /// Resubmission is guarded by GlobalTxnResult::retry_safe — a partial
-  /// commit is never resubmitted, since that would double-apply the
-  /// committed sites' effects. 0 disables.
-  int global_retry_max = 0;
-  sim::Time global_retry_backoff = 1000;
+  /// Client-level retry layer (see RetryConfig).
+  RetryConfig retry;
   GlobalWorkloadConfig global_workload;
   LocalWorkloadConfig local_workload;
   /// When set, global clients instantiate these declared templates
@@ -71,14 +81,22 @@ struct DriverReport {
   /// Failures not resubmitted because retry_safe was false (partial
   /// commits).
   int64_t global_retry_unsafe = 0;
+  /// Retry-safe failures that exhausted RetryConfig::max_resubmissions:
+  /// the client gave up on the transaction for good. Excludes failures
+  /// after the run stopped issuing (those are drain artifacts, not budget
+  /// exhaustion).
+  int64_t txns_failed_permanently = 0;
   /// What the fault layer injected/suppressed (losses, dups, spikes,
   /// plan crashes).
   fault::FaultStats faults;
   /// WAL/recovery activity summed across durable sites (zeros otherwise).
   site::SiteDurabilityStats durability;
   /// The durable GTM's own WAL/crash/replay activity (zeros when the GTM
-  /// is not durable or no gtm_crash was injected).
+  /// is not durable or no gtm_crash was injected). With a warm standby
+  /// this is the pair's sum, continuous across a failover.
   gtm::GtmDurabilityStats gtm_durability;
+  /// Warm-standby shipping/failover counters (zeros without a standby).
+  gtm::GtmStandbyStats gtm_standby;
 
   std::string ToString() const;
 

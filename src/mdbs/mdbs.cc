@@ -56,9 +56,47 @@ Mdbs::Mdbs(const MdbsConfig& config)
         site_config, SiteRunner(site_config.id), &recorder_);
     site_ids_.push_back(site_config.id);
   }
+  gtm::Gtm1Config gtm_config = config.gtm;
+  if (config.gtm_standby) {
+    MDBS_CHECK(config.gtm.durable)
+        << "a warm-standby GTM requires GTM durability (--gtm_durable)";
+    MDBS_CHECK(config.gtm.wal_device == nullptr ||
+               config.gtm.wal_device->Size() == 0)
+        << "warm standby requires an empty GTM WAL: shipped frame sequence "
+        << "numbers are log positions counted from zero";
+    // One fencing token spans the pair; the primary starts holding epoch 0.
+    fence_ = std::make_shared<gtm::FencingToken>();
+    gtm_config.fence = fence_;
+  }
   gtm1_ =
-      std::make_unique<gtm::Gtm1>(config.gtm, GtmRunner(), this, config.seed);
+      std::make_unique<gtm::Gtm1>(gtm_config, GtmRunner(), this, config.seed);
+  if (config.gtm_standby) {
+    gtm::Gtm1Config standby_config = gtm_config;
+    standby_config.standby = true;
+    // The standby owns a fresh WAL (seeded with a checkpoint at promotion);
+    // the primary's device must not be shared into it.
+    standby_config.wal_device = nullptr;
+    gtm_standby_ = std::make_unique<gtm::Gtm1>(standby_config, GtmRunner(),
+                                               this, config.seed + 1);
+    // Shipping tap: runs synchronously after each durable append on the GTM
+    // strand; the frame crosses the modeled network and lands back on the
+    // same strand standby_lag later (equal delays on one FIFO strand keep
+    // frames in order).
+    gtm1_->SetWalShipper([this](int64_t seq, std::vector<uint8_t> frame) {
+      ++shipped_records_;
+      shipped_bytes_ += static_cast<int64_t>(frame.size());
+      GtmRunner()->Schedule(
+          config_.standby_lag,
+          [this, seq, frame = std::move(frame)]() mutable {
+            gtm_standby_->ReceiveShippedFrame(seq, std::move(frame));
+          });
+    });
+  }
+  active_gtm_ = gtm1_.get();
   if (audit_enabled_) {
+    // The standby's shadow GTM2 is NOT audited while passive: its replayed
+    // mutations mirror transitions the primary's audit already saw.
+    // PromoteStandby() turns auditing on the instant it goes live.
     gtm1_->mutable_gtm2().EnableAudit(config.audit, &auditor_);
     if (config.audit.check_lock_table) {
       for (SiteId id : site_ids_) sites_.at(id)->EnableAudit(&auditor_);
@@ -68,12 +106,14 @@ Mdbs::Mdbs(const MdbsConfig& config)
     trace_ = std::make_unique<obs::TraceSink>(
         config.trace, [this]() { return NowTicks(); });
     gtm1_->EnableTrace(trace_.get());
+    if (gtm_standby_ != nullptr) gtm_standby_->EnableTrace(trace_.get());
     for (SiteId id : site_ids_) sites_.at(id)->EnableTrace(trace_.get());
   }
   if (config.metrics.enabled) {
     metrics_ = std::make_unique<obs::MetricsEngine>(
         config.metrics, [this]() { return NowTicks(); }, site_ids_);
     gtm1_->EnableMetrics(metrics_.get());
+    if (gtm_standby_ != nullptr) gtm_standby_->EnableMetrics(metrics_.get());
     for (SiteId id : site_ids_) sites_.at(id)->EnableMetrics(metrics_.get());
   }
 
@@ -85,25 +125,36 @@ Mdbs::Mdbs(const MdbsConfig& config)
   if (config.response_loss_probability > 0 && plan.response_loss <= 0) {
     plan.response_loss = config.response_loss_probability;
   }
-  Status plan_ok = fault::ValidatePlanForConfig(plan, config.gtm.durable);
+  Status plan_ok = fault::ValidatePlanForConfig(plan, config.gtm.durable,
+                                                config.gtm_standby);
   MDBS_CHECK(plan_ok.ok()) << plan_ok.message();
   injector_ = std::make_unique<fault::FaultInjector>(plan, config.seed);
   ArmPlanCrashes();
   ArmGtmCrashes();
+  ArmGtmFailovers();
 
   HealthMonitor::Callbacks health_callbacks;
   health_callbacks.probe = [this](SiteId site, std::function<void()> ack) {
     ProbeSite(site, std::move(ack));
   };
+  // Health events route to whichever GTM is live at delivery time — after a
+  // failover the promoted standby owns the quarantine set.
   health_callbacks.site_down = [this](SiteId site) {
-    gtm1_->OnSiteDown(site);
+    active_gtm_->OnSiteDown(site);
   };
-  health_callbacks.site_up = [this](SiteId site) { gtm1_->OnSiteUp(site); };
-  health_callbacks.keep_probing = [this]() { return gtm1_->InFlight() > 0; };
+  health_callbacks.site_up = [this](SiteId site) {
+    active_gtm_->OnSiteUp(site);
+  };
+  health_callbacks.keep_probing = [this]() {
+    return active_gtm_->InFlight() > 0;
+  };
   health_ = std::make_unique<HealthMonitor>(
       config.health, GtmRunner(), site_ids_, std::move(health_callbacks));
   if (trace_ != nullptr) health_->EnableTrace(trace_.get());
   gtm1_->SetActivityHook([this]() { health_->Activity(); });
+  if (gtm_standby_ != nullptr) {
+    gtm_standby_->SetActivityHook([this]() { health_->Activity(); });
+  }
 }
 
 void Mdbs::ArmPlanCrashes() {
@@ -131,6 +182,60 @@ void Mdbs::ArmGtmCrashes() {
       });
     });
   }
+}
+
+void Mdbs::ArmGtmFailovers() {
+  for (const fault::GtmFailoverEvent& event : injector_->plan().gtm_failovers) {
+    GtmRunner()->Schedule(event.at, [this, event]() {
+      // Kill the primary for good; `duration` models failure detection
+      // (health-check timeouts), after which the standby takes over.
+      if (!gtm1_->IsDown()) gtm1_->Crash();
+      GtmRunner()->Schedule(event.duration, [this]() { PromoteStandby(); });
+    });
+  }
+}
+
+void Mdbs::PromoteStandby() {
+  MDBS_CHECK(gtm_standby_ != nullptr)
+      << "PromoteStandby without a configured standby";
+  if (!gtm_standby_->IsStandby()) return;  // Already promoted.
+  gtm_standby_->Promote(gtm1_.get(), CurrentlyDownSites());
+  if (audit_enabled_) {
+    // The shadow GTM2 starts reporting to the auditor the instant it goes
+    // live; its passive replay history was covered by the primary's audit.
+    gtm_standby_->mutable_gtm2().EnableAudit(config_.audit, &auditor_);
+  }
+  active_gtm_ = gtm_standby_.get();
+}
+
+gtm::GtmStandbyStats Mdbs::gtm_standby_stats() const {
+  if (gtm_standby_ == nullptr) return {};
+  gtm::GtmStandbyStats stats = gtm_standby_->standby_stats();
+  stats.shipped_records = shipped_records_;
+  stats.shipped_bytes = shipped_bytes_;
+  return stats;
+}
+
+gtm::GtmDurabilityStats Mdbs::gtm_durability_stats() const {
+  gtm::GtmDurabilityStats total = gtm1_->durability_stats();
+  if (gtm_standby_ == nullptr) return total;
+  // One logical durable GTM, two physical instances: report the pair's sums
+  // so counters stay continuous across a failover.
+  gtm::GtmDurabilityStats s = gtm_standby_->durability_stats();
+  total.wal_records += s.wal_records;
+  total.wal_bytes += s.wal_bytes;
+  total.checkpoints += s.checkpoints;
+  total.crashes += s.crashes;
+  total.recoveries += s.recoveries;
+  total.replayed_records += s.replayed_records;
+  total.replayed_bytes += s.replayed_bytes;
+  total.replayed_enqueues += s.replayed_enqueues;
+  total.resumed_commits += s.resumed_commits;
+  total.recovery_aborted_attempts += s.recovery_aborted_attempts;
+  total.buffered_submits += s.buffered_submits;
+  total.recovery_ticks += s.recovery_ticks;
+  total.wal_syncs += s.wal_syncs;
+  return total;
 }
 
 std::vector<SiteId> Mdbs::CurrentlyDownSites() const {
@@ -161,16 +266,19 @@ sim::Time Mdbs::NowTicks() const {
 
 void Mdbs::SubmitGlobal(gtm::GlobalTxnSpec spec, gtm::Gtm1::ResultCallback cb) {
   if (!threaded_) {
-    gtm1_->Submit(std::move(spec), std::move(cb));
+    active_gtm_->Submit(std::move(spec), std::move(cb));
     return;
   }
   // Stamp the client-side enqueue time so the metrics engine can charge the
-  // GTM-strand queueing delay to the admission phase.
+  // GTM-strand queueing delay to the admission phase. The live GTM is
+  // resolved on the GTM strand, where failovers also happen — a submission
+  // racing a promotion lands on whichever instance owns the epoch when its
+  // turn runs.
   GtmRunner()->Schedule(
       0, [this, enqueued = NowTicks(), spec = std::move(spec),
           cb = std::move(cb)]() mutable {
         if (metrics_ != nullptr) metrics_->StageAdmission(enqueued);
-        gtm1_->Submit(std::move(spec), std::move(cb));
+        active_gtm_->Submit(std::move(spec), std::move(cb));
       });
 }
 
@@ -215,9 +323,22 @@ void Mdbs::FinishThreadedRun() {
     horizon_ticks = std::max<sim::Time>(horizon_ticks, 2 * event.duration +
                                                           100);
   }
+  // A failover's detection window keeps in-flight work waiting the same way
+  // a crash outage does; the promotion timer is armed inside it.
+  for (const fault::GtmFailoverEvent& event :
+       config_.fault_plan.gtm_failovers) {
+    horizon_ticks = std::max<sim::Time>(horizon_ticks, 2 * event.duration +
+                                                          100);
+  }
   if (config_.gtm.durable) {
     horizon_ticks = std::max<sim::Time>(
         horizon_ticks, 2 * config_.gtm.recovery_base_time + 100);
+  }
+  // In-flight shipped frames must count as busy so the standby's shadow
+  // state catches up before the run is declared quiescent.
+  if (config_.gtm_standby) {
+    horizon_ticks = std::max<sim::Time>(horizon_ticks,
+                                        2 * config_.standby_lag + 100);
   }
   for (;;) {
     sim::Time horizon = ticker_->NowMicros() + horizon_ticks;
@@ -260,7 +381,7 @@ Status Mdbs::RunAuditOracle() {
   report("oracle-local-csr", CheckLocallySerializable());
   report("oracle-ser-key", CheckSerializationKeyProperty());
   report("oracle-strictness", CheckStrictness());
-  if (gtm1_->gtm2().scheme().kind() != gtm::SchemeKind::kNone) {
+  if (active_gtm_->gtm2().scheme().kind() != gtm::SchemeKind::kNone) {
     report("oracle-global-csr", CheckGloballySerializable());
   }
   return first;

@@ -42,6 +42,16 @@ struct MdbsConfig {
   /// them would need an atomic commitment protocol, which the paper leaves
   /// out of scope. Sweeps are resolved against the actual site count here.
   fault::FaultPlan fault_plan;
+  /// Warm-standby GTM pair: construct a second, passive Gtm1 that receives
+  /// every primary WAL frame over the modeled network (`standby_lag` one-way
+  /// shipping delay) and applies it into a live shadow GTM2. A
+  /// `gtm_failover@T:D` fault directive (or PromoteStandby()) then performs
+  /// a fenced takeover whose unavailability is bounded by the shipping lag,
+  /// not the log length. Requires gtm.durable; gtm.wal_device must start
+  /// empty (frame sequence numbers are log positions from zero).
+  bool gtm_standby = false;
+  /// One-way WAL-frame shipping delay from primary to standby.
+  sim::Time standby_lag = 10;
   /// Heartbeat-based site failure detector feeding Gtm1::OnSiteDown/Up.
   HealthConfig health;
   uint64_t seed = 42;
@@ -92,8 +102,28 @@ class Mdbs : public gtm::SiteGateway {
 
   sim::EventLoop& loop() { return loop_; }
   sched::ScheduleRecorder& recorder() { return recorder_; }
-  gtm::Gtm1& gtm() { return *gtm1_; }
-  const gtm::Gtm1& gtm() const { return *gtm1_; }
+  /// The active GTM: the primary until a standby promotion, the promoted
+  /// standby after. Resolve at use — don't cache across a failover.
+  gtm::Gtm1& gtm() { return *active_gtm_; }
+  const gtm::Gtm1& gtm() const { return *active_gtm_; }
+  /// The warm standby (pre- or post-promotion), or null when
+  /// MdbsConfig::gtm_standby is off.
+  gtm::Gtm1* standby_gtm() { return gtm_standby_.get(); }
+  /// The original primary, regardless of who is active (tests poke it).
+  gtm::Gtm1& primary_gtm() { return *gtm1_; }
+
+  /// Promotes the warm standby (no-op if already promoted). The primary
+  /// must already be down. Scripted alternative: a gtm_failover@T:D fault
+  /// directive. GTM strand only (schedule via the facade in threaded mode).
+  void PromoteStandby();
+
+  /// Standby shipping/failover counters with the facade-side shipped_*
+  /// fields overlaid; all-zero when no standby is configured.
+  gtm::GtmStandbyStats gtm_standby_stats() const;
+
+  /// GTM durability counters summed across the primary and the standby, so
+  /// WAL/checkpoint/recovery accounting stays continuous across a failover.
+  gtm::GtmDurabilityStats gtm_durability_stats() const;
   site::LocalDbms& site(SiteId id) { return *sites_.at(id); }
   const std::vector<SiteId>& site_ids() const { return site_ids_; }
   const MdbsConfig& config() const { return config_; }
@@ -217,6 +247,11 @@ class Mdbs : public gtm::SiteGateway {
   /// log's quarantine view is stale by however long the outage lasted.
   void ArmGtmCrashes();
 
+  /// Schedules the plan's gtm_failover windows on the GTM strand: crash the
+  /// primary at `at`, promote the standby `duration` (detection delay)
+  /// ticks later.
+  void ArmGtmFailovers();
+
   /// Sites the health monitor currently declares down (GTM strand only).
   std::vector<SiteId> CurrentlyDownSites() const;
 
@@ -245,6 +280,14 @@ class Mdbs : public gtm::SiteGateway {
   std::unordered_map<SiteId, std::unique_ptr<site::LocalDbms>> sites_;
   std::vector<SiteId> site_ids_;
   std::unique_ptr<gtm::Gtm1> gtm1_;
+  /// Warm standby (config_.gtm_standby only) and the failover plumbing.
+  /// active_gtm_ flips from gtm1_ to gtm_standby_ at PromoteStandby(), on
+  /// the GTM strand; shipped_* are counted in the shipper tap (GTM strand).
+  std::unique_ptr<gtm::Gtm1> gtm_standby_;
+  gtm::Gtm1* active_gtm_ = nullptr;
+  std::shared_ptr<gtm::FencingToken> fence_;
+  int64_t shipped_records_ = 0;
+  int64_t shipped_bytes_ = 0;
   std::atomic<int64_t> next_local_txn_id_{kLocalTxnIdBase};
 };
 

@@ -33,6 +33,7 @@ struct RunState {
   int64_t local_retries = 0;
   int64_t global_resubmissions = 0;
   int64_t global_retry_unsafe = 0;
+  int64_t txns_failed_permanently = 0;
   sim::Summary response;
   sim::Summary attempts;
 
@@ -124,7 +125,7 @@ void GlobalClientMain(RunState* state, Rng rng) {
       result = SubmitGlobalAndWait(mdbs, std::move(submit_spec));
       attempts_total += result.attempts;
       if (result.status.ok() || !result.retry_safe ||
-          resubmissions >= state->config.global_retry_max ||
+          resubmissions >= state->config.retry.max_resubmissions ||
           state->stop.load(std::memory_order_relaxed)) {
         break;
       }
@@ -137,7 +138,7 @@ void GlobalClientMain(RunState* state, Rng rng) {
         sink->Record(obs::TraceEventKind::kTxnResubmit, -1, -1,
                      resubmissions, attempts_total);
       }
-      sim::Time base = state->config.global_retry_backoff;
+      sim::Time base = state->config.retry.backoff;
       for (int i = 1; i < resubmissions && i < 4; ++i) base *= 2;
       SleepTicks(base + static_cast<sim::Time>(rng.NextBelow(
                             static_cast<uint64_t>(base) + 1)));
@@ -150,7 +151,13 @@ void GlobalClientMain(RunState* state, Rng rng) {
             static_cast<double>(result.finish_time - start));
         state->attempts.Add(attempts_total);
       } else {
-        if (!result.retry_safe) ++state->global_retry_unsafe;
+        if (!result.retry_safe) {
+          ++state->global_retry_unsafe;
+        } else if (!state->stop.load(std::memory_order_relaxed)) {
+          // Retry-safe failure with the resubmission budget spent: the
+          // client gives up permanently.
+          ++state->txns_failed_permanently;
+        }
         ++state->global_failed;
       }
       if (state->TargetReachedLocked()) {
@@ -298,6 +305,7 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
     report.local_abort_retries = state.local_retries;
     report.global_resubmissions = state.global_resubmissions;
     report.global_retry_unsafe = state.global_retry_unsafe;
+    report.txns_failed_permanently = state.txns_failed_permanently;
     report.global_response = state.response;
     report.global_attempts = state.attempts;
   }
@@ -311,7 +319,8 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
   }
   report.gtm1 = mdbs->gtm().stats();
   report.gtm2 = mdbs->gtm().gtm2().stats();
-  report.gtm_durability = mdbs->gtm().durability_stats();
+  report.gtm_durability = mdbs->gtm_durability_stats();
+  report.gtm_standby = mdbs->gtm_standby_stats();
   for (SiteId site : mdbs->site_ids()) {
     report.site_blocked += mdbs->site(site).blocked_count();
     report.site_aborts += mdbs->site(site).abort_count();
@@ -326,6 +335,7 @@ DriverReport RunThreadedDriver(Mdbs* mdbs, const DriverConfig& config,
     report.durability.redo_writes += wal.redo_writes;
     report.durability.undone_writes += wal.undone_writes;
     report.durability.recovery_ticks += wal.recovery_ticks;
+    report.durability.wal_syncs += wal.wal_syncs;
   }
   return report;
 }

@@ -96,6 +96,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "strand_backlog";
     case TraceEventKind::kDowngrade:
       return "downgrade";
+    case TraceEventKind::kGtmPromoteBegin:
+      return "gtm_promote_begin";
+    case TraceEventKind::kGtmPromote:
+      return "gtm_promote";
   }
   return "?";
 }

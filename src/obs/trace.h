@@ -93,6 +93,12 @@ enum class TraceEventKind : uint8_t {
   // Static analysis / certified fast path (src/analysis).
   kDowngrade,  // attempt ran the certified fast path: no ser delays, no
                //   tickets; txn = attempt id, a = job id
+
+  // Warm-standby failover (appended so earlier kinds keep their values).
+  kGtmPromoteBegin,  // standby starts taking over; a = new fencing epoch,
+                     //   b = unshipped WAL tail records to apply
+  kGtmPromote,       // promoted standby is live; a = tail records applied,
+                     //   b = jobs resumed
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

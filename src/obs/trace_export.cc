@@ -233,6 +233,19 @@ void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
         spans.Close("gtmdown", e.time);
         EmitInstant(w, e);
         break;
+      case TraceEventKind::kGtmPromoteBegin:
+        // Failover renders as its own span on the GTM track, nested under
+        // the GTM DOWN span the primary's crash opened: the visible gap
+        // between them is the detection delay, and the FAILOVER span's
+        // width is the tail-bounded takeover work.
+        spans.Open("failover", "FAILOVER", "gtm_failover", 1, e.time);
+        EmitInstant(w, e);
+        break;
+      case TraceEventKind::kGtmPromote:
+        spans.Close("failover", e.time);
+        spans.Close("gtmdown", e.time);
+        EmitInstant(w, e);
+        break;
 
       case TraceEventKind::kQueueDepth:
         EmitCounter(w, "gtm2 depth", e.time,

@@ -42,6 +42,7 @@ LocalDbms::LocalDbms(const SiteConfig& config, sim::TaskRunner* loop,
                       ? config_.wal_device
                       : std::make_shared<storage::MemLogDevice>();
     wal_ = std::make_unique<storage::WalWriter>(wal_device_.get());
+    wal_->SetSyncConfig(config_.wal_sync);
     if (wal_device_->Size() > 0) {
       // A pre-existing log (process restart over --wal_dir, or a test
       // seeding a crash image): recover before serving anything.

@@ -51,6 +51,8 @@ struct SiteConfig {
   /// The log's backing device; defaults to a fresh in-memory device. A
   /// FileLogDevice persists across process restarts (mdbsim --wal_dir=).
   std::shared_ptr<storage::LogDevice> wal_device;
+  /// When to force the device to stable storage (mdbsim --wal_fsync=).
+  storage::WalSyncConfig wal_sync;
 };
 
 /// Per-site durability counters, summed into the driver report.
@@ -65,6 +67,8 @@ struct SiteDurabilityStats {
   int64_t undone_writes = 0;
   /// Modeled ticks spent replaying, summed over recoveries.
   int64_t recovery_ticks = 0;
+  /// Sync barriers forced by the flush policy (`--wal_fsync=`).
+  int64_t wal_syncs = 0;
 };
 
 /// A pre-existing, autonomous local DBMS: storage plus one concurrency
@@ -153,6 +157,7 @@ class LocalDbms : public lcc::ProtocolHost {
     if (wal_ != nullptr) {
       stats.wal_records = wal_->records_written();
       stats.wal_bytes = wal_->bytes_written();
+      stats.wal_syncs = wal_->syncs();
     }
     return stats;
   }

@@ -80,8 +80,38 @@ Status ScanFrames(const std::vector<uint8_t>& image, FrameScan* out) {
   return Status::OK();
 }
 
+StatusOr<WalSyncConfig> ParseWalSyncSpec(const std::string& spec) {
+  WalSyncConfig config;
+  if (spec == "every_commit") {
+    config.policy = WalSyncPolicy::kEveryCommit;
+    return config;
+  }
+  if (spec == "off") {
+    config.policy = WalSyncPolicy::kOff;
+    return config;
+  }
+  constexpr const char* kIntervalPrefix = "interval:";
+  if (spec.rfind(kIntervalPrefix, 0) == 0) {
+    std::string digits = spec.substr(std::string(kIntervalPrefix).size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("bad wal sync interval: '" + spec + "'");
+    }
+    config.policy = WalSyncPolicy::kInterval;
+    config.interval = std::stoll(digits);
+    if (config.interval < 1) {
+      return Status::InvalidArgument("wal sync interval must be >= 1: '" +
+                                     spec + "'");
+    }
+    return config;
+  }
+  return Status::InvalidArgument(
+      "bad wal sync spec '" + spec +
+      "' (want every_commit | interval:N | off)");
+}
+
 void FrameWriter::AppendPayload(const std::vector<uint8_t>& payload,
-                                bool is_checkpoint) {
+                                bool is_checkpoint, bool is_commit_point) {
   std::vector<uint8_t> frame = FramePayload(payload);
   Status appended = device_->Append(frame.data(), frame.size());
   MDBS_CHECK(appended.ok()) << appended.message();
@@ -91,6 +121,24 @@ void FrameWriter::AppendPayload(const std::vector<uint8_t>& payload,
     records_since_checkpoint_ = 0;
   } else {
     ++records_since_checkpoint_;
+  }
+  ++records_since_sync_;
+  bool sync_now = false;
+  switch (sync_.policy) {
+    case WalSyncPolicy::kEveryCommit:
+      sync_now = is_commit_point;
+      break;
+    case WalSyncPolicy::kInterval:
+      sync_now = records_since_sync_ >= sync_.interval;
+      break;
+    case WalSyncPolicy::kOff:
+      break;
+  }
+  if (sync_now) {
+    Status synced = device_->Sync();
+    MDBS_CHECK(synced.ok()) << synced.message();
+    ++syncs_;
+    records_since_sync_ = 0;
   }
 }
 

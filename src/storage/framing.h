@@ -2,6 +2,7 @@
 #define MDBS_STORAGE_FRAMING_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -85,16 +86,44 @@ struct FrameScan {
 /// admitted, flagged, ignored.
 Status ScanFrames(const std::vector<uint8_t>& image, FrameScan* out);
 
+/// When the log's backing device distinguishes "appended" from "on stable
+/// storage" (the file device), this decides when the writer forces a sync
+/// barrier. The in-memory device is stable by construction, so the policy
+/// only changes the `wal.syncs` counter there — which is exactly the point:
+/// the report states what policy actually ran.
+enum class WalSyncPolicy : uint8_t {
+  kEveryCommit,  // sync at every commit-point record (commits, checkpoints)
+  kInterval,     // sync every `interval` records, commit or not
+  kOff,          // never sync explicitly (device-level flushing only)
+};
+
+struct WalSyncConfig {
+  WalSyncPolicy policy = WalSyncPolicy::kEveryCommit;
+  /// Records per sync under kInterval (must be >= 1 there; ignored
+  /// otherwise).
+  int64_t interval = 64;
+};
+
+/// Parses `every_commit` | `interval:N` | `off` (the `--wal_fsync=` flag
+/// language). N must be a positive integer.
+StatusOr<WalSyncConfig> ParseWalSyncSpec(const std::string& spec);
+
 /// Append-side shared by both logs: frames and appends payloads, counting
 /// bytes and records for the checkpoint trigger and the run report.
 class FrameWriter {
  public:
   explicit FrameWriter(LogDevice* device) : device_(device) {}
 
+  /// Replaces the sync policy (default: every commit point).
+  void SetSyncConfig(const WalSyncConfig& config) { sync_ = config; }
+
   /// Frames and appends `payload`; crashes the process on device errors
   /// (the in-memory device cannot fail; the file device failing is
-  /// non-recoverable here).
-  void AppendPayload(const std::vector<uint8_t>& payload, bool is_checkpoint);
+  /// non-recoverable here). `is_commit_point` marks records whose loss
+  /// would lose an acknowledged decision (commits, checkpoints) — the sync
+  /// policy's kEveryCommit trigger.
+  void AppendPayload(const std::vector<uint8_t>& payload, bool is_checkpoint,
+                     bool is_commit_point = false);
 
   int64_t records_written() const { return records_written_; }
   int64_t bytes_written() const { return bytes_written_; }
@@ -102,12 +131,17 @@ class FrameWriter {
   int64_t records_since_checkpoint() const {
     return records_since_checkpoint_;
   }
+  /// Sync barriers forced so far (`wal.syncs` in the run report).
+  int64_t syncs() const { return syncs_; }
 
  private:
   LogDevice* device_;
+  WalSyncConfig sync_;
   int64_t records_written_ = 0;
   int64_t bytes_written_ = 0;
   int64_t records_since_checkpoint_ = 0;
+  int64_t records_since_sync_ = 0;
+  int64_t syncs_ = 0;
 };
 
 }  // namespace mdbs::storage

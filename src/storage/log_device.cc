@@ -58,6 +58,15 @@ Status FileLogDevice::Append(const void* data, size_t size) {
   return Status::OK();
 }
 
+Status FileLogDevice::Sync() {
+  if (open_failed_) {
+    return Status::InvalidArgument("cannot open WAL file: " + path_);
+  }
+  file_.flush();
+  if (!file_) return Status::Internal("sync failed for WAL file: " + path_);
+  return Status::OK();
+}
+
 int64_t FileLogDevice::Size() const { return open_failed_ ? 0 : size_; }
 
 void FileLogDevice::Truncate(int64_t size) {

@@ -23,6 +23,13 @@ class LogDevice {
   /// layer; partial appends only exist as test-constructed images.
   virtual Status Append(const void* data, size_t size) = 0;
 
+  /// Forces everything appended so far to stable storage. The default is a
+  /// no-op: the in-memory device IS stable storage under the deterministic
+  /// crash model. The file device flushes its stream — a modeled sync
+  /// barrier, counted by FrameWriter so the run report states what policy
+  /// actually ran (`wal.syncs`).
+  virtual Status Sync() { return Status::OK(); }
+
   /// Bytes currently on the device.
   virtual int64_t Size() const = 0;
 
@@ -67,6 +74,7 @@ class FileLogDevice : public LogDevice {
   explicit FileLogDevice(const std::string& path);
 
   Status Append(const void* data, size_t size) override;
+  Status Sync() override;
   int64_t Size() const override;
   Status ReadAll(std::vector<uint8_t>* out) const override;
   void Truncate(int64_t size) override;

@@ -216,7 +216,10 @@ Status ReadWal(const LogDevice& device, WalScan* out) {
 void WalWriter::Append(const WalRecord& record) {
   std::vector<uint8_t> payload;
   EncodePayload(record, &payload);
-  frames_.AppendPayload(payload, record.type == WalRecordType::kCheckpoint);
+  bool is_checkpoint = record.type == WalRecordType::kCheckpoint;
+  bool is_commit_point =
+      is_checkpoint || record.type == WalRecordType::kCommit;
+  frames_.AppendPayload(payload, is_checkpoint, is_commit_point);
 }
 
 }  // namespace mdbs::storage

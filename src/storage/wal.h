@@ -112,6 +112,13 @@ class WalWriter {
  public:
   explicit WalWriter(LogDevice* device) : frames_(device) {}
 
+  /// Replaces the sync policy (default: every commit point). Commit points
+  /// here are kCommit and kCheckpoint records — the records whose loss
+  /// would lose an acknowledged commit.
+  void SetSyncConfig(const WalSyncConfig& config) {
+    frames_.SetSyncConfig(config);
+  }
+
   /// Appends `record`; crashes the process on device errors (the in-memory
   /// device cannot fail; the file device failing is non-recoverable here).
   void Append(const WalRecord& record);
@@ -122,6 +129,8 @@ class WalWriter {
   int64_t records_since_checkpoint() const {
     return frames_.records_since_checkpoint();
   }
+  /// Sync barriers forced by the policy so far.
+  int64_t syncs() const { return frames_.syncs(); }
 
  private:
   FrameWriter frames_;

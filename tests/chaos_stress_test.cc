@@ -56,8 +56,8 @@ DriverConfig ChaosWorkload(int target) {
   driver.target_global_commits = target;
   driver.global_workload.items_per_site = 40;
   driver.local_workload.items_per_site = 40;
-  driver.global_retry_max = 4;
-  driver.global_retry_backoff = 400;
+  driver.retry.max_resubmissions = 4;
+  driver.retry.backoff = 400;
   return driver;
 }
 
@@ -104,6 +104,39 @@ TEST_P(ChaosStressTest, ThreadedHeavyChaosStaysCorrect) {
   EXPECT_GE(report.global_committed + report.global_failed, 60);
   EXPECT_GE(report.global_committed, 30);
   EXPECT_GE(report.faults.plan_crashes, 1);
+  EXPECT_EQ(report.faults.duplicates_suppressed,
+            report.faults.duplicates_injected);
+  EXPECT_TRUE(system.CheckLocallySerializable().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+}
+
+// Failover under fire, threaded: the warm standby promotes mid-run while
+// both sweeps, message loss, duplication and delay spikes are all active.
+// Under TSan this stresses the shipping tap (log append on the GTM strand,
+// delivery rescheduled on the same strand), the fence handoff, and the
+// facade's active-GTM swap racing real site strands. The oracles stay
+// exact: one promotion, epoch 1, a dead fenced primary, duplicates all
+// suppressed, and a serializable federation.
+TEST_P(ChaosStressTest, ThreadedFailoverUnderHeavyChaosStaysCorrect) {
+  MdbsConfig config = ChaosSystem(GetParam(), /*threaded=*/true);
+  config.gtm.durable = true;
+  config.gtm.checkpoint_interval = 128;
+  config.gtm_standby = true;
+  config.standby_lag = 1500;
+  config.fault_plan = HeavyPlan(/*first_at=*/6000, /*gap=*/8000,
+                                /*duration=*/4000);
+  config.fault_plan.gtm_failovers.push_back(
+      fault::GtmFailoverEvent{30'000, 5000});
+  Mdbs system(config);
+  DriverConfig driver = ChaosWorkload(/*target=*/60);
+  DriverReport report = RunThreadedDriver(&system, driver, 97);
+
+  EXPECT_GE(report.global_committed + report.global_failed, 60);
+  EXPECT_GE(report.global_committed, 30);
+  EXPECT_EQ(report.gtm_standby.promotions, 1);
+  EXPECT_EQ(report.gtm_standby.fencing_epoch, 1);
+  EXPECT_TRUE(system.primary_gtm().IsDown());
   EXPECT_EQ(report.faults.duplicates_suppressed,
             report.faults.duplicates_injected);
   EXPECT_TRUE(system.CheckLocallySerializable().ok());

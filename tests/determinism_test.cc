@@ -93,7 +93,7 @@ TEST(DeterminismTest, FaultPlanReplaysByteForByte) {
     config.health.suspect_after = 600;
     config.health.down_after = 1200;
     DriverConfig workload = Workload();
-    workload.global_retry_max = 2;
+    workload.retry.max_resubmissions = 2;
     Mdbs system(config);
     return RunDriver(&system, workload, 17).ToString();
   };
@@ -124,7 +124,7 @@ TEST(DeterminismTest, DurableRecoveryReplaysTheJsonReportByteForByte) {
       site.recovery_time_per_record = 1;
     }
     DriverConfig workload = Workload();
-    workload.global_retry_max = 2;
+    workload.retry.max_resubmissions = 2;
     Mdbs system(config);
     DriverReport report = RunDriver(&system, workload, 23);
     EXPECT_GT(report.durability.recoveries, 0)
@@ -170,6 +170,35 @@ TEST(DeterminismTest, GtmCrashRecoveryReplaysByteForByte) {
   EXPECT_EQ(run(), run());
 }
 
+// A warm-standby failover — WAL shipping across the modeled network, the
+// shadow's continuous apply, the fenced promotion, and the post-promotion
+// drain — must replay byte for byte from the same seeds, for every seed:
+// the standby's strand is part of the simulated schedule like any other.
+TEST(DeterminismTest, GtmFailoverReplaysByteForByte) {
+  for (uint64_t seed : {3u, 17u, 41u}) {
+    auto run = [seed]() {
+      MdbsConfig config = SystemConfig(seed);
+      config.gtm.durable = true;
+      config.gtm.checkpoint_interval = 64;
+      config.gtm.recovery_time_per_record = 2;
+      config.gtm_standby = true;
+      config.standby_lag = 40;
+      fault::FaultPlan plan;
+      plan.gtm_failovers.push_back(fault::GtmFailoverEvent{600'000, 1500});
+      config.fault_plan = plan;
+      DriverConfig workload = Workload();
+      workload.retry.max_resubmissions = 2;
+      Mdbs system(config);
+      DriverReport report = RunDriver(&system, workload, seed + 100);
+      EXPECT_EQ(report.gtm_standby.promotions, 1);
+      EXPECT_EQ(report.gtm_standby.fencing_epoch, 1);
+      EXPECT_TRUE(system.CheckGloballySerializable().ok());
+      return report.ToString();
+    };
+    EXPECT_EQ(run(), run()) << "seed " << seed;
+  }
+}
+
 // Replay itself must be a pure function of the log image: recovering the
 // same device twice yields identical stores, tables, and statistics.
 TEST(DeterminismTest, RecoveryFromTheSameLogIsIdentical) {
@@ -187,7 +216,7 @@ TEST(DeterminismTest, RecoveryFromTheSameLogIsIdentical) {
   }
   config.sites[3].wal_device = device;  // s3 is multiversion-adjacent OCC.
   DriverConfig workload = Workload();
-  workload.global_retry_max = 2;
+  workload.retry.max_resubmissions = 2;
   Mdbs system(config);
   RunDriver(&system, workload, 29);
   ASSERT_GT(device->bytes().size(), 0u);

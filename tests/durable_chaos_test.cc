@@ -120,8 +120,8 @@ TEST_P(DurableChaosTest, RepeatedCrashesLoseNoCommittedData) {
   driver.target_global_commits = 120;
   driver.global_workload.items_per_site = 25;
   driver.local_workload.items_per_site = 25;
-  driver.global_retry_max = 3;
-  driver.global_retry_backoff = 400;
+  driver.retry.max_resubmissions = 3;
+  driver.retry.backoff = 400;
   DriverReport report = RunDriver(&system, driver, 97);
 
   EXPECT_EQ(report.faults.plan_crashes, 8) << "every site must crash twice";
@@ -159,7 +159,7 @@ TEST_P(DurableChaosTest, DurableRunIsByteIdenticalToNonDurableReference) {
     driver.target_global_commits = 80;
     driver.global_workload.items_per_site = 20;
     driver.local_workload.items_per_site = 20;
-    driver.global_retry_max = 2;
+    driver.retry.max_resubmissions = 2;
     DriverReport report = RunDriver(&system, driver, 133);
     EXPECT_TRUE(system.RunAuditOracle().ok());
     *dump = system.recorder().Dump(1'000'000);
@@ -219,7 +219,7 @@ TEST(DurableChaosCostTest, NonZeroReplayCostStillLosesNothing) {
   driver.target_global_commits = 80;
   driver.global_workload.items_per_site = 25;
   driver.local_workload.items_per_site = 25;
-  driver.global_retry_max = 3;
+  driver.retry.max_resubmissions = 3;
   DriverReport report = RunDriver(&system, driver, 41);
 
   EXPECT_EQ(report.durability.recoveries, 4);
@@ -260,8 +260,8 @@ TEST_P(DurableChaosTest, GtmCrashDuringSiteSweepLosesNothing) {
   driver.target_global_commits = 100;
   driver.global_workload.items_per_site = 25;
   driver.local_workload.items_per_site = 25;
-  driver.global_retry_max = 3;
-  driver.global_retry_backoff = 400;
+  driver.retry.max_resubmissions = 3;
+  driver.retry.backoff = 400;
   DriverReport report = RunDriver(&system, driver, 71);
 
   EXPECT_EQ(report.gtm_durability.crashes, 2);
@@ -270,6 +270,60 @@ TEST_P(DurableChaosTest, GtmCrashDuringSiteSweepLosesNothing) {
   EXPECT_EQ(report.faults.plan_crashes, 4) << "the site sweep must run too";
   EXPECT_EQ(report.durability.recoveries, 4);
   EXPECT_GE(report.global_committed, 60);
+  EXPECT_TRUE(system.RunAuditOracle().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+  EXPECT_TRUE(system.CheckStrictness().ok());
+  ExpectZeroCommittedDataLoss(&system);
+}
+
+// Compound availability event: the primary GTM dies and the warm standby
+// takes over while a site-crash sweep is still knocking sites down. The
+// promotion must seed the scheme state with the health monitor's current
+// down set, the fenced old primary must stay dead, the sweep's recoveries
+// must proceed under the new epoch — and still no committed data is lost
+// anywhere in the federation.
+TEST_P(DurableChaosTest, FailoverDuringSiteSweepLosesNothing) {
+  MdbsConfig config = MdbsConfig::Mixed(kMixedProtocols, GetParam());
+  config.seed = 89;
+  config.gtm.attempt_timeout = 10'000;
+  config.gtm.retry_backoff = 200;
+  config.gtm.durable = true;
+  config.gtm.checkpoint_interval = 64;
+  config.gtm_standby = true;
+  config.standby_lag = 50;
+  config.health.probe_interval = 300;
+  config.health.suspect_after = 600;
+  config.health.down_after = 1200;
+  // The sweep brackets the failover: sites are still crashing when the
+  // standby promotes, so the new primary starts life with a partial down
+  // set and quarantined work in its inherited queue state.
+  config.fault_plan = fault::FaultPlan::CrashSweep(
+      /*num_sites=*/4, /*first_at=*/550'000, /*gap=*/4000,
+      /*duration=*/2000);
+  config.fault_plan.gtm_failovers.push_back(
+      fault::GtmFailoverEvent{556'000, 2500});
+  MakeDurable(&config, 64);
+  Mdbs system(config);
+
+  DriverConfig driver;
+  driver.global_clients = 6;
+  driver.local_clients_per_site = 1;
+  driver.target_global_commits = 100;
+  driver.global_workload.items_per_site = 25;
+  driver.local_workload.items_per_site = 25;
+  driver.retry.max_resubmissions = 3;
+  driver.retry.backoff = 400;
+  DriverReport report = RunDriver(&system, driver, 89);
+
+  EXPECT_EQ(report.gtm_standby.promotions, 1);
+  EXPECT_EQ(report.gtm_standby.fencing_epoch, 1);
+  EXPECT_EQ(report.gtm_durability.crashes, 1);
+  EXPECT_EQ(report.faults.plan_crashes, 4) << "the site sweep must run too";
+  EXPECT_EQ(report.durability.recoveries, 4);
+  EXPECT_GE(report.global_committed, 60);
+  EXPECT_TRUE(system.primary_gtm().IsDown())
+      << "the fenced old primary must stay dead";
   EXPECT_TRUE(system.RunAuditOracle().ok());
   EXPECT_TRUE(system.CheckGloballySerializable().ok())
       << system.GlobalSerializabilityResult().ToString();
@@ -304,8 +358,8 @@ TEST_P(DurableChaosTest, ThreadedCrashSweepLosesNoCommittedData) {
   driver.target_global_commits = 40;
   driver.global_workload.items_per_site = 30;
   driver.local_workload.items_per_site = 30;
-  driver.global_retry_max = 2;
-  driver.global_retry_backoff = 500;
+  driver.retry.max_resubmissions = 2;
+  driver.retry.backoff = 500;
   DriverReport report = RunThreadedDriver(&system, driver, 59);
 
   EXPECT_GE(report.global_committed, 20);
@@ -347,8 +401,8 @@ TEST_P(DurableChaosTest, ThreadedGtmCrashRidesOutTheOutage) {
   driver.target_global_commits = 40;
   driver.global_workload.items_per_site = 30;
   driver.local_workload.items_per_site = 30;
-  driver.global_retry_max = 2;
-  driver.global_retry_backoff = 500;
+  driver.retry.max_resubmissions = 2;
+  driver.retry.backoff = 500;
   DriverReport report = RunThreadedDriver(&system, driver, 83);
 
   EXPECT_GE(report.global_committed, 40);
@@ -358,6 +412,60 @@ TEST_P(DurableChaosTest, ThreadedGtmCrashRidesOutTheOutage) {
   EXPECT_TRUE(system.CheckLocallySerializable().ok());
   EXPECT_TRUE(system.CheckGloballySerializable().ok())
       << system.GlobalSerializabilityResult().ToString();
+}
+
+// Threaded engine, compound event: failover mid-sweep under real strands.
+// The shipping tap, the shadow apply, the promotion, and the site
+// recoveries all race on real clocks; the oracles stay exact — one
+// promotion, a monotone epoch, every site crash recovered, no committed
+// data loss, and a serializable federation.
+TEST_P(DurableChaosTest, ThreadedFailoverDuringSiteSweepLosesNothing) {
+  MdbsConfig config = MdbsConfig::Mixed(
+      {ProtocolKind::kTwoPhaseLocking, ProtocolKind::kTimestampOrdering,
+       ProtocolKind::kMultiversionTO},
+      GetParam());
+  config.threaded = true;
+  config.seed = 101;
+  config.gtm.retry_backoff = 300;
+  config.gtm.attempt_timeout = 50'000;
+  config.gtm.durable = true;
+  config.gtm.checkpoint_interval = 128;
+  config.gtm_standby = true;
+  config.standby_lag = 2000;
+  config.health.probe_interval = 400;
+  config.health.suspect_after = 1000;
+  config.health.down_after = 2000;
+  config.fault_plan = fault::FaultPlan::CrashSweep(
+      /*num_sites=*/3, /*first_at=*/8000, /*gap=*/12'000,
+      /*duration=*/5000);
+  config.fault_plan.gtm_failovers.push_back(
+      fault::GtmFailoverEvent{25'000, 5000});
+  MakeDurable(&config, 128);
+  Mdbs system(config);
+
+  DriverConfig driver;
+  driver.global_clients = 4;
+  driver.local_clients_per_site = 1;
+  driver.target_global_commits = 40;
+  driver.global_workload.items_per_site = 30;
+  driver.local_workload.items_per_site = 30;
+  driver.retry.max_resubmissions = 2;
+  driver.retry.backoff = 500;
+  DriverReport report = RunThreadedDriver(&system, driver, 101);
+
+  EXPECT_GE(report.global_committed, 20);
+  EXPECT_EQ(report.gtm_standby.promotions, 1);
+  EXPECT_EQ(report.gtm_standby.fencing_epoch, 1);
+  EXPECT_GE(report.faults.plan_crashes, 1)
+      << "the run outlived every crash window";
+  EXPECT_EQ(report.durability.recoveries, report.faults.plan_crashes)
+      << "some crash never ran recovery";
+  EXPECT_TRUE(system.primary_gtm().IsDown())
+      << "the fenced old primary must stay dead";
+  EXPECT_TRUE(system.CheckLocallySerializable().ok());
+  EXPECT_TRUE(system.CheckGloballySerializable().ok())
+      << system.GlobalSerializabilityResult().ToString();
+  ExpectZeroCommittedDataLoss(&system);
 }
 
 }  // namespace

@@ -248,8 +248,8 @@ TEST_P(FailureRecoveryTest, CrashSweepAllSitesFinishesSerializably) {
   driver.target_global_commits = 50;
   driver.global_workload.items_per_site = 30;
   driver.local_workload.items_per_site = 30;
-  driver.global_retry_max = 3;
-  driver.global_retry_backoff = 500;
+  driver.retry.max_resubmissions = 3;
+  driver.retry.backoff = 500;
   DriverReport report = RunDriver(&system, driver, 11);
 
   EXPECT_EQ(report.faults.plan_crashes, 3) << "every site must crash once";
@@ -289,8 +289,8 @@ TEST_P(FailureRecoveryTest, ThreadedCrashSweepFinishesSerializably) {
   driver.target_global_commits = 30;
   driver.global_workload.items_per_site = 30;
   driver.local_workload.items_per_site = 30;
-  driver.global_retry_max = 2;
-  driver.global_retry_backoff = 500;
+  driver.retry.max_resubmissions = 2;
+  driver.retry.backoff = 500;
   DriverReport report = RunThreadedDriver(&system, driver, 23);
 
   EXPECT_GE(report.global_committed + report.global_failed, 30);

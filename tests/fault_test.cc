@@ -61,15 +61,65 @@ TEST(FaultPlanTest, GtmCrashSpecRoundTrips) {
 TEST(FaultPlanTest, ValidatePlanForConfigRejectsNonDurableGtmCrash) {
   StatusOr<FaultPlan> plan = ParseFaultPlan("gtm_crash@4000:2500");
   ASSERT_TRUE(plan.ok()) << plan.status();
-  Status not_durable = ValidatePlanForConfig(*plan, /*gtm_durable=*/false);
+  Status not_durable = ValidatePlanForConfig(*plan, /*gtm_durable=*/false,
+                                             /*gtm_standby=*/false);
   EXPECT_FALSE(not_durable.ok());
   EXPECT_NE(not_durable.message().find("gtm_crash"), std::string::npos);
   EXPECT_NE(not_durable.message().find("not durable"), std::string::npos);
-  EXPECT_TRUE(ValidatePlanForConfig(*plan, /*gtm_durable=*/true).ok());
+  EXPECT_TRUE(ValidatePlanForConfig(*plan, /*gtm_durable=*/true,
+                                    /*gtm_standby=*/false)
+                  .ok());
   // Plans without gtm_crash directives never need a durable GTM.
   StatusOr<FaultPlan> sites_only = ParseFaultPlan("crash@1000:s0:500");
   ASSERT_TRUE(sites_only.ok());
-  EXPECT_TRUE(ValidatePlanForConfig(*sites_only, false).ok());
+  EXPECT_TRUE(ValidatePlanForConfig(*sites_only, false, false).ok());
+}
+
+TEST(FaultPlanTest, ParsesGtmFailoverDirective) {
+  StatusOr<FaultPlan> plan = ParseFaultPlan("gtm_failover@6000:1500");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->gtm_failovers.size(), 1u);
+  EXPECT_EQ(plan->gtm_failovers[0].at, 6000);
+  EXPECT_EQ(plan->gtm_failovers[0].duration, 1500);
+  EXPECT_FALSE(plan->Empty());
+  // Round-trips through the canonical spec.
+  StatusOr<FaultPlan> again = ParseFaultPlan(plan->ToSpec());
+  ASSERT_TRUE(again.ok()) << again.status();
+  ASSERT_EQ(again->gtm_failovers.size(), 1u);
+  EXPECT_EQ(again->gtm_failovers[0], plan->gtm_failovers[0]);
+  EXPECT_EQ(plan->ToSpec(), again->ToSpec());
+}
+
+TEST(FaultPlanTest, ValidatePlanForConfigGatesGtmFailover) {
+  StatusOr<FaultPlan> plan = ParseFaultPlan("gtm_failover@6000:1500");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Needs both a durable GTM and a configured standby.
+  Status not_durable = ValidatePlanForConfig(*plan, /*gtm_durable=*/false,
+                                             /*gtm_standby=*/false);
+  EXPECT_FALSE(not_durable.ok());
+  EXPECT_NE(not_durable.message().find("gtm_failover"), std::string::npos);
+  Status no_standby = ValidatePlanForConfig(*plan, /*gtm_durable=*/true,
+                                            /*gtm_standby=*/false);
+  EXPECT_FALSE(no_standby.ok());
+  EXPECT_NE(no_standby.message().find("standby"), std::string::npos);
+  EXPECT_TRUE(ValidatePlanForConfig(*plan, /*gtm_durable=*/true,
+                                    /*gtm_standby=*/true)
+                  .ok());
+}
+
+TEST(FaultPlanTest, ValidatePlanRejectsDoubleOrMixedFailover) {
+  // There is exactly one standby to promote.
+  StatusOr<FaultPlan> twice =
+      ParseFaultPlan("gtm_failover@6000:1500;gtm_failover@20000:1500");
+  ASSERT_TRUE(twice.ok()) << twice.status();
+  EXPECT_FALSE(ValidatePlanForConfig(*twice, true, true).ok());
+  // Mixing with gtm_crash would recover the fenced old primary: split brain.
+  StatusOr<FaultPlan> mixed =
+      ParseFaultPlan("gtm_crash@2000:500;gtm_failover@6000:1500");
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  Status status = ValidatePlanForConfig(*mixed, true, true);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("split brain"), std::string::npos);
 }
 
 TEST(FaultPlanTest, SpecRoundTrips) {
@@ -95,6 +145,8 @@ TEST(FaultPlanTest, RejectsMalformedDirectives) {
        {"crash@1000:500", "crash@1000:x2:500", "crash@1000:s2:0",
         "sweep@10:20", "gtm_crash@1000", "gtm_crash@1000:0",
         "gtm_crash@1000:2000:3000", "gtm_crash@x:100",
+        "gtm_failover@1000", "gtm_failover@1000:0",
+        "gtm_failover@1000:2000:3000", "gtm_failover@x:100",
         "req_loss=1.5", "resp_loss=-0.1", "dup=x",
         "spike=0.1", "spike=0.1:0", "seed=", "nonsense", "foo=1"}) {
     StatusOr<FaultPlan> plan = ParseFaultPlan(bad);

@@ -157,7 +157,7 @@ TEST_P(GtmCrashPointFuzzTest, EveryLogPrefixReplaysToTheLiveState) {
   driver.target_global_commits = 40;
   driver.global_workload.items_per_site = 20;
   driver.local_workload.items_per_site = 20;
-  driver.global_retry_max = 2;
+  driver.retry.max_resubmissions = 2;
   RunDriver(&system, driver, 101);
 
   GtmLogScan scan;

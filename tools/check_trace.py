@@ -42,6 +42,20 @@ transaction is enforced across GTM restarts by the same check as for
 ordinary retries: recovery must resume the WAL's attempt counter, not
 restart it.
 
+The failover sub-schema (mdbsim --gtm_standby with a gtm_failover fault
+plan): the takeover renders as a "FAILOVER" span on the GTM track only,
+nested inside the "GTM DOWN" span the primary's crash opened (it must
+close before the outage does). Its gtm_promote_begin instant carries the
+new fencing epoch in "a" — strictly greater than any epoch seen before,
+so a replayed or split-brain promotion is caught — and the durable tail
+in "b"; the matching gtm_promote instant's "a" counts the tail records
+applied, which join gtm_recover's replay counters in the
+gtm_wal.replayed_records cross-check. When both files are given, the
+trace's promotion count, final epoch and tail must equal the report's
+gtm_standby.promotions, gtm_standby.fencing_epoch and
+gtm_standby.lag_records, and a report can only claim promotions in a run
+marked gtm_standby.
+
 The metrics-engine sub-schema (always-on unless --metrics=0): the report's
 "metrics" section must carry zero balance violations, per-phase ticks that
 sum EXACTLY to the total measured lifetime, the full nine-phase taxonomy,
@@ -98,6 +112,12 @@ def check_trace(path):
     gtm_crashes = 0
     gtm_recovers = 0
     gtm_replayed = 0
+    open_failover = 0
+    promote_begins = 0
+    promotes = 0
+    promote_replayed = 0
+    last_epoch = 0
+    promote_tail = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -156,6 +176,20 @@ def check_trace(path):
                         fail(f"{path}: event {i} gtm_crash span named "
                              f"{ev['name']!r}, expected 'GTM DOWN'")
                     open_gtm_down += 1
+                elif ev["cat"] == "gtm_failover":
+                    # The takeover is GTM work nested inside the outage it
+                    # repairs: a FAILOVER span on any other track, or
+                    # outside a GTM DOWN window, misattributes it.
+                    if ev["tid"] != GTM_TID:
+                        fail(f"{path}: event {i} FAILOVER span on tid "
+                             f"{ev['tid']}, expected the GTM track")
+                    if ev["name"] != "FAILOVER":
+                        fail(f"{path}: event {i} gtm_failover span named "
+                             f"{ev['name']!r}, expected 'FAILOVER'")
+                    if open_gtm_down <= 0:
+                        fail(f"{path}: event {i} FAILOVER span outside a "
+                             f"GTM DOWN window")
+                    open_failover += 1
                 elif ev["cat"] == "attempt":
                     m = ATTEMPT_NAME.match(ev["name"])
                     if not m:
@@ -184,7 +218,14 @@ def check_trace(path):
                              f"{ev['tid']} closed with RECOVERY still open")
                     open_crash[ev["tid"]] = open_crash.get(ev["tid"], 0) - 1
                 elif ev["cat"] == "gtm_crash":
+                    # Promotion finishes before the outage ends: the
+                    # FAILOVER span must close before its GTM DOWN does.
+                    if open_failover > 0:
+                        fail(f"{path}: event {i} GTM DOWN span closed with "
+                             f"a FAILOVER span still open")
                     open_gtm_down -= 1
+                elif ev["cat"] == "gtm_failover":
+                    open_failover -= 1
         elif ph == "i":
             name, args = ev["name"], ev.get("args", {})
             if name == "net_fault":
@@ -251,6 +292,34 @@ def check_trace(path):
                     if gtm_recovers > gtm_crashes:
                         fail(f"{path}: event {i} gtm_recover without a "
                              f"preceding gtm_crash")
+            elif name in ("gtm_promote_begin", "gtm_promote"):
+                if ev["tid"] != GTM_TID:
+                    fail(f"{path}: event {i} {name} on tid {ev['tid']}, "
+                         f"expected the GTM track")
+                for counter in ("a", "b"):
+                    if not isinstance(args.get(counter), int) or \
+                            args[counter] < 0:
+                        fail(f"{path}: event {i} {name} with bad counter "
+                             f"{counter}={args.get(counter)!r}")
+                if name == "gtm_promote_begin":
+                    if open_failover <= 0:
+                        fail(f"{path}: event {i} gtm_promote_begin outside "
+                             f"a FAILOVER span")
+                    # The fencing epoch only ever moves forward: a repeated
+                    # or stale epoch here is split brain in the making.
+                    if args["a"] <= last_epoch:
+                        fail(f"{path}: event {i} gtm_promote_begin epoch "
+                             f"{args['a']} not above previous epoch "
+                             f"{last_epoch}")
+                    last_epoch = args["a"]
+                    promote_tail = args["b"]
+                    promote_begins += 1
+                else:
+                    promotes += 1
+                    promote_replayed += args["a"]
+                    if promotes > promote_begins:
+                        fail(f"{path}: event {i} gtm_promote without a "
+                             f"preceding gtm_promote_begin")
         elif ph == "C":
             if not isinstance(ev.get("args"), dict) or not ev["args"]:
                 fail(f"{path}: counter event {i} needs non-empty args")
@@ -271,11 +340,13 @@ def check_trace(path):
           f"net_faults={fault_counts['net_faults']}, "
           f"resubmits={fault_counts['resubmits']}, "
           f"downgrades={downgrades}, recoveries={recovery_spans}, "
-          f"gtm_crashes={gtm_crashes})")
+          f"gtm_crashes={gtm_crashes}, promotions={promotes})")
     return {"downgrades": downgrades, "recovery_spans": recovery_spans,
             "replayed_records": replayed_records,
             "gtm_crashes": gtm_crashes, "gtm_recovers": gtm_recovers,
-            "gtm_replayed": gtm_replayed}
+            "gtm_replayed": gtm_replayed, "promotions": promotes,
+            "promote_replayed": promote_replayed,
+            "last_epoch": last_epoch, "promote_tail": promote_tail}
 
 
 def check_analysis(path, doc, trace_downgrades):
@@ -365,14 +436,54 @@ def check_gtm_recovery(path, doc, trace_stats):
         if trace_stats["gtm_recovers"] != recoveries:
             fail(f"{path}: gtm_wal.recoveries={recoveries} but the trace "
                  f"has {trace_stats['gtm_recovers']} gtm_recover instants")
-        if trace_stats["gtm_replayed"] != replayed:
+        traced = trace_stats["gtm_replayed"] + trace_stats["promote_replayed"]
+        if traced != replayed:
             fail(f"{path}: gtm_wal.replayed_records={replayed} but the "
-                 f"trace's gtm_recover instants replayed "
-                 f"{trace_stats['gtm_replayed']} records")
+                 f"trace's gtm_recover and gtm_promote instants replayed "
+                 f"{traced} records")
     if info.get("gtm_durable") == "1" or crashes:
         print(f"check_trace: {path}: GTM durability counters consistent "
               f"(crashes={crashes}, recoveries={recoveries}, "
               f"replayed={replayed})")
+
+
+def check_failover(path, doc, trace_stats):
+    """The warm-standby failover sub-schema over the run report."""
+    info, counters = doc["info"], doc["counters"]
+    promotions = counters.get("gtm_standby.promotions", 0)
+    epoch = counters.get("gtm_standby.fencing_epoch", 0)
+    shipped = counters.get("gtm_standby.shipped_records", 0)
+    applied = counters.get("gtm_standby.applied_records", 0)
+    if promotions and info.get("gtm_standby") != "1":
+        fail(f"{path}: {promotions} promotions in a run not marked "
+             f"gtm_standby (only a warm standby can be promoted)")
+    if epoch != promotions:
+        # Each promotion bumps the fencing epoch exactly once; any other
+        # relation means a promotion was replayed or an epoch skipped.
+        fail(f"{path}: gtm_standby.fencing_epoch={epoch} != "
+             f"gtm_standby.promotions={promotions}")
+    if applied > shipped:
+        fail(f"{path}: gtm_standby.applied_records={applied} exceeds "
+             f"shipped_records={shipped}")
+    if trace_stats is not None:
+        if trace_stats["promotions"] != promotions:
+            fail(f"{path}: gtm_standby.promotions={promotions} but the "
+                 f"trace has {trace_stats['promotions']} gtm_promote "
+                 f"instants")
+        if promotions and trace_stats["last_epoch"] != epoch:
+            fail(f"{path}: gtm_standby.fencing_epoch={epoch} but the "
+                 f"trace's last promotion announced epoch "
+                 f"{trace_stats['last_epoch']}")
+        if promotions and trace_stats["promote_tail"] != \
+                counters.get("gtm_standby.lag_records", 0):
+            fail(f"{path}: gtm_standby.lag_records="
+                 f"{counters.get('gtm_standby.lag_records', 0)} but the "
+                 f"trace's promotion carried a tail of "
+                 f"{trace_stats['promote_tail']} records")
+    if info.get("gtm_standby") == "1" or promotions:
+        print(f"check_trace: {path}: failover counters consistent "
+              f"(promotions={promotions}, epoch={epoch}, "
+              f"shipped={shipped}, applied={applied})")
 
 
 TXN_PHASES = ("admission", "scheme", "ser_wait", "ticket", "network",
@@ -532,6 +643,7 @@ def check_metrics(path, trace_stats=None):
                    trace_stats["downgrades"] if trace_stats else None)
     check_recovery(path, doc, trace_stats)
     check_gtm_recovery(path, doc, trace_stats)
+    check_failover(path, doc, trace_stats)
     check_metrics_engine(path, doc)
     print(f"check_trace: {path}: {len(doc['counters'])} counters, "
           f"{len(doc['summaries'])} summaries OK")
